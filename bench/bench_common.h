@@ -1,0 +1,111 @@
+// Shared configuration of the paper-reproduction benchmarks: one scaled-down
+// "testbed" used by every figure so numbers are comparable across binaries.
+//
+// Scaling note (documented in EXPERIMENTS.md): the paper's testbed is
+// 4-vCPU Azure VMs at ~5K req/s with 256-1200 open clients. Here a node is a
+// reactor thread with a modeled CPU whose per-op costs are chosen so the
+// leader lands at the same operating point the paper reports: ~70-80% CPU
+// utilization at a base throughput of roughly 5K req/s, driven by a
+// closed-loop client pool.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/naive/naive_cluster.h"
+#include "src/raft/raft_cluster.h"
+#include "src/workload/driver.h"
+
+namespace depfast {
+namespace bench {
+
+inline RaftConfig PaperRaftConfig() {
+  RaftConfig cfg;
+  cfg.heartbeat_us = 30000;
+  cfg.rpc_timeout_us = 150000;
+  cfg.quorum_wait_us = 400000;
+  cfg.client_op_timeout_us = 2000000;
+  cfg.max_batch = 64;
+  cfg.send_queue_cap_bytes = 256 * 1024;
+  // Cost model: ~140us of leader CPU per op end-to-end => ~7K op/s CPU
+  // capacity; the closed-loop pool below drives it to ~75% utilization and
+  // ~5-6K op/s, the operating point §3.4 reports.
+  cfg.leader_cmd_cost_us = 120;
+  cfg.follower_append_cost_us = 30;
+  cfg.apply_cost_us = 20;
+  cfg.heartbeat_cost_us = 5;
+  cfg.max_in_flight_rounds = 16;
+  return cfg;
+}
+
+inline LinkParams PaperLink() {
+  LinkParams link;
+  link.base_delay_us = 150;   // intra-DC one-way
+  link.bytes_per_us = 100;    // ~100 MB/s
+  link.jitter_p = 0.001;      // transient stalls on ALL links: the paper's
+  link.jitter_us = 2000;      // "transient performance issues ... prolong the tail"
+  return link;
+}
+
+inline SimDiskParams PaperDisk() {
+  SimDiskParams disk;
+  disk.base_latency_us = 150;  // SSD fsync
+  disk.bytes_per_us = 200;
+  return disk;
+}
+
+inline DriverConfig PaperDriver(uint64_t measure_us = 3000000) {
+  DriverConfig cfg;
+  // One client thread (low OS-thread contention on small hosts) running 32
+  // concurrent closed-loop coroutines — enough demand to saturate the
+  // leader, as the paper's 256-1200 clients do. At saturation, throughput is
+  // capacity-bound, so it measures the leader's health rather than the
+  // commit path's order statistics.
+  cfg.n_client_threads = 1;
+  cfg.coroutines_per_client = 32;
+  cfg.warmup_us = 800000;
+  cfg.measure_us = measure_us;
+  cfg.ycsb.n_records = 500000;  // paper: 500K records
+  cfg.ycsb.write_fraction = 1.0;
+  cfg.ycsb.value_bytes = 100;
+  return cfg;
+}
+
+inline RaftClusterOptions PaperRaftCluster(int n_nodes) {
+  RaftClusterOptions opts;
+  opts.n_nodes = n_nodes;
+  opts.pin_leader = true;  // steady-state measurement, healthy leader
+  opts.raft = PaperRaftConfig();
+  opts.link = PaperLink();
+  opts.disk = PaperDisk();
+  return opts;
+}
+
+inline NaiveClusterOptions PaperNaiveCluster(const NaiveProfile& profile) {
+  NaiveClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.profile = profile;
+  opts.config = PaperRaftConfig();
+  opts.link = PaperLink();
+  opts.disk = PaperDisk();
+  // Scaled-down machine RAM: at ~5K op/s of ~130-byte entries the unacked
+  // buffer to a wedged follower crosses this within the run window, as the
+  // real leader's RAM does over hours. The rethink-like profile (which is
+  // the one modeling buffer memory at all) gets a tighter budget so the OOM
+  // endpoint is reachable inside a benchmark window.
+  opts.machine_mem_cap_bytes = profile.crash_on_oom ? (768ull << 10) : (2ull << 20);
+  opts.machine_swap_penalty = 1.5;
+  return opts;
+}
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n================================================================\n");
+  printf("%s\n", title.c_str());
+  printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace depfast
+
+#endif  // BENCH_BENCH_COMMON_H_

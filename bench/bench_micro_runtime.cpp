@@ -1,0 +1,196 @@
+// Microbenchmarks (google-benchmark) of the DepFast runtime primitives:
+// coroutine lifecycle, event operations, quorum events, marshal throughput,
+// reactor posting, and RPC echo over the sim transport. These quantify the
+// per-wait-point cost the programming model introduces.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/base/marshal.h"
+#include "src/base/rand.h"
+#include "src/base/histogram.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/sim_transport.h"
+#include "src/runtime/compound_event.h"
+#include "src/runtime/coro_mutex.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+void BM_CoroutineCreateRun(benchmark::State& state) {
+  Reactor reactor("bench");
+  for (auto _ : state) {
+    int x = 0;
+    Coroutine::Create([&]() { x = 1; });
+    reactor.RunUntilIdle();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CoroutineCreateRun);
+
+void BM_CoroutineYieldResume(benchmark::State& state) {
+  Reactor reactor("bench");
+  // One long-lived coroutine ping-ponging with the scheduler.
+  Coroutine* co = nullptr;
+  bool stop = false;
+  Coroutine::Create([&]() {
+    co = Coroutine::Current();
+    while (!stop) {
+      Coroutine::Yield();
+    }
+  });
+  reactor.RunUntilIdle();
+  for (auto _ : state) {
+    reactor.Schedule(co);
+    reactor.RunUntilIdle();
+  }
+  stop = true;
+  reactor.Schedule(co);
+  reactor.RunUntilIdle();
+}
+BENCHMARK(BM_CoroutineYieldResume);
+
+void BM_IntEventSetWait(benchmark::State& state) {
+  Reactor reactor("bench");
+  for (auto _ : state) {
+    auto ev = std::make_shared<IntEvent>();
+    Coroutine::Create([ev]() { ev->Wait(); });
+    Coroutine::Create([ev]() { ev->Set(1); });
+    reactor.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_IntEventSetWait);
+
+void BM_QuorumEvent(benchmark::State& state) {
+  Reactor reactor("bench");
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto q = std::make_shared<QuorumEvent>(n, n / 2 + 1);
+    std::vector<std::shared_ptr<IntEvent>> kids;
+    for (int i = 0; i < n; i++) {
+      kids.push_back(std::make_shared<IntEvent>());
+      q->AddChild(kids.back());
+    }
+    Coroutine::Create([q]() { q->Wait(); });
+    Coroutine::Create([&kids]() {
+      for (auto& k : kids) {
+        k->Set(1);
+      }
+    });
+    reactor.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_QuorumEvent)->Arg(3)->Arg(5)->Arg(9)->Arg(33);
+
+void BM_CoroMutexLockUnlock(benchmark::State& state) {
+  Reactor reactor("bench");
+  CoroMutex mu;
+  for (auto _ : state) {
+    bool done = false;
+    Coroutine::Create([&]() {
+      CoroLock lock(mu);
+      done = true;
+    });
+    reactor.RunUntilIdle();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_CoroMutexLockUnlock);
+
+void BM_ReactorPostAndRun(benchmark::State& state) {
+  Reactor reactor("bench");
+  for (auto _ : state) {
+    int x = 0;
+    reactor.Post([&]() { x = 1; });
+    reactor.RunUntilIdle();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ReactorPostAndRun);
+
+void BM_MarshalWriteRead(benchmark::State& state) {
+  std::string value(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    Marshal m;
+    m << uint64_t{7} << value << uint32_t{9};
+    uint64_t a = 0;
+    std::string s;
+    uint32_t b = 0;
+    m >> a >> s >> b;
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MarshalWriteRead)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(7);
+  for (auto _ : state) {
+    h.Record(rng.NextRange(1, 1000000));
+  }
+  benchmark::DoNotOptimize(h.Percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ScrambledZipfianGenerator zipf(500000);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_SimTransportSendDeliver(benchmark::State& state) {
+  Reactor reactor("bench");
+  LinkParams p;
+  p.base_delay_us = 0;
+  p.jitter_p = 0;
+  SimTransport transport(p);
+  int delivered = 0;
+  transport.RegisterNode(2, &reactor, [&](NodeId, Marshal) { delivered++; });
+  for (auto _ : state) {
+    Marshal m;
+    m << uint64_t{1};
+    transport.Send(1, 2, std::move(m), SendOpts{});
+    reactor.RunUntilIdle();
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_SimTransportSendDeliver);
+
+void BM_RpcEchoSameThread(benchmark::State& state) {
+  Reactor reactor("bench");
+  LinkParams p;
+  p.base_delay_us = 0;
+  p.jitter_p = 0;
+  SimTransport transport(p);
+  RpcEndpoint client(1, "client", &reactor, &transport);
+  RpcEndpoint server(2, "server", &reactor, &transport);
+  server.Register(1, [](NodeId, Marshal& args, Marshal* reply) {
+    uint64_t v = 0;
+    args >> v;
+    *reply << v;
+  });
+  for (auto _ : state) {
+    bool done = false;
+    Coroutine::Create([&]() {
+      Marshal args;
+      args << uint64_t{42};
+      auto ev = client.Call(2, 1, std::move(args));
+      ev->Wait();
+      done = true;
+    });
+    reactor.RunUntilIdle();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_RpcEchoSameThread);
+
+}  // namespace
+}  // namespace depfast
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Table 1 reproduction: the six fail-slow fault types and their injection
+// methods, measured directly against the modeled resources of a single node.
+// For each fault the benchmark reports the healthy vs faulty behaviour of
+// the primitive the injection targets — the ground truth on which Figures 1
+// and 3 stand.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_types.h"
+
+namespace depfast {
+namespace bench {
+namespace {
+
+struct Probe {
+  double healthy;
+  double faulty;
+  const char* unit;
+  const char* what;
+};
+
+// Measures how long `cost_us` of CPU work takes on the node.
+double MeasureCpuWork(Reactor& reactor, CpuModel& cpu, uint64_t cost_us) {
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  bool done = false;
+  reactor.Spawn([&]() {
+    cpu.Work(cost_us);
+    elapsed = MonotonicUs() - begin;
+    done = true;
+  });
+  reactor.RunUntil([&]() { return done; }, 60000000);
+  return static_cast<double>(elapsed) / 1000.0;  // ms
+}
+
+double MeasureDiskWrite(Reactor& reactor, SimDisk& disk, uint64_t bytes) {
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  bool done = false;
+  reactor.Spawn([&]() {
+    auto ev = std::make_shared<IntEvent>();
+    disk.AsyncWrite(bytes, ev);
+    ev->Wait();
+    elapsed = MonotonicUs() - begin;
+    done = true;
+  });
+  reactor.RunUntil([&]() { return done; }, 60000000);
+  return static_cast<double>(elapsed) / 1000.0;  // ms
+}
+
+double MeasureRpcRtt(SimTransport& transport, Reactor& reactor, RpcEndpoint& client,
+                     NodeId server) {
+  uint64_t elapsed = 0;
+  bool done = false;
+  reactor.Spawn([&]() {
+    Marshal args;
+    args << std::string("ping");
+    uint64_t begin = MonotonicUs();
+    auto ev = client.Call(server, 1, std::move(args));
+    ev->Wait();
+    elapsed = MonotonicUs() - begin;
+    done = true;
+  });
+  reactor.RunUntil([&]() { return done; }, 60000000);
+  return static_cast<double>(elapsed) / 1000.0;  // ms
+}
+
+void Run() {
+  PrintHeader("Table 1 — fail-slow fault types and their injected effect");
+  printf("%-22s %-44s %10s %10s\n", "fail-slow type", "probe", "healthy", "faulty");
+
+  {
+    // CPU (slow): 5% cgroup share.
+    Reactor reactor("node");
+    CpuModel cpu(&reactor);
+    double healthy = MeasureCpuWork(reactor, cpu, 2000);
+    cpu.SetShare(MakeFault(FaultType::kCpuSlow).cpu_share);
+    double faulty = MeasureCpuWork(reactor, cpu, 2000);
+    printf("%-22s %-44s %8.2fms %8.2fms\n", "CPU (slow)", "2ms of CPU work under 5% share",
+           healthy, faulty);
+  }
+  {
+    // CPU (contention): 16x-weight contender.
+    Reactor reactor("node");
+    CpuModel cpu(&reactor);
+    double healthy = MeasureCpuWork(reactor, cpu, 2000);
+    FaultSpec spec = MakeFault(FaultType::kCpuContention);
+    cpu.SetContention(spec.contender_weight, 1.0);
+    double faulty = MeasureCpuWork(reactor, cpu, 2000);
+    printf("%-22s %-44s %8.2fms %8.2fms\n", "CPU (contention)",
+           "2ms of CPU work vs 16x-share contender", healthy, faulty);
+  }
+  {
+    // Disk (slow): bandwidth throttle.
+    Reactor reactor("node");
+    SimDisk disk(&reactor, PaperDisk());
+    double healthy = MeasureDiskWrite(reactor, disk, 256 * 1024);
+    disk.SetBwFactor(MakeFault(FaultType::kDiskSlow).disk_bw_factor);
+    double faulty = MeasureDiskWrite(reactor, disk, 256 * 1024);
+    printf("%-22s %-44s %8.2fms %8.2fms\n", "Disk (slow)", "256KB durable write under throttle",
+           healthy, faulty);
+  }
+  {
+    // Disk (contention): heavy contending writer.
+    Reactor reactor("node");
+    SimDisk disk(&reactor, PaperDisk());
+    double healthy = MeasureDiskWrite(reactor, disk, 256 * 1024);
+    FaultSpec spec = MakeFault(FaultType::kDiskContention);
+    disk.SetContention(1.0, spec.disk_contention_share);  // contender pinned on
+    double faulty = MeasureDiskWrite(reactor, disk, 256 * 1024);
+    printf("%-22s %-44s %8.2fms %8.2fms\n", "Disk (contention)",
+           "256KB durable write vs heavy writer", healthy, faulty);
+  }
+  {
+    // Memory (contention): user-memory cap -> swap penalty on work.
+    Reactor reactor("node");
+    CpuModel cpu(&reactor);
+    MemModel mem;
+    cpu.set_mem(&mem);
+    double healthy = MeasureCpuWork(reactor, cpu, 2000);
+    FaultSpec spec = MakeFault(FaultType::kMemContention);
+    mem.SetCap(spec.mem_cap_bytes, spec.swap_penalty);
+    mem.SetPressure(spec.mem_cap_bytes * 2);
+    double faulty = MeasureCpuWork(reactor, cpu, 2000);
+    printf("%-22s %-44s %8.2fms %8.2fms\n", "Memory (contention)",
+           "2ms of CPU work while thrashing", healthy, faulty);
+  }
+  {
+    // Network (slow): tc-netem 400ms on the NIC.
+    Reactor reactor("client");
+    SimTransport transport(PaperLink());
+    RpcEndpoint client(1, "client", &reactor, &transport);
+    RpcEndpoint server(2, "server", &reactor, &transport);
+    server.Register(1, [](NodeId, Marshal& args, Marshal* reply) { *reply << true; });
+    double healthy = MeasureRpcRtt(transport, reactor, client, 2);
+    transport.SetNodeExtraDelay(2, MakeFault(FaultType::kNetworkSlow).net_delay_us);
+    double faulty = MeasureRpcRtt(transport, reactor, client, 2);
+    printf("%-22s %-44s %8.2fms %8.2fms\n", "Network (slow)", "RPC round trip with +400ms NIC delay",
+           healthy, faulty);
+  }
+  printf(
+      "\nTable 1 injection methods (paper -> this repo):\n"
+      "  cgroup 5%% cpu cap          -> CpuModel::SetShare(0.05)\n"
+      "  16x-share contender        -> CpuModel::SetContention(16, duty)\n"
+      "  cgroup disk bw limit       -> SimDisk::SetBwFactor(0.05)\n"
+      "  contending heavy writer    -> SimDisk::SetContention(duty, share)\n"
+      "  cgroup user-memory cap     -> MemModel::SetCap + working-set pressure\n"
+      "  tc netem delay 400ms       -> SimTransport::SetNodeExtraDelay(400ms)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace depfast
+
+int main() {
+  depfast::SetLogLevel(depfast::LogLevel::kError);
+  depfast::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fail-slow tolerance, live: run the same write workload against DepFastRaft
+// and against a baseline (mongo-like) engine, inject a CPU fail-slow fault
+// into one follower mid-run, and watch per-second throughput. DepFastRaft
+// holds steady; the baseline visibly sags.
+//
+// Build & run:  ./build/examples/failslow_demo
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/naive/naive_cluster.h"
+#include "src/raft/raft_cluster.h"
+
+using namespace depfast;
+using namespace depfast::bench;
+
+namespace {
+
+// Drives closed-loop writers and prints ops/sec once a second; injects the
+// fault (via `inject`) after 3 seconds.
+template <typename Cluster>
+void RunTimeline(const char* label, Cluster& cluster, const std::function<void()>& inject) {
+  printf("\n--- %s ---\n", label);
+  auto client = cluster.MakeClient("c1");
+  std::atomic<uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  client->thread->reactor()->Post([&]() {
+    for (int j = 0; j < 12; j++) {
+      Coroutine::Create([&, j]() {
+        Rng rng(static_cast<uint64_t>(j) + 1);
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (client->session->Put("key" + std::to_string(rng.NextUint64(100000)), "value")) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  });
+  uint64_t prev = 0;
+  for (int second = 1; second <= 7; second++) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    uint64_t now = completed.load();
+    printf("  t=%ds  %6llu ops/s%s\n", second, (unsigned long long)(now - prev),
+           second == 3 ? "   <-- injecting CPU fail-slow into follower" : "");
+    prev = now;
+    if (second == 3) {
+      inject();
+    }
+  }
+  stop.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  {
+    RaftCluster cluster(PaperRaftCluster(3));
+    RunTimeline("DepFastRaft (QuorumEvent waits, bounded queues)", cluster,
+                [&]() { cluster.InjectFault(1, FaultType::kCpuSlow); });
+  }
+  {
+    NaiveCluster cluster(PaperNaiveCluster(NaiveProfile::MongoLike()));
+    RunTimeline("baseline mongo-like (per-follower callbacks + retransmission)", cluster,
+                [&]() { cluster.InjectFault(1, FaultType::kCpuSlow); });
+  }
+  printf("\nThe follower fault barely moves DepFastRaft; the baseline loses a\n"
+         "chunk of throughput to backlog bookkeeping for the straggler (§2.2).\n");
+  return 0;
+}

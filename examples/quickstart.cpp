@@ -1,0 +1,91 @@
+// Quickstart: the DepFast programming model in one file.
+//
+// Shows the paper's §3.1/§3.2 interfaces end to end:
+//   1. coroutines — synchronous-style tasks on a cooperative scheduler;
+//   2. events — wait points you block on, instead of callbacks;
+//   3. QuorumEvent — wait for any majority, the fail-slow tolerance device;
+//   4. nested compound events — the fast-path / slow-path pattern.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/base/time_util.h"
+#include "src/runtime/compound_event.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+using namespace depfast;
+
+int main() {
+  // A Reactor is the per-node runtime instance: scheduler + timers.
+  Reactor reactor("demo");
+
+  // --- 1. Coroutines: write blocking-style code, no callbacks. ------------
+  Coroutine::Create([]() {
+    printf("[1] coroutine: started, sleeping 5ms without blocking the node...\n");
+    SleepUs(5000);
+    printf("[1] coroutine: back after the wait point\n");
+  });
+
+  // --- 2. Events: one coroutine waits, another fires. ---------------------
+  auto ready = std::make_shared<IntEvent>();
+  Coroutine::Create([ready]() {
+    printf("[2] consumer: waiting on event\n");
+    ready->Wait();
+    printf("[2] consumer: event fired\n");
+  });
+  Coroutine::Create([ready]() {
+    SleepUs(5000);
+    printf("[2] producer: firing event\n");
+    ready->Set(1);
+  });
+
+  // --- 3. QuorumEvent: proceed on any majority. ----------------------------
+  // Five "replica acks" arrive at wildly different times — one is fail-slow.
+  // The waiter resumes as soon as any 3 fire; the straggler is irrelevant.
+  auto quorum = std::make_shared<QuorumEvent>(5, 3);
+  uint64_t begin = MonotonicUs();
+  for (int i = 0; i < 5; i++) {
+    auto ack = std::make_shared<IntEvent>();
+    quorum->AddChild(ack);
+    uint64_t delay = (i == 0) ? 5000000 : (static_cast<uint64_t>(i) * 3000);  // replica 0 is stuck
+    Coroutine::Create([ack, delay]() {
+      SleepUs(delay);
+      ack->Set(1);
+    });
+  }
+  Coroutine::Create([quorum, begin]() {
+    printf("[3] waiting for 3 of 5 acks (one replica needs 5 SECONDS)...\n");
+    quorum->Wait();
+    printf("[3] majority reached after %.1fms — the fail-slow replica did not matter\n",
+           static_cast<double>(MonotonicUs() - begin) / 1000.0);
+  });
+
+  // --- 4. Nested events: fast path / slow path (§3.2). --------------------
+  auto fast_ok = std::make_shared<QuorumEvent>(3, 3);      // fast quorum: all 3
+  auto fast_reject = std::make_shared<QuorumEvent>(3, 1);  // any reject kills it
+  auto fastpath = std::make_shared<OrEvent>();
+  fastpath->AddChild(fast_ok);
+  fastpath->AddChild(fast_reject);
+  Coroutine::Create([fast_ok, fast_reject]() {
+    SleepUs(2000);
+    fast_ok->VoteYes();
+    fast_ok->VoteYes();
+    fast_reject->VoteYes();  // one replica rejects the fast path
+  });
+  Coroutine::Create([fastpath, fast_ok, fast_reject]() {
+    fastpath->Wait(/*timeout_us=*/1000000);
+    if (fast_ok->Ready()) {
+      printf("[4] fast path taken\n");
+    } else if (fast_reject->Ready() || fastpath->TimedOut()) {
+      printf("[4] fast path rejected -> falling back to slow path (as expected)\n");
+    }
+  });
+
+  // Drive everything to completion. The stuck replica's 5s timer is the only
+  // thing left pending; we don't wait for it.
+  reactor.RunUntil([&]() { return quorum->Ready() && fastpath->Ready(); }, 10000000);
+  printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "src/base/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t v) {
+  // Group 0 is linear over [0, 64); group g >= 1 covers [64*2^(g-1), 64*2^g)
+  // with 64 sub-buckets of width 2^(g-1).
+  if (v < kSubCount) {
+    return static_cast<int>(v);
+  }
+  int msb = 63 - std::countl_zero(v);
+  int group = msb - kSubBits + 1;
+  int sub = static_cast<int>((v >> (group - 1)) - kSubCount);
+  int idx = group * kSubCount + sub;
+  if (idx >= kBuckets) {
+    idx = kBuckets - 1;
+  }
+  return idx;
+}
+
+uint64_t Histogram::BucketUpper(int idx) {
+  int group = idx / kSubCount;
+  int sub = idx % kSubCount;
+  if (group == 0) {
+    return static_cast<uint64_t>(sub);
+  }
+  return (static_cast<uint64_t>(kSubCount + sub + 1) << (group - 1)) - 1;
+}
+
+void Histogram::Record(uint64_t value_us) {
+  buckets_[static_cast<size_t>(BucketFor(value_us))]++;
+  count_++;
+  sum_ += value_us;
+  if (value_us < min_) {
+    min_ = value_us;
+  }
+  if (value_us > max_) {
+    max_ = value_us;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; i++) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  DF_CHECK_GE(p, 0.0);
+  DF_CHECK_LE(p, 100.0);
+  auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      uint64_t upper = BucketUpper(i);
+      return upper > max_ ? max_ : upper;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.1fus p50=%lluus p90=%lluus p99=%lluus max=%lluus",
+           static_cast<unsigned long long>(count_), Mean(),
+           static_cast<unsigned long long>(Percentile(50)),
+           static_cast<unsigned long long>(Percentile(90)),
+           static_cast<unsigned long long>(Percentile(99)),
+           static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace depfast

@@ -1,0 +1,51 @@
+// Log-bucketed latency histogram (HDR-style): power-of-two major buckets,
+// each split into 64 linear sub-buckets, giving <= ~1.6% relative error on
+// percentile queries across [1us, ~1.2h]. Record() is lock-free per instance
+// owner; Merge() combines per-client histograms for reporting.
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depfast {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100]; returns an upper bound of the bucket containing the
+  // p-th percentile value (0 when empty).
+  uint64_t Percentile(double p) const;
+
+  // "count=.. mean=..us p50=.. p99=.. max=.."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBits = 6;  // 64 sub-buckets per power of two
+  static constexpr int kSubCount = 1 << kSubBits;
+  static constexpr int kMajor = 42;  // covers up to 2^42 us
+  static constexpr int kBuckets = kMajor * kSubCount;
+
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketUpper(int idx);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_BASE_HISTOGRAM_H_

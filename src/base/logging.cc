@@ -1,0 +1,59 @@
+#include "src/base/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogVprintf(LogLevel level, const char* file, int line, const char* fmt, va_list ap) {
+  char msg[1024];
+  vsnprintf(msg, sizeof(msg), fmt, ap);
+  char out[1200];
+  int n = snprintf(out, sizeof(out), "[%s %9.3fms %s:%d] %s\n", LevelTag(level),
+                   static_cast<double>(MonotonicUs()) / 1000.0, Basename(file), line, msg);
+  fwrite(out, 1, static_cast<size_t>(n), stderr);
+}
+
+void LogPrintf(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  LogVprintf(level, file, line, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace depfast

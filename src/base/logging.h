@@ -1,0 +1,78 @@
+// Lightweight leveled logging and invariant-check macros.
+//
+// The library avoids exceptions on hot paths; invariant violations abort via
+// DF_CHECK* so failures are loud and carry source location.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace depfast {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Writes one formatted line (printf-style) with level tag, timestamp and
+// source location. Thread-safe (single atomic write per line).
+void LogVprintf(LogLevel level, const char* file, int line, const char* fmt, va_list ap);
+void LogPrintf(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace depfast
+
+#define DF_LOG_IMPL(level, ...)                                            \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::depfast::GetLogLevel())) {  \
+      ::depfast::LogPrintf(level, __FILE__, __LINE__, __VA_ARGS__);        \
+    }                                                                      \
+  } while (0)
+
+#define DF_LOG_DEBUG(...) DF_LOG_IMPL(::depfast::LogLevel::kDebug, __VA_ARGS__)
+#define DF_LOG_INFO(...) DF_LOG_IMPL(::depfast::LogLevel::kInfo, __VA_ARGS__)
+#define DF_LOG_WARN(...) DF_LOG_IMPL(::depfast::LogLevel::kWarn, __VA_ARGS__)
+#define DF_LOG_ERROR(...) DF_LOG_IMPL(::depfast::LogLevel::kError, __VA_ARGS__)
+
+#define DF_LOG_FATAL(...)                                                      \
+  do {                                                                         \
+    ::depfast::LogPrintf(::depfast::LogLevel::kFatal, __FILE__, __LINE__, __VA_ARGS__); \
+    ::abort();                                                                 \
+  } while (0)
+
+#define DF_CHECK(cond)                                     \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      DF_LOG_FATAL("check failed: %s", #cond);             \
+    }                                                      \
+  } while (0)
+
+#define DF_CHECK_OP(op, a, b)                                                    \
+  do {                                                                          \
+    auto df_check_a = (a);                                                      \
+    auto df_check_b = (b);                                                      \
+    if (!(df_check_a op df_check_b)) {                                          \
+      DF_LOG_FATAL("check failed: %s %s %s (%lld vs %lld)", #a, #op, #b,        \
+                   static_cast<long long>(df_check_a),                          \
+                   static_cast<long long>(df_check_b));                         \
+    }                                                                           \
+  } while (0)
+
+#define DF_CHECK_EQ(a, b) DF_CHECK_OP(==, a, b)
+#define DF_CHECK_NE(a, b) DF_CHECK_OP(!=, a, b)
+#define DF_CHECK_LT(a, b) DF_CHECK_OP(<, a, b)
+#define DF_CHECK_LE(a, b) DF_CHECK_OP(<=, a, b)
+#define DF_CHECK_GT(a, b) DF_CHECK_OP(>, a, b)
+#define DF_CHECK_GE(a, b) DF_CHECK_OP(>=, a, b)
+#define DF_CHECK_NOTNULL(p) DF_CHECK((p) != nullptr)
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,43 @@
+#include "src/base/marshal.h"
+
+#include <cstddef>
+
+namespace depfast {
+
+void Marshal::WriteBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void Marshal::ReadBytes(void* out, size_t len) {
+  DF_CHECK_LE(read_pos_ + len, buf_.size());
+  if (len > 0) {
+    memcpy(out, buf_.data() + read_pos_, len);
+  }
+  read_pos_ += len;
+  // Reclaim the consumed prefix once it dominates the buffer, so long-lived
+  // message objects do not hold dead bytes.
+  if (read_pos_ > 4096 && read_pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+}
+
+void Marshal::Clear() {
+  buf_.clear();
+  read_pos_ = 0;
+}
+
+void Marshal::Append(const Marshal& other) {
+  buf_.insert(buf_.end(), other.buf_.begin() + static_cast<ptrdiff_t>(other.read_pos_),
+              other.buf_.end());
+}
+
+bool Marshal::operator==(const Marshal& other) const {
+  if (ContentSize() != other.ContentSize()) {
+    return false;
+  }
+  return memcmp(data(), other.data(), ContentSize()) == 0;
+}
+
+}  // namespace depfast

@@ -1,0 +1,140 @@
+// Marshal: the byte-stream container used for RPC payloads, log entries and
+// snapshots. Append-at-tail, consume-at-head; fixed-width little-endian
+// integers, length-prefixed strings, and nested containers via operator<< and
+// operator>>. Reads past the end are invariant violations (DF_CHECK), since
+// all inputs are produced by this library.
+#ifndef SRC_BASE_MARSHAL_H_
+#define SRC_BASE_MARSHAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+class Marshal {
+ public:
+  Marshal() = default;
+  Marshal(const Marshal&) = default;
+  Marshal(Marshal&&) noexcept = default;
+  Marshal& operator=(const Marshal&) = default;
+  Marshal& operator=(Marshal&&) noexcept = default;
+
+  void WriteBytes(const void* data, size_t len);
+  void ReadBytes(void* out, size_t len);
+
+  // Unconsumed bytes remaining.
+  size_t ContentSize() const { return buf_.size() - read_pos_; }
+  bool Empty() const { return ContentSize() == 0; }
+  void Clear();
+
+  // Appends all unconsumed content of `other` (other is not consumed).
+  void Append(const Marshal& other);
+
+  const uint8_t* data() const { return buf_.data() + read_pos_; }
+
+  bool operator==(const Marshal& other) const;
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t read_pos_ = 0;
+};
+
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T> || std::is_floating_point_v<T>
+Marshal& operator<<(Marshal& m, T v) {
+  m.WriteBytes(&v, sizeof(v));
+  return m;
+}
+
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T> || std::is_floating_point_v<T>
+Marshal& operator>>(Marshal& m, T& v) {
+  m.ReadBytes(&v, sizeof(v));
+  return m;
+}
+
+inline Marshal& operator<<(Marshal& m, const std::string& s) {
+  m << static_cast<uint32_t>(s.size());
+  m.WriteBytes(s.data(), s.size());
+  return m;
+}
+
+inline Marshal& operator>>(Marshal& m, std::string& s) {
+  uint32_t n = 0;
+  m >> n;
+  s.resize(n);
+  m.ReadBytes(s.data(), n);
+  return m;
+}
+
+inline Marshal& operator<<(Marshal& m, const Marshal& inner) {
+  m << static_cast<uint32_t>(inner.ContentSize());
+  m.Append(inner);
+  return m;
+}
+
+inline Marshal& operator>>(Marshal& m, Marshal& inner) {
+  uint32_t n = 0;
+  m >> n;
+  std::vector<uint8_t> tmp(n);
+  m.ReadBytes(tmp.data(), n);
+  inner.Clear();
+  inner.WriteBytes(tmp.data(), n);
+  return m;
+}
+
+template <typename T>
+Marshal& operator<<(Marshal& m, const std::vector<T>& v) {
+  m << static_cast<uint32_t>(v.size());
+  for (const auto& e : v) {
+    m << e;
+  }
+  return m;
+}
+
+template <typename T>
+Marshal& operator>>(Marshal& m, std::vector<T>& v) {
+  uint32_t n = 0;
+  m >> n;
+  v.clear();
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    T e;
+    m >> e;
+    v.push_back(std::move(e));
+  }
+  return m;
+}
+
+template <typename K, typename V>
+Marshal& operator<<(Marshal& m, const std::map<K, V>& mp) {
+  m << static_cast<uint32_t>(mp.size());
+  for (const auto& [k, v] : mp) {
+    m << k << v;
+  }
+  return m;
+}
+
+template <typename K, typename V>
+Marshal& operator>>(Marshal& m, std::map<K, V>& mp) {
+  uint32_t n = 0;
+  m >> n;
+  mp.clear();
+  for (uint32_t i = 0; i < n; i++) {
+    K k;
+    V v;
+    m >> k >> v;
+    mp.emplace(std::move(k), std::move(v));
+  }
+  return m;
+}
+
+}  // namespace depfast
+
+#endif  // SRC_BASE_MARSHAL_H_

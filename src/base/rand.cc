@@ -1,0 +1,79 @@
+#include "src/base/rand.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+Rng::Rng(uint64_t seed) : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+uint64_t Rng::Next() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  DF_CHECK_GT(n, 0u);
+  return Next() % n;
+}
+
+uint64_t Rng::NextRange(uint64_t lo, uint64_t hi) {
+  DF_CHECK_LE(lo, hi);
+  return lo + NextUint64(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  DF_CHECK_GT(n, 0u);
+  zeta_n_ = Zeta(n, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2_ / zeta_n_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  auto v = static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n, double theta)
+    : zipf_(n, theta), n_(n) {}
+
+uint64_t ScrambledZipfianGenerator::Next(Rng& rng) { return HashMix64(zipf_.Next(rng)) % n_; }
+
+uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace depfast

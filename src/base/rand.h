@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generators for workloads and tests:
+// xorshift64* core, uniform helpers, and a YCSB-style (scrambled) zipfian
+// key chooser.
+#ifndef SRC_BASE_RAND_H_
+#define SRC_BASE_RAND_H_
+
+#include <cstdint>
+
+namespace depfast {
+
+// xorshift64* PRNG. Deterministic per seed; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t Next();
+  // Uniform in [0, n).
+  uint64_t NextUint64(uint64_t n);
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian distribution over [0, n) with parameter theta, computed with the
+// standard YCSB/Gray et al. rejection-free algorithm. Skewed toward 0.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+};
+
+// Zipfian with the item ranks scattered across the keyspace by a hash, as
+// YCSB does, so hot keys are not adjacent.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+// 64-bit finalizer hash (splitmix64 mixing function).
+uint64_t HashMix64(uint64_t x);
+
+}  // namespace depfast
+
+#endif  // SRC_BASE_RAND_H_

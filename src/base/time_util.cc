@@ -1,0 +1,31 @@
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point kEpoch = std::chrono::steady_clock::now();
+  return kEpoch;
+}
+
+}  // namespace
+
+uint64_t MonotonicUs() {
+  auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - ProcessEpoch()).count());
+}
+
+std::chrono::steady_clock::time_point SteadyTimeFor(uint64_t mono_us) {
+  return ProcessEpoch() + std::chrono::microseconds(mono_us);
+}
+
+void SpinFor(uint64_t us) {
+  uint64_t deadline = MonotonicUs() + us;
+  while (MonotonicUs() < deadline) {
+    // Busy wait.
+  }
+}
+
+}  // namespace depfast

@@ -1,0 +1,24 @@
+// Monotonic-clock helpers. All internal timestamps are microseconds on the
+// steady clock, measured from process start so values stay small and readable.
+#ifndef SRC_BASE_TIME_UTIL_H_
+#define SRC_BASE_TIME_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace depfast {
+
+// Microseconds since the first call in this process (steady clock).
+uint64_t MonotonicUs();
+
+// steady_clock time_point for a MonotonicUs()-relative microsecond value;
+// used to sleep until an absolute internal deadline.
+std::chrono::steady_clock::time_point SteadyTimeFor(uint64_t mono_us);
+
+// Busy-spins for roughly `us` microseconds of real CPU time. Used by tests
+// and by benchmark calibration, never on simulated-node paths.
+void SpinFor(uint64_t us);
+
+}  // namespace depfast
+
+#endif  // SRC_BASE_TIME_UTIL_H_

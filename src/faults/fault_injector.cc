@@ -1,0 +1,96 @@
+#include "src/faults/fault_injector.h"
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+FaultSpec MakeFault(FaultType type) {
+  FaultSpec spec;
+  spec.type = type;
+  return spec;
+}
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "No Slowness";
+    case FaultType::kCpuSlow:
+      return "CPU Slowness";
+    case FaultType::kCpuContention:
+      return "CPU Contention";
+    case FaultType::kDiskSlow:
+      return "Disk Slowness";
+    case FaultType::kDiskContention:
+      return "Disk Contention";
+    case FaultType::kMemContention:
+      return "Memory Contention";
+    case FaultType::kNetworkSlow:
+      return "Network Slowness";
+  }
+  return "?";
+}
+
+void FaultInjector::Apply(const NodeEnv& env, const FaultSpec& spec) {
+  DF_CHECK_NOTNULL(env.reactor);
+  // Network knobs live in the (thread-safe) transport.
+  if (env.transport != nullptr) {
+    env.transport->SetNodeExtraDelay(env.id,
+                                     spec.type == FaultType::kNetworkSlow ? spec.net_delay_us : 0);
+  }
+  // CPU/disk/memory knobs belong to the node's reactor thread.
+  CpuModel* cpu = env.cpu;
+  MemModel* mem = env.mem;
+  SimDisk* disk = env.disk;
+  env.reactor->Post([cpu, mem, disk, spec]() {
+    if (cpu != nullptr) {
+      cpu->Clear();
+    }
+    if (mem != nullptr) {
+      mem->Clear();
+    }
+    if (disk != nullptr) {
+      disk->SetBwFactor(1.0);
+      disk->SetContention(0.0, 1.0);
+    }
+    switch (spec.type) {
+      case FaultType::kNone:
+      case FaultType::kNetworkSlow:
+        break;
+      case FaultType::kCpuSlow:
+        if (cpu != nullptr) {
+          cpu->SetShare(spec.cpu_share);
+        }
+        break;
+      case FaultType::kCpuContention:
+        if (cpu != nullptr) {
+          cpu->SetContention(spec.contender_weight, spec.contender_duty);
+        }
+        break;
+      case FaultType::kDiskSlow:
+        if (disk != nullptr) {
+          disk->SetBwFactor(spec.disk_bw_factor);
+        }
+        break;
+      case FaultType::kDiskContention:
+        if (disk != nullptr) {
+          disk->SetContention(spec.disk_contention_duty, spec.disk_contention_share);
+        }
+        break;
+      case FaultType::kMemContention:
+        if (mem != nullptr) {
+          mem->SetCap(spec.mem_cap_bytes, spec.swap_penalty);
+          // The cap lands below the node's working set: it thrashes even
+          // before buffering grows.
+          mem->SetPressure(spec.mem_cap_bytes * 2);
+        }
+        break;
+    }
+  });
+}
+
+void FaultInjector::Clear(const NodeEnv& env) {
+  FaultSpec none;
+  Apply(env, none);
+}
+
+}  // namespace depfast

@@ -1,0 +1,42 @@
+// FaultInjector: applies a Table 1 FaultSpec to one node's modeled
+// resources. NodeEnv bundles everything injectable about a node — its CPU
+// model, memory model, sim disk, and its links in the sim transport.
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/faults/fault_types.h"
+#include "src/faults/resource_model.h"
+#include "src/rpc/sim_transport.h"
+#include "src/storage/disk.h"
+
+namespace depfast {
+
+// The injectable environment of one node. Owned by the node; cpu/mem/disk
+// must only be touched on the node's reactor thread (the injector posts).
+struct NodeEnv {
+  NodeId id = 0;
+  std::string name;
+  Reactor* reactor = nullptr;
+  CpuModel* cpu = nullptr;
+  MemModel* mem = nullptr;
+  SimDisk* disk = nullptr;
+  SimTransport* transport = nullptr;  // may be null (TCP runs)
+};
+
+class FaultInjector {
+ public:
+  // Applies `spec` to `env`'s node. Thread-safe: resource knob changes are
+  // posted onto the node's reactor; the change is visible once the reactor
+  // processes its inbox (immediately, in practice).
+  static void Apply(const NodeEnv& env, const FaultSpec& spec);
+
+  // Restores the node to a healthy state.
+  static void Clear(const NodeEnv& env);
+};
+
+}  // namespace depfast
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,63 @@
+// The six fail-slow fault types of Table 1, with their canonical injection
+// parameters. The paper injects them with cgroups / contending programs /
+// tc-netem against OS resources; here the same knobs act on the modeled
+// resources backing each simulated node (CPU model, disk model, memory
+// model, transport links).
+#ifndef SRC_FAULTS_FAULT_TYPES_H_
+#define SRC_FAULTS_FAULT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace depfast {
+
+enum class FaultType : uint8_t {
+  kNone = 0,
+  kCpuSlow,          // cgroup: process limited to 5% CPU
+  kCpuContention,    // contending program with 16x higher CPU share
+  kDiskSlow,         // cgroup: disk I/O bandwidth limited
+  kDiskContention,   // contending heavy writer on the shared disk
+  kMemContention,    // cgroup: user-memory cap (pressure -> swap penalty)
+  kNetworkSlow,      // tc: 400 ms delay added to the network interface
+};
+
+struct FaultSpec {
+  FaultType type = FaultType::kNone;
+
+  // CPU (slow): fraction of CPU left to the process (cgroup cap).
+  double cpu_share = 0.05;
+  // CPU (contention): contender weight relative to the process's weight 1;
+  // while the contender is runnable the process gets 1/(1+w).
+  double contender_weight = 16.0;
+  // Fraction of time the CPU contender is actually runnable.
+  double contender_duty = 0.9;
+
+  // Disk (slow): fraction of disk bandwidth left.
+  double disk_bw_factor = 0.05;
+  // Disk (contention): contender active duty per window, and the bandwidth
+  // share left to the process while it writes.
+  double disk_contention_duty = 0.8;
+  double disk_contention_share = 0.1;
+
+  // Memory (contention): user-memory cap; over it, work pays swap_penalty.
+  uint64_t mem_cap_bytes = 8ull << 20;
+  double swap_penalty = 6.0;
+
+  // Network (slow): added one-way NIC delay (tc netem).
+  uint64_t net_delay_us = 400000;
+};
+
+// The canonical Table 1 instantiation for each type.
+FaultSpec MakeFault(FaultType type);
+
+const char* FaultTypeName(FaultType type);
+
+// All injectable types in Table 1 order (excludes kNone).
+inline constexpr FaultType kAllFaultTypes[] = {
+    FaultType::kCpuSlow,        FaultType::kCpuContention, FaultType::kDiskSlow,
+    FaultType::kDiskContention, FaultType::kMemContention, FaultType::kNetworkSlow,
+};
+
+}  // namespace depfast
+
+#endif  // SRC_FAULTS_FAULT_TYPES_H_

@@ -1,0 +1,55 @@
+#include "src/faults/resource_model.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+double CpuModel::EffectiveShare(uint64_t now_us) const {
+  double share = share_;
+  if (contender_weight_ > 0.0 && contender_duty_ > 0.0) {
+    // Deterministic duty cycle over 100 ms windows: the contender is
+    // runnable for the first duty-fraction of each window.
+    uint64_t phase = now_us % 100000;
+    if (static_cast<double>(phase) < contender_duty_ * 100000.0) {
+      share *= 1.0 / (1.0 + contender_weight_);
+    }
+  }
+  return std::max(share, 1e-4);
+}
+
+uint64_t CpuModel::Schedule(uint64_t cost_us) {
+  DF_CHECK(reactor_->OnReactorThread());
+  uint64_t now = MonotonicUs();
+  uint64_t start = std::max(now, busy_until_us_);
+  double stretched = static_cast<double>(cost_us) / EffectiveShare(start);
+  if (mem_ != nullptr) {
+    stretched *= mem_->PenaltyFactor();
+  }
+  busy_until_us_ = start + static_cast<uint64_t>(stretched);
+  return busy_until_us_;
+}
+
+void CpuModel::Work(uint64_t cost_us) {
+  uint64_t complete_at = Schedule(cost_us);
+  uint64_t now = MonotonicUs();
+  if (complete_at <= now) {
+    return;
+  }
+  auto ev = std::make_shared<TimeoutEvent>(complete_at - now);
+  ev->Wait();
+}
+
+void CpuModel::WorkAsync(uint64_t cost_us, std::shared_ptr<IntEvent> done) {
+  uint64_t complete_at = Schedule(cost_us);
+  reactor_->PostAt(complete_at, [done = std::move(done)]() { done->Set(1); });
+}
+
+uint64_t CpuModel::BacklogUs() const {
+  uint64_t now = MonotonicUs();
+  return busy_until_us_ > now ? busy_until_us_ - now : 0;
+}
+
+}  // namespace depfast

@@ -1,0 +1,119 @@
+// Modeled node-local resources: CPU and memory. Every unit of work a node
+// performs is charged to its CpuModel (a serial queueing resource), so CPU
+// caps and contention translate into genuine service-rate reductions and
+// queueing delay — the same first-order behaviour cgroup caps produce.
+#ifndef SRC_FAULTS_RESOURCE_MODEL_H_
+#define SRC_FAULTS_RESOURCE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+
+class MemModel;
+
+// A node's CPU: a serial resource with an available share in (0, 1].
+// Work(c) charges c microseconds of CPU time; the caller's coroutine resumes
+// once the CPU has executed it (queueing behind earlier work, stretched by
+// 1/share and by any memory-pressure penalty).
+class CpuModel {
+ public:
+  explicit CpuModel(Reactor* reactor) : reactor_(reactor) {}
+
+  // Table 1 "CPU (slow)": cgroup cap. share=1 means healthy.
+  void SetShare(double share) { share_ = share; }
+  // Table 1 "CPU (contention)": a contender of weight w runnable for `duty`
+  // fraction of time; effective share alternates between 1/(1+w) and 1.
+  void SetContention(double weight, double duty) {
+    contender_weight_ = weight;
+    contender_duty_ = duty;
+  }
+  void Clear() {
+    share_ = 1.0;
+    contender_weight_ = 0.0;
+    contender_duty_ = 0.0;
+  }
+
+  void set_mem(MemModel* mem) { mem_ = mem; }
+
+  // Blocks the calling coroutine while the CPU executes cost_us of work.
+  void Work(uint64_t cost_us);
+
+  // Schedules cost_us of work and fires `done` when it completes, without
+  // blocking the caller (for callback-style engines).
+  void WorkAsync(uint64_t cost_us, std::shared_ptr<IntEvent> done);
+
+  // Current utilization proxy: how far ahead of now the CPU is booked (us).
+  uint64_t BacklogUs() const;
+
+  double EffectiveShare(uint64_t now_us) const;
+
+ private:
+  // Books cost_us of work; returns absolute completion time.
+  uint64_t Schedule(uint64_t cost_us);
+
+  Reactor* reactor_;
+  MemModel* mem_ = nullptr;
+  double share_ = 1.0;
+  double contender_weight_ = 0.0;
+  double contender_duty_ = 0.0;
+  uint64_t busy_until_us_ = 0;
+};
+
+// A node's user memory: tracked usage against an optional cap. Over the cap
+// the node is "swapping": CPU work is stretched by the penalty factor. This
+// is the coupling through which unbounded buffering (RethinkDB pathology)
+// degrades and eventually wedges a node under the Table 1 memory fault.
+class MemModel {
+ public:
+  // The machine's baseline memory budget (what a healthy node lives under);
+  // Clear() restores it. 0 = unlimited.
+  void SetDefaultCap(uint64_t cap_bytes, double swap_penalty) {
+    default_cap_bytes_ = cap_bytes;
+    default_penalty_ = swap_penalty;
+    cap_bytes_ = cap_bytes;
+    swap_penalty_ = swap_penalty;
+  }
+  // Fault-time override (Table 1 memory contention: cgroup user-memory cap).
+  void SetCap(uint64_t cap_bytes, double swap_penalty) {
+    cap_bytes_ = cap_bytes;
+    swap_penalty_ = swap_penalty;
+  }
+  // Resident pressure the fault itself creates (a cap set below the working
+  // set forces permanent thrash).
+  void SetPressure(uint64_t bytes) { pressure_bytes_ = bytes; }
+  void Clear() {
+    cap_bytes_ = default_cap_bytes_;
+    swap_penalty_ = default_penalty_;
+    pressure_bytes_ = 0;
+  }
+
+  void Alloc(uint64_t bytes) { usage_bytes_ += bytes; }
+  void Free(uint64_t bytes) { usage_bytes_ = bytes > usage_bytes_ ? 0 : usage_bytes_ - bytes; }
+  // External footprint added to usage (e.g. transport queue bytes).
+  void SetExternalUsage(uint64_t bytes) { external_bytes_ = bytes; }
+
+  uint64_t usage() const { return usage_bytes_ + external_bytes_ + pressure_bytes_; }
+  uint64_t cap() const { return cap_bytes_; }
+  bool OverCap() const { return cap_bytes_ != 0 && usage() > cap_bytes_; }
+  // Multiplier on CPU work (1.0 healthy, swap_penalty when thrashing).
+  double PenaltyFactor() const { return OverCap() ? swap_penalty_ : 1.0; }
+  // An "OOM kill" condition: usage wildly above cap (4x), as when a leader's
+  // unbounded buffers outgrow memory. Engines may choose to crash on this.
+  bool OomKilled() const { return cap_bytes_ != 0 && usage() > 4 * cap_bytes_; }
+
+ private:
+  uint64_t cap_bytes_ = 0;
+  double swap_penalty_ = 6.0;
+  uint64_t default_cap_bytes_ = 0;
+  double default_penalty_ = 6.0;
+  uint64_t usage_bytes_ = 0;
+  uint64_t external_bytes_ = 0;
+  uint64_t pressure_bytes_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_FAULTS_RESOURCE_MODEL_H_

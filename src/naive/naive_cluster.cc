@@ -1,0 +1,133 @@
+#include "src/naive/naive_cluster.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+NaiveCluster::NaiveCluster(NaiveClusterOptions opts) : opts_(opts) {
+  transport_ = std::make_unique<SimTransport>(opts_.link, /*seed=*/43);
+  next_client_id_ = static_cast<NodeId>(opts_.n_nodes) + 200;
+
+  std::vector<NodeId> all_ids;
+  std::vector<std::string> all_names;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    all_ids.push_back(static_cast<NodeId>(i) + 1);
+    all_names.push_back(opts_.name_prefix + std::to_string(i + 1));
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    auto handle = std::make_unique<NaiveServerHandle>();
+    handle->thread = std::make_unique<ReactorThread>(all_names[static_cast<size_t>(i)]);
+    servers_.push_back(std::move(handle));
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    NaiveServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    NodeId my_id = all_ids[static_cast<size_t>(i)];
+    std::string my_name = all_names[static_cast<size_t>(i)];
+    std::vector<NodeId> peers;
+    for (NodeId id : all_ids) {
+      if (id != my_id) {
+        peers.push_back(id);
+      }
+    }
+    bool lead = i == 0;
+    RunOn(i, [this, h, my_id, my_name, peers, lead, &all_ids, &all_names]() {
+      Reactor* reactor = Reactor::Current();
+      h->rpc = std::make_unique<RpcEndpoint>(my_id, my_name, reactor, transport_.get());
+      for (size_t j = 0; j < all_ids.size(); j++) {
+        h->rpc->SetPeerName(all_ids[j], all_names[j]);
+      }
+      h->disk = std::make_unique<SimDisk>(reactor, opts_.disk);
+      h->cpu = std::make_unique<CpuModel>(reactor);
+      h->mem = std::make_unique<MemModel>();
+      h->mem->SetDefaultCap(opts_.machine_mem_cap_bytes, opts_.machine_swap_penalty);
+      h->cpu->set_mem(h->mem.get());
+      h->env = NodeEnv{my_id,        my_name,       reactor,         h->cpu.get(),
+                       h->mem.get(), h->disk.get(), transport_.get()};
+      h->node = std::make_unique<NaiveNode>(h->env, h->rpc.get(), h->disk.get(), peers,
+                                            opts_.profile, opts_.config, lead, /*leader_id=*/1);
+      h->node->Start();
+    });
+  }
+}
+
+NaiveCluster::~NaiveCluster() { Shutdown(); }
+
+std::vector<NodeId> NaiveCluster::server_ids() const {
+  std::vector<NodeId> ids;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    ids.push_back(static_cast<NodeId>(i) + 1);
+  }
+  return ids;
+}
+
+void NaiveCluster::RunOn(int i, std::function<void()> fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  servers_[static_cast<size_t>(i)]->thread->reactor()->Post([&]() {
+    fn();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+}
+
+void NaiveCluster::InjectFault(int i, FaultType type) { InjectFault(i, MakeFault(type)); }
+
+void NaiveCluster::InjectFault(int i, const FaultSpec& spec) {
+  FaultInjector::Apply(servers_[static_cast<size_t>(i)]->env, spec);
+}
+
+void NaiveCluster::ClearFault(int i) {
+  FaultInjector::Clear(servers_[static_cast<size_t>(i)]->env);
+}
+
+std::unique_ptr<RaftClientHandle> NaiveCluster::MakeClient(const std::string& name) {
+  auto handle = std::make_unique<RaftClientHandle>();
+  handle->thread = std::make_unique<ReactorThread>(name);
+  NodeId id = next_client_id_++;
+  auto ids = server_ids();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RaftClientHandle* h = handle.get();
+  handle->thread->reactor()->Post([&, h, id, ids]() {
+    h->rpc = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), transport_.get());
+    for (int i = 0; i < opts_.n_nodes; i++) {
+      h->rpc->SetPeerName(ids[static_cast<size_t>(i)],
+                          opts_.name_prefix + std::to_string(i + 1));
+    }
+    h->session = std::make_unique<RaftClient>(h->rpc.get(), ids);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+  return handle;
+}
+
+void NaiveCluster::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    NaiveServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    RunOn(i, [h]() { h->node->Shutdown(); });
+  }
+  for (auto& h : servers_) {
+    h->thread->Stop();
+  }
+}
+
+}  // namespace depfast

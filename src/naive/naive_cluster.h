@@ -1,0 +1,72 @@
+// Deployment harness for the baseline engine — same shape as RaftCluster so
+// benchmarks can drive both identically.
+#ifndef SRC_NAIVE_NAIVE_CLUSTER_H_
+#define SRC_NAIVE_NAIVE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_injector.h"
+#include "src/naive/naive_node.h"
+#include "src/raft/raft_client.h"
+#include "src/raft/raft_cluster.h"  // RaftClientHandle (shared wire protocol)
+#include "src/rpc/sim_transport.h"
+
+namespace depfast {
+
+struct NaiveClusterOptions {
+  int n_nodes = 3;
+  NaiveProfile profile;
+  RaftConfig config;  // shared cost/timing model (same knobs as DepFastRaft)
+  LinkParams link;
+  SimDiskParams disk;
+  uint64_t machine_mem_cap_bytes = 48ull << 20;
+  double machine_swap_penalty = 4.0;
+  std::string name_prefix = "b";
+};
+
+struct NaiveServerHandle {
+  std::unique_ptr<RpcEndpoint> rpc;
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<MemModel> mem;
+  std::unique_ptr<NaiveNode> node;
+  NodeEnv env;
+  std::unique_ptr<ReactorThread> thread;  // destroyed (joined) first
+};
+
+class NaiveCluster {
+ public:
+  explicit NaiveCluster(NaiveClusterOptions opts);
+  ~NaiveCluster();
+  NaiveCluster(const NaiveCluster&) = delete;
+  NaiveCluster& operator=(const NaiveCluster&) = delete;
+
+  int n_nodes() const { return opts_.n_nodes; }
+  SimTransport& transport() { return *transport_; }
+  NaiveServerHandle& server(int i) { return *servers_[static_cast<size_t>(i)]; }
+  std::vector<NodeId> server_ids() const;
+
+  void RunOn(int i, std::function<void()> fn);
+  void InjectFault(int i, FaultType type);
+  void InjectFault(int i, const FaultSpec& spec);
+  void ClearFault(int i);
+
+  // Client sessions reuse RaftClient (the wire protocol is shared).
+  std::unique_ptr<RaftClientHandle> MakeClient(const std::string& name);
+
+  void Shutdown();
+
+ private:
+  NaiveClusterOptions opts_;
+  std::unique_ptr<SimTransport> transport_;
+  std::vector<std::unique_ptr<NaiveServerHandle>> servers_;
+  NodeId next_client_id_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_NAIVE_NAIVE_CLUSTER_H_

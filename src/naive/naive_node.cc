@@ -1,0 +1,473 @@
+#include "src/naive/naive_node.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+NaiveProfile NaiveProfile::MongoLike() {
+  NaiveProfile p;
+  p.name = "mongo-like";
+  p.style = Style::kPipelined;
+  p.retransmit = true;
+  p.retransmit_interval_us = 20000;
+  // Backlog bookkeeping (oplog scans, buffer management) taxes the leader.
+  p.backlog_tax_divisor = 25;
+  p.backlog_tax_cap_us = 60;
+  return p;
+}
+
+NaiveProfile NaiveProfile::TidbLike() {
+  NaiveProfile p;
+  p.name = "tidb-like";
+  p.style = Style::kRegionLoop;
+  p.region_ack_wait_us = 5000;
+  p.region_retry_stale_us = 30000;
+  p.entry_cache_entries = 512;
+  p.evicted_read_bytes_per_entry = 8192;
+  return p;
+}
+
+NaiveProfile NaiveProfile::RethinkLike() {
+  NaiveProfile p;
+  p.name = "rethink-like";
+  p.style = Style::kPipelined;
+  p.retransmit = true;
+  p.retransmit_interval_us = 50000;
+  p.backlog_tax_divisor = 50;
+  p.backlog_tax_cap_us = 30;
+  p.track_buffer_memory = true;
+  p.crash_on_oom = true;
+  return p;
+}
+
+NaiveNode::NaiveNode(NodeEnv env, RpcEndpoint* rpc, Disk* disk, std::vector<NodeId> peers,
+                     NaiveProfile profile, RaftConfig config, bool is_leader, NodeId leader_id)
+    : env_(std::move(env)),
+      rpc_(rpc),
+      peers_(std::move(peers)),
+      profile_(std::move(profile)),
+      config_(config),
+      is_leader_(is_leader),
+      leader_id_(leader_id),
+      wal_(disk) {
+  rpc_->Register(kMethodAppendEntries, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleAppendEntries(from, args, reply);
+  });
+  rpc_->Register(kMethodClientCommand, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleClientCommand(from, args, reply);
+  });
+  for (NodeId peer : peers_) {
+    ack_idx_[peer] = 0;
+  }
+}
+
+void NaiveNode::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  // Deliberately NO send-queue cap: the naive engine buffers without bound
+  // (§2.2's second root cause).
+  Coroutine::Create([this]() { ApplyLoop(); });
+  Coroutine::Create([this]() { HousekeepingLoop(); });
+  if (is_leader_) {
+    if (profile_.style == NaiveProfile::Style::kRegionLoop) {
+      Coroutine::Create([this]() { RegionLoop(); });
+    } else if (profile_.retransmit) {
+      Coroutine::Create([this]() { RetransmitLoop(); });
+    }
+    // Commit beacon: in-sync followers still need to learn the latest commit
+    // index (real systems piggyback it on heartbeats).
+    Coroutine::Create([this]() {
+      std::map<NodeId, uint64_t> sent_commit;
+      while (!stopped_ && !crashed_) {
+        SleepUs(20000);
+        if (stopped_ || crashed_) {
+          return;
+        }
+        for (NodeId peer : peers_) {
+          if (ack_idx_[peer] >= log_.LastIndex() && sent_commit[peer] < commit_idx_) {
+            sent_commit[peer] = commit_idx_;
+            uint64_t ack = ack_idx_[peer];
+            SendToFollower(peer, ack + 1, ack, config_.rpc_timeout_us, /*count_ack=*/true);
+          }
+        }
+      }
+    });
+  }
+}
+
+void NaiveNode::Shutdown() {
+  stopped_ = true;
+  for (auto& [idx, done] : pending_) {
+    done->Fail();
+  }
+  pending_.clear();
+}
+
+uint64_t NaiveNode::BacklogEntries() const {
+  uint64_t total = 0;
+  for (const auto& [peer, ack] : ack_idx_) {
+    total += log_.LastIndex() - std::min(log_.LastIndex(), ack);
+  }
+  return total;
+}
+
+uint64_t NaiveNode::BufferBytes() const {
+  uint64_t bytes = 0;
+  if (env_.transport != nullptr) {
+    bytes += env_.transport->OutgoingBytes(env_.id);
+  }
+  uint64_t avg_entry =
+      log_.LastIndex() > 0 ? log_.ApproxBytes() / log_.LastIndex() + 64 : 64;
+  bytes += BacklogEntries() * avg_entry;
+  return bytes;
+}
+
+uint64_t NaiveNode::LeaderCpuCostUs() const {
+  uint64_t cost = config_.leader_cmd_cost_us;
+  if (profile_.backlog_tax_divisor > 0) {
+    cost += std::min(BacklogEntries() / profile_.backlog_tax_divisor, profile_.backlog_tax_cap_us);
+  }
+  return cost;
+}
+
+// ----------------------------------------------------------------- leader
+
+ClientCommandReply NaiveNode::Submit(const KvCommand& cmd) {
+  ClientCommandReply reply;
+  reply.leader_hint = leader_id_;
+  if (stopped_ || crashed_) {
+    reply.status = ClientStatus::kShuttingDown;
+    return reply;
+  }
+  if (!is_leader_) {
+    reply.status = ClientStatus::kNotLeader;
+    return reply;
+  }
+  env_.cpu->Work(LeaderCpuCostUs());
+  if (stopped_ || crashed_) {
+    reply.status = ClientStatus::kShuttingDown;
+    return reply;
+  }
+  uint64_t idx = log_.Append(1, cmd.Encode());
+  auto done = std::make_shared<BoxEvent<KvResult>>();
+  pending_[idx] = done;
+  last_log_watch_.Set(static_cast<int64_t>(idx));
+
+  if (profile_.style == NaiveProfile::Style::kPipelined) {
+    PipelinedReplicate(idx);
+  }
+  // Region loop picks the entry up from last_log_watch_.
+
+  auto st = done->Wait(config_.client_op_timeout_us);
+  if (st != Event::EvStatus::kReady || !done->vote_ok()) {
+    pending_.erase(idx);
+    reply.status = ClientStatus::kTimeout;
+    return reply;
+  }
+  reply.status = ClientStatus::kOk;
+  reply.result = done->value_ref().Encode();
+  return reply;
+}
+
+void NaiveNode::PipelinedReplicate(uint64_t idx) {
+  // Local durability leg: async WAL append, callback advances durable_idx_.
+  Marshal rec;
+  rec << log_.At(idx);
+  auto wal_ev = wal_.Append(rec);
+  Coroutine::Create([this, wal_ev, idx]() {
+    wal_ev->Wait();
+    if (stopped_) {
+      return;
+    }
+    durable_idx_ = std::max(durable_idx_, idx);
+    TryCommit();
+  });
+  // Per-follower sends: one message per request per follower (no batching —
+  // the message-loop style ships each event as it happens). Acks ride a
+  // long-lived TCP-like path: they count whenever they arrive.
+  for (NodeId peer : peers_) {
+    SendToFollower(peer, idx, idx, config_.client_op_timeout_us, /*count_ack=*/true);
+  }
+}
+
+void NaiveNode::SendToFollower(NodeId peer, uint64_t from, uint64_t to, uint64_t timeout_us,
+                               bool count_ack) {
+  AppendEntriesArgs args;
+  args.term = 1;
+  args.leader_id = env_.id;
+  args.prev_idx = from - 1;
+  args.prev_term = log_.TermAt(from - 1);
+  args.entries = log_.Slice(from, to);
+  args.commit_idx = commit_idx_;
+  CallOpts opts;
+  opts.timeout_us = timeout_us;
+  opts.discardable = false;  // never dropped: buffers grow without bound
+  auto ev = rpc_->Call(peer, kMethodAppendEntries, args.Encode(), opts);
+  if (!count_ack) {
+    return;
+  }
+  Coroutine::Create([this, ev, peer]() {
+    ev->Wait();
+    if (stopped_ || ev->failed() || !ev->Ready()) {
+      return;
+    }
+    Marshal copy = ev->reply();
+    auto r = AppendEntriesReply::Decode(copy);
+    if (r.success && r.last_idx > ack_idx_[peer]) {
+      ack_idx_[peer] = r.last_idx;
+      TryCommit();
+    }
+  });
+}
+
+void NaiveNode::RetransmitLoop() {
+  while (!stopped_ && !crashed_) {
+    SleepUs(profile_.retransmit_interval_us);
+    if (stopped_ || crashed_) {
+      return;
+    }
+    for (NodeId peer : peers_) {
+      uint64_t ack = ack_idx_[peer];
+      if (ack >= log_.LastIndex()) {
+        continue;
+      }
+      // Resend the unacked suffix: under a fail-slow follower this is the
+      // unbounded-buffer feedback loop.
+      uint64_t to = std::min(log_.LastIndex(), ack + profile_.resend_max_entries);
+      n_retransmits_++;
+      SendToFollower(peer, ack + 1, to, config_.client_op_timeout_us, /*count_ack=*/true);
+    }
+  }
+}
+
+void NaiveNode::RegionLoop() {
+  std::map<NodeId, uint64_t> sent_at;  // 0 = not in flight
+  for (NodeId peer : peers_) {
+    sent_at[peer] = 0;
+  }
+  while (!stopped_ && !crashed_) {
+    bool did_work = false;
+    if (shipped_idx_ >= log_.LastIndex() && BacklogEntries() == 0) {
+      last_log_watch_.WaitUntilGe(static_cast<int64_t>(shipped_idx_) + 1, 20000);
+      if (stopped_ || crashed_) {
+        return;
+      }
+    }
+    uint64_t from = shipped_idx_ + 1;
+    uint64_t to = std::min(log_.LastIndex(), shipped_idx_ + config_.max_batch);
+    if (to >= from) {
+      // Local durability first (synchronous in the loop, like raftstore's
+      // write-before-send).
+      Marshal rec;
+      rec << from << to;
+      auto wal_ev = wal_.Append(rec);
+      wal_ev->Wait();
+      if (stopped_ || crashed_) {
+        return;
+      }
+      durable_idx_ = to;
+      shipped_idx_ = to;
+      TryCommit();
+      did_work = true;
+    }
+    // Walk followers IN ORDER; each attempt is an individual wait (the
+    // paper's first, non-quorum code example).
+    uint64_t now = MonotonicUs();
+    for (NodeId peer : peers_) {
+      uint64_t ack = ack_idx_[peer];
+      if (ack >= log_.LastIndex()) {
+        sent_at[peer] = 0;
+        continue;  // in sync
+      }
+      if (sent_at[peer] != 0 && now - sent_at[peer] < profile_.region_retry_stale_us) {
+        continue;  // previous feed still in flight; re-attempt when stale
+      }
+      uint64_t next = ack + 1;
+      uint64_t lag = log_.LastIndex() - next;
+      uint64_t send_to = std::min(log_.LastIndex(), next + config_.max_batch - 1);
+      if (lag >= profile_.entry_cache_entries) {
+        // The entries this follower needs were evicted from the EntryCache:
+        // re-read them from disk SYNCHRONOUSLY. This blocks the OS thread —
+        // the whole node (timers, RPC handling, submits) stalls. Confirmed
+        // TiDB root cause (§2.2).
+        uint64_t n_evicted = send_to - next + 1;
+        uint64_t dur =
+            env_.disk->BlockingReadUs(n_evicted * profile_.evicted_read_bytes_per_entry);
+        n_blocking_read_us_ += dur;
+        std::this_thread::sleep_for(std::chrono::microseconds(dur));
+      }
+      AppendEntriesArgs args;
+      args.term = 1;
+      args.leader_id = env_.id;
+      args.prev_idx = next - 1;
+      args.prev_term = log_.TermAt(next - 1);
+      args.entries = log_.Slice(next, send_to);
+      args.commit_idx = commit_idx_;
+      CallOpts opts;
+      opts.timeout_us = profile_.region_retry_stale_us;
+      auto ev = rpc_->Call(peer, kMethodAppendEntries, args.Encode(), opts);
+      sent_at[peer] = MonotonicUs();
+      // Individual wait on this follower's ack (bounded by the ack-wait
+      // budget; a fail-slow follower burns the budget every attempt).
+      ev->Wait(profile_.region_ack_wait_us);
+      if (stopped_ || crashed_) {
+        return;
+      }
+      if (ev->Ready() && !ev->failed() && ev->vote_ok()) {
+        Marshal copy = ev->reply();
+        auto r = AppendEntriesReply::Decode(copy);
+        if (r.success && r.last_idx > ack_idx_[peer]) {
+          ack_idx_[peer] = r.last_idx;
+        }
+        sent_at[peer] = 0;
+      } else if (ev->Ready()) {
+        sent_at[peer] = 0;  // errored/rejected: retry next round
+      }
+      TryCommit();
+      did_work = true;
+    }
+    if (!did_work) {
+      // Nothing actionable (all feeds in flight): yield briefly instead of
+      // spinning the loop.
+      SleepUs(2000);
+    }
+  }
+}
+
+void NaiveNode::TryCommit() {
+  // Majority match over {self durable} + follower acks.
+  std::vector<uint64_t> marks;
+  marks.push_back(durable_idx_);
+  for (auto& [peer, ack] : ack_idx_) {
+    marks.push_back(ack);
+  }
+  std::sort(marks.begin(), marks.end(), std::greater<uint64_t>());
+  int maj = static_cast<int>(marks.size()) / 2 + 1;
+  uint64_t commit = marks[static_cast<size_t>(maj - 1)];
+  if (commit > commit_idx_) {
+    commit_idx_ = commit;
+    commit_watch_.Set(static_cast<int64_t>(commit_idx_));
+  }
+}
+
+// --------------------------------------------------------------- follower
+
+void NaiveNode::HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  auto args = AppendEntriesArgs::Decode(args_m);
+  AppendEntriesReply reply;
+  reply.term = 1;
+  if (stopped_) {
+    *reply_m = reply.Encode();
+    return;
+  }
+  if (env_.cpu->BacklogUs() > config_.server_busy_reject_us) {
+    reply.success = false;
+    reply.last_idx = log_.LastIndex();
+    *reply_m = reply.Encode();
+    return;
+  }
+  env_.cpu->Work(config_.heartbeat_cost_us +
+                 config_.follower_append_cost_us * args.entries.size());
+  // Lock covers log mutation + WAL submission; the durability wait happens
+  // outside so concurrent batches share one group-commit flush.
+  std::shared_ptr<IntEvent> durable;
+  uint64_t acked_idx = 0;
+  {
+    CoroLock lock(log_mu_);
+    if (stopped_) {
+      *reply_m = reply.Encode();
+      return;
+    }
+    if (!log_.Matches(args.prev_idx, args.prev_term)) {
+      reply.success = false;
+      reply.last_idx = log_.LastIndex();
+      *reply_m = reply.Encode();
+      return;
+    }
+    size_t n_new = log_.ApplyAppend(args.prev_idx + 1, args.entries);
+    acked_idx = args.prev_idx + args.entries.size();
+    if (n_new > 0) {
+      Marshal rec;
+      rec << args.prev_idx << static_cast<uint64_t>(n_new);
+      durable = wal_.Append(rec);
+    }
+  }
+  if (durable != nullptr) {
+    durable->Wait();
+    if (stopped_) {
+      *reply_m = reply.Encode();
+      return;
+    }
+  }
+  reply.success = true;
+  reply.last_idx = acked_idx;
+  uint64_t new_commit = std::min<uint64_t>(args.commit_idx, acked_idx);
+  if (new_commit > commit_idx_) {
+    commit_idx_ = new_commit;
+    commit_watch_.Set(static_cast<int64_t>(commit_idx_));
+  }
+  *reply_m = reply.Encode();
+}
+
+void NaiveNode::HandleClientCommand(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  KvCommand cmd = KvCommand::Decode(args_m);
+  ClientCommandReply reply = Submit(cmd);
+  *reply_m = reply.Encode();
+}
+
+// ------------------------------------------------------------------ loops
+
+void NaiveNode::ApplyLoop() {
+  while (!stopped_) {
+    if (commit_idx_ <= last_applied_) {
+      commit_watch_.WaitUntilGe(static_cast<int64_t>(last_applied_) + 1, 50000);
+      if (stopped_) {
+        return;
+      }
+      continue;
+    }
+    while (last_applied_ < commit_idx_ && !stopped_) {
+      uint64_t idx = last_applied_ + 1;
+      LogEntry entry = log_.At(idx);
+      env_.cpu->Work(config_.apply_cost_us);
+      KvResult result;
+      if (entry.cmd.ContentSize() > 0) {
+        Marshal copy = entry.cmd;
+        result = kv_.Apply(KvCommand::Decode(copy));
+      }
+      last_applied_ = idx;
+      auto it = pending_.find(idx);
+      if (it != pending_.end()) {
+        it->second->SetValue(std::move(result));
+        pending_.erase(it);
+      }
+    }
+  }
+}
+
+void NaiveNode::HousekeepingLoop() {
+  while (!stopped_) {
+    if (env_.mem != nullptr && profile_.track_buffer_memory) {
+      uint64_t bytes = BufferBytes();
+      env_.mem->SetExternalUsage(bytes);
+      if (profile_.crash_on_oom && env_.mem->OomKilled() && !crashed_) {
+        crashed_ = true;
+        DF_LOG_WARN("%s: leader OOM-killed: outgoing buffers reached %llu bytes",
+                    env_.name.c_str(), (unsigned long long)bytes);
+        for (auto& [idx, done] : pending_) {
+          done->Fail();
+        }
+        pending_.clear();
+      }
+    }
+    SleepUs(10000);
+  }
+}
+
+}  // namespace depfast

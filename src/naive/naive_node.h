@@ -1,0 +1,107 @@
+// The baseline replication engine: a Raft-shaped RSM written the way §2.3
+// says real systems are written — message-loop + callbacks, per-follower
+// sends, ad-hoc waiting — with the confirmed pathological behaviours of
+// MongoDB / TiDB / RethinkDB selectable via NaiveProfile. It shares the
+// substrate (reactor, RPC, disks, cost model, fault hooks) with DepFastRaft,
+// so benchmark differences isolate the programming model.
+//
+// The deployment is leader-pinned (node index 0), matching the paper's
+// measurement setup: a healthy leader, faults injected into followers.
+#ifndef SRC_NAIVE_NAIVE_NODE_H_
+#define SRC_NAIVE_NAIVE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/faults/fault_injector.h"
+#include "src/naive/naive_profile.h"
+#include "src/raft/raft_log.h"
+#include "src/raft/raft_types.h"
+#include "src/rpc/rpc.h"
+#include "src/runtime/coro_mutex.h"
+#include "src/storage/kvstore.h"
+#include "src/storage/wal.h"
+
+namespace depfast {
+
+class NaiveNode {
+ public:
+  NaiveNode(NodeEnv env, RpcEndpoint* rpc, Disk* disk, std::vector<NodeId> peers,
+            NaiveProfile profile, RaftConfig config, bool is_leader, NodeId leader_id);
+  ~NaiveNode() = default;
+  NaiveNode(const NaiveNode&) = delete;
+  NaiveNode& operator=(const NaiveNode&) = delete;
+
+  void Start();
+  void Shutdown();
+
+  bool is_leader() const { return is_leader_; }
+  bool crashed() const { return crashed_; }
+  uint64_t commit_idx() const { return commit_idx_; }
+  uint64_t last_applied() const { return last_applied_; }
+  uint64_t last_log_idx() const { return log_.LastIndex(); }
+  const KvStore& kv() const { return kv_; }
+  const RaftLog& log() const { return log_; }
+  // Total entries not yet acked by followers (the leader-side backlog).
+  uint64_t BacklogEntries() const;
+  // Leader-side buffer footprint: unacked entry payload bytes retained for
+  // each follower plus bytes sitting in transport queues. This is the
+  // "unbounded buffer for outgoing writes" of the RethinkDB root cause.
+  uint64_t BufferBytes() const;
+  uint64_t n_blocking_read_us() const { return n_blocking_read_us_; }
+  uint64_t n_retransmits() const { return n_retransmits_; }
+
+  ClientCommandReply Submit(const KvCommand& cmd);
+
+ private:
+  void HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_m);
+  void HandleClientCommand(NodeId from, Marshal& args_m, Marshal* reply_m);
+
+  // Pipelined style: per-request fan-out in the submit path, callbacks count
+  // acks, a retransmit timer repairs lagging followers.
+  void PipelinedReplicate(uint64_t idx);
+  void RetransmitLoop();
+  // Region-loop style: one coroutine walks followers in order, per batch.
+  void RegionLoop();
+
+  void SendToFollower(NodeId peer, uint64_t from, uint64_t to, uint64_t timeout_us,
+                      bool count_ack);
+  void TryCommit();
+  void ApplyLoop();
+  void HousekeepingLoop();
+  uint64_t LeaderCpuCostUs() const;
+
+  NodeEnv env_;
+  RpcEndpoint* rpc_;
+  std::vector<NodeId> peers_;
+  NaiveProfile profile_;
+  RaftConfig config_;
+  bool is_leader_;
+  NodeId leader_id_;
+
+  RaftLog log_;
+  Wal wal_;
+  KvStore kv_;
+  CoroMutex log_mu_;
+
+  uint64_t commit_idx_ = 0;
+  uint64_t last_applied_ = 0;
+  uint64_t durable_idx_ = 0;
+  SharedIntEvent commit_watch_;
+  SharedIntEvent last_log_watch_;
+
+  std::map<NodeId, uint64_t> ack_idx_;
+  std::map<uint64_t, std::shared_ptr<BoxEvent<KvResult>>> pending_;
+  uint64_t shipped_idx_ = 0;  // region loop progress
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool crashed_ = false;
+  uint64_t n_blocking_read_us_ = 0;
+  uint64_t n_retransmits_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_NAIVE_NAIVE_NODE_H_

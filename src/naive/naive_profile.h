@@ -1,0 +1,67 @@
+// Baseline profiles: the implementation patterns §2.2 identifies as the
+// confirmed root causes of fail-slow intolerance in MongoDB, TiDB, and
+// RethinkDB, expressed as switchable behaviours of one callback-style
+// replication engine. The profiles do not re-implement those products; they
+// reproduce the *waiting disciplines* the paper's developers confirmed:
+//
+//  - mongo-like:   pipelined majority wait, but aggressive per-follower
+//                  retransmission whose bookkeeping taxes the leader CPU as
+//                  the slow follower's backlog grows.
+//  - tidb-like:    a single "region loop" thread that walks followers in
+//                  order; entries evicted from the in-memory EntryCache are
+//                  re-read from disk *synchronously*, blocking the loop.
+//  - rethink-like: unbounded per-follower outgoing buffers, never discarded;
+//                  buffer growth causes memory pressure (swap) and
+//                  eventually an OOM crash of the leader.
+#ifndef SRC_NAIVE_NAIVE_PROFILE_H_
+#define SRC_NAIVE_NAIVE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace depfast {
+
+struct NaiveProfile {
+  enum class Style {
+    kPipelined,   // callbacks per follower reply, respond at majority
+    kRegionLoop,  // one sequential loop drives all replication
+  };
+
+  std::string name;
+  Style style = Style::kPipelined;
+
+  // Pipelined: resend unacked suffix to lagging followers every interval.
+  bool retransmit = true;
+  uint64_t retransmit_interval_us = 20000;
+  uint64_t resend_max_entries = 256;
+
+  // Leader-side CPU tax per processed request, proportional to the total
+  // unacked backlog (buffer scans, queue management): cost_us +=
+  // min(backlog_entries / backlog_tax_divisor, backlog_tax_cap_us).
+  uint64_t backlog_tax_divisor = 0;  // 0 = no tax
+  uint64_t backlog_tax_cap_us = 0;
+
+  // Region loop: how long the loop waits on each follower's ack within a
+  // round before moving on.
+  uint64_t region_ack_wait_us = 5000;
+  // A send to a follower stays "in flight" this long before the loop
+  // re-attempts (aggressive re-feed of the lagging follower).
+  uint64_t region_retry_stale_us = 30000;
+  // Entries kept in the in-memory cache; feeding a follower that is further
+  // behind requires a synchronous disk read that blocks the loop thread.
+  uint64_t entry_cache_entries = 512;
+  uint64_t evicted_read_bytes_per_entry = 8192;
+
+  // Memory coupling: count outgoing transport buffers into the node's
+  // MemModel (swap penalty once over cap) and optionally crash on OOM.
+  bool track_buffer_memory = false;
+  bool crash_on_oom = false;
+
+  static NaiveProfile MongoLike();
+  static NaiveProfile TidbLike();
+  static NaiveProfile RethinkLike();
+};
+
+}  // namespace depfast
+
+#endif  // SRC_NAIVE_NAIVE_PROFILE_H_

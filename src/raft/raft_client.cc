@@ -1,0 +1,114 @@
+#include "src/raft/raft_client.h"
+
+#include "src/base/logging.h"
+#include "src/runtime/event.h"
+
+namespace depfast {
+
+RaftClient::RaftClient(RpcEndpoint* rpc, std::vector<NodeId> servers, uint64_t op_timeout_us,
+                       int max_attempts)
+    : rpc_(rpc),
+      servers_(std::move(servers)),
+      op_timeout_us_(op_timeout_us),
+      max_attempts_(max_attempts) {
+  DF_CHECK(!servers_.empty());
+  target_ = servers_[0];
+}
+
+std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
+  for (int attempt = 0; attempt < max_attempts_; attempt++) {
+    if (attempt > 0) {
+      n_retries_++;
+    }
+    CallOpts opts;
+    opts.timeout_us = op_timeout_us_;
+    auto ev = rpc_->Call(target_, kMethodClientCommand, cmd.Encode(), opts);
+    ev->Wait();
+    if (ev->failed() || !ev->Ready()) {
+      // Unreachable or timed out: try the next server.
+      rr_ = (rr_ + 1) % servers_.size();
+      target_ = servers_[rr_];
+      continue;
+    }
+    auto reply = ClientCommandReply::Decode(ev->reply());
+    switch (reply.status) {
+      case ClientStatus::kOk:
+        return KvResult::Decode(reply.result);
+      case ClientStatus::kNotLeader:
+        if (reply.leader_hint != 0 && reply.leader_hint != target_) {
+          target_ = reply.leader_hint;
+        } else {
+          rr_ = (rr_ + 1) % servers_.size();
+          target_ = servers_[rr_];
+          SleepUs(20000);  // give an election a moment
+        }
+        continue;
+      case ClientStatus::kTimeout:
+      case ClientStatus::kShuttingDown:
+        // The server is up but cannot commit (or is going away): try another
+        // member, it may know (or be) a functioning leader.
+        rr_ = (rr_ + 1) % servers_.size();
+        target_ = servers_[rr_];
+        SleepUs(10000);
+        continue;
+    }
+  }
+  return std::nullopt;
+}
+
+bool RaftClient::Put(const std::string& key, const std::string& value) {
+  auto r = Execute(KvCommand{KvOp::kPut, key, value});
+  return r.has_value() && r->ok;
+}
+
+std::optional<KvResult> RaftClient::FastRead(const std::string& key) {
+  for (int attempt = 0; attempt < max_attempts_; attempt++) {
+    if (attempt > 0) {
+      n_retries_++;
+    }
+    Marshal args;
+    args << key;
+    CallOpts opts;
+    opts.timeout_us = op_timeout_us_;
+    auto ev = rpc_->Call(target_, kMethodClientRead, std::move(args), opts);
+    ev->Wait();
+    if (ev->failed() || !ev->Ready()) {
+      rr_ = (rr_ + 1) % servers_.size();
+      target_ = servers_[rr_];
+      continue;
+    }
+    auto reply = ClientCommandReply::Decode(ev->reply());
+    if (reply.status == ClientStatus::kOk) {
+      return KvResult::Decode(reply.result);
+    }
+    if (reply.status == ClientStatus::kNotLeader && reply.leader_hint != 0 &&
+        reply.leader_hint != target_) {
+      target_ = reply.leader_hint;
+    } else {
+      rr_ = (rr_ + 1) % servers_.size();
+      target_ = servers_[rr_];
+      SleepUs(10000);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> RaftClient::Get(const std::string& key) {
+  auto fast = FastRead(key);
+  if (fast.has_value()) {
+    return fast->ok ? std::optional<std::string>(fast->value) : std::nullopt;
+  }
+  // Fast path unavailable (e.g. readIndex disabled): replicate a kGet.
+  auto r = Execute(KvCommand{KvOp::kGet, key, ""});
+  if (!r.has_value() || !r->ok) {
+    return std::nullopt;
+  }
+  return r->value;
+}
+
+bool RaftClient::Delete(const std::string& key) {
+  auto r = Execute(KvCommand{KvOp::kDelete, key, ""});
+  return r.has_value() && r->ok;
+}
+
+}  // namespace depfast

@@ -1,0 +1,51 @@
+// Client session for a DepFastRaft group: finds the leader (following
+// NotLeader hints), retries timeouts, and exposes a KV interface. Runs in
+// coroutines on the client's own reactor — the client's wait on the leader
+// is deliberately a single-event (red) SPG edge, exactly as Figure 2 shows.
+#ifndef SRC_RAFT_RAFT_CLIENT_H_
+#define SRC_RAFT_RAFT_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/raft/raft_types.h"
+#include "src/rpc/rpc.h"
+#include "src/storage/kvstore.h"
+
+namespace depfast {
+
+class RaftClient {
+ public:
+  RaftClient(RpcEndpoint* rpc, std::vector<NodeId> servers, uint64_t op_timeout_us = 3000000,
+             int max_attempts = 8);
+
+  // Executes a command on the replicated store; retries through leader
+  // changes. Returns nullopt if every attempt failed.
+  std::optional<KvResult> Execute(const KvCommand& cmd);
+
+  bool Put(const std::string& key, const std::string& value);
+  // Reads via the leader's readIndex fast path (no log entry); falls back to
+  // a replicated kGet command if the fast path is unavailable.
+  std::optional<std::string> Get(const std::string& key);
+  bool Delete(const std::string& key);
+
+  // ReadIndex read; nullopt when the fast path failed on every attempt.
+  std::optional<KvResult> FastRead(const std::string& key);
+
+  NodeId leader_hint() const { return target_; }
+  uint64_t n_retries() const { return n_retries_; }
+
+ private:
+  RpcEndpoint* rpc_;
+  std::vector<NodeId> servers_;
+  uint64_t op_timeout_us_;
+  int max_attempts_;
+  NodeId target_;
+  size_t rr_ = 0;  // round-robin cursor for leader search
+  uint64_t n_retries_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_RAFT_CLIENT_H_

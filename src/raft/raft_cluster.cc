@@ -1,0 +1,183 @@
+#include "src/raft/raft_cluster.h"
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
+  transport_ = std::make_unique<SimTransport>(opts_.link, /*seed=*/42);
+  next_client_id_ = opts_.first_node_id + static_cast<NodeId>(opts_.n_nodes) + 100;
+
+  std::vector<NodeId> all_ids;
+  std::vector<std::string> all_names;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    all_ids.push_back(opts_.first_node_id + static_cast<NodeId>(i));
+    // Names follow node ids so multi-shard deployments get globally unique
+    // vertices (s1..s3, s4..s6, ... as in the paper's Figure 2).
+    all_names.push_back(opts_.name_prefix + std::to_string(opts_.first_node_id + static_cast<NodeId>(i)));
+  }
+
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    auto handle = std::make_unique<RaftServerHandle>();
+    handle->thread = std::make_unique<ReactorThread>(all_names[static_cast<size_t>(i)]);
+    servers_.push_back(std::move(handle));
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    NodeId my_id = all_ids[static_cast<size_t>(i)];
+    std::string my_name = all_names[static_cast<size_t>(i)];
+    std::vector<NodeId> peers;
+    for (NodeId id : all_ids) {
+      if (id != my_id) {
+        peers.push_back(id);
+      }
+    }
+    RunOn(i, [this, h, my_id, my_name, peers, &all_ids, &all_names]() {
+      Reactor* reactor = Reactor::Current();
+      h->rpc = std::make_unique<RpcEndpoint>(my_id, my_name, reactor, transport_.get());
+      for (size_t j = 0; j < all_ids.size(); j++) {
+        h->rpc->SetPeerName(all_ids[j], all_names[j]);
+      }
+      h->disk = std::make_unique<SimDisk>(reactor, opts_.disk);
+      h->cpu = std::make_unique<CpuModel>(reactor);
+      h->mem = std::make_unique<MemModel>();
+      h->mem->SetDefaultCap(opts_.machine_mem_cap_bytes, opts_.machine_swap_penalty);
+      h->cpu->set_mem(h->mem.get());
+      h->env = NodeEnv{my_id,        my_name,       reactor,         h->cpu.get(),
+                       h->mem.get(), h->disk.get(), transport_.get()};
+      RaftConfig cfg = opts_.raft;
+      if (opts_.pin_leader) {
+        cfg.enable_election = false;
+      }
+      h->raft = std::make_unique<RaftNode>(h->env, h->rpc.get(), h->disk.get(), peers, cfg);
+    });
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    bool lead = opts_.pin_leader && i == 0;
+    RunOn(i, [h, lead]() {
+      if (lead) {
+        h->raft->StartAsLeader(1);
+      } else {
+        h->raft->Start();
+      }
+    });
+  }
+}
+
+RaftCluster::~RaftCluster() { Shutdown(); }
+
+std::vector<NodeId> RaftCluster::server_ids() const {
+  std::vector<NodeId> ids;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    ids.push_back(opts_.first_node_id + static_cast<NodeId>(i));
+  }
+  return ids;
+}
+
+void RaftCluster::RunOn(int i, std::function<void()> fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  servers_[static_cast<size_t>(i)]->thread->reactor()->Post([&]() {
+    fn();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+}
+
+bool RaftCluster::WaitForLeader(uint64_t timeout_us) {
+  uint64_t deadline = MonotonicUs() + timeout_us;
+  while (MonotonicUs() < deadline) {
+    if (LeaderIndex() >= 0) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return LeaderIndex() >= 0;
+}
+
+int RaftCluster::LeaderIndex() {
+  int leader = -1;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftRole role = RaftRole::kFollower;
+    RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    RunOn(i, [&role, h]() { role = h->raft->role(); });
+    if (role == RaftRole::kLeader) {
+      leader = i;
+    }
+  }
+  return leader;
+}
+
+std::vector<int> RaftCluster::FollowerIndices() {
+  std::vector<int> out;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftRole role = RaftRole::kLeader;
+    RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    RunOn(i, [&role, h]() { role = h->raft->role(); });
+    if (role == RaftRole::kFollower) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void RaftCluster::InjectFault(int i, FaultType type) { InjectFault(i, MakeFault(type)); }
+
+void RaftCluster::InjectFault(int i, const FaultSpec& spec) {
+  FaultInjector::Apply(servers_[static_cast<size_t>(i)]->env, spec);
+}
+
+void RaftCluster::ClearFault(int i) {
+  FaultInjector::Clear(servers_[static_cast<size_t>(i)]->env);
+}
+
+std::unique_ptr<RaftClientHandle> RaftCluster::MakeClient(const std::string& name) {
+  auto handle = std::make_unique<RaftClientHandle>();
+  handle->thread = std::make_unique<ReactorThread>(name);
+  NodeId id = next_client_id_++;
+  auto ids = server_ids();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RaftClientHandle* h = handle.get();
+  handle->thread->reactor()->Post([&, h, id, ids, name]() {
+    h->rpc = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), transport_.get());
+    for (int i = 0; i < opts_.n_nodes; i++) {
+      h->rpc->SetPeerName(ids[static_cast<size_t>(i)],
+                          opts_.name_prefix + std::to_string(ids[static_cast<size_t>(i)]));
+    }
+    h->session = std::make_unique<RaftClient>(h->rpc.get(), ids);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+  return handle;
+}
+
+void RaftCluster::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+    RunOn(i, [h]() { h->raft->Shutdown(); });
+  }
+  for (auto& h : servers_) {
+    h->thread->Stop();
+  }
+}
+
+}  // namespace depfast

@@ -1,0 +1,103 @@
+// Deployment harness for DepFastRaft: N server nodes, each a reactor thread
+// with its own RPC endpoint, sim disk, CPU/memory models and RaftNode, wired
+// through one SimTransport; plus client reactors. Mirrors the paper's
+// 3-node / 5-node Azure deployments on one machine.
+#ifndef SRC_RAFT_RAFT_CLUSTER_H_
+#define SRC_RAFT_RAFT_CLUSTER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_injector.h"
+#include "src/raft/raft_client.h"
+#include "src/raft/raft_node.h"
+#include "src/rpc/sim_transport.h"
+
+namespace depfast {
+
+struct RaftClusterOptions {
+  int n_nodes = 3;
+  RaftConfig raft;
+  LinkParams link;
+  SimDiskParams disk;
+  // Machine-level memory budget per node (healthy baseline).
+  uint64_t machine_mem_cap_bytes = 48ull << 20;
+  double machine_swap_penalty = 4.0;
+  // If true, node 0 boots as leader of term 1 and elections are disabled —
+  // the stable-leader setting of the paper's measurements.
+  bool pin_leader = true;
+  // Shard label prefixed to node names ("s1".."sN" by default).
+  std::string name_prefix = "s";
+  NodeId first_node_id = 1;
+};
+
+// One server node's bundle. Internals (raft, rpc, disk, cpu) live on the
+// reactor thread; cross-thread access must go through RunOn(). `thread` is
+// declared last so it is destroyed (joined) first.
+struct RaftServerHandle {
+  std::unique_ptr<RpcEndpoint> rpc;
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<MemModel> mem;
+  std::unique_ptr<RaftNode> raft;
+  NodeEnv env;
+  std::unique_ptr<ReactorThread> thread;
+};
+
+struct RaftClientHandle {
+  std::unique_ptr<RpcEndpoint> rpc;
+  std::unique_ptr<RaftClient> session;
+  std::unique_ptr<ReactorThread> thread;
+};
+
+class RaftCluster {
+ public:
+  explicit RaftCluster(RaftClusterOptions opts);
+  ~RaftCluster();
+  RaftCluster(const RaftCluster&) = delete;
+  RaftCluster& operator=(const RaftCluster&) = delete;
+
+  int n_nodes() const { return opts_.n_nodes; }
+  SimTransport& transport() { return *transport_; }
+  const RaftClusterOptions& options() const { return opts_; }
+
+  RaftServerHandle& server(int i) { return *servers_[static_cast<size_t>(i)]; }
+  std::vector<NodeId> server_ids() const;
+
+  // Runs `fn` on node i's reactor thread and waits for it. Use for any
+  // access to RaftNode state from the outside.
+  void RunOn(int i, std::function<void()> fn);
+
+  // Blocks until some node reports itself leader (true) or timeout.
+  bool WaitForLeader(uint64_t timeout_us = 5000000);
+  // Index of the current leader, or -1.
+  int LeaderIndex();
+  // Indices of current followers.
+  std::vector<int> FollowerIndices();
+
+  // Table 1 fault injection against node i.
+  void InjectFault(int i, FaultType type);
+  void InjectFault(int i, const FaultSpec& spec);
+  void ClearFault(int i);
+
+  // Creates a client with its own reactor thread and session.
+  std::unique_ptr<RaftClientHandle> MakeClient(const std::string& name);
+
+  // Stops everything (idempotent; also run by the destructor).
+  void Shutdown();
+
+ private:
+  RaftClusterOptions opts_;
+  std::unique_ptr<SimTransport> transport_;
+  std::vector<std::unique_ptr<RaftServerHandle>> servers_;
+  NodeId next_client_id_;
+  bool shut_down_ = false;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_RAFT_CLUSTER_H_

@@ -1,0 +1,105 @@
+#include "src/raft/raft_log.h"
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+uint64_t RaftLog::TermAt(uint64_t idx) const {
+  if (!Has(idx)) {
+    DF_LOG_FATAL("TermAt(%llu) out of range: base=%llu last=%llu", (unsigned long long)idx,
+                 (unsigned long long)base_idx_, (unsigned long long)LastIndex());
+  }
+  return entries_[Pos(idx)].term;
+}
+
+const LogEntry& RaftLog::At(uint64_t idx) const {
+  DF_CHECK(Has(idx));
+  DF_CHECK_GT(idx, base_idx_);
+  return entries_[Pos(idx)];
+}
+
+uint64_t RaftLog::Append(uint64_t term, Marshal cmd) {
+  approx_bytes_ += cmd.ContentSize();
+  entries_.push_back(LogEntry{term, std::move(cmd)});
+  return LastIndex();
+}
+
+bool RaftLog::Matches(uint64_t idx, uint64_t term) const {
+  if (idx == 0) {
+    return true;
+  }
+  if (idx < base_idx_) {
+    // Covered by the snapshot: committed, hence guaranteed to match any
+    // leader's committed prefix.
+    return true;
+  }
+  return Has(idx) && TermAt(idx) == term;
+}
+
+size_t RaftLog::ApplyAppend(uint64_t from_idx, const std::vector<LogEntry>& entries) {
+  DF_CHECK_GE(from_idx, 1u);
+  DF_CHECK_LE(from_idx, LastIndex() + 1);
+  size_t n_new = 0;
+  uint64_t idx = from_idx;
+  for (const auto& e : entries) {
+    if (idx <= base_idx_) {
+      idx++;  // already folded into the snapshot
+      continue;
+    }
+    if (Has(idx)) {
+      if (TermAt(idx) == e.term) {
+        idx++;
+        continue;  // already present
+      }
+      // Conflict: truncate this entry and everything after it.
+      for (uint64_t i = idx; i <= LastIndex(); i++) {
+        approx_bytes_ -= entries_[Pos(i)].cmd.ContentSize();
+      }
+      entries_.resize(Pos(idx));
+    }
+    approx_bytes_ += e.cmd.ContentSize();
+    entries_.push_back(e);
+    n_new++;
+    idx++;
+  }
+  return n_new;
+}
+
+std::vector<LogEntry> RaftLog::Slice(uint64_t from, uint64_t to) const {
+  DF_CHECK_GT(from, base_idx_);
+  DF_CHECK_LE(to, LastIndex());
+  std::vector<LogEntry> out;
+  out.reserve(to >= from ? to - from + 1 : 0);
+  for (uint64_t i = from; i <= to; i++) {
+    out.push_back(entries_[Pos(i)]);
+  }
+  return out;
+}
+
+void RaftLog::CompactTo(uint64_t idx) {
+  if (idx <= base_idx_) {
+    return;
+  }
+  DF_CHECK_LE(idx, LastIndex());
+  uint64_t new_base_term = TermAt(idx);
+  for (uint64_t i = base_idx_ + 1; i <= idx; i++) {
+    approx_bytes_ -= entries_[Pos(i)].cmd.ContentSize();
+  }
+  entries_.erase(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(Pos(idx)));
+  base_idx_ = idx;
+  entries_.front() = LogEntry{new_base_term, Marshal{}};
+}
+
+void RaftLog::ResetToSnapshot(uint64_t snap_idx, uint64_t snap_term) {
+  if (Has(snap_idx) && snap_idx > base_idx_ && TermAt(snap_idx) == snap_term) {
+    // The snapshot is a prefix of what we already have: just compact.
+    CompactTo(snap_idx);
+    return;
+  }
+  entries_.clear();
+  entries_.push_back(LogEntry{snap_term, Marshal{}});
+  base_idx_ = snap_idx;
+  approx_bytes_ = 0;
+}
+
+}  // namespace depfast

@@ -1,0 +1,71 @@
+// The Raft log: 1-based, with prefix compaction. Entries up to base_index()
+// have been folded into a state-machine snapshot; position base_index()
+// itself is a sentinel carrying the snapshot's term (index 0 / term 0 before
+// any compaction). Purely in-memory here; durability is modeled by the WAL
+// the RaftNode writes alongside.
+#ifndef SRC_RAFT_RAFT_LOG_H_
+#define SRC_RAFT_RAFT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/raft/raft_types.h"
+
+namespace depfast {
+
+class RaftLog {
+ public:
+  RaftLog() { entries_.push_back(LogEntry{0, Marshal{}}); }
+
+  // Index of the last entry folded into the snapshot (0 = nothing).
+  uint64_t BaseIndex() const { return base_idx_; }
+  uint64_t BaseTerm() const { return entries_.front().term; }
+  uint64_t LastIndex() const { return base_idx_ + entries_.size() - 1; }
+  uint64_t LastTerm() const { return entries_.back().term; }
+
+  // True iff idx is addressable: in (base, last] — or the base sentinel.
+  bool Has(uint64_t idx) const { return idx >= base_idx_ && idx <= LastIndex(); }
+  uint64_t TermAt(uint64_t idx) const;
+  const LogEntry& At(uint64_t idx) const;
+
+  // Appends one entry; returns its index.
+  uint64_t Append(uint64_t term, Marshal cmd);
+
+  // True iff the log can vouch that position `idx` holds term `term`
+  // (positions at/below the base are vouched by the snapshot).
+  bool Matches(uint64_t idx, uint64_t term) const;
+
+  // Overwrites/appends `entries` starting at from_idx (truncating
+  // conflicts), per the AppendEntries receiver rules. Entries at/below the
+  // base are skipped (they are already in the snapshot). Returns the number
+  // of genuinely new entries written.
+  size_t ApplyAppend(uint64_t from_idx, const std::vector<LogEntry>& entries);
+
+  // Copies entries [from, to] inclusive; `from` must be above the base.
+  std::vector<LogEntry> Slice(uint64_t from, uint64_t to) const;
+
+  // Drops entries [base+1 .. idx] — they are covered by a snapshot whose
+  // last included entry is (idx, its term). No-op if idx <= base.
+  void CompactTo(uint64_t idx);
+
+  // Resets the whole log to an installed snapshot boundary (follower side of
+  // InstallSnapshot): everything before (snap_idx, snap_term) is discarded;
+  // a matching suffix is kept, otherwise the log is cleared to the boundary.
+  void ResetToSnapshot(uint64_t snap_idx, uint64_t snap_term);
+
+  // Total bytes of command payloads currently held (memory accounting).
+  uint64_t ApproxBytes() const { return approx_bytes_; }
+  size_t EntryCount() const { return entries_.size() - 1; }
+
+ private:
+  size_t Pos(uint64_t idx) const { return static_cast<size_t>(idx - base_idx_); }
+
+  uint64_t base_idx_ = 0;
+  std::deque<LogEntry> entries_;  // entries_[0] = base sentinel
+  uint64_t approx_bytes_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_RAFT_LOG_H_

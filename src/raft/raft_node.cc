@@ -1,0 +1,868 @@
+#include "src/raft/raft_node.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+namespace {
+
+// Judge for AppendEntries replies: only a positive ack counts toward the
+// replication quorum.
+bool AppendReplyOk(Marshal& reply) {
+  Marshal copy = reply;
+  return AppendEntriesReply::Decode(copy).success;
+}
+
+bool VoteReplyGranted(Marshal& reply) {
+  Marshal copy = reply;
+  return RequestVoteReply::Decode(copy).granted;
+}
+
+}  // namespace
+
+RaftNode::RaftNode(NodeEnv env, RpcEndpoint* rpc, Disk* disk, std::vector<NodeId> peers,
+                   RaftConfig config)
+    : env_(std::move(env)),
+      rpc_(rpc),
+      peers_(std::move(peers)),
+      config_(config),
+      rng_(env_.id * 0x9e3779b9ULL + 7),
+      wal_(disk) {
+  DF_CHECK(env_.reactor->OnReactorThread());
+  rpc_->Register(kMethodAppendEntries, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleAppendEntries(from, args, reply);
+  });
+  rpc_->Register(kMethodRequestVote, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleRequestVote(from, args, reply);
+  });
+  rpc_->Register(kMethodClientCommand, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleClientCommand(from, args, reply);
+  });
+  rpc_->Register(kMethodInstallSnapshot, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleInstallSnapshot(from, args, reply);
+  });
+  rpc_->Register(kMethodClientRead, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandleClientRead(from, args, reply);
+  });
+  rpc_->Register(kMethodPing, [this](NodeId from, Marshal& args, Marshal* reply) {
+    HandlePing(from, args, reply);
+  });
+}
+
+RaftNode::~RaftNode() = default;
+
+void RaftNode::Start() {
+  DF_CHECK(env_.reactor->OnReactorThread());
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  last_heartbeat_us_ = MonotonicUs();
+  if (env_.transport != nullptr && config_.send_queue_cap_bytes > 0) {
+    env_.transport->SetSendQueueCap(env_.id, config_.send_queue_cap_bytes);
+  }
+  Coroutine::Create([this]() { ApplyLoop(); });
+  if (config_.enable_election) {
+    Coroutine::Create([this]() { ElectionLoop(); });
+  }
+  // Housekeeping: report the transport-queue footprint to the memory model.
+  Coroutine::Create([this]() {
+    while (!stopped_) {
+      if (env_.transport != nullptr && env_.mem != nullptr) {
+        env_.mem->SetExternalUsage(env_.transport->OutgoingBytes(env_.id));
+      }
+      SleepUs(10000);
+    }
+  });
+}
+
+void RaftNode::StartAsLeader(uint64_t term) {
+  Start();
+  term_ = std::max(term_, term);
+  BecomeLeader();
+}
+
+void RaftNode::Shutdown() {
+  stopped_ = true;
+  leader_epoch_++;
+  for (auto& [idx, pending] : pending_applies_) {
+    pending.done->Fail();
+  }
+  pending_applies_.clear();
+}
+
+// ---------------------------------------------------------------- election
+
+void RaftNode::ElectionLoop() {
+  while (!stopped_) {
+    uint64_t timeout =
+        rng_.NextRange(config_.election_timeout_min_us, config_.election_timeout_max_us);
+    SleepUs(timeout / 2);
+    if (stopped_) {
+      return;
+    }
+    if (role_ == RaftRole::kLeader) {
+      continue;
+    }
+    if (MonotonicUs() - last_heartbeat_us_ >= timeout) {
+      RunElection();
+    }
+  }
+}
+
+void RaftNode::RunElection() {
+  role_ = RaftRole::kCandidate;
+  term_++;
+  voted_for_ = env_.id;
+  leader_epoch_++;
+  uint64_t my_term = term_;
+  PersistMeta();
+  if (stopped_ || term_ != my_term) {
+    return;
+  }
+  DF_LOG_DEBUG("%s: starting election for term %llu", env_.name.c_str(),
+               (unsigned long long)my_term);
+
+  int n_total = static_cast<int>(peers_.size()) + 1;
+  auto q = std::make_shared<QuorumEvent>(n_total, majority());
+  q->VoteYes();  // own vote
+  RequestVoteArgs args;
+  args.term = my_term;
+  args.candidate_id = env_.id;
+  args.last_log_idx = log_.LastIndex();
+  args.last_log_term = log_.LastTerm();
+  for (NodeId peer : peers_) {
+    CallOpts opts;
+    opts.timeout_us = config_.vote_rpc_timeout_us;
+    opts.judge = VoteReplyGranted;
+    auto ev = rpc_->Call(peer, kMethodRequestVote, args.Encode(), opts);
+    ev->set_trace_exempt(true);  // only the vote quorum gates the election
+    q->AddChild(ev);
+    Coroutine::Create([this, ev]() {
+      ev->Wait();
+      if (stopped_ || ev->failed() || !ev->Ready()) {
+        return;
+      }
+      Marshal copy = ev->reply();
+      auto r = RequestVoteReply::Decode(copy);
+      if (r.term > term_) {
+        StepDown(r.term);
+      }
+    });
+  }
+  q->Wait(config_.election_timeout_min_us);
+  if (stopped_ || role_ != RaftRole::kCandidate || term_ != my_term) {
+    return;
+  }
+  if (q->Ready()) {
+    BecomeLeader();
+  } else {
+    // Lost or split: restart the timer and let the loop try again later.
+    last_heartbeat_us_ = MonotonicUs();
+  }
+}
+
+void RaftNode::BecomeLeader() {
+  DF_LOG_INFO("%s: leader of term %llu", env_.name.c_str(), (unsigned long long)term_);
+  role_ = RaftRole::kLeader;
+  leader_hint_ = env_.id;
+  leader_epoch_++;
+  sync_idx_ = log_.LastIndex();
+  durable_idx_ = log_.LastIndex();  // everything accepted so far was WAL-acked
+  in_flight_rounds_ = 0;
+  match_idx_.clear();
+  next_idx_.clear();
+  catching_up_.clear();
+  for (NodeId peer : peers_) {
+    match_idx_[peer] = 0;
+    next_idx_[peer] = log_.LastIndex() + 1;
+  }
+  // A no-op entry: commits everything from earlier terms once replicated
+  // (Raft §5.4.2 requires counting only current-term entries).
+  log_.Append(term_, Marshal{});
+  last_log_watch_.Set(static_cast<int64_t>(log_.LastIndex()));
+  uint64_t epoch = leader_epoch_;
+  Coroutine::Create([this, epoch]() { ReplicationPump(epoch); });
+}
+
+void RaftNode::StepDown(uint64_t new_term) {
+  if (new_term > term_) {
+    term_ = new_term;
+    voted_for_ = 0;
+    PersistMeta();
+  }
+  if (role_ != RaftRole::kFollower) {
+    DF_LOG_DEBUG("%s: stepping down at term %llu", env_.name.c_str(), (unsigned long long)term_);
+    role_ = RaftRole::kFollower;
+  }
+  leader_epoch_++;
+}
+
+void RaftNode::PersistMeta() {
+  Marshal rec;
+  rec << term_ << voted_for_;
+  auto ev = wal_.Append(rec);
+  ev->Wait();
+}
+
+// ------------------------------------------------------------- replication
+
+void RaftNode::ReplicationPump(uint64_t epoch) {
+  while (!stopped_ && role_ == RaftRole::kLeader && leader_epoch_ == epoch) {
+    if (sync_idx_ < log_.BaseIndex()) {
+      // Catch-up traffic advanced commit (and compaction) past the pump's
+      // cursor; entries below the base are globally committed, and lagging
+      // followers are repaired via InstallSnapshot, so skip ahead.
+      sync_idx_ = log_.BaseIndex();
+    }
+    if (sync_idx_ >= log_.LastIndex()) {
+      auto st = last_log_watch_.WaitUntilGe(static_cast<int64_t>(sync_idx_) + 1,
+                                            config_.heartbeat_us);
+      if (stopped_ || role_ != RaftRole::kLeader || leader_epoch_ != epoch) {
+        return;
+      }
+      if (st == Event::EvStatus::kTimeout) {
+        // Idle: heartbeat round (keeps followers' timers fed and ships the
+        // commit index). Re-clamp first: compaction may have run during the
+        // wait above.
+        if (sync_idx_ < log_.BaseIndex()) {
+          sync_idx_ = log_.BaseIndex();
+        }
+        StartRound(sync_idx_ + 1, sync_idx_, epoch);
+      }
+      continue;
+    }
+    if (in_flight_rounds_ >= config_.max_in_flight_rounds) {
+      // Pace: wait for any round to finish, not for a specific follower.
+      rounds_done_.WaitUntilGe(rounds_done_count_ + 1, config_.quorum_wait_us);
+      continue;
+    }
+    uint64_t from = sync_idx_ + 1;
+    uint64_t to = std::min(log_.LastIndex(), sync_idx_ + config_.max_batch);
+    StartRound(from, to, epoch);
+    sync_idx_ = to;
+  }
+}
+
+void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
+  bool heartbeat = to_idx < from_idx;
+  AppendEntriesArgs args;
+  args.term = term_;
+  args.leader_id = env_.id;
+  args.prev_idx = from_idx - 1;
+  args.prev_term = log_.TermAt(from_idx - 1);
+  if (!heartbeat) {
+    args.entries = log_.Slice(from_idx, to_idx);
+  }
+  args.commit_idx = commit_idx_;
+  args.leader_lag_us = SelfReportedLagUs();
+
+  int n_total = static_cast<int>(peers_.size()) + 1;
+  auto q = std::make_shared<QuorumEvent>(n_total, majority());
+
+  // Local leg: the leader's own vote is its WAL durability for the batch.
+  if (heartbeat) {
+    env_.cpu->Work(config_.heartbeat_cost_us);
+    q->VoteYes();
+  } else {
+    Marshal rec;
+    rec << args.term << from_idx;
+    for (const auto& e : args.entries) {
+      rec << e;
+      // Marshal content models the real record; the configured overhead
+      // approximates framing + checksums.
+      for (uint64_t i = 0; i < config_.entry_wal_overhead_bytes / 8; i++) {
+        rec << static_cast<uint8_t>(0);
+      }
+    }
+    auto wal_ev = wal_.Append(rec);
+    wal_ev->set_trace_peer(env_.name);  // self leg; SPG skips self-edges
+    wal_ev->set_trace_exempt(true);     // the continuation below is bookkeeping
+    q->AddChild(wal_ev);
+    Coroutine::Create([this, wal_ev, to_idx, epoch]() {
+      wal_ev->Wait();
+      if (stopped_ || leader_epoch_ != epoch) {
+        return;
+      }
+      durable_idx_ = std::max(durable_idx_, to_idx);
+      AdvanceCommitFromMatches();
+    });
+  }
+
+  Marshal encoded = args.Encode();
+  for (NodeId peer : peers_) {
+    CallOpts opts;
+    opts.timeout_us = config_.rpc_timeout_us;
+    opts.discardable = true;  // quorum-covered: droppable for slow links
+    opts.judge = AppendReplyOk;
+    auto ev = rpc_->Call(peer, kMethodAppendEntries, encoded, opts);
+    ev->set_trace_exempt(true);  // only the quorum wait gates the protocol
+    q->AddChild(ev);
+    // Straggler continuation: track match index, detect higher terms, and
+    // kick catch-up — without any round ever waiting on this peer alone.
+    Coroutine::Create([this, ev, peer, to_idx, heartbeat, epoch]() {
+      ev->Wait();
+      if (stopped_ || leader_epoch_ != epoch) {
+        return;
+      }
+      if (ev->failed()) {
+        EnsureCatchUp(peer);
+        return;
+      }
+      Marshal copy = ev->reply();
+      auto r = AppendEntriesReply::Decode(copy);
+      if (r.term > term_) {
+        StepDown(r.term);
+        return;
+      }
+      if (r.success) {
+        if (!heartbeat && to_idx > match_idx_[peer]) {
+          match_idx_[peer] = to_idx;
+          next_idx_[peer] = to_idx + 1;
+          AdvanceCommitFromMatches();
+        }
+      } else {
+        EnsureCatchUp(peer);
+      }
+    });
+  }
+
+  if (heartbeat) {
+    return;  // heartbeats are not paced
+  }
+  in_flight_rounds_++;
+  Coroutine::Create([this, q, epoch]() {
+    // The round's wait point: a QuorumEvent over the WAL leg and all
+    // follower legs — never an individual follower.
+    q->Wait(config_.quorum_wait_us);
+    if (stopped_ || leader_epoch_ != epoch) {
+      return;
+    }
+    in_flight_rounds_--;
+    rounds_done_count_++;
+    rounds_done_.Set(rounds_done_count_);
+  });
+}
+
+void RaftNode::AdvanceCommitFromMatches() {
+  if (role_ != RaftRole::kLeader || stopped_) {
+    return;
+  }
+  std::vector<uint64_t> marks;
+  marks.push_back(durable_idx_);
+  for (NodeId peer : peers_) {
+    marks.push_back(match_idx_[peer]);
+  }
+  std::sort(marks.begin(), marks.end(), std::greater<uint64_t>());
+  uint64_t candidate = marks[static_cast<size_t>(majority() - 1)];
+  if (candidate > commit_idx_ && candidate <= log_.LastIndex() &&
+      log_.TermAt(candidate) == term_) {
+    AdvanceCommit(candidate);
+  }
+}
+
+void RaftNode::EnsureCatchUp(NodeId peer) {
+  if (role_ != RaftRole::kLeader || stopped_ || catching_up_[peer]) {
+    return;
+  }
+  catching_up_[peer] = true;
+  uint64_t epoch = leader_epoch_;
+  Coroutine::Create([this, peer, epoch]() { CatchUpPeer(peer, epoch); });
+}
+
+void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
+  // One in-flight batch at a time: intrinsically flow-controlled, so a
+  // fail-slow follower is fed at its own pace without unbounded buffering.
+  while (!stopped_ && role_ == RaftRole::kLeader && leader_epoch_ == epoch &&
+         match_idx_[peer] < log_.LastIndex()) {
+    uint64_t next = std::clamp<uint64_t>(next_idx_[peer], 1, log_.LastIndex() + 1);
+    if (next <= log_.BaseIndex()) {
+      // The entries this follower needs were compacted away: ship the
+      // snapshot instead, then continue with the log suffix.
+      if (!SendSnapshot(peer, epoch)) {
+        SleepUs(50000);
+      }
+      continue;
+    }
+    if (next > log_.LastIndex()) {
+      break;
+    }
+    uint64_t to = std::min(log_.LastIndex(), next + config_.max_batch - 1);
+    AppendEntriesArgs args;
+    args.term = term_;
+    args.leader_id = env_.id;
+    args.prev_idx = next - 1;
+    args.prev_term = log_.TermAt(next - 1);
+    args.entries = log_.Slice(next, to);
+    args.commit_idx = commit_idx_;
+    CallOpts opts;
+    opts.timeout_us = config_.rpc_timeout_us * 4;
+    opts.discardable = false;  // catch-up traffic must arrive
+    opts.judge = AppendReplyOk;
+    auto ev = rpc_->Call(peer, kMethodAppendEntries, args.Encode(), opts);
+    ev->Wait();
+    if (stopped_ || leader_epoch_ != epoch) {
+      break;
+    }
+    if (ev->failed()) {
+      SleepUs(20000);
+      continue;
+    }
+    Marshal copy = ev->reply();
+    auto r = AppendEntriesReply::Decode(copy);
+    if (r.term > term_) {
+      StepDown(r.term);
+      break;
+    }
+    if (r.success) {
+      match_idx_[peer] = std::max(match_idx_[peer], to);
+      next_idx_[peer] = match_idx_[peer] + 1;
+      AdvanceCommitFromMatches();
+    } else {
+      uint64_t backoff = std::min(next - 1, r.last_idx + 1);
+      next_idx_[peer] = std::max<uint64_t>(backoff, 1);
+      // Rejection usually means the peer is saturated (busy-reject); pace
+      // the catch-up to the follower's speed instead of hammering it.
+      SleepUs(20000);
+    }
+  }
+  catching_up_[peer] = false;
+}
+
+bool RaftNode::SendSnapshot(NodeId peer, uint64_t epoch) {
+  DF_CHECK_GT(snapshot_idx_, 0u);
+  InstallSnapshotArgs args;
+  args.term = term_;
+  args.leader_id = env_.id;
+  args.snap_idx = snapshot_idx_;
+  args.snap_term = snapshot_term_;
+  args.data = snapshot_data_;
+  CallOpts opts;
+  opts.timeout_us = config_.rpc_timeout_us * 8;  // snapshots are large
+  opts.discardable = false;
+  auto ev = rpc_->Call(peer, kMethodInstallSnapshot, args.Encode(), opts);
+  ev->set_trace_exempt(true);
+  ev->Wait();
+  if (stopped_ || leader_epoch_ != epoch || ev->failed() || !ev->Ready()) {
+    return false;
+  }
+  Marshal copy = ev->reply();
+  auto r = InstallSnapshotReply::Decode(copy);
+  if (r.term > term_) {
+    StepDown(r.term);
+    return false;
+  }
+  if (!r.ok) {
+    return false;
+  }
+  match_idx_[peer] = std::max(match_idx_[peer], args.snap_idx);
+  next_idx_[peer] = match_idx_[peer] + 1;
+  AdvanceCommitFromMatches();
+  return true;
+}
+
+void RaftNode::MaybeCompact() {
+  if (config_.snapshot_threshold_entries == 0 || last_applied_ <= log_.BaseIndex() ||
+      last_applied_ - log_.BaseIndex() < config_.snapshot_threshold_entries) {
+    return;
+  }
+  snapshot_data_ = kv_.Snapshot();
+  snapshot_idx_ = last_applied_;
+  snapshot_term_ = log_.TermAt(last_applied_);
+  log_.CompactTo(last_applied_);
+  // Model the durable snapshot write (size-proportional, not awaited: the
+  // old WAL prefix stays valid until the snapshot record lands).
+  Marshal rec;
+  rec << snapshot_idx_ << snapshot_term_;
+  rec.Append(snapshot_data_);
+  wal_.Append(rec);
+  DF_LOG_DEBUG("%s: compacted log to base %llu (%llu bytes snapshot)", env_.name.c_str(),
+               (unsigned long long)snapshot_idx_,
+               (unsigned long long)snapshot_data_.ContentSize());
+}
+
+uint64_t RaftNode::SelfReportedLagUs() const {
+  uint64_t lag = env_.cpu->BacklogUs();
+  // The apply-latency EWMA only counts while fresh: an idle leader is not a
+  // slow leader.
+  if (last_cmd_apply_us_ != 0 && MonotonicUs() - last_cmd_apply_us_ < 300000) {
+    lag = std::max(lag, static_cast<uint64_t>(apply_latency_ewma_us_));
+  }
+  return lag;
+}
+
+void RaftNode::AdvanceCommit(uint64_t idx) {
+  if (idx > commit_idx_) {
+    commit_idx_ = idx;
+    commit_watch_.Set(static_cast<int64_t>(commit_idx_));
+  }
+}
+
+// ---------------------------------------------------------------- handlers
+
+void RaftNode::HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  auto args = AppendEntriesArgs::Decode(args_m);
+  AppendEntriesReply reply;
+  reply.term = term_;
+  reply.last_idx = log_.LastIndex();
+  if (stopped_ || args.term < term_) {
+    *reply_m = reply.Encode();
+    return;
+  }
+  if (args.term > term_) {
+    StepDown(args.term);
+  } else if (role_ == RaftRole::kCandidate) {
+    // A leader of our own term exists.
+    role_ = RaftRole::kFollower;
+    leader_epoch_++;
+  }
+  last_heartbeat_us_ = MonotonicUs();
+  leader_hint_ = args.leader_id;
+
+  if (config_.enable_failslow_leader_detection && role_ == RaftRole::kFollower) {
+    if (args.leader_lag_us > config_.failslow_leader_threshold_us) {
+      failslow_leader_strikes_++;
+      if (failslow_leader_strikes_ >= config_.failslow_leader_strikes) {
+        // The leader is alive but persistently slow: turn it into a fail-slow
+        // follower (the §5 mitigation). Starting an election bumps our term;
+        // the slow leader steps down when it sees it.
+        DF_LOG_INFO("%s: leader n%u reports lag %llums for %d heartbeats -> demoting",
+                    env_.name.c_str(), args.leader_id,
+                    (unsigned long long)(args.leader_lag_us / 1000), failslow_leader_strikes_);
+        failslow_leader_strikes_ = -1000;  // hold off while the election runs
+        // Randomized delay: both followers observe the same slow broadcast,
+        // so firing immediately would cause perpetual split votes.
+        uint64_t stagger = rng_.NextRange(0, config_.election_timeout_min_us / 2);
+        Coroutine::Create([this, stagger]() {
+          SleepUs(stagger);
+          if (!stopped_ && role_ == RaftRole::kFollower) {
+            RunElection();
+          }
+          failslow_leader_strikes_ = 0;
+        });
+      }
+    } else {
+      failslow_leader_strikes_ = 0;
+    }
+  }
+
+  if (env_.cpu->BacklogUs() > config_.server_busy_reject_us) {
+    // Bounded request queue: this node is hopelessly behind on CPU; reject
+    // rather than admit more work (the leader's quorum already proceeds
+    // without us, and catch-up will re-feed at our pace).
+    reply.success = false;
+    reply.last_idx = log_.LastIndex();
+    *reply_m = reply.Encode();
+    return;
+  }
+  env_.cpu->Work(config_.heartbeat_cost_us +
+                 config_.follower_append_cost_us * args.entries.size());
+  // The lock covers log mutation and WAL *submission* (ordering); the
+  // durability wait happens outside it so concurrent batches group-commit
+  // in one flush instead of serializing behind each other's fsync.
+  std::shared_ptr<IntEvent> durable;
+  uint64_t acked_idx = 0;
+  {
+    CoroLock lock(log_mu_);
+    if (stopped_ || args.term != term_) {
+      reply.term = term_;
+      *reply_m = reply.Encode();
+      return;
+    }
+    if (!log_.Matches(args.prev_idx, args.prev_term)) {
+      reply.success = false;
+      reply.last_idx = log_.LastIndex();
+      reply.term = term_;
+      *reply_m = reply.Encode();
+      return;
+    }
+    size_t n_new = log_.ApplyAppend(args.prev_idx + 1, args.entries);
+    // Ack exactly what this request covers; later batches may still be
+    // in flight to disk.
+    acked_idx = args.prev_idx + args.entries.size();
+    if (n_new > 0) {
+      Marshal rec;
+      rec << args.term << args.prev_idx;
+      for (size_t i = args.entries.size() - n_new; i < args.entries.size(); i++) {
+        rec << args.entries[i];
+      }
+      durable = wal_.Append(rec);
+      durable->set_trace_peer(env_.name);
+    }
+  }
+  if (durable != nullptr) {
+    // Durability before acking — the paper's disk-logging wait point, as an
+    // event the coroutine waits on (I/O helpers handle the flush).
+    durable->Wait();
+    if (stopped_) {
+      *reply_m = reply.Encode();
+      return;
+    }
+  }
+  reply.success = true;
+  reply.last_idx = acked_idx;
+  reply.term = term_;
+  AdvanceCommit(std::min<uint64_t>(args.commit_idx, acked_idx));
+  *reply_m = reply.Encode();
+}
+
+void RaftNode::HandleRequestVote(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  auto args = RequestVoteArgs::Decode(args_m);
+  RequestVoteReply reply;
+  if (!stopped_ && args.term >= term_) {
+    if (args.term > term_) {
+      StepDown(args.term);
+    }
+    bool log_ok = args.last_log_term > log_.LastTerm() ||
+                  (args.last_log_term == log_.LastTerm() && args.last_log_idx >= log_.LastIndex());
+    if ((voted_for_ == 0 || voted_for_ == args.candidate_id) && log_ok) {
+      voted_for_ = args.candidate_id;
+      last_heartbeat_us_ = MonotonicUs();
+      PersistMeta();
+      reply.granted = (term_ == args.term && voted_for_ == args.candidate_id);
+    }
+  }
+  reply.term = term_;
+  *reply_m = reply.Encode();
+}
+
+void RaftNode::HandleClientCommand(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  KvCommand cmd = KvCommand::Decode(args_m);
+  ClientCommandReply reply = Submit(cmd);
+  *reply_m = reply.Encode();
+}
+
+void RaftNode::HandleInstallSnapshot(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  auto args = InstallSnapshotArgs::Decode(args_m);
+  InstallSnapshotReply reply;
+  reply.term = term_;
+  if (stopped_ || args.term < term_) {
+    *reply_m = reply.Encode();
+    return;
+  }
+  if (args.term > term_) {
+    StepDown(args.term);
+  }
+  last_heartbeat_us_ = MonotonicUs();
+  leader_hint_ = args.leader_id;
+  // Restoring a snapshot costs CPU roughly proportional to its size.
+  env_.cpu->Work(config_.follower_append_cost_us +
+                 args.data.ContentSize() / 1024);
+  CoroLock lock(log_mu_);
+  if (stopped_ || args.term != term_) {
+    reply.term = term_;
+    *reply_m = reply.Encode();
+    return;
+  }
+  if (args.snap_idx > last_applied_) {
+    Marshal data_copy = args.data;
+    kv_.Restore(data_copy);
+    log_.ResetToSnapshot(args.snap_idx, args.snap_term);
+    last_applied_ = args.snap_idx;
+    apply_watch_.Set(static_cast<int64_t>(last_applied_));
+    if (args.snap_idx > commit_idx_) {
+      commit_idx_ = args.snap_idx;
+      commit_watch_.Set(static_cast<int64_t>(commit_idx_));
+    }
+    snapshot_data_ = args.data;
+    snapshot_idx_ = args.snap_idx;
+    snapshot_term_ = args.snap_term;
+    Marshal rec;
+    rec << args.snap_idx << args.snap_term;
+    rec.Append(args.data);
+    auto ev = wal_.Append(rec);
+    ev->Wait();
+  }
+  reply.term = term_;
+  reply.ok = true;
+  *reply_m = reply.Encode();
+}
+
+void RaftNode::HandlePing(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  auto args = PingArgs::Decode(args_m);
+  if (!stopped_ && args.term > term_) {
+    StepDown(args.term);
+  }
+  if (!stopped_ && args.term == term_) {
+    last_heartbeat_us_ = MonotonicUs();
+    leader_hint_ = args.leader_id;
+  }
+  Marshal reply;
+  reply << term_;
+  *reply_m = std::move(reply);
+}
+
+bool RaftNode::ConfirmLeadership() {
+  uint64_t my_term = term_;
+  std::shared_ptr<QuorumEvent> q = read_round_;
+  if (q == nullptr) {
+    // Start a confirmation round; concurrent reads beginning before it
+    // completes share it (readIndex coalescing).
+    q = std::make_shared<QuorumEvent>(static_cast<int>(peers_.size()) + 1, majority());
+    read_round_ = q;
+    q->VoteYes();  // self
+    PingArgs args;
+    args.term = my_term;
+    args.leader_id = env_.id;
+    uint64_t my_term_for_judge = my_term;
+    for (NodeId peer : peers_) {
+      CallOpts opts;
+      opts.timeout_us = config_.rpc_timeout_us;
+      opts.discardable = true;
+      opts.judge = [my_term_for_judge](Marshal& reply) {
+        Marshal copy = reply;
+        uint64_t t = 0;
+        copy >> t;
+        return t == my_term_for_judge;
+      };
+      q->AddChild(rpc_->Call(peer, kMethodPing, args.Encode(), opts));
+    }
+    auto self = q;
+    Coroutine::Create([this, self]() {
+      self->Wait(config_.quorum_wait_us);
+      if (read_round_ == self) {
+        read_round_ = nullptr;
+      }
+    });
+  }
+  q->Wait(config_.quorum_wait_us);
+  return q->Ready() && !stopped_ && role_ == RaftRole::kLeader && term_ == my_term;
+}
+
+void RaftNode::HandleClientRead(NodeId from, Marshal& args_m, Marshal* reply_m) {
+  std::string key;
+  args_m >> key;
+  ClientCommandReply reply;
+  reply.leader_hint = leader_hint_;
+  if (stopped_ || role_ != RaftRole::kLeader || !config_.enable_read_index) {
+    reply.status = ClientStatus::kNotLeader;
+    *reply_m = reply.Encode();
+    return;
+  }
+  // ReadIndex protocol: pin the commit index, confirm we are still the
+  // leader via a quorum round (a QuorumEvent, naturally), then serve once
+  // the state machine caught up to the pinned index. No log append.
+  uint64_t read_idx = commit_idx_;
+  env_.cpu->Work(config_.apply_cost_us);
+  if (!ConfirmLeadership()) {
+    reply.status = role_ == RaftRole::kLeader ? ClientStatus::kTimeout : ClientStatus::kNotLeader;
+    reply.leader_hint = leader_hint_;
+    *reply_m = reply.Encode();
+    return;
+  }
+  if (last_applied_ < read_idx) {
+    apply_watch_.WaitUntilGe(static_cast<int64_t>(read_idx), config_.client_op_timeout_us);
+    if (last_applied_ < read_idx) {
+      reply.status = ClientStatus::kTimeout;
+      *reply_m = reply.Encode();
+      return;
+    }
+  }
+  KvResult result;
+  auto v = kv_.Get(key);
+  result.ok = v.has_value();
+  if (v) {
+    result.value = *v;
+  }
+  reply.status = ClientStatus::kOk;
+  reply.leader_hint = env_.id;
+  reply.result = result.Encode();
+  *reply_m = reply.Encode();
+}
+
+// ------------------------------------------------------------------ client
+
+ClientCommandReply RaftNode::Submit(const KvCommand& cmd) {
+  ClientCommandReply reply;
+  reply.leader_hint = leader_hint_;
+  if (stopped_) {
+    reply.status = ClientStatus::kShuttingDown;
+    return reply;
+  }
+  if (role_ != RaftRole::kLeader) {
+    reply.status = ClientStatus::kNotLeader;
+    return reply;
+  }
+  env_.cpu->Work(config_.leader_cmd_cost_us);
+  if (stopped_ || role_ != RaftRole::kLeader) {
+    reply.status = ClientStatus::kNotLeader;
+    reply.leader_hint = leader_hint_;
+    return reply;
+  }
+  uint64_t idx = log_.Append(term_, cmd.Encode());
+  auto done = std::make_shared<BoxEvent<KvResult>>();
+  pending_applies_[idx] = PendingApply{done, term_, MonotonicUs()};
+  last_log_watch_.Set(static_cast<int64_t>(idx));
+  auto st = done->Wait(config_.client_op_timeout_us);
+  if (st != Event::EvStatus::kReady || !done->vote_ok()) {
+    pending_applies_.erase(idx);
+    reply.status = st == Event::EvStatus::kTimeout ? ClientStatus::kTimeout
+                                                   : ClientStatus::kNotLeader;
+    reply.leader_hint = leader_hint_;
+    return reply;
+  }
+  reply.status = ClientStatus::kOk;
+  reply.leader_hint = env_.id;
+  reply.result = done->value_ref().Encode();
+  return reply;
+}
+
+// ------------------------------------------------------------------- apply
+
+void RaftNode::ApplyLoop() {
+  while (!stopped_) {
+    if (commit_idx_ <= last_applied_) {
+      commit_watch_.WaitUntilGe(static_cast<int64_t>(last_applied_) + 1, 50000);
+      if (stopped_) {
+        return;
+      }
+      continue;
+    }
+    while (last_applied_ < commit_idx_ && !stopped_) {
+      if (last_applied_ < log_.BaseIndex()) {
+        // An InstallSnapshot moved the floor; state is already restored.
+        last_applied_ = log_.BaseIndex();
+        apply_watch_.Set(static_cast<int64_t>(last_applied_));
+        continue;
+      }
+      uint64_t idx = last_applied_ + 1;
+      LogEntry entry = log_.At(idx);  // copy: the log may grow under us
+      env_.cpu->Work(config_.apply_cost_us);
+      if (stopped_ || idx <= last_applied_ || idx <= log_.BaseIndex()) {
+        // An InstallSnapshot overtook this entry during the CPU wait; its
+        // effect is already part of the restored state.
+        continue;
+      }
+      KvResult result;
+      if (entry.cmd.ContentSize() > 0) {
+        Marshal copy = entry.cmd;
+        KvCommand cmd = KvCommand::Decode(copy);
+        result = kv_.Apply(cmd);
+        n_committed_cmds_++;
+      }
+      last_applied_ = idx;
+      apply_watch_.Set(static_cast<int64_t>(last_applied_));
+      MaybeCompact();
+      auto it = pending_applies_.find(idx);
+      if (it != pending_applies_.end()) {
+        // Self-monitoring sample: how long this command took from append to
+        // apply on this leader.
+        uint64_t now = MonotonicUs();
+        auto sample = static_cast<double>(now - it->second.appended_at_us);
+        apply_latency_ewma_us_ = apply_latency_ewma_us_ * 0.8 + sample * 0.2;
+        last_cmd_apply_us_ = now;
+        if (it->second.term == entry.term) {
+          it->second.done->SetValue(std::move(result));
+        } else {
+          it->second.done->Fail();  // slot was overwritten by another leader
+        }
+        pending_applies_.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace depfast

@@ -1,0 +1,177 @@
+// DepFastRaft (§3.4): a Raft-based replicated key-value store written in the
+// DepFast style — every inter-node wait point is a QuorumEvent; no code path
+// ever blocks on an individual follower. Combined with discardable
+// (quorum-covered) broadcasts over bounded send queues, a minority of
+// fail-slow followers cannot stall replication, back up leader memory, or
+// propagate slowness.
+//
+// One RaftNode runs per node reactor. All methods execute on that reactor's
+// thread; cross-node interaction is via RPC only.
+#ifndef SRC_RAFT_RAFT_NODE_H_
+#define SRC_RAFT_RAFT_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_injector.h"
+#include "src/raft/raft_log.h"
+#include "src/raft/raft_types.h"
+#include "src/rpc/rpc.h"
+#include "src/runtime/coro_mutex.h"
+#include "src/runtime/event.h"
+#include "src/storage/kvstore.h"
+#include "src/storage/wal.h"
+
+namespace depfast {
+
+class RaftNode {
+ public:
+  // `peers` are the ids of all OTHER members. `env` supplies the modeled
+  // resources this node charges work to. Must be created on the node's
+  // reactor thread.
+  RaftNode(NodeEnv env, RpcEndpoint* rpc, Disk* disk, std::vector<NodeId> peers,
+           RaftConfig config = {});
+  ~RaftNode();
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  // Starts timers (election/apply loops). Reactor thread only.
+  void Start();
+  // Makes this node the leader of `term` immediately (deployment bootstrap /
+  // pinned-leader benchmarks). Reactor thread only.
+  void StartAsLeader(uint64_t term = 1);
+  // Stops loops; pending client ops fail with kShuttingDown.
+  void Shutdown();
+
+  // ---- Introspection ----
+  RaftRole role() const { return role_; }
+  uint64_t term() const { return term_; }
+  NodeId id() const { return env_.id; }
+  const std::string& name() const { return env_.name; }
+  uint64_t commit_idx() const { return commit_idx_; }
+  uint64_t last_applied() const { return last_applied_; }
+  uint64_t last_log_idx() const { return log_.LastIndex(); }
+  NodeId leader_hint() const { return leader_hint_; }
+  const KvStore& kv() const { return kv_; }
+  const RaftLog& log() const { return log_; }
+  uint64_t n_committed_cmds() const { return n_committed_cmds_; }
+
+  // Executes a command through the replicated log. Must run in a coroutine
+  // on this node's reactor. Fails fast with kNotLeader when not leader.
+  ClientCommandReply Submit(const KvCommand& cmd);
+
+ private:
+  struct PendingApply {
+    std::shared_ptr<BoxEvent<KvResult>> done;
+    uint64_t term = 0;
+    uint64_t appended_at_us = 0;
+  };
+
+  // RPC handlers (run in per-request coroutines).
+  void HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_m);
+  void HandleRequestVote(NodeId from, Marshal& args_m, Marshal* reply_m);
+  void HandleClientCommand(NodeId from, Marshal& args_m, Marshal* reply_m);
+  void HandleInstallSnapshot(NodeId from, Marshal& args_m, Marshal* reply_m);
+  void HandleClientRead(NodeId from, Marshal& args_m, Marshal* reply_m);
+  void HandlePing(NodeId from, Marshal& args_m, Marshal* reply_m);
+
+  // Long-running coroutines.
+  void ElectionLoop();
+  void ApplyLoop();
+  void ReplicationPump(uint64_t epoch);
+  void CatchUpPeer(NodeId peer, uint64_t epoch);
+
+  void RunElection();
+  void BecomeLeader();
+  void StepDown(uint64_t new_term);
+  void EnsureCatchUp(NodeId peer);
+
+  // Folds everything applied so far into a snapshot and truncates the log
+  // prefix (when past the configured threshold).
+  void MaybeCompact();
+  // Ships the current snapshot to a follower whose next index fell below
+  // the log base. Returns true on installed.
+  bool SendSnapshot(NodeId peer, uint64_t epoch);
+  // ReadIndex: confirms this node is still leader via a quorum ping round
+  // (coalesced across concurrent reads). Returns false if leadership could
+  // not be confirmed.
+  bool ConfirmLeadership();
+
+  // Launches one replication round: sends entries [from..to] (possibly
+  // empty = heartbeat) to all peers as a quorum-covered broadcast, with a
+  // QuorumEvent over the local WAL leg and all follower legs. Non-blocking:
+  // a spawned waiter coroutine releases the in-flight slot when a majority
+  // fired (or the round timed out). Rounds pipeline up to
+  // config_.max_in_flight_rounds.
+  void StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch);
+
+  // Leader commit rule: majority-match over {local durable} + match_idx,
+  // restricted to current-term entries (Raft §5.4.2).
+  void AdvanceCommitFromMatches();
+  void AdvanceCommit(uint64_t idx);
+  void PersistMeta();
+
+  int majority() const { return static_cast<int>(peers_.size() + 1) / 2 + 1; }
+
+  NodeEnv env_;
+  RpcEndpoint* rpc_;
+  std::vector<NodeId> peers_;
+  RaftConfig config_;
+  Rng rng_;
+
+  RaftRole role_ = RaftRole::kFollower;
+  uint64_t term_ = 0;
+  NodeId voted_for_ = 0;  // 0 = none (node ids are 1-based)
+  NodeId leader_hint_ = 0;
+  uint64_t leader_epoch_ = 0;  // bumped on every role change; stops stale pumps
+
+  RaftLog log_;
+  Wal wal_;
+  KvStore kv_;
+  CoroMutex log_mu_;  // serializes follower-side log mutation across waits
+
+  uint64_t commit_idx_ = 0;
+  uint64_t last_applied_ = 0;
+  SharedIntEvent commit_watch_;
+  SharedIntEvent last_log_watch_;
+  SharedIntEvent apply_watch_;
+  uint64_t last_heartbeat_us_ = 0;
+
+  // Snapshot state (also what InstallSnapshot ships).
+  Marshal snapshot_data_;
+  uint64_t snapshot_idx_ = 0;
+  uint64_t snapshot_term_ = 0;
+
+  // In-flight readIndex confirmation round, shared by concurrent reads.
+  std::shared_ptr<QuorumEvent> read_round_;
+
+  // Leader-only replication state.
+  uint64_t sync_idx_ = 0;  // highest index shipped by the pump
+  uint64_t durable_idx_ = 0;
+  int in_flight_rounds_ = 0;
+  SharedIntEvent rounds_done_;
+  int64_t rounds_done_count_ = 0;
+  std::map<NodeId, uint64_t> match_idx_;
+  std::map<NodeId, uint64_t> next_idx_;
+  std::map<NodeId, bool> catching_up_;
+  std::map<uint64_t, PendingApply> pending_applies_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  uint64_t n_committed_cmds_ = 0;
+  int failslow_leader_strikes_ = 0;  // consecutive over-threshold heartbeats seen
+  // Self-monitoring for the §5 extension: EWMA of append->apply latency of
+  // client commands (the user-visible health of this leader).
+  double apply_latency_ewma_us_ = 0;
+  uint64_t last_cmd_apply_us_ = 0;
+
+  // Current self-reported slowness: apply-latency EWMA (if fresh) or CPU
+  // backlog, whichever is worse.
+  uint64_t SelfReportedLagUs() const;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_RAFT_NODE_H_

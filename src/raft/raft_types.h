@@ -1,0 +1,255 @@
+// Wire types and configuration for DepFastRaft.
+#ifndef SRC_RAFT_RAFT_TYPES_H_
+#define SRC_RAFT_RAFT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/marshal.h"
+#include "src/rpc/transport.h"
+
+namespace depfast {
+
+// RPC method ids of the Raft service.
+inline constexpr int32_t kMethodRequestVote = 10;
+inline constexpr int32_t kMethodAppendEntries = 11;
+inline constexpr int32_t kMethodClientCommand = 12;
+inline constexpr int32_t kMethodInstallSnapshot = 13;
+inline constexpr int32_t kMethodClientRead = 14;
+inline constexpr int32_t kMethodPing = 15;
+
+enum class RaftRole : uint8_t {
+  kFollower = 0,
+  kCandidate = 1,
+  kLeader = 2,
+};
+
+struct LogEntry {
+  uint64_t term = 0;
+  Marshal cmd;
+};
+
+inline Marshal& operator<<(Marshal& m, const LogEntry& e) {
+  m << e.term << e.cmd;
+  return m;
+}
+
+inline Marshal& operator>>(Marshal& m, LogEntry& e) {
+  m >> e.term >> e.cmd;
+  return m;
+}
+
+struct AppendEntriesArgs {
+  uint64_t term = 0;
+  NodeId leader_id = 0;
+  uint64_t prev_idx = 0;
+  uint64_t prev_term = 0;
+  std::vector<LogEntry> entries;
+  uint64_t commit_idx = 0;
+  // Self-reported leader load (its CPU backlog): the §5 future-work signal.
+  // Followers use it to detect a fail-slow leader — one that still
+  // heartbeats, so plain Raft would never re-elect — and demote it.
+  uint64_t leader_lag_us = 0;
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << leader_id << prev_idx << prev_term << entries << commit_idx << leader_lag_us;
+    return m;
+  }
+  static AppendEntriesArgs Decode(Marshal& m) {
+    AppendEntriesArgs a;
+    m >> a.term >> a.leader_id >> a.prev_idx >> a.prev_term >> a.entries >> a.commit_idx >>
+        a.leader_lag_us;
+    return a;
+  }
+};
+
+struct AppendEntriesReply {
+  uint64_t term = 0;
+  bool success = false;
+  uint64_t last_idx = 0;  // follower's last log index (catch-up hint)
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << success << last_idx;
+    return m;
+  }
+  static AppendEntriesReply Decode(Marshal& m) {
+    AppendEntriesReply r;
+    m >> r.term >> r.success >> r.last_idx;
+    return r;
+  }
+};
+
+struct RequestVoteArgs {
+  uint64_t term = 0;
+  NodeId candidate_id = 0;
+  uint64_t last_log_idx = 0;
+  uint64_t last_log_term = 0;
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << candidate_id << last_log_idx << last_log_term;
+    return m;
+  }
+  static RequestVoteArgs Decode(Marshal& m) {
+    RequestVoteArgs a;
+    m >> a.term >> a.candidate_id >> a.last_log_idx >> a.last_log_term;
+    return a;
+  }
+};
+
+struct RequestVoteReply {
+  uint64_t term = 0;
+  bool granted = false;
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << granted;
+    return m;
+  }
+  static RequestVoteReply Decode(Marshal& m) {
+    RequestVoteReply r;
+    m >> r.term >> r.granted;
+    return r;
+  }
+};
+
+struct InstallSnapshotArgs {
+  uint64_t term = 0;
+  NodeId leader_id = 0;
+  uint64_t snap_idx = 0;   // last log index folded into the snapshot
+  uint64_t snap_term = 0;  // its term
+  Marshal data;            // serialized state machine
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << leader_id << snap_idx << snap_term << data;
+    return m;
+  }
+  static InstallSnapshotArgs Decode(Marshal& m) {
+    InstallSnapshotArgs a;
+    m >> a.term >> a.leader_id >> a.snap_idx >> a.snap_term >> a.data;
+    return a;
+  }
+};
+
+struct InstallSnapshotReply {
+  uint64_t term = 0;
+  bool ok = false;
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << ok;
+    return m;
+  }
+  static InstallSnapshotReply Decode(Marshal& m) {
+    InstallSnapshotReply r;
+    m >> r.term >> r.ok;
+    return r;
+  }
+};
+
+// Leadership-confirmation ping for readIndex reads.
+struct PingArgs {
+  uint64_t term = 0;
+  NodeId leader_id = 0;
+
+  Marshal Encode() const {
+    Marshal m;
+    m << term << leader_id;
+    return m;
+  }
+  static PingArgs Decode(Marshal& m) {
+    PingArgs a;
+    m >> a.term >> a.leader_id;
+    return a;
+  }
+};
+
+enum class ClientStatus : uint8_t {
+  kOk = 0,
+  kNotLeader = 1,
+  kTimeout = 2,
+  kShuttingDown = 3,
+};
+
+struct ClientCommandReply {
+  ClientStatus status = ClientStatus::kTimeout;
+  NodeId leader_hint = 0;
+  Marshal result;  // KvResult encoding when status == kOk
+
+  Marshal Encode() const {
+    Marshal m;
+    m << status << leader_hint << result;
+    return m;
+  }
+  static ClientCommandReply Decode(Marshal& m) {
+    ClientCommandReply r;
+    m >> r.status >> r.leader_hint >> r.result;
+    return r;
+  }
+};
+
+struct RaftConfig {
+  // Timers.
+  uint64_t heartbeat_us = 30000;
+  uint64_t election_timeout_min_us = 150000;
+  uint64_t election_timeout_max_us = 300000;
+  // Per-RPC timeout of quorum-covered AppendEntries legs; a fail-slow
+  // follower's leg simply votes `no` after this and the quorum proceeds.
+  uint64_t rpc_timeout_us = 150000;
+  uint64_t vote_rpc_timeout_us = 100000;
+  // Upper bound one replication round waits for a quorum before retrying.
+  uint64_t quorum_wait_us = 400000;
+  // Client-side completion timeout inside the server (commit + apply).
+  uint64_t client_op_timeout_us = 2000000;
+  size_t max_batch = 128;
+  // Replication rounds allowed in flight before the pump paces itself. The
+  // pipeline hides per-round stragglers (a jittered healthy follower) so a
+  // transient stall never gates subsequent batches.
+  int max_in_flight_rounds = 8;
+  // Cap on each outgoing link's queued bytes; quorum-covered traffic beyond
+  // it is discarded (DepFast's bounded-buffer rule). 0 = leave unset.
+  uint64_t send_queue_cap_bytes = 256 * 1024;
+  // If false the node never starts elections (benches pin a leader).
+  bool enable_election = true;
+
+  // Cost model, charged to the node's CpuModel (microseconds).
+  uint64_t leader_cmd_cost_us = 15;      // parse + propose, per command
+  uint64_t follower_append_cost_us = 8;  // per entry
+  uint64_t apply_cost_us = 4;            // per entry
+  uint64_t heartbeat_cost_us = 3;
+  // Modeled WAL record overhead per entry.
+  uint64_t entry_wal_overhead_bytes = 32;
+  // Server-side admission control: when a node's CPU backlog exceeds this,
+  // incoming AppendEntries are rejected instead of queued (a real server's
+  // bounded request queue). Keeps an overwhelmed fail-slow node from
+  // accumulating unbounded in-flight work.
+  uint64_t server_busy_reject_us = 400000;
+
+  // Log compaction: once this many entries have been applied past the log
+  // base, fold them into a state-machine snapshot and truncate the prefix.
+  // Followers that fall behind the base are caught up via InstallSnapshot.
+  // 0 disables compaction.
+  uint64_t snapshot_threshold_entries = 8192;
+
+  // ReadIndex fast reads: serve reads from the leader's state machine after
+  // confirming leadership with a quorum ping round — no log entry appended.
+  bool enable_read_index = true;
+
+  // §5 extension — fail-slow LEADER mitigation. A fail-slow leader slows the
+  // whole group by design (§2) and plain Raft never re-elects it because
+  // heartbeats keep flowing. When enabled, followers watch the leader's
+  // self-reported lag; after `failslow_leader_strikes` consecutive
+  // heartbeats above `failslow_leader_threshold_us`, a follower starts an
+  // election, demoting the slow leader to a (well-tolerated) slow follower.
+  bool enable_failslow_leader_detection = false;
+  uint64_t failslow_leader_threshold_us = 20000;
+  int failslow_leader_strikes = 4;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_RAFT_TYPES_H_

@@ -1,0 +1,88 @@
+#include "src/raft/sharded_kv.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/base/rand.h"
+
+namespace depfast {
+
+namespace {
+
+uint64_t KeyHash(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return HashMix64(h);
+}
+
+}  // namespace
+
+ShardedKvCluster::ShardedKvCluster(int n_shards, RaftClusterOptions base) {
+  for (int k = 0; k < n_shards; k++) {
+    RaftClusterOptions opts = base;
+    // Globally unique node ids/names across shards: s1..s3, s4..s6, ...
+    opts.first_node_id = static_cast<NodeId>(k * base.n_nodes + 1);
+    shards_.push_back(std::make_unique<RaftCluster>(opts));
+  }
+}
+
+int ShardedKvCluster::ShardOf(const std::string& key) const {
+  return static_cast<int>(KeyHash(key) % shards_.size());
+}
+
+int ShardedKvSession::ShardOf(const std::string& key) const {
+  return static_cast<int>(KeyHash(key) % sessions_.size());
+}
+
+void ShardedKvCluster::InjectFault(int k, int node_idx, FaultType type) {
+  shards_[static_cast<size_t>(k)]->InjectFault(node_idx, type);
+}
+
+void ShardedKvCluster::ClearFault(int k, int node_idx) {
+  shards_[static_cast<size_t>(k)]->ClearFault(node_idx);
+}
+
+std::unique_ptr<ShardedKvSession> ShardedKvCluster::MakeSession(const std::string& name) {
+  auto session = std::make_unique<ShardedKvSession>();
+  session->thread_ = std::make_unique<ReactorThread>(name);
+  NodeId id = next_session_id_++;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ShardedKvSession* s = session.get();
+  session->thread_->reactor()->Post([&, s, id]() {
+    for (auto& shard : shards_) {
+      auto ids = shard->server_ids();
+      auto ep = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), &shard->transport());
+      for (NodeId sid : ids) {
+        ep->SetPeerName(sid, shard->options().name_prefix + std::to_string(sid));
+      }
+      s->sessions_.push_back(std::make_unique<RaftClient>(ep.get(), ids));
+      s->endpoints_.push_back(std::move(ep));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+  return session;
+}
+
+bool ShardedKvSession::Put(const std::string& key, const std::string& value) {
+  return sessions_[static_cast<size_t>(ShardOf(key))]->Put(key, value);
+}
+
+std::optional<std::string> ShardedKvSession::Get(const std::string& key) {
+  return sessions_[static_cast<size_t>(ShardOf(key))]->Get(key);
+}
+
+bool ShardedKvSession::Delete(const std::string& key) {
+  return sessions_[static_cast<size_t>(ShardOf(key))]->Delete(key);
+}
+
+}  // namespace depfast

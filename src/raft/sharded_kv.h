@@ -1,0 +1,62 @@
+// Sharded deployment: N independent DepFastRaft groups (the paper's Figure 2
+// topology — shards {s1-s3}, {s4-s6}, ... — and the "sharded data stores"
+// direction of §5). Keys are routed to shards by hash; each shard is its own
+// consensus group, so a fail-slow minority in one shard affects neither the
+// other shards nor (thanks to QuorumEvent) its own.
+#ifndef SRC_RAFT_SHARDED_KV_H_
+#define SRC_RAFT_SHARDED_KV_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/raft/raft_cluster.h"
+
+namespace depfast {
+
+class ShardedKvCluster;
+
+// A client session spanning all shards: one reactor thread, one RPC endpoint
+// + RaftClient per shard, hash routing.
+class ShardedKvSession {
+ public:
+  // Must be called from coroutines on thread()'s reactor.
+  bool Put(const std::string& key, const std::string& value);
+  std::optional<std::string> Get(const std::string& key);
+  bool Delete(const std::string& key);
+
+  ReactorThread* thread() { return thread_.get(); }
+  int ShardOf(const std::string& key) const;
+
+ private:
+  friend class ShardedKvCluster;
+
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<RaftClient>> sessions_;
+  std::unique_ptr<ReactorThread> thread_;  // destroyed (joined) first
+};
+
+class ShardedKvCluster {
+ public:
+  // `base` configures every shard (node count, raft config, link, disk).
+  ShardedKvCluster(int n_shards, RaftClusterOptions base);
+
+  int n_shards() const { return static_cast<int>(shards_.size()); }
+  RaftCluster& shard(int k) { return *shards_[static_cast<size_t>(k)]; }
+  int ShardOf(const std::string& key) const;
+
+  std::unique_ptr<ShardedKvSession> MakeSession(const std::string& name);
+
+  // Convenience: Table 1 fault against node `node_idx` of shard `k`.
+  void InjectFault(int k, int node_idx, FaultType type);
+  void ClearFault(int k, int node_idx);
+
+ private:
+  std::vector<std::unique_ptr<RaftCluster>> shards_;
+  uint32_t next_session_id_ = 900;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_SHARDED_KV_H_

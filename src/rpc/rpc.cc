@@ -1,0 +1,128 @@
+#include "src/rpc/rpc.h"
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+void RpcEvent::CompleteOk(Marshal reply) {
+  reply_ = std::move(reply);
+  bool ok = judge_ ? judge_(reply_) : true;
+  if (ok) {
+    Set(1);
+  } else {
+    Fail();
+  }
+}
+
+void RpcEvent::CompleteError() {
+  failed_ = true;
+  Fail();
+}
+
+RpcEndpoint::RpcEndpoint(NodeId id, std::string name, Reactor* reactor, Transport* transport)
+    : id_(id), name_(std::move(name)), reactor_(reactor), transport_(transport) {
+  transport_->RegisterNode(id_, reactor_, [this](NodeId from, Marshal msg) {
+    OnRecv(from, std::move(msg));
+  });
+}
+
+RpcEndpoint::~RpcEndpoint() { transport_->UnregisterNode(id_); }
+
+void RpcEndpoint::Register(int32_t method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void RpcEndpoint::SetPeerName(NodeId peer, std::string name) {
+  peer_names_[peer] = std::move(name);
+}
+
+std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal args,
+                                            const CallOpts& opts) {
+  DF_CHECK(reactor_->OnReactorThread());
+  auto ev = std::make_shared<RpcEvent>();
+  if (opts.judge) {
+    ev->set_judge(opts.judge);
+  }
+  auto pn = peer_names_.find(to);
+  ev->set_trace_peer(pn != peer_names_.end() ? pn->second : "n" + std::to_string(to));
+  uint64_t xid = next_xid_++;
+  n_calls_++;
+
+  Marshal wire;
+  wire << kRequest << xid << method;
+  wire.Append(args);
+  SendOpts send_opts;
+  send_opts.discardable = opts.discardable;
+  if (!transport_->Send(id_, to, std::move(wire), send_opts)) {
+    // Dropped at the source (bounded queue / unknown peer): immediate
+    // negative outcome, no state left behind.
+    n_drops_++;
+    ev->CompleteError();
+    return ev;
+  }
+  pending_[xid] = ev;
+  if (opts.timeout_us > 0) {
+    reactor_->PostAfter(opts.timeout_us, [this, xid]() {
+      auto it = pending_.find(xid);
+      if (it == pending_.end()) {
+        return;  // reply already arrived
+      }
+      auto ev = it->second;
+      pending_.erase(it);
+      n_timeouts_++;
+      ev->CompleteError();
+    });
+  }
+  return ev;
+}
+
+void RpcEndpoint::OnRecv(NodeId from, Marshal msg) {
+  uint8_t type = 0;
+  uint64_t xid = 0;
+  msg >> type >> xid;
+  if (type == kRequest) {
+    int32_t method = 0;
+    msg >> method;
+    HandleRequest(from, xid, method, std::move(msg));
+  } else {
+    HandleReply(xid, std::move(msg), type == kErrorReply);
+  }
+}
+
+void RpcEndpoint::HandleRequest(NodeId from, uint64_t xid, int32_t method, Marshal payload) {
+  auto it = handlers_.find(method);
+  if (it == handlers_.end()) {
+    DF_LOG_WARN("%s: no handler for method %d", name_.c_str(), method);
+    Marshal wire;
+    wire << kErrorReply << xid;
+    transport_->Send(id_, from, std::move(wire), SendOpts{});
+    return;
+  }
+  // Each request runs in its own coroutine so handlers can block on events
+  // without stalling the node (§3.3).
+  Handler& handler = it->second;
+  reactor_->Spawn([this, from, xid, &handler, payload = std::move(payload)]() mutable {
+    Marshal reply;
+    handler(from, payload, &reply);
+    Marshal wire;
+    wire << kReply << xid;
+    wire.Append(reply);
+    transport_->Send(id_, from, std::move(wire), SendOpts{});
+  });
+}
+
+void RpcEndpoint::HandleReply(uint64_t xid, Marshal payload, bool error) {
+  auto it = pending_.find(xid);
+  if (it == pending_.end()) {
+    return;  // timed out earlier; late reply is dropped
+  }
+  auto ev = it->second;
+  pending_.erase(it);
+  if (error) {
+    ev->CompleteError();
+  } else {
+    ev->CompleteOk(std::move(payload));
+  }
+}
+
+}  // namespace depfast

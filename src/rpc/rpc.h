@@ -1,0 +1,110 @@
+// RPC over a Transport, in the DepFast style: a call returns an RpcEvent
+// immediately (the paper's `rpc_proxy.AppendEntries(entries)`); the caller
+// waits on it directly or adds it to a QuorumEvent. Server handlers run in
+// fresh coroutines and may block on events (disk flushes, nested RPCs).
+#ifndef SRC_RPC_RPC_H_
+#define SRC_RPC_RPC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/marshal.h"
+#include "src/runtime/compound_event.h"
+#include "src/runtime/event.h"
+#include "src/rpc/transport.h"
+
+namespace depfast {
+
+// The wait point of an in-flight RPC. Fires positive when a reply judged OK
+// arrives; fires negative (vote `no` to parent QuorumEvents) on error reply,
+// judge rejection, call timeout, or transport drop.
+class RpcEvent : public IntEvent {
+ public:
+  // Judges whether a reply counts as a positive outcome (e.g. Raft's
+  // AppendEntries `success` flag). Default: any reply is positive.
+  using Judge = std::function<bool(Marshal& reply)>;
+
+  const char* kind() const override { return "rpc"; }
+
+  Marshal& reply() { return reply_; }
+  bool failed() const { return failed_; }
+  void set_judge(Judge j) { judge_ = std::move(j); }
+
+ private:
+  friend class RpcEndpoint;
+
+  void CompleteOk(Marshal reply);
+  void CompleteError();
+
+  Marshal reply_;
+  Judge judge_;
+  bool failed_ = false;
+};
+
+struct CallOpts {
+  // 0 = no timeout. On timeout the event fires negative.
+  uint64_t timeout_us = 0;
+  // Allows the transport to drop the request when the destination link's
+  // queue is over cap (quorum-covered broadcasts use this).
+  bool discardable = false;
+  RpcEvent::Judge judge;
+};
+
+// One RPC endpoint per node; acts as both client and server. All calls and
+// handler executions happen on the owning reactor's thread.
+class RpcEndpoint {
+ public:
+  // Handlers run inside a coroutine; they may Wait on events. The reply is
+  // whatever they leave in `*reply`.
+  using Handler = std::function<void(NodeId from, Marshal& args, Marshal* reply)>;
+
+  RpcEndpoint(NodeId id, std::string name, Reactor* reactor, Transport* transport);
+  ~RpcEndpoint();
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Reactor* reactor() const { return reactor_; }
+
+  void Register(int32_t method, Handler handler);
+
+  // Registers a human-readable name for a peer, used as the trace peer of
+  // call events (SPG vertices).
+  void SetPeerName(NodeId peer, std::string name);
+
+  // Starts an RPC; returns its event. Owning reactor thread only.
+  std::shared_ptr<RpcEvent> Call(NodeId to, int32_t method, Marshal args,
+                                 const CallOpts& opts = {});
+
+  uint64_t n_calls() const { return n_calls_; }
+  uint64_t n_timeouts() const { return n_timeouts_; }
+  uint64_t n_drops() const { return n_drops_; }
+
+ private:
+  void OnRecv(NodeId from, Marshal msg);
+  void HandleRequest(NodeId from, uint64_t xid, int32_t method, Marshal payload);
+  void HandleReply(uint64_t xid, Marshal payload, bool error);
+
+  static constexpr uint8_t kRequest = 1;
+  static constexpr uint8_t kReply = 2;
+  static constexpr uint8_t kErrorReply = 3;
+
+  NodeId id_;
+  std::string name_;
+  Reactor* reactor_;
+  Transport* transport_;
+  std::map<int32_t, Handler> handlers_;
+  std::map<NodeId, std::string> peer_names_;
+  std::map<uint64_t, std::shared_ptr<RpcEvent>> pending_;
+  uint64_t next_xid_ = 1;
+  uint64_t n_calls_ = 0;
+  uint64_t n_timeouts_ = 0;
+  uint64_t n_drops_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RPC_RPC_H_

@@ -1,0 +1,131 @@
+#include "src/rpc/sim_transport.h"
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+SimTransport::SimTransport(LinkParams params, uint64_t seed) : params_(params), rng_(seed) {}
+
+void SimTransport::RegisterNode(NodeId id, Reactor* reactor, RecvHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DF_CHECK(endpoints_.find(id) == endpoints_.end());
+  endpoints_[id] = Endpoint{reactor, std::move(handler)};
+}
+
+void SimTransport::UnregisterNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  endpoints_.erase(id);
+}
+
+void SimTransport::set_link_params(LinkParams p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  params_ = p;
+}
+
+void SimTransport::SetNodeExtraDelay(NodeId node, uint64_t delay_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  extra_delay_us_[node] = delay_us;
+}
+
+void SimTransport::SetSendQueueCap(NodeId node, uint64_t cap_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  queue_cap_[node] = cap_bytes;
+}
+
+SimTransport::Link& SimTransport::GetLink(NodeId from, NodeId to) {
+  auto key = std::make_pair(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, std::make_unique<Link>()).first;
+  }
+  return *it->second;
+}
+
+const SimTransport::Link* SimTransport::FindLink(NodeId from, NodeId to) const {
+  auto it = links_.find(std::make_pair(from, to));
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+bool SimTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) {
+  uint64_t size = msg.ContentSize();
+  Reactor* dst_reactor = nullptr;
+  RecvHandler handler;  // copied so a later UnregisterNode cannot dangle it
+  uint64_t deliver_at = 0;
+  Link* link = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto ep = endpoints_.find(to);
+    if (ep == endpoints_.end()) {
+      return false;
+    }
+    dst_reactor = ep->second.reactor;
+    handler = ep->second.handler;
+    link = &GetLink(from, to);
+
+    uint64_t cap = UINT64_MAX;
+    auto cap_it = queue_cap_.find(from);
+    if (cap_it != queue_cap_.end()) {
+      cap = cap_it->second;
+    }
+    if (opts.discardable &&
+        link->queued_bytes.load(std::memory_order_relaxed) + size > cap) {
+      link->dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+
+    uint64_t now = MonotonicUs();
+    // Serialization: the link is a pipe; each message occupies it for
+    // size/bandwidth after the previous message finished.
+    uint64_t xmit_us = params_.bytes_per_us > 0 ? size / params_.bytes_per_us : 0;
+    uint64_t start = std::max(now, link->busy_until_us);
+    link->busy_until_us = start + xmit_us;
+    uint64_t delay = params_.base_delay_us;
+    auto d1 = extra_delay_us_.find(from);
+    if (d1 != extra_delay_us_.end()) {
+      delay += d1->second;
+    }
+    auto d2 = extra_delay_us_.find(to);
+    if (d2 != extra_delay_us_.end()) {
+      delay += d2->second;
+    }
+    if (params_.jitter_p > 0 && rng_.NextBool(params_.jitter_p)) {
+      delay += params_.jitter_us;
+    }
+    deliver_at = link->busy_until_us + delay;
+    link->queued_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+
+  dst_reactor->PostAt(deliver_at, [this, link, from, size, handler = std::move(handler),
+                                   m = std::move(msg)]() mutable {
+    link->queued_bytes.fetch_sub(size, std::memory_order_relaxed);
+    n_delivered_.fetch_add(1, std::memory_order_relaxed);
+    handler(from, std::move(m));
+  });
+  return true;
+}
+
+uint64_t SimTransport::QueuedBytes(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Link* link = FindLink(from, to);
+  return link == nullptr ? 0 : link->queued_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t SimTransport::OutgoingBytes(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, link] : links_) {
+    if (key.first == node) {
+      total += link->queued_bytes.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t SimTransport::DroppedCount(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Link* link = FindLink(from, to);
+  return link == nullptr ? 0 : link->dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace depfast

@@ -1,0 +1,83 @@
+// In-process network: per-link propagation delay, serialization bandwidth,
+// transient jitter, per-node injected extra delay (the tc-netem fault from
+// Table 1), and bounded per-link send queues with byte accounting (the
+// substrate for both the unbounded-buffer pathology and DepFast's
+// quorum-aware discard).
+#ifndef SRC_RPC_SIM_TRANSPORT_H_
+#define SRC_RPC_SIM_TRANSPORT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/base/rand.h"
+#include "src/rpc/transport.h"
+
+namespace depfast {
+
+struct LinkParams {
+  uint64_t base_delay_us = 100;   // one-way propagation
+  uint64_t bytes_per_us = 100;    // serialization bandwidth (~100 MB/s)
+  double jitter_p = 0.005;        // probability a message hits a transient stall
+  uint64_t jitter_us = 3000;      // size of the transient stall
+};
+
+class SimTransport : public Transport {
+ public:
+  explicit SimTransport(LinkParams params = {}, uint64_t seed = 1);
+
+  void RegisterNode(NodeId id, Reactor* reactor, RecvHandler handler) override;
+  void UnregisterNode(NodeId id) override;
+  bool Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) override;
+
+  // ---- Link/queue knobs (all thread-safe) ----
+
+  void set_link_params(LinkParams p);
+
+  // Extra one-way delay added to all traffic entering or leaving `node`
+  // (Table 1 "Network (slow)": tc netem delay on the NIC).
+  void SetNodeExtraDelay(NodeId node, uint64_t delay_us);
+
+  // Byte cap on each outgoing link queue of `node`. Messages sent with
+  // discardable=true are dropped once the queue is over cap; others queue
+  // without bound. ~0 (default) = unbounded.
+  void SetSendQueueCap(NodeId node, uint64_t cap_bytes);
+
+  // ---- Introspection ----
+
+  // Bytes currently queued (sent, not yet delivered) from `from` to `to`.
+  uint64_t QueuedBytes(NodeId from, NodeId to) const;
+  // Total bytes queued on all outgoing links of `node` — the leader-side
+  // outgoing-buffer footprint the RethinkDB pathology grows without bound.
+  uint64_t OutgoingBytes(NodeId node) const;
+  uint64_t DroppedCount(NodeId from, NodeId to) const;
+  uint64_t TotalDelivered() const { return n_delivered_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Endpoint {
+    Reactor* reactor = nullptr;
+    RecvHandler handler;
+  };
+  struct Link {
+    uint64_t busy_until_us = 0;  // serialization pipe occupancy
+    std::atomic<uint64_t> queued_bytes{0};
+    std::atomic<uint64_t> dropped{0};
+  };
+
+  Link& GetLink(NodeId from, NodeId to);  // requires mu_ held
+  const Link* FindLink(NodeId from, NodeId to) const;
+
+  mutable std::mutex mu_;
+  LinkParams params_;
+  std::map<NodeId, Endpoint> endpoints_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::map<NodeId, uint64_t> extra_delay_us_;
+  std::map<NodeId, uint64_t> queue_cap_;
+  Rng rng_;
+  std::atomic<uint64_t> n_delivered_{0};
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RPC_SIM_TRANSPORT_H_

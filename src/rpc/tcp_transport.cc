@@ -1,0 +1,325 @@
+#include "src/rpc/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  DF_CHECK_GE(flags, 0);
+  DF_CHECK_GE(fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport() {
+  DF_CHECK_EQ(pipe(wake_pipe_), 0);
+  SetNonBlocking(wake_pipe_[0]);
+  poller_ = std::thread([this]() { PollerLoop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  stop_.store(true);
+  WakePoller();
+  poller_.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, ep] : endpoints_) {
+      if (ep.listen_fd >= 0) {
+        close(ep.listen_fd);
+      }
+    }
+    for (auto& [id, conn] : out_conns_) {
+      if (conn->fd >= 0) {
+        close(conn->fd);
+      }
+    }
+  }
+  for (auto& conn : in_conns_) {
+    if (conn->fd >= 0) {
+      close(conn->fd);
+    }
+  }
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+}
+
+void TcpTransport::RegisterNode(NodeId id, Reactor* reactor, RecvHandler handler) {
+  RegisterNodeOnPort(id, 0, reactor, std::move(handler));
+}
+
+void TcpTransport::AddPeer(NodeId id, const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lk(mu_);
+  peers_[id] = {host, port};
+}
+
+void TcpTransport::RegisterNodeOnPort(NodeId id, uint16_t port, Reactor* reactor,
+                                      RecvHandler handler) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  DF_CHECK_GE(fd, 0);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  DF_CHECK_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  DF_CHECK_EQ(listen(fd, 64), 0);
+  socklen_t len = sizeof(addr);
+  DF_CHECK_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  SetNonBlocking(fd);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Endpoint ep;
+    ep.reactor = reactor;
+    ep.handler = std::move(handler);
+    ep.listen_fd = fd;
+    ep.port = ntohs(addr.sin_port);
+    endpoints_[id] = std::move(ep);
+  }
+  WakePoller();
+}
+
+void TcpTransport::UnregisterNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) {
+    return;
+  }
+  // Keep the fd open until destruction (the poller may still reference it);
+  // just stop delivering.
+  it->second.handler = nullptr;
+}
+
+uint16_t TcpTransport::ListenPort(NodeId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = endpoints_.find(id);
+  return it == endpoints_.end() ? 0 : it->second.port;
+}
+
+int TcpTransport::ConnectTo(const std::string& host, uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  DF_CHECK_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (host.empty() || host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return -1;
+  }
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  return fd;
+}
+
+bool TcpTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string host;
+    uint16_t port = 0;
+    auto ep = endpoints_.find(to);
+    if (ep != endpoints_.end()) {
+      port = ep->second.port;  // local (in-process) destination
+    } else {
+      auto peer = peers_.find(to);
+      if (peer == peers_.end()) {
+        return false;
+      }
+      host = peer->second.first;
+      port = peer->second.second;
+    }
+    auto it = out_conns_.find(to);
+    if (it != out_conns_.end()) {
+      conn = it->second;
+    } else {
+      int fd = ConnectTo(host, port);
+      if (fd < 0) {
+        return false;
+      }
+      conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conn->owner = to;
+      out_conns_[to] = conn;
+    }
+  }
+  // Frame: [u32 length][u32 from][payload]. Built off-thread, appended to the
+  // connection's outbound buffer by the poller (via the send queue) so all
+  // socket writes stay on one thread.
+  uint32_t payload_len = static_cast<uint32_t>(msg.ContentSize());
+  std::vector<uint8_t> frame(8 + payload_len);
+  uint32_t len_field = payload_len + 4;
+  memcpy(frame.data(), &len_field, 4);
+  uint32_t from32 = from;
+  memcpy(frame.data() + 4, &from32, 4);
+  msg.ReadBytes(frame.data() + 8, payload_len);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    send_queue_.emplace_back(std::move(conn), std::move(frame));
+  }
+  WakePoller();
+  return true;
+}
+
+void TcpTransport::WakePoller() {
+  char b = 1;
+  ssize_t n = write(wake_pipe_[1], &b, 1);
+  (void)n;
+}
+
+void TcpTransport::FlushConn(Conn& conn) {
+  while (!conn.out.empty()) {
+    ssize_t n = write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+    } else {
+      break;  // would-block or error; retry on next writable event
+    }
+  }
+}
+
+void TcpTransport::DispatchFrames(Conn& conn) {
+  while (true) {
+    if (conn.in.size() < 4) {
+      return;
+    }
+    uint32_t len_field = 0;
+    memcpy(&len_field, conn.in.data(), 4);
+    if (conn.in.size() < 4 + len_field) {
+      return;
+    }
+    uint32_t from = 0;
+    memcpy(&from, conn.in.data() + 4, 4);
+    Marshal m;
+    m.WriteBytes(conn.in.data() + 8, len_field - 4);
+    conn.in.erase(conn.in.begin(), conn.in.begin() + 4 + len_field);
+    Reactor* reactor = nullptr;
+    RecvHandler handler;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // Inbound connections deliver to whichever endpoint accepted them;
+      // owner was stamped at accept time.
+      auto it = endpoints_.find(conn.owner);
+      if (it == endpoints_.end() || !it->second.handler) {
+        continue;
+      }
+      reactor = it->second.reactor;
+      handler = it->second.handler;
+    }
+    reactor->Post([handler = std::move(handler), from, m = std::move(m)]() mutable {
+      handler(from, std::move(m));
+    });
+  }
+}
+
+void TcpTransport::PollerLoop() {
+  while (!stop_.load()) {
+    // Move queued sends into connection buffers.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      while (!send_queue_.empty()) {
+        auto& [conn, bytes] = send_queue_.front();
+        conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+        send_queue_.pop_front();
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::pair<NodeId, int>> listeners;
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& [id, ep] : endpoints_) {
+        listeners.emplace_back(id, ep.listen_fd);
+        pfds.push_back(pollfd{ep.listen_fd, POLLIN, 0});
+      }
+      for (auto& [id, conn] : out_conns_) {
+        conns.push_back(conn);
+      }
+    }
+    for (auto& conn : in_conns_) {
+      conns.push_back(conn);
+    }
+    for (auto& conn : conns) {
+      short events = POLLIN;
+      if (!conn->out.empty()) {
+        events |= POLLOUT;
+      }
+      pfds.push_back(pollfd{conn->fd, events, 0});
+    }
+
+    int rc = poll(pfds.data(), pfds.size(), 100);
+    if (rc <= 0) {
+      continue;
+    }
+    size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      char buf[256];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    idx++;
+    for (auto& [id, lfd] : listeners) {
+      if (pfds[idx].revents & POLLIN) {
+        int cfd = accept(lfd, nullptr, nullptr);
+        if (cfd >= 0) {
+          SetNonBlocking(cfd);
+          SetNoDelay(cfd);
+          auto conn = std::make_shared<Conn>();
+          conn->fd = cfd;
+          conn->owner = id;  // deliver inbound frames to this endpoint
+          conn->inbound = true;
+          in_conns_.push_back(conn);
+        }
+      }
+      idx++;
+    }
+    for (auto& conn : conns) {
+      short rev = pfds[idx].revents;
+      idx++;
+      if (rev & POLLOUT) {
+        FlushConn(*conn);
+      }
+      if (rev & POLLIN) {
+        char buf[16384];
+        while (true) {
+          ssize_t n = read(conn->fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn->in.insert(conn->in.end(), buf, buf + n);
+          } else {
+            break;
+          }
+        }
+        if (conn->inbound) {
+          DispatchFrames(*conn);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace depfast

@@ -1,0 +1,80 @@
+// Real-socket transport: every node gets a loopback TCP listener; messages
+// travel through actual non-blocking sockets serviced by a poller thread and
+// are delivered on the destination reactor. Functionally interchangeable
+// with SimTransport (same Transport interface); used to validate that the
+// stack runs over a real network path. Fault injection (delay, throttling)
+// is only available on SimTransport — on real deployments those faults come
+// from cgroups/tc, per Table 1.
+#ifndef SRC_RPC_TCP_TRANSPORT_H_
+#define SRC_RPC_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/rpc/transport.h"
+
+namespace depfast {
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  void RegisterNode(NodeId id, Reactor* reactor, RecvHandler handler) override;
+  void UnregisterNode(NodeId id) override;
+  bool Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) override;
+
+  // Like RegisterNode, but binds the listener to a fixed port (0 =
+  // kernel-assigned). Required for multi-process deployments.
+  void RegisterNodeOnPort(NodeId id, uint16_t port, Reactor* reactor, RecvHandler handler);
+
+  // Declares where a REMOTE node (another process) listens; sends to that id
+  // connect there. Local registrations take precedence. Thread-safe.
+  void AddPeer(NodeId id, const std::string& host, uint16_t port);
+
+  // Port the node's listener is bound to (for tests).
+  uint16_t ListenPort(NodeId id) const;
+
+ private:
+  struct Endpoint {
+    Reactor* reactor = nullptr;
+    RecvHandler handler;
+    int listen_fd = -1;
+    uint16_t port = 0;
+  };
+  struct Conn {
+    int fd = -1;
+    NodeId owner = 0;           // destination node this connection leads to (sender side)
+    bool inbound = false;       // accepted connection (receiver side)
+    std::vector<uint8_t> out;   // pending outbound bytes (poller thread only)
+    std::vector<uint8_t> in;    // partial inbound frame bytes
+  };
+
+  void PollerLoop();
+  void WakePoller();
+  // Poller thread: flush as much of conn.out as the socket accepts.
+  void FlushConn(Conn& conn);
+  // Poller thread: consume complete frames from conn.in.
+  void DispatchFrames(Conn& conn);
+  int ConnectTo(const std::string& host, uint16_t port);
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Endpoint> endpoints_;                 // guarded by mu_
+  std::map<NodeId, std::pair<std::string, uint16_t>> peers_;  // remote nodes, guarded
+  std::map<NodeId, std::shared_ptr<Conn>> out_conns_;    // sender->dest, guarded by mu_
+  std::vector<std::shared_ptr<Conn>> in_conns_;          // poller thread only
+  std::deque<std::pair<std::shared_ptr<Conn>, std::vector<uint8_t>>> send_queue_;  // guarded
+  std::atomic<bool> stop_{false};
+  int wake_pipe_[2] = {-1, -1};
+  std::thread poller_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RPC_TCP_TRANSPORT_H_

@@ -1,0 +1,44 @@
+// Transport abstraction: moves opaque byte messages between registered nodes
+// and delivers them on the destination node's reactor thread. Two
+// implementations: SimTransport (in-process, with link models and fault
+// hooks) and TcpTransport (real sockets).
+#ifndef SRC_RPC_TRANSPORT_H_
+#define SRC_RPC_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/marshal.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+
+using NodeId = uint32_t;
+
+struct SendOpts {
+  // A discardable message may be dropped by the transport when the
+  // destination's send queue is over its cap — the "framework can safely
+  // discard messages for the slow connection" optimization from §2.3. The
+  // sender learns about the drop from Send()'s return value.
+  bool discardable = false;
+};
+
+class Transport {
+ public:
+  // Invoked on the destination node's reactor thread for each delivery.
+  using RecvHandler = std::function<void(NodeId from, Marshal msg)>;
+
+  virtual ~Transport() = default;
+
+  virtual void RegisterNode(NodeId id, Reactor* reactor, RecvHandler handler) = 0;
+  virtual void UnregisterNode(NodeId id) = 0;
+
+  // Queues `msg` for delivery from `from` to `to`. Returns false iff the
+  // message was dropped (unknown destination, or discardable over a full
+  // queue). Thread-safe.
+  virtual bool Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RPC_TRANSPORT_H_

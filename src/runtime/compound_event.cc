@@ -1,0 +1,99 @@
+#include "src/runtime/compound_event.h"
+
+#include "src/base/logging.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+
+CompoundEvent::~CompoundEvent() {
+  for (auto& child : children_) {
+    child->RemoveWatcher(this);
+  }
+}
+
+void CompoundEvent::AddChild(std::shared_ptr<Event> child) {
+  DF_CHECK(reactor_->OnReactorThread());
+  DF_CHECK(child != nullptr);
+  child->Activate();
+  child->AddWatcher(this);
+  bool already_fired = child->Ready();
+  children_.push_back(std::move(child));
+  if (already_fired) {
+    OnChildFire(children_.back().get());
+  } else {
+    Test();
+  }
+}
+
+void CompoundEvent::OnChildFire(Event* child) { Test(); }
+
+QuorumEvent::QuorumEvent(int n_total, int quorum) : n_total_(n_total), quorum_(quorum) {
+  DF_CHECK_GT(quorum, 0);
+  DF_CHECK_LE(quorum, n_total);
+}
+
+void QuorumEvent::VoteYes() {
+  n_yes_++;
+  DF_CHECK_LE(n_yes_ + n_no_, n_total_);
+  Test();
+}
+
+void QuorumEvent::VoteNo() {
+  n_no_++;
+  DF_CHECK_LE(n_yes_ + n_no_, n_total_);
+  Test();
+}
+
+void QuorumEvent::OnChildFire(Event* child) {
+  if (child->vote_ok()) {
+    n_yes_++;
+  } else {
+    n_no_++;
+  }
+  Test();
+}
+
+void QuorumEvent::RecordWait(uint64_t wait_us) {
+  Tracer& tracer = Tracer::Instance();
+  if (!tracer.enabled()) {
+    return;
+  }
+  WaitRecord r;
+  r.node = reactor_->name();
+  r.kind = kind();
+  r.quorum_k = quorum_;
+  r.quorum_n = n_total_;
+  for (const auto& child : children_) {
+    if (!child->trace_peer().empty()) {
+      r.peers.push_back(child->trace_peer());
+    }
+  }
+  r.wait_us = wait_us;
+  r.timed_out = TimedOut();
+  tracer.Record(std::move(r));
+}
+
+bool AndEvent::IsReady() {
+  if (children_.empty()) {
+    return false;
+  }
+  for (const auto& child : children_) {
+    if (!child->Ready()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OrEvent::IsReady() { return FiredChild() != nullptr; }
+
+Event* OrEvent::FiredChild() const {
+  for (const auto& child : children_) {
+    if (child->Ready()) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace depfast

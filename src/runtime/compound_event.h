@@ -1,0 +1,88 @@
+// Compound events: combinations of events, the paper's key device for
+// fail-slow fault tolerance. QuorumEvent waits for any k of n outcomes —
+// the building block that lets a Raft leader proceed on a majority without
+// ever waiting on an individual (possibly fail-slow) follower. AndEvent and
+// OrEvent complete the algebra; compound events nest arbitrarily (e.g. an
+// OrEvent of fast-path / slow-path QuorumEvents).
+#ifndef SRC_RUNTIME_COMPOUND_EVENT_H_
+#define SRC_RUNTIME_COMPOUND_EVENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/event.h"
+
+namespace depfast {
+
+class CompoundEvent : public Event {
+ public:
+  ~CompoundEvent() override;
+
+  // Registers `child`; if the child already fired, its outcome is counted
+  // immediately. Children are kept alive by the compound event.
+  void AddChild(std::shared_ptr<Event> child);
+
+  const std::vector<std::shared_ptr<Event>>& children() const { return children_; }
+
+ protected:
+  friend class Event;
+
+  // Called (on the owning reactor thread) when a child fires.
+  virtual void OnChildFire(Event* child);
+
+  std::vector<std::shared_ptr<Event>> children_;
+};
+
+// Fires once at least `quorum` of the expected `n_total` outcomes are
+// positive. Outcomes arrive either as child events firing (vote_ok decides
+// yes/no) or as direct VoteYes()/VoteNo() calls.
+class QuorumEvent : public CompoundEvent {
+ public:
+  QuorumEvent(int n_total, int quorum);
+
+  bool IsReady() override { return n_yes_ >= quorum_; }
+  const char* kind() const override { return "quorum"; }
+
+  void VoteYes();
+  void VoteNo();
+
+  int n_yes() const { return n_yes_; }
+  int n_no() const { return n_no_; }
+  int n_total() const { return n_total_; }
+  int quorum() const { return quorum_; }
+
+  // True when enough `no` votes arrived that the quorum can never be reached
+  // (the "minority-plus-one-reject" condition from the paper §3.2).
+  bool QuorumImpossible() const { return n_no_ > n_total_ - quorum_; }
+
+ protected:
+  void OnChildFire(Event* child) override;
+  void RecordWait(uint64_t wait_us) override;
+
+ private:
+  int n_total_;
+  int quorum_;
+  int n_yes_ = 0;
+  int n_no_ = 0;
+};
+
+// Fires when all children have fired.
+class AndEvent : public CompoundEvent {
+ public:
+  bool IsReady() override;
+  const char* kind() const override { return "and"; }
+};
+
+// Fires when any child has fired.
+class OrEvent : public CompoundEvent {
+ public:
+  bool IsReady() override;
+  const char* kind() const override { return "or"; }
+
+  // The first child that fired (nullptr if none yet).
+  Event* FiredChild() const;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_COMPOUND_EVENT_H_

@@ -1,0 +1,30 @@
+#include "src/runtime/coro_mutex.h"
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+void CoroMutex::Lock() {
+  if (!locked_) {
+    locked_ = true;
+    return;
+  }
+  auto ev = std::make_shared<IntEvent>();
+  waiters_.push_back(ev);
+  ev->Wait();
+  // Ownership was transferred to us by Unlock (locked_ stays true).
+  DF_CHECK(locked_);
+}
+
+void CoroMutex::Unlock() {
+  DF_CHECK(locked_);
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  auto next = std::move(waiters_.front());
+  waiters_.pop_front();
+  next->Set(1);  // hand the lock to the next waiter
+}
+
+}  // namespace depfast

@@ -1,0 +1,40 @@
+// Cooperative mutex for coroutines on one reactor: serializes critical
+// sections that span wait points (e.g. a follower's log mutation around a
+// WAL flush). Not a kernel lock — contention suspends the coroutine.
+#ifndef SRC_RUNTIME_CORO_MUTEX_H_
+#define SRC_RUNTIME_CORO_MUTEX_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/runtime/event.h"
+
+namespace depfast {
+
+class CoroMutex {
+ public:
+  // Blocks the calling coroutine until the mutex is acquired.
+  void Lock();
+  void Unlock();
+  bool locked() const { return locked_; }
+
+ private:
+  bool locked_ = false;
+  std::deque<std::shared_ptr<IntEvent>> waiters_;
+};
+
+// RAII guard.
+class CoroLock {
+ public:
+  explicit CoroLock(CoroMutex& mu) : mu_(mu) { mu_.Lock(); }
+  ~CoroLock() { mu_.Unlock(); }
+  CoroLock(const CoroLock&) = delete;
+  CoroLock& operator=(const CoroLock&) = delete;
+
+ private:
+  CoroMutex& mu_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_CORO_MUTEX_H_

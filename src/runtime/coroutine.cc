@@ -1,0 +1,107 @@
+#include "src/runtime/coroutine.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+
+namespace {
+
+thread_local Coroutine* tl_current_coroutine = nullptr;
+std::atomic<uint64_t> g_next_coroutine_id{1};
+
+// Global recycled-stack pool. Mutex-protected: acquire/release are rare
+// relative to the work a coroutine does, and coroutines may be destroyed on
+// a different thread than the one that created them.
+class StackPool {
+ public:
+  static char* Acquire() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!stacks_.empty()) {
+        char* s = stacks_.back();
+        stacks_.pop_back();
+        return s;
+      }
+    }
+    return new char[Coroutine::kStackSize];
+  }
+
+  static void Release(char* stack) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stacks_.size() < kMaxPooled) {
+      stacks_.push_back(stack);
+    } else {
+      delete[] stack;
+    }
+  }
+
+ private:
+  static constexpr size_t kMaxPooled = 4096;
+  static std::mutex mu_;
+  static std::vector<char*> stacks_;
+};
+
+std::mutex StackPool::mu_;
+std::vector<char*> StackPool::stacks_;
+
+}  // namespace
+
+Coroutine* Coroutine::Current() { return tl_current_coroutine; }
+
+std::shared_ptr<Coroutine> Coroutine::Create(Func func) {
+  Reactor* reactor = Reactor::Current();
+  DF_CHECK_NOTNULL(reactor);
+  return reactor->Spawn(std::move(func));
+}
+
+void Coroutine::Yield() {
+  Coroutine* co = Current();
+  DF_CHECK_NOTNULL(co);
+  DF_CHECK(co->state_ == State::kRunning);
+  co->state_ = State::kSuspended;
+  swapcontext(&co->ctx_, &co->return_ctx_);
+}
+
+Coroutine::Coroutine(Func func)
+    : id_(g_next_coroutine_id.fetch_add(1, std::memory_order_relaxed)),
+      func_(std::move(func)),
+      stack_(StackPool::Acquire()) {}
+
+Coroutine::~Coroutine() { StackPool::Release(stack_); }
+
+void Coroutine::Trampoline() {
+  Coroutine* co = Current();
+  DF_CHECK_NOTNULL(co);
+  co->func_();
+  co->func_ = nullptr;  // release captured state eagerly
+  co->state_ = State::kFinished;
+  swapcontext(&co->ctx_, &co->return_ctx_);
+  DF_LOG_FATAL("resumed a finished coroutine %llu", (unsigned long long)co->id_);
+}
+
+void Coroutine::Resume() {
+  DF_CHECK(state_ == State::kRunnable);
+  Coroutine* prev = tl_current_coroutine;
+  tl_current_coroutine = this;
+  state_ = State::kRunning;
+  if (!started_) {
+    started_ = true;
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_;
+    ctx_.uc_stack.ss_size = kStackSize;
+    ctx_.uc_link = &return_ctx_;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Coroutine::Trampoline), 0);
+  }
+  swapcontext(&return_ctx_, &ctx_);
+  tl_current_coroutine = prev;
+  // Back here after the coroutine yielded or finished; state_ reflects which.
+  DF_CHECK(state_ == State::kSuspended || state_ == State::kFinished ||
+           state_ == State::kRunnable);
+}
+
+}  // namespace depfast

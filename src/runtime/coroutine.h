@@ -1,0 +1,79 @@
+// Stackful coroutines (ucontext-based), the unit of task execution in the
+// DepFast runtime. Stackful — rather than C++20 stackless — because the
+// paper's programming model makes `event.Wait()` an ordinary blocking call
+// that may appear anywhere in a call stack, which requires suspending whole
+// frames.
+//
+// Coroutines are owned and scheduled by the Reactor of the thread that
+// created them; all coroutine operations must happen on that thread.
+#ifndef SRC_RUNTIME_COROUTINE_H_
+#define SRC_RUNTIME_COROUTINE_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace depfast {
+
+class Reactor;
+
+class Coroutine {
+ public:
+  using Func = std::function<void()>;
+
+  enum class State {
+    kRunnable,   // created or woken, waiting for the scheduler
+    kRunning,    // currently executing
+    kSuspended,  // yielded, waiting for an event to wake it
+    kFinished,   // body returned
+  };
+
+  // The coroutine currently executing on this thread (nullptr outside any).
+  static Coroutine* Current();
+
+  // Creates a coroutine running `func` and schedules it on the current
+  // thread's Reactor. This is the paper's Coroutine::Create interface.
+  static std::shared_ptr<Coroutine> Create(Func func);
+
+  // Suspends the current coroutine back to the scheduler. The caller must
+  // have arranged for something (an event, a timer) to reschedule it.
+  static void Yield();
+
+  ~Coroutine();
+  Coroutine(const Coroutine&) = delete;
+  Coroutine& operator=(const Coroutine&) = delete;
+
+  uint64_t id() const { return id_; }
+  State state() const { return state_; }
+  bool Finished() const { return state_ == State::kFinished; }
+
+  static constexpr size_t kStackSize = 128 * 1024;
+
+ private:
+  friend class Reactor;
+
+  explicit Coroutine(Func func);
+
+  // Runs or continues the coroutine until it yields or finishes. Called by
+  // the Reactor only.
+  void Resume();
+
+  static void Trampoline();
+
+  uint64_t id_;
+  State state_ = State::kRunnable;
+  Func func_;
+  // Stacks are pooled globally: at high spawn rates (one coroutine per RPC)
+  // fresh 128 KiB allocations would hit the allocator's mmap path on every
+  // spawn, which dominates runtime costs.
+  char* stack_;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  bool started_ = false;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_COROUTINE_H_

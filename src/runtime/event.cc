@@ -1,0 +1,177 @@
+#include "src/runtime/event.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+#include "src/runtime/compound_event.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+
+Event::Event() : reactor_(Reactor::Current()) {
+  DF_CHECK_NOTNULL(reactor_);
+}
+
+Event::~Event() = default;
+
+Event::EvStatus Event::Wait(uint64_t timeout_us) {
+  DF_CHECK(reactor_->OnReactorThread());
+  Coroutine* co = Coroutine::Current();
+  DF_CHECK_NOTNULL(co);
+  Activate();
+  if (status_ == EvStatus::kReady || status_ == EvStatus::kTimeout) {
+    return status_;
+  }
+  if (IsReady()) {
+    Fire();
+    return status_;
+  }
+  uint64_t begin_us = MonotonicUs();
+  status_ = EvStatus::kWaiting;
+  waiters_.push_back(co);
+  if (timeout_us > 0) {
+    auto self = shared_from_this();
+    reactor_->PostAfter(timeout_us, [self]() {
+      if (self->status_ != EvStatus::kWaiting) {
+        return;
+      }
+      self->status_ = EvStatus::kTimeout;
+      auto waiters = std::move(self->waiters_);
+      self->waiters_.clear();
+      for (Coroutine* w : waiters) {
+        self->reactor_->Schedule(w);
+      }
+    });
+  }
+  while (status_ == EvStatus::kWaiting) {
+    Coroutine::Yield();
+  }
+  RecordWait(MonotonicUs() - begin_us);
+  return status_;
+}
+
+void Event::Test() {
+  DF_CHECK(reactor_->OnReactorThread());
+  if (status_ == EvStatus::kReady || status_ == EvStatus::kTimeout) {
+    return;
+  }
+  if (IsReady()) {
+    Fire();
+  }
+}
+
+void Event::Fire() {
+  DF_CHECK(reactor_->OnReactorThread());
+  if (status_ == EvStatus::kReady || status_ == EvStatus::kTimeout) {
+    return;
+  }
+  status_ = EvStatus::kReady;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (Coroutine* w : waiters) {
+    reactor_->Schedule(w);
+  }
+  // Copy: a watcher firing in turn may add/remove watchers on this event.
+  auto watchers = watchers_;
+  for (CompoundEvent* w : watchers) {
+    w->OnChildFire(this);
+  }
+}
+
+void Event::FireNegative() {
+  vote_ok_ = false;
+  Fire();
+}
+
+void Event::AddWatcher(CompoundEvent* w) { watchers_.push_back(w); }
+
+void Event::RemoveWatcher(CompoundEvent* w) {
+  watchers_.erase(std::remove(watchers_.begin(), watchers_.end(), w), watchers_.end());
+}
+
+void Event::RecordWait(uint64_t wait_us) {
+  Tracer& tracer = Tracer::Instance();
+  if (!tracer.enabled() || trace_exempt_) {
+    return;
+  }
+  WaitRecord r;
+  r.node = reactor_->name();
+  r.kind = kind();
+  if (!trace_peer_.empty()) {
+    r.peers.push_back(trace_peer_);
+  }
+  r.wait_us = wait_us;
+  r.timed_out = TimedOut();
+  tracer.Record(std::move(r));
+}
+
+void IntEvent::Set(int64_t v) {
+  value_ = v;
+  Test();
+}
+
+void IntEvent::Add(int64_t delta) {
+  value_ += delta;
+  Test();
+}
+
+void IntEvent::Fail() {
+  vote_ok_ = false;
+  value_ = target_;
+  Test();
+}
+
+TimeoutEvent::TimeoutEvent(uint64_t delay_us) : delay_us_(delay_us) {}
+
+void TimeoutEvent::Arm() {
+  if (armed_) {
+    return;
+  }
+  armed_ = true;
+  auto self = std::static_pointer_cast<TimeoutEvent>(shared_from_this());
+  reactor_->PostAfter(delay_us_, [self]() {
+    self->fired_ = true;
+    self->Test();
+  });
+}
+
+void SleepUs(uint64_t delay_us) {
+  auto ev = std::make_shared<TimeoutEvent>(delay_us);
+  ev->Wait();
+}
+
+void SharedIntEvent::Set(int64_t v) {
+  if (v <= value_) {
+    return;
+  }
+  value_ = v;
+  auto it = waiters_.begin();
+  while (it != waiters_.end()) {
+    if (it->first <= value_) {
+      it->second->Set(1);
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Event::EvStatus SharedIntEvent::WaitUntilGe(int64_t target, uint64_t timeout_us) {
+  if (value_ >= target) {
+    return Event::EvStatus::kReady;
+  }
+  auto ev = std::make_shared<IntEvent>();
+  waiters_.emplace_back(target, ev);
+  auto st = ev->Wait(timeout_us);
+  if (st == Event::EvStatus::kTimeout) {
+    // Drop the dead waiter so Set() does not touch it later (harmless but
+    // keeps the list small under churn).
+    waiters_.erase(std::remove_if(waiters_.begin(), waiters_.end(),
+                                  [&](const auto& p) { return p.second == ev; }),
+                   waiters_.end());
+  }
+  return st;
+}
+
+}  // namespace depfast

@@ -1,0 +1,188 @@
+// The DepFast event abstraction. An event wraps a *wait point* — the places
+// that would be shredded into callbacks under an asynchronous message-loop
+// style. Coroutines block on events with Wait(); completions (RPC replies,
+// disk flushes, value changes) fire them.
+//
+// All operations on an event happen on its owning reactor's thread. Code
+// running elsewhere must Post() onto that reactor first (the RPC and disk
+// layers do this internally).
+//
+// Events are single-shot: they fire once (ready or timeout). SharedIntEvent
+// provides the repeated-wait pattern (e.g. watching a commit index).
+#ifndef SRC_RUNTIME_EVENT_H_
+#define SRC_RUNTIME_EVENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/coroutine.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+
+class CompoundEvent;
+
+class Event : public std::enable_shared_from_this<Event> {
+ public:
+  enum class EvStatus {
+    kInit,     // not fired, nobody waiting
+    kWaiting,  // a coroutine is blocked on it
+    kReady,    // fired
+    kTimeout,  // the waiter's timeout elapsed before firing
+  };
+
+  Event();
+  virtual ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  // The readiness predicate, re-evaluated by Test().
+  virtual bool IsReady() = 0;
+
+  // Event kind tag used by trace points and SPG edge classification.
+  virtual const char* kind() const { return "event"; }
+
+  // Blocks the current coroutine until the event fires or `timeout_us`
+  // elapses (0 = wait forever). Returns the final status. Must be called
+  // from a coroutine on the owning reactor's thread.
+  EvStatus Wait(uint64_t timeout_us = 0);
+
+  // Re-evaluates IsReady() and fires if it now holds. No-op once fired or
+  // timed out. Owning reactor thread only.
+  void Test();
+
+  EvStatus status() const { return status_; }
+  bool Ready() const { return status_ == EvStatus::kReady; }
+  bool TimedOut() const { return status_ == EvStatus::kTimeout; }
+
+  // Vote carried to parent QuorumEvents when this event fires: an RPC reply
+  // judged as a rejection (or an error/timeout reply) fires with a `no`.
+  bool vote_ok() const { return vote_ok_; }
+
+  // Trace metadata: the remote node this wait depends on, if any.
+  void set_trace_peer(std::string peer) { trace_peer_ = std::move(peer); }
+  const std::string& trace_peer() const { return trace_peer_; }
+
+  // Marks waits on this event as bookkeeping (reply-processing callbacks,
+  // straggler continuations) rather than protocol-gating: they are excluded
+  // from SPG trace points. The event still reports peers to parent quorum
+  // events.
+  void set_trace_exempt(bool exempt) { trace_exempt_ = exempt; }
+  bool trace_exempt() const { return trace_exempt_; }
+
+  Reactor* reactor() const { return reactor_; }
+
+ protected:
+  friend class CompoundEvent;
+
+  // Hook invoked when the event becomes observed (first Wait, or added to a
+  // compound event). Lets lazily-armed events (timers) start their clock.
+  virtual void Activate() {}
+
+  // Marks the event ready, wakes the waiter, notifies watching compound
+  // events. Owning reactor thread only.
+  void Fire();
+  // Like Fire() but carries a `no` vote to quorum parents.
+  void FireNegative();
+
+  void AddWatcher(CompoundEvent* w);
+  void RemoveWatcher(CompoundEvent* w);
+
+  // Records the finished wait with the tracer (if enabled).
+  virtual void RecordWait(uint64_t wait_us);
+
+  Reactor* reactor_;
+  EvStatus status_ = EvStatus::kInit;
+  bool vote_ok_ = true;
+  // Several coroutines may block on one event (e.g. coalesced readIndex
+  // rounds); firing (or the earliest timeout) wakes them all.
+  std::vector<Coroutine*> waiters_;
+  std::vector<CompoundEvent*> watchers_;
+  std::string trace_peer_;
+  bool trace_exempt_ = false;
+};
+
+// Fires when its integer value reaches the target (default target 1, so it
+// doubles as a plain one-shot signal).
+class IntEvent : public Event {
+ public:
+  explicit IntEvent(int64_t target = 1) : target_(target) {}
+
+  bool IsReady() override { return value_ >= target_; }
+  const char* kind() const override { return "int"; }
+
+  void Set(int64_t v);
+  void Add(int64_t delta = 1);
+  // Fires the event carrying a `no` vote (e.g. an errored completion).
+  void Fail();
+
+  int64_t value() const { return value_; }
+  int64_t target() const { return target_; }
+
+ private:
+  int64_t value_ = 0;
+  int64_t target_;
+};
+
+// IntEvent carrying a payload (RPC replies, disk read results).
+template <typename T>
+class BoxEvent : public IntEvent {
+ public:
+  const char* kind() const override { return "box"; }
+
+  void SetValue(T v) {
+    box_ = std::move(v);
+    Set(1);
+  }
+  T& value_ref() { return box_; }
+
+ private:
+  T box_{};
+};
+
+// Fires after a fixed delay. A pure time wait (sleep).
+class TimeoutEvent : public Event {
+ public:
+  explicit TimeoutEvent(uint64_t delay_us);
+
+  bool IsReady() override { return fired_; }
+  const char* kind() const override { return "sleep"; }
+
+  // Arms the timer; called automatically when first observed.
+  void Arm();
+
+ protected:
+  void Activate() override { Arm(); }
+
+ private:
+  uint64_t delay_us_;
+  bool armed_ = false;
+  bool fired_ = false;
+};
+
+// Blocks the current coroutine for `delay_us` (convenience wrapper).
+void SleepUs(uint64_t delay_us);
+
+// A repeatedly-watchable monotonic integer: many coroutines can each wait
+// until the value reaches their own threshold. Used for commit/apply index
+// propagation.
+class SharedIntEvent {
+ public:
+  int64_t value() const { return value_; }
+
+  // Sets the value (monotonically) and wakes satisfied waiters.
+  void Set(int64_t v);
+
+  // Blocks until value() >= target. Returns the status of the internal wait.
+  Event::EvStatus WaitUntilGe(int64_t target, uint64_t timeout_us = 0);
+
+ private:
+  int64_t value_ = 0;
+  std::vector<std::pair<int64_t, std::shared_ptr<IntEvent>>> waiters_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_EVENT_H_

@@ -1,0 +1,58 @@
+#include "src/runtime/io_pool.h"
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+IoThreadPool::IoThreadPool(int n_threads) {
+  DF_CHECK_GT(n_threads, 0);
+  workers_.reserve(static_cast<size_t>(n_threads));
+  for (int i = 0; i < n_threads; i++) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+IoThreadPool::~IoThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void IoThreadPool::Submit(std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(work));
+  }
+  cv_.notify_one();
+}
+
+void IoThreadPool::SubmitAndNotify(std::function<void()> work, std::shared_ptr<IntEvent> done) {
+  Reactor* owner = done->reactor();
+  Submit([owner, work = std::move(work), done = std::move(done)]() {
+    work();
+    owner->Post([done]() { done->Set(1); });
+  });
+}
+
+void IoThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> work;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this]() { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    work();
+  }
+}
+
+}  // namespace depfast

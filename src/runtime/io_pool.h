@@ -1,0 +1,44 @@
+// I/O helper threads (§3.3): run blocking work — real fsync, file writes —
+// off the reactor threads, and fire a completion event back on the owning
+// reactor when done.
+#ifndef SRC_RUNTIME_IO_POOL_H_
+#define SRC_RUNTIME_IO_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/event.h"
+
+namespace depfast {
+
+class IoThreadPool {
+ public:
+  explicit IoThreadPool(int n_threads = 2);
+  ~IoThreadPool();
+  IoThreadPool(const IoThreadPool&) = delete;
+  IoThreadPool& operator=(const IoThreadPool&) = delete;
+
+  // Enqueues blocking work. Thread-safe.
+  void Submit(std::function<void()> work);
+
+  // Runs `work` on a helper thread, then fires `done` on its owning reactor.
+  void SubmitAndNotify(std::function<void()> work, std::shared_ptr<IntEvent> done);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_IO_POOL_H_

@@ -1,0 +1,213 @@
+#include "src/runtime/reactor.h"
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+namespace {
+
+thread_local Reactor* tl_current_reactor = nullptr;
+
+}  // namespace
+
+Reactor* Reactor::Current() { return tl_current_reactor; }
+
+Reactor::Reactor(std::string name) : name_(std::move(name)) {
+  // Bind to the constructing thread by default; Run() rebinds if needed.
+  thread_id_ = std::this_thread::get_id();
+  DF_CHECK(tl_current_reactor == nullptr);
+  tl_current_reactor = this;
+}
+
+Reactor::~Reactor() {
+  if (tl_current_reactor == this) {
+    tl_current_reactor = nullptr;
+  }
+}
+
+bool Reactor::OnReactorThread() const { return std::this_thread::get_id() == thread_id_; }
+
+std::shared_ptr<Coroutine> Reactor::Spawn(Coroutine::Func func) {
+  DF_CHECK(OnReactorThread());
+  auto co = std::shared_ptr<Coroutine>(new Coroutine(std::move(func)));
+  alive_[co->id()] = co;
+  ready_.push_back(co.get());
+  n_dispatched_++;
+  return co;
+}
+
+void Reactor::Schedule(Coroutine* co) {
+  DF_CHECK(OnReactorThread());
+  DF_CHECK(co->state_ == Coroutine::State::kSuspended);
+  co->state_ = Coroutine::State::kRunnable;
+  ready_.push_back(co);
+}
+
+void Reactor::Post(std::function<void()> fn) { PostAt(0, std::move(fn)); }
+
+void Reactor::PostAfter(uint64_t delay_us, std::function<void()> fn) {
+  PostAt(MonotonicUs() + delay_us, std::move(fn));
+}
+
+void Reactor::PostAt(uint64_t when_us, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    inbox_.emplace_back(when_us, std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Reactor::DrainInbox() {
+  std::vector<std::pair<uint64_t, std::function<void()>>> drained;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    drained.swap(inbox_);
+  }
+  for (auto& [when, fn] : drained) {
+    timers_.push(Timer{when, timer_seq_++, std::move(fn)});
+  }
+}
+
+uint64_t Reactor::NextTimerUs() const { return timers_.empty() ? UINT64_MAX : timers_.top().when_us; }
+
+bool Reactor::RunOnce() {
+  bool progress = false;
+  DrainInbox();
+  // Run all due timers.
+  uint64_t now = MonotonicUs();
+  while (!timers_.empty() && timers_.top().when_us <= now) {
+    // priority_queue::top is const; the function is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
+    fn();
+    progress = true;
+  }
+  // Run ready coroutines. New arrivals during execution are processed in the
+  // same pass; bounded by scheduling fairness of the deque.
+  while (!ready_.empty()) {
+    Coroutine* co = ready_.front();
+    ready_.pop_front();
+    co->Resume();
+    if (co->Finished()) {
+      alive_.erase(co->id());
+    }
+    progress = true;
+  }
+  return progress;
+}
+
+void Reactor::Run() {
+  thread_id_ = std::this_thread::get_id();
+  tl_current_reactor = this;
+  running_.store(true);
+  while (!stop_.load(std::memory_order_acquire)) {
+    RunOnce();
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!inbox_.empty() || stop_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    uint64_t next = NextTimerUs();
+    if (!ready_.empty()) {
+      continue;
+    }
+    if (next == UINT64_MAX) {
+      cv_.wait_for(lk, std::chrono::milliseconds(50));
+    } else {
+      cv_.wait_until(lk, SteadyTimeFor(next));
+    }
+  }
+  running_.store(false);
+}
+
+void Reactor::Stop() {
+  stop_.store(true, std::memory_order_release);
+  cv_.notify_one();
+}
+
+void Reactor::RunUntilIdle() {
+  DF_CHECK(OnReactorThread());
+  while (true) {
+    bool progress = RunOnce();
+    if (progress) {
+      continue;
+    }
+    uint64_t next = NextTimerUs();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!inbox_.empty()) {
+        continue;
+      }
+    }
+    if (next == UINT64_MAX) {
+      return;
+    }
+    std::this_thread::sleep_until(SteadyTimeFor(next));
+  }
+}
+
+bool Reactor::RunUntil(const std::function<bool()>& pred, uint64_t timeout_us) {
+  DF_CHECK(OnReactorThread());
+  uint64_t deadline = timeout_us == 0 ? UINT64_MAX : MonotonicUs() + timeout_us;
+  while (!pred()) {
+    if (MonotonicUs() >= deadline) {
+      return false;
+    }
+    bool progress = RunOnce();
+    if (!progress) {
+      uint64_t next = NextTimerUs();
+      uint64_t sleep_until = next < deadline ? next : deadline;
+      // Wait on the inbox condvar (not a raw sleep) so cross-thread posts —
+      // RPC replies, I/O completions — wake the loop immediately.
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!inbox_.empty()) {
+        continue;
+      }
+      if (sleep_until == UINT64_MAX) {
+        cv_.wait_for(lk, std::chrono::milliseconds(10));
+      } else {
+        cv_.wait_until(lk, SteadyTimeFor(sleep_until));
+      }
+    }
+  }
+  return true;
+}
+
+ReactorThread::ReactorThread(std::string name) {
+  // The Reactor must be constructed on its own thread so the thread-local
+  // binding is correct there.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  thread_ = std::thread([&, name]() {
+    auto reactor = std::make_unique<Reactor>(name);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      reactor_ = std::move(reactor);
+      ready = true;
+    }
+    cv.notify_one();
+    reactor_->Run();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return ready; });
+}
+
+ReactorThread::~ReactorThread() { Stop(); }
+
+void ReactorThread::SpawnRemote(Coroutine::Func func) {
+  Reactor* r = reactor_.get();
+  r->Post([r, fn = std::move(func)]() mutable { r->Spawn(std::move(fn)); });
+}
+
+void ReactorThread::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  reactor_->Stop();
+  thread_.join();
+}
+
+}  // namespace depfast

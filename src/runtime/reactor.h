@@ -1,0 +1,130 @@
+// Reactor: the per-node cooperative scheduler of the DepFast runtime. Each
+// simulated node (and each client driver) runs one Reactor on one OS thread.
+// The reactor owns all coroutines created on its thread, a timer queue, and
+// a thread-safe inbox so other threads (transports, I/O helper threads) can
+// post work onto the node.
+//
+// Everything inside a reactor is single-threaded by construction — events and
+// coroutines need no locks — while distinct nodes run genuinely in parallel,
+// which is exactly the propagation topology the paper studies.
+#ifndef SRC_RUNTIME_REACTOR_H_
+#define SRC_RUNTIME_REACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/coroutine.h"
+
+namespace depfast {
+
+class Reactor {
+ public:
+  // The reactor bound to this thread (nullptr if none).
+  static Reactor* Current();
+
+  explicit Reactor(std::string name);
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool OnReactorThread() const;
+
+  // Creates and schedules a coroutine. Reactor thread only.
+  std::shared_ptr<Coroutine> Spawn(Coroutine::Func func);
+
+  // Moves a suspended coroutine back to the ready queue. Reactor thread only.
+  void Schedule(Coroutine* co);
+
+  // Runs `fn` on the reactor thread as soon as possible. Thread-safe.
+  void Post(std::function<void()> fn);
+  // Runs `fn` on the reactor thread after `delay_us`. Thread-safe.
+  void PostAfter(uint64_t delay_us, std::function<void()> fn);
+  // Runs `fn` at absolute monotonic time `when_us`. Thread-safe.
+  void PostAt(uint64_t when_us, std::function<void()> fn);
+
+  // Runs the scheduler loop until Stop() is called. Must be invoked on the
+  // thread that will own this reactor.
+  void Run();
+  // Asks the loop to exit. Thread-safe.
+  void Stop();
+
+  // Runs the loop until there is nothing left to do (no ready coroutine, no
+  // pending timer, empty inbox). For single-threaded tests.
+  void RunUntilIdle();
+  // Runs the loop until `pred` is true or `timeout_us` elapses (0 = forever);
+  // returns whether the predicate held. For single-threaded tests.
+  bool RunUntil(const std::function<bool()>& pred, uint64_t timeout_us = 0);
+
+  size_t alive_coroutines() const { return alive_.size(); }
+  uint64_t n_dispatched() const { return n_dispatched_; }
+
+ private:
+  struct Timer {
+    uint64_t when_us;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const {
+      return when_us != other.when_us ? when_us > other.when_us : seq > other.seq;
+    }
+  };
+
+  // Drains the cross-thread inbox into the timer queue. Reactor thread only.
+  void DrainInbox();
+  // Runs due timers and ready coroutines once; returns whether any progress
+  // was made.
+  bool RunOnce();
+  // Earliest pending timer deadline, or UINT64_MAX.
+  uint64_t NextTimerUs() const;
+
+  std::string name_;
+  std::thread::id thread_id_{};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::deque<Coroutine*> ready_;
+  std::unordered_map<uint64_t, std::shared_ptr<Coroutine>> alive_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t timer_seq_ = 0;
+  uint64_t n_dispatched_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<uint64_t, std::function<void()>>> inbox_;  // guarded by mu_
+};
+
+// Owns a Reactor running on a dedicated OS thread. This is how nodes and
+// client drivers are deployed in clusters and benchmarks.
+class ReactorThread {
+ public:
+  explicit ReactorThread(std::string name);
+  ~ReactorThread();
+  ReactorThread(const ReactorThread&) = delete;
+  ReactorThread& operator=(const ReactorThread&) = delete;
+
+  Reactor* reactor() { return reactor_.get(); }
+
+  // Convenience: spawn a coroutine on the remote reactor. Thread-safe.
+  void SpawnRemote(Coroutine::Func func);
+
+  void Stop();
+
+ private:
+  std::unique_ptr<Reactor> reactor_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_REACTOR_H_

@@ -1,0 +1,112 @@
+#include "src/runtime/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace depfast {
+
+Tracer& Tracer::Instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Record(WaitRecord r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.push_back(std::move(r));
+}
+
+std::vector<WaitRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+size_t Tracer::Count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.clear();
+}
+
+std::string SpgEdge::Label() const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%d/%d", k, n);
+  return buf;
+}
+
+Spg Spg::Build(const std::vector<WaitRecord>& records) {
+  // Key: (src, dst, quorum?, k, n) — one aggregated edge per distinct wait
+  // shape between a pair of nodes.
+  std::map<std::tuple<std::string, std::string, bool, int, int>, SpgEdge> agg;
+  for (const auto& r : records) {
+    if (r.peers.empty()) {
+      continue;  // pure local wait (sleep, condition); no propagation edge
+    }
+    bool is_quorum = r.kind == "quorum";
+    int k = is_quorum ? r.quorum_k : 1;
+    int n = is_quorum ? r.quorum_n : 1;
+    for (const auto& peer : r.peers) {
+      if (peer == r.node) {
+        continue;  // local replica leg of a quorum (e.g. the leader's own disk)
+      }
+      auto key = std::make_tuple(r.node, peer, is_quorum, k, n);
+      auto it = agg.find(key);
+      if (it == agg.end()) {
+        it = agg.emplace(key, SpgEdge{r.node, peer, is_quorum, k, n, 0, 0}).first;
+      }
+      it->second.count++;
+      it->second.total_wait_us += r.wait_us;
+    }
+  }
+  Spg spg;
+  spg.edges_.reserve(agg.size());
+  for (auto& [key, e] : agg) {
+    spg.edges_.push_back(std::move(e));
+  }
+  return spg;
+}
+
+std::vector<SpgEdge> Spg::SingleWaitEdges() const {
+  std::vector<SpgEdge> out;
+  for (const auto& e : edges_) {
+    if (!e.quorum) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<SpgEdge> Spg::QuorumEdges() const {
+  std::vector<SpgEdge> out;
+  for (const auto& e : edges_) {
+    if (e.quorum) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool Spg::HasSingleWaitEdge(const std::string& src, const std::string& dst) const {
+  for (const auto& e : edges_) {
+    if (!e.quorum && e.src == src && e.dst == dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Spg::ToDot() const {
+  std::ostringstream os;
+  os << "digraph spg {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (const auto& e : edges_) {
+    os << "  \"" << e.src << "\" -> \"" << e.dst << "\" [label=\"" << e.Label()
+       << "\", color=" << (e.quorum ? "green" : "red") << ", penwidth="
+       << (e.quorum ? 1.5 : 2.0) << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace depfast

@@ -1,0 +1,84 @@
+// Runtime verification support (§3.3): every finished event wait is a trace
+// point. The Tracer collects WaitRecords across all reactors; the Spg builder
+// aggregates them into the paper's slowness propagation graph (Figure 2) —
+// vertices are nodes/clients, directed edges are waiting-for relationships,
+// single-event waits are "red" edges and quorum waits are "green" edges
+// labeled k/n.
+#ifndef SRC_RUNTIME_TRACE_H_
+#define SRC_RUNTIME_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace depfast {
+
+struct WaitRecord {
+  std::string node;    // reactor (node/client) that waited
+  std::string kind;    // event kind ("rpc", "quorum", "disk", ...)
+  int quorum_k = 0;    // for quorum waits: required count
+  int quorum_n = 0;    // for quorum waits: total expected
+  std::vector<std::string> peers;  // remote nodes the wait depended on
+  uint64_t wait_us = 0;
+  bool timed_out = false;
+};
+
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(WaitRecord r);
+  std::vector<WaitRecord> Snapshot() const;
+  size_t Count() const;
+  void Clear();
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<WaitRecord> records_;
+};
+
+struct SpgEdge {
+  std::string src;
+  std::string dst;
+  bool quorum = false;  // green (quorum) vs red (single-event) edge
+  int k = 1;
+  int n = 1;
+  uint64_t count = 0;
+  uint64_t total_wait_us = 0;
+
+  // "2/3" or "1/1", as in the paper's figure.
+  std::string Label() const;
+};
+
+// Slowness propagation graph aggregated at node granularity.
+class Spg {
+ public:
+  static Spg Build(const std::vector<WaitRecord>& records);
+
+  const std::vector<SpgEdge>& edges() const { return edges_; }
+
+  std::vector<SpgEdge> SingleWaitEdges() const;
+  std::vector<SpgEdge> QuorumEdges() const;
+  // True iff some single-event (red) wait edge goes from src to dst.
+  bool HasSingleWaitEdge(const std::string& src, const std::string& dst) const;
+
+  // Graphviz rendering: red = single-event wait, green = quorum wait.
+  std::string ToDot() const;
+
+ private:
+  std::vector<SpgEdge> edges_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_TRACE_H_

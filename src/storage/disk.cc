@@ -1,0 +1,102 @@
+#include "src/storage/disk.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+
+SimDisk::SimDisk(Reactor* reactor, SimDiskParams params) : reactor_(reactor), params_(params) {}
+
+double SimDisk::CurrentBwFactor(uint64_t now_us) const {
+  double factor = bw_factor_;
+  if (contention_duty_ > 0.0) {
+    // The contender is active for the first `duty` fraction of each 100 ms
+    // window (deterministic, so tests can reason about it).
+    uint64_t phase = now_us % 100000;
+    if (static_cast<double>(phase) < contention_duty_ * 100000.0) {
+      factor *= contention_share_;
+    }
+  }
+  return std::max(factor, 1e-4);
+}
+
+uint64_t SimDisk::ScheduleIo(uint64_t bytes) {
+  DF_CHECK(reactor_->OnReactorThread());
+  uint64_t now = MonotonicUs();
+  uint64_t start = std::max(now, busy_until_us_);
+  double factor = CurrentBwFactor(start);
+  double bw = static_cast<double>(params_.bytes_per_us) * factor;
+  auto xfer_us = static_cast<uint64_t>(static_cast<double>(bytes) / bw);
+  // A cgroup blkio throttle (or a contending writer) delays each I/O, not
+  // just long transfers: the per-op latency stretches by the same factor.
+  auto latency = static_cast<uint64_t>(static_cast<double>(params_.base_latency_us) / factor);
+  busy_until_us_ = start + latency + xfer_us;
+  return busy_until_us_;
+}
+
+void SimDisk::AsyncWrite(uint64_t bytes, std::shared_ptr<IntEvent> done) {
+  n_writes_++;
+  uint64_t complete_at = ScheduleIo(bytes);
+  reactor_->PostAt(complete_at, [done = std::move(done)]() { done->Set(1); });
+}
+
+void SimDisk::AsyncRead(uint64_t bytes, std::shared_ptr<IntEvent> done) {
+  uint64_t complete_at = ScheduleIo(bytes);
+  reactor_->PostAt(complete_at, [done = std::move(done)]() { done->Set(1); });
+}
+
+uint64_t SimDisk::BlockingReadUs(uint64_t bytes) {
+  uint64_t complete_at = ScheduleIo(bytes);
+  uint64_t now = MonotonicUs();
+  return complete_at > now ? complete_at - now : 0;
+}
+
+void SimDisk::SetBwFactor(double factor) {
+  DF_CHECK(reactor_->OnReactorThread());
+  bw_factor_ = factor;
+}
+
+void SimDisk::SetContention(double duty, double share_while_contended) {
+  DF_CHECK(reactor_->OnReactorThread());
+  contention_duty_ = duty;
+  contention_share_ = share_while_contended;
+}
+
+FileDisk::FileDisk(Reactor* reactor, IoThreadPool* pool, const std::string& path)
+    : reactor_(reactor), pool_(pool) {
+  fd_ = open(path.c_str(), O_CREAT | O_RDWR | O_APPEND, 0644);
+  DF_CHECK_GE(fd_, 0);
+}
+
+FileDisk::~FileDisk() { close(fd_); }
+
+void FileDisk::AsyncWrite(uint64_t bytes, std::shared_ptr<IntEvent> done) {
+  int fd = fd_;
+  pool_->SubmitAndNotify(
+      [fd, bytes]() {
+        std::vector<char> buf(bytes, 0x5a);
+        ssize_t n = write(fd, buf.data(), buf.size());
+        DF_CHECK_EQ(static_cast<uint64_t>(n), bytes);
+        fsync(fd);
+      },
+      std::move(done));
+}
+
+void FileDisk::AsyncRead(uint64_t bytes, std::shared_ptr<IntEvent> done) {
+  int fd = fd_;
+  pool_->SubmitAndNotify(
+      [fd, bytes]() {
+        std::vector<char> buf(bytes);
+        ssize_t n = pread(fd, buf.data(), buf.size(), 0);
+        (void)n;
+      },
+      std::move(done));
+}
+
+}  // namespace depfast

@@ -1,0 +1,96 @@
+// Disk models. The DepFast path is always asynchronous: AsyncWrite/AsyncRead
+// fire an event on completion and never block the node. BlockingReadUs()
+// exposes the duration model so a *deliberately pathological* engine (the
+// TiDB-like baseline) can block its message-loop thread on a disk read, which
+// is the confirmed root cause the paper describes.
+//
+// SimDisk is a serial resource with seek latency, bandwidth, and the Table 1
+// fault knobs (bandwidth throttle, contending writer). FileDisk performs real
+// file writes + fsync on I/O helper threads.
+#ifndef SRC_STORAGE_DISK_H_
+#define SRC_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/runtime/event.h"
+#include "src/runtime/io_pool.h"
+
+namespace depfast {
+
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  // Durably writes `bytes`; fires `done` on the owning reactor when the
+  // write (incl. flush) completes.
+  virtual void AsyncWrite(uint64_t bytes, std::shared_ptr<IntEvent> done) = 0;
+  // Reads `bytes`; fires `done` when data is available.
+  virtual void AsyncRead(uint64_t bytes, std::shared_ptr<IntEvent> done) = 0;
+};
+
+struct SimDiskParams {
+  uint64_t base_latency_us = 80;  // per-I/O fixed cost (seek/flush)
+  uint64_t bytes_per_us = 200;    // ~200 MB/s sequential bandwidth
+};
+
+// Timing model of a single serial disk, owned by one node's reactor thread.
+class SimDisk : public Disk {
+ public:
+  SimDisk(Reactor* reactor, SimDiskParams params = {});
+
+  void AsyncWrite(uint64_t bytes, std::shared_ptr<IntEvent> done) override;
+  void AsyncRead(uint64_t bytes, std::shared_ptr<IntEvent> done) override;
+
+  // Duration a synchronous read of `bytes` would block for right now,
+  // advancing the disk occupancy. Used by the pathological baseline only.
+  uint64_t BlockingReadUs(uint64_t bytes);
+
+  // ---- Table 1 fault knobs (owning reactor thread) ----
+
+  // "Disk (slow)": cgroup-style cap; fraction of bandwidth available.
+  void SetBwFactor(double factor);
+  // "Disk (contention)": a contending heavy writer is active for
+  // `duty` fraction of each 100 ms window; while active the RSM process
+  // keeps only `share_while_contended` of the bandwidth.
+  void SetContention(double duty, double share_while_contended);
+
+  uint64_t n_writes() const { return n_writes_; }
+  uint64_t busy_until_us() const { return busy_until_us_; }
+
+ private:
+  // Schedules an I/O of `bytes` starting no earlier than now; returns its
+  // completion time.
+  uint64_t ScheduleIo(uint64_t bytes);
+  double CurrentBwFactor(uint64_t now_us) const;
+
+  Reactor* reactor_;
+  SimDiskParams params_;
+  double bw_factor_ = 1.0;
+  double contention_duty_ = 0.0;
+  double contention_share_ = 1.0;
+  uint64_t busy_until_us_ = 0;
+  uint64_t n_writes_ = 0;
+};
+
+// Real files + fsync via I/O helper threads. No fault knobs (real hardware
+// faults come from the OS, per Table 1); exists to validate the stack against
+// a genuine durable medium.
+class FileDisk : public Disk {
+ public:
+  FileDisk(Reactor* reactor, IoThreadPool* pool, const std::string& path);
+  ~FileDisk() override;
+
+  void AsyncWrite(uint64_t bytes, std::shared_ptr<IntEvent> done) override;
+  void AsyncRead(uint64_t bytes, std::shared_ptr<IntEvent> done) override;
+
+ private:
+  Reactor* reactor_;
+  IoThreadPool* pool_;
+  int fd_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_STORAGE_DISK_H_

@@ -1,0 +1,97 @@
+#include "src/storage/kvstore.h"
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+Marshal KvCommand::Encode() const {
+  Marshal m;
+  m << op << key << value;
+  return m;
+}
+
+KvCommand KvCommand::Decode(Marshal& m) {
+  KvCommand cmd;
+  m >> cmd.op >> cmd.key >> cmd.value;
+  return cmd;
+}
+
+Marshal KvResult::Encode() const {
+  Marshal m;
+  m << ok << value;
+  return m;
+}
+
+KvResult KvResult::Decode(Marshal& m) {
+  KvResult r;
+  m >> r.ok >> r.value;
+  return r;
+}
+
+void KvStore::Put(const std::string& key, const std::string& value) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    approx_bytes_ += key.size() + value.size();
+    map_.emplace(key, value);
+  } else {
+    approx_bytes_ += value.size();
+    approx_bytes_ -= it->second.size();
+    it->second = value;
+  }
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool KvStore::Delete(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  approx_bytes_ -= it->first.size() + it->second.size();
+  map_.erase(it);
+  return true;
+}
+
+KvResult KvStore::Apply(const KvCommand& cmd) {
+  KvResult r;
+  switch (cmd.op) {
+    case KvOp::kPut:
+      Put(cmd.key, cmd.value);
+      r.ok = true;
+      break;
+    case KvOp::kGet: {
+      auto v = Get(cmd.key);
+      r.ok = v.has_value();
+      if (v) {
+        r.value = *v;
+      }
+      break;
+    }
+    case KvOp::kDelete:
+      r.ok = Delete(cmd.key);
+      break;
+  }
+  return r;
+}
+
+Marshal KvStore::Snapshot() const {
+  Marshal m;
+  m << map_;
+  return m;
+}
+
+void KvStore::Restore(Marshal& snapshot) {
+  snapshot >> map_;
+  approx_bytes_ = 0;
+  for (const auto& [k, v] : map_) {
+    approx_bytes_ += k.size() + v.size();
+  }
+}
+
+}  // namespace depfast

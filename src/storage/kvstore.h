@@ -1,0 +1,63 @@
+// The replicated state machine's state: an ordered key-value map with a
+// serialized command interface (what Raft applies) and snapshot support.
+#ifndef SRC_STORAGE_KVSTORE_H_
+#define SRC_STORAGE_KVSTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/base/marshal.h"
+
+namespace depfast {
+
+enum class KvOp : uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDelete = 3,
+};
+
+struct KvCommand {
+  KvOp op = KvOp::kPut;
+  std::string key;
+  std::string value;
+
+  Marshal Encode() const;
+  static KvCommand Decode(Marshal& m);
+};
+
+struct KvResult {
+  bool ok = false;
+  std::string value;
+
+  Marshal Encode() const;
+  static KvResult Decode(Marshal& m);
+};
+
+class KvStore {
+ public:
+  // Direct interface.
+  void Put(const std::string& key, const std::string& value);
+  std::optional<std::string> Get(const std::string& key) const;
+  bool Delete(const std::string& key);
+
+  // State-machine interface: applies a serialized command, returns a
+  // serialized result. Deterministic.
+  KvResult Apply(const KvCommand& cmd);
+
+  size_t size() const { return map_.size(); }
+  uint64_t ApproxBytes() const { return approx_bytes_; }
+
+  // Snapshot serialization for log compaction / follower catch-up.
+  Marshal Snapshot() const;
+  void Restore(Marshal& snapshot);
+
+ private:
+  std::map<std::string, std::string> map_;
+  uint64_t approx_bytes_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_STORAGE_KVSTORE_H_

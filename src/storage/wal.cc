@@ -1,0 +1,67 @@
+#include "src/storage/wal.h"
+
+#include "src/base/logging.h"
+#include "src/runtime/coroutine.h"
+
+namespace depfast {
+
+Wal::Wal(Disk* disk) : state_(std::make_shared<State>()) {
+  state_->disk = disk;
+  state_->wakeup = std::make_shared<IntEvent>();
+  auto state = state_;
+  Coroutine::Create([state]() { FlusherLoop(state); });
+}
+
+Wal::~Wal() {
+  state_->stop = true;
+  // Waking the flusher requires the owning reactor thread; during post-
+  // shutdown teardown (reactor already stopped) the flag alone suffices.
+  if (state_->wakeup->reactor()->OnReactorThread()) {
+    state_->wakeup->Set(1);
+  }
+}
+
+std::shared_ptr<IntEvent> Wal::Append(const Marshal& record) {
+  state_->n_appends++;
+  state_->records.push_back(record);
+  auto done = std::make_shared<IntEvent>();
+  state_->pending.emplace_back(record.ContentSize() + kRecordHeaderBytes, done);
+  state_->wakeup->Set(1);
+  return done;
+}
+
+void Wal::FlusherLoop(const std::shared_ptr<State>& state) {
+  while (true) {
+    if (state->pending.empty()) {
+      if (state->stop) {
+        return;
+      }
+      state->wakeup->Wait();
+      if (state->stop) {
+        return;
+      }
+      state->wakeup = std::make_shared<IntEvent>();  // single-shot; re-arm
+      continue;
+    }
+    // Group commit: take everything pending right now as one batch.
+    uint64_t batch_bytes = 0;
+    std::vector<std::shared_ptr<IntEvent>> batch;
+    while (!state->pending.empty()) {
+      batch_bytes += state->pending.front().first;
+      batch.push_back(std::move(state->pending.front().second));
+      state->pending.pop_front();
+    }
+    auto flushed = std::make_shared<IntEvent>();
+    state->disk->AsyncWrite(batch_bytes, flushed);
+    flushed->Wait();
+    if (state->stop) {
+      return;
+    }
+    state->n_flushes++;
+    for (auto& done : batch) {
+      done->Set(1);
+    }
+  }
+}
+
+}  // namespace depfast

@@ -1,0 +1,61 @@
+// Write-ahead log with group commit. Append() returns a durability event;
+// appends arriving while the disk is busy are batched into one flush (the
+// flusher coroutine is the "disk logging" leg of the paper's runtime: a wait
+// point wrapped in an event, never a blocking call).
+#ifndef SRC_STORAGE_WAL_H_
+#define SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/base/marshal.h"
+#include "src/runtime/event.h"
+#include "src/storage/disk.h"
+
+namespace depfast {
+
+class Wal {
+ public:
+  // Starts the flusher coroutine on the current reactor.
+  explicit Wal(Disk* disk);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends a record; the returned event fires when the record is durable.
+  std::shared_ptr<IntEvent> Append(const Marshal& record);
+
+  // All records ever appended, in order (the in-memory mirror used by
+  // recovery tests; a real deployment would re-read the file).
+  const std::vector<Marshal>& records() const { return state_->records; }
+
+  uint64_t n_appends() const { return state_->n_appends; }
+  uint64_t n_flushes() const { return state_->n_flushes; }
+  // Appends not yet durable.
+  size_t pending() const { return state_->pending.size(); }
+
+ private:
+  static constexpr uint64_t kRecordHeaderBytes = 16;  // length + checksum
+
+  // Shared with the flusher coroutine so destruction of the Wal while a
+  // flush is in flight cannot dangle.
+  struct State {
+    Disk* disk = nullptr;
+    std::vector<Marshal> records;
+    std::deque<std::pair<uint64_t, std::shared_ptr<IntEvent>>> pending;  // (bytes, done)
+    std::shared_ptr<IntEvent> wakeup;
+    bool stop = false;
+    uint64_t n_appends = 0;
+    uint64_t n_flushes = 0;
+  };
+
+  static void FlusherLoop(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_STORAGE_WAL_H_

@@ -1,0 +1,15 @@
+#include "src/workload/driver.h"
+
+#include <cstdio>
+
+namespace depfast {
+
+std::string BenchResult::Row() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf), "%9.0f ops/s  avg=%8.0fus  p50=%8lluus  p99=%9lluus  fail=%llu",
+           throughput_ops, avg_latency_us, static_cast<unsigned long long>(p50_us),
+           static_cast<unsigned long long>(p99_us), static_cast<unsigned long long>(n_failures));
+  return buf;
+}
+
+}  // namespace depfast

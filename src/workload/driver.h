@@ -1,0 +1,125 @@
+// Closed-loop benchmark driver: N client reactor threads, each running K
+// concurrent client coroutines against a cluster (DepFastRaft or baseline —
+// any harness exposing MakeClient). Latencies are recorded per client thread
+// (lock-free) and merged after the run; results report throughput, average
+// latency and tail percentiles — the three metrics of Figures 1 and 3.
+#ifndef SRC_WORKLOAD_DRIVER_H_
+#define SRC_WORKLOAD_DRIVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+#include "src/workload/ycsb.h"
+
+namespace depfast {
+
+struct DriverConfig {
+  int n_client_threads = 3;
+  int coroutines_per_client = 16;
+  uint64_t warmup_us = 500000;
+  uint64_t measure_us = 3000000;
+  YcsbConfig ycsb;
+};
+
+struct BenchResult {
+  double throughput_ops = 0;  // completed ops per second in the window
+  double avg_latency_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p90_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t max_us = 0;
+  uint64_t n_ops = 0;
+  uint64_t n_failures = 0;
+
+  std::string Row() const;
+};
+
+// Drives `cluster` (anything with MakeClient(name)) with the configured
+// closed-loop load and measures the steady-state window.
+template <typename Cluster>
+BenchResult RunDriver(Cluster& cluster, const DriverConfig& config) {
+  struct ClientState {
+    std::unique_ptr<RaftClientHandle> handle;
+    Histogram hist;            // touched only on the client reactor thread
+    uint64_t failures = 0;     // same
+    std::atomic<int> live{0};  // coroutines still running
+  };
+  std::vector<std::unique_ptr<ClientState>> clients;
+  std::atomic<bool> stop{false};
+  auto workload = std::make_shared<YcsbWorkload>(config.ycsb);
+
+  for (int t = 0; t < config.n_client_threads; t++) {
+    auto state = std::make_unique<ClientState>();
+    state->handle = cluster.MakeClient("c" + std::to_string(t + 1));
+    clients.push_back(std::move(state));
+  }
+  uint64_t measure_begin = MonotonicUs() + config.warmup_us;
+  uint64_t measure_end = measure_begin + config.measure_us;
+
+  for (int t = 0; t < config.n_client_threads; t++) {
+    ClientState* state = clients[static_cast<size_t>(t)].get();
+    state->live.store(config.coroutines_per_client);
+    uint64_t seed = config.ycsb.seed * 1000 + static_cast<uint64_t>(t);
+    state->handle->thread->reactor()->Post([state, &stop, workload, seed, measure_begin,
+                                            measure_end, config]() {
+      for (int j = 0; j < config.coroutines_per_client; j++) {
+        Coroutine::Create([state, &stop, workload, seed, j, measure_begin, measure_end]() {
+          Rng rng(seed * 131 + static_cast<uint64_t>(j) + 1);
+          RaftClient* session = state->handle->session.get();
+          while (!stop.load(std::memory_order_relaxed)) {
+            KvCommand cmd = workload->NextOp(rng);
+            uint64_t t0 = MonotonicUs();
+            auto result = session->Execute(cmd);
+            uint64_t t1 = MonotonicUs();
+            if (t1 >= measure_begin && t1 < measure_end) {
+              if (result.has_value()) {
+                state->hist.Record(t1 - t0);
+              } else {
+                state->failures++;
+              }
+            }
+          }
+          state->live.fetch_sub(1);
+        });
+      }
+    });
+  }
+
+  std::this_thread::sleep_until(SteadyTimeFor(measure_end));
+  stop.store(true);
+  for (auto& state : clients) {
+    while (state->live.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  Histogram merged;
+  uint64_t failures = 0;
+  for (auto& state : clients) {
+    merged.Merge(state->hist);
+    failures += state->failures;
+  }
+  BenchResult r;
+  r.n_ops = merged.count();
+  r.n_failures = failures;
+  r.throughput_ops = static_cast<double>(merged.count()) * 1e6 /
+                     static_cast<double>(config.measure_us);
+  r.avg_latency_us = merged.Mean();
+  r.p50_us = merged.Percentile(50);
+  r.p90_us = merged.Percentile(90);
+  r.p99_us = merged.Percentile(99);
+  r.p999_us = merged.Percentile(99.9);
+  r.max_us = merged.max();
+  return r;
+}
+
+}  // namespace depfast
+
+#endif  // SRC_WORKLOAD_DRIVER_H_

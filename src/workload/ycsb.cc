@@ -1,0 +1,32 @@
+#include "src/workload/ycsb.h"
+
+#include <cstdio>
+
+namespace depfast {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config)
+    : config_(config),
+      zipf_(config.n_records, config.zipf_theta),
+      value_(config.value_bytes, 'x') {}
+
+std::string YcsbWorkload::KeyFor(uint64_t record) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu", static_cast<unsigned long long>(record));
+  return buf;
+}
+
+KvCommand YcsbWorkload::NextOp(Rng& rng) {
+  uint64_t record =
+      config_.zipfian ? zipf_.Next(rng) : rng.NextUint64(config_.n_records);
+  KvCommand cmd;
+  cmd.key = KeyFor(record);
+  if (rng.NextDouble() < config_.write_fraction) {
+    cmd.op = KvOp::kPut;
+    cmd.value = value_;
+  } else {
+    cmd.op = KvOp::kGet;
+  }
+  return cmd;
+}
+
+}  // namespace depfast

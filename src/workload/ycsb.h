@@ -1,0 +1,43 @@
+// YCSB-style workload generator (§2.1): a keyspace of N records, zipfian or
+// uniform key choice, an update-heavy operation mix. The paper runs a write
+// workload updating 500K records; writes are the interesting ops because a
+// write involves a majority of nodes.
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <string>
+
+#include "src/base/rand.h"
+#include "src/storage/kvstore.h"
+
+namespace depfast {
+
+struct YcsbConfig {
+  uint64_t n_records = 500000;
+  bool zipfian = true;
+  double zipf_theta = 0.99;
+  double write_fraction = 1.0;  // paper: write workload
+  size_t value_bytes = 100;
+  uint64_t seed = 1;
+};
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(YcsbConfig config);
+
+  // The next operation for one client stream (deterministic per rng).
+  KvCommand NextOp(Rng& rng);
+
+  static std::string KeyFor(uint64_t record);
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  YcsbConfig config_;
+  ScrambledZipfianGenerator zipf_;
+  std::string value_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,138 @@
+// Unit tests for src/base: rng, zipfian, time helpers, logging level.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/rand.h"
+#include "src/base/time_util.h"
+
+namespace depfast {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.NextRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; i++) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; i++) {
+    if (rng.NextBool(0.3)) {
+      hits++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.03);
+}
+
+TEST(ZipfianTest, ValuesInRange) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewedTowardSmallRanks) {
+  Rng rng(5);
+  ZipfianGenerator zipf(100000, 0.99);
+  int in_top100 = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; i++) {
+    if (zipf.Next(rng) < 100) {
+      in_top100++;
+    }
+  }
+  // With theta=0.99 the top 0.1% of ranks should receive a large share
+  // (roughly half) of the draws; uniform would give ~0.1%.
+  EXPECT_GT(in_top100, kTrials / 5);
+}
+
+TEST(ZipfianTest, ScrambledSpreadsHotKeys) {
+  Rng rng(5);
+  ScrambledZipfianGenerator zipf(100000, 0.99);
+  // The scrambled variant must not concentrate on small key ids.
+  int in_low_range = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; i++) {
+    if (zipf.Next(rng) < 100) {
+      in_low_range++;
+    }
+  }
+  EXPECT_LT(in_low_range, kTrials / 20);
+}
+
+TEST(TimeTest, MonotonicAdvances) {
+  uint64_t a = MonotonicUs();
+  SpinFor(1000);
+  uint64_t b = MonotonicUs();
+  EXPECT_GE(b, a + 900);
+}
+
+TEST(TimeTest, SteadyTimeForRoundTrips) {
+  uint64_t now = MonotonicUs();
+  auto tp = SteadyTimeFor(now + 1000);
+  auto tp0 = SteadyTimeFor(now);
+  EXPECT_EQ(std::chrono::duration_cast<std::chrono::microseconds>(tp - tp0).count(), 1000);
+}
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()), static_cast<int>(LogLevel::kError));
+  SetLogLevel(prev);
+}
+
+TEST(HashMixTest, Deterministic) {
+  EXPECT_EQ(HashMix64(12345), HashMix64(12345));
+  EXPECT_NE(HashMix64(12345), HashMix64(12346));
+}
+
+}  // namespace
+}  // namespace depfast

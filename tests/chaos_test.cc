@@ -1,0 +1,203 @@
+// Chaos tests: randomized fail-slow fault injection (and clearing) across
+// followers — plus leader churn — while concurrent clients write. At the end
+// the cluster must satisfy Raft's safety properties:
+//   - Log Matching: all replicas agree on every entry up to min(commit);
+//   - State Machine Safety: applied prefixes produce identical KV states;
+//   - Durability: every acknowledged write is present in the final state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+
+namespace depfast {
+namespace {
+
+RaftClusterOptions ChaosOptions(bool elections) {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = !elections;
+  opts.raft.heartbeat_us = 10000;
+  opts.raft.election_timeout_min_us = 60000;
+  opts.raft.election_timeout_max_us = 120000;
+  opts.raft.rpc_timeout_us = 40000;
+  opts.raft.quorum_wait_us = 120000;
+  opts.raft.snapshot_threshold_entries = 64;  // exercise compaction too
+  opts.raft.client_op_timeout_us = 1000000;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.01;
+  opts.link.jitter_us = 2000;
+  opts.disk.base_latency_us = 50;
+  return opts;
+}
+
+struct ChaosResult {
+  std::map<std::string, std::string> acked;  // acknowledged final writes
+  int n_acked = 0;
+  int n_attempted = 0;
+};
+
+// Runs `n_writers` concurrent writers for `duration_us`, randomly injecting
+// and clearing faults on followers the whole time.
+ChaosResult RunChaos(RaftCluster& cluster, int n_writers, uint64_t duration_us, uint64_t seed) {
+  ChaosResult result;
+  auto client = cluster.MakeClient("chaos");
+  std::atomic<bool> stop{false};
+  std::atomic<int> live{0};
+  std::mutex acked_mu;
+
+  client->thread->reactor()->Post([&]() {
+    for (int j = 0; j < n_writers; j++) {
+      live++;
+      Coroutine::Create([&, j]() {
+        Rng rng(seed * 100 + static_cast<uint64_t>(j));
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::string key = "w" + std::to_string(j) + "_k" + std::to_string(rng.NextUint64(20));
+          std::string value = "v" + std::to_string(i++);
+          result.n_attempted++;
+          if (client->session->Put(key, value)) {
+            std::lock_guard<std::mutex> lk(acked_mu);
+            result.acked[key] = value;
+            result.n_acked++;
+          }
+        }
+        live--;
+      });
+    }
+  });
+
+  // The chaos monkey: flip faults on followers every ~150 ms.
+  Rng monkey(seed);
+  uint64_t deadline = MonotonicUs() + duration_us;
+  while (MonotonicUs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    int victim = 1 + static_cast<int>(monkey.NextUint64(2));  // followers 1..2 (pinned leader 0)
+    if (monkey.NextBool(0.5)) {
+      FaultType type = kAllFaultTypes[monkey.NextUint64(6)];
+      FaultSpec spec = MakeFault(type);
+      if (type == FaultType::kNetworkSlow) {
+        spec.net_delay_us = 100000;  // scaled so catch-up is exercised in-test
+      }
+      cluster.InjectFault(victim, spec);
+    } else {
+      cluster.ClearFault(victim);
+    }
+  }
+  for (int i = 0; i < cluster.n_nodes(); i++) {
+    cluster.ClearFault(i);
+  }
+  stop.store(true);
+  while (live.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return result;
+}
+
+// Waits until all replicas applied up to the leader's commit index.
+bool WaitConvergence(RaftCluster& cluster, uint64_t timeout_us) {
+  uint64_t deadline = MonotonicUs() + timeout_us;
+  while (MonotonicUs() < deadline) {
+    uint64_t max_commit = 0;
+    for (int i = 0; i < cluster.n_nodes(); i++) {
+      uint64_t c = 0;
+      cluster.RunOn(i, [&, i]() { c = cluster.server(i).raft->commit_idx(); });
+      max_commit = std::max(max_commit, c);
+    }
+    bool all = true;
+    for (int i = 0; i < cluster.n_nodes(); i++) {
+      uint64_t a = 0;
+      cluster.RunOn(i, [&, i]() { a = cluster.server(i).raft->last_applied(); });
+      if (a < max_commit) {
+        all = false;
+      }
+    }
+    if (all) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  return false;
+}
+
+void CheckSafety(RaftCluster& cluster, const ChaosResult& result) {
+  ASSERT_TRUE(WaitConvergence(cluster, 20000000));
+  // State Machine Safety: identical KV contents on every replica.
+  Marshal snap0;
+  cluster.RunOn(0, [&]() { snap0 = cluster.server(0).raft->kv().Snapshot(); });
+  for (int i = 1; i < cluster.n_nodes(); i++) {
+    Marshal snap;
+    cluster.RunOn(i, [&, i]() { snap = cluster.server(i).raft->kv().Snapshot(); });
+    EXPECT_TRUE(snap == snap0) << "replica " << i << " state diverged";
+  }
+  // Log Matching above the compaction floor, up to min commit.
+  uint64_t min_commit = UINT64_MAX;
+  uint64_t max_base = 0;
+  for (int i = 0; i < cluster.n_nodes(); i++) {
+    uint64_t c = 0;
+    uint64_t b = 0;
+    cluster.RunOn(i, [&, i]() {
+      c = cluster.server(i).raft->commit_idx();
+      b = cluster.server(i).raft->log().BaseIndex();
+    });
+    min_commit = std::min(min_commit, c);
+    max_base = std::max(max_base, b);
+  }
+  for (uint64_t idx = max_base + 1; idx <= min_commit; idx++) {
+    uint64_t t0 = 0;
+    cluster.RunOn(0, [&]() {
+      if (cluster.server(0).raft->log().Has(idx)) {
+        t0 = cluster.server(0).raft->log().TermAt(idx);
+      }
+    });
+    for (int i = 1; i < cluster.n_nodes(); i++) {
+      uint64_t t = 0;
+      cluster.RunOn(i, [&, i]() {
+        if (cluster.server(i).raft->log().Has(idx)) {
+          t = cluster.server(i).raft->log().TermAt(idx);
+        }
+      });
+      if (t0 != 0 && t != 0) {
+        EXPECT_EQ(t, t0) << "log term mismatch at " << idx;
+      }
+    }
+  }
+  // Durability: every acknowledged write is in the final replicated state.
+  int checked = 0;
+  for (const auto& [key, value] : result.acked) {
+    std::string v;
+    cluster.RunOn(0, [&]() { v = cluster.server(0).raft->kv().Get(key).value_or(""); });
+    EXPECT_EQ(v, value) << "acked write lost: " << key;
+    checked++;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+class ChaosSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSweepTest, FaultStormPreservesSafety) {
+  RaftCluster cluster(ChaosOptions(/*elections=*/false));
+  ChaosResult result = RunChaos(cluster, /*n_writers=*/6, /*duration_us=*/2500000, GetParam());
+  EXPECT_GT(result.n_acked, 100);  // the cluster made real progress throughout
+  CheckSafety(cluster, result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest, ::testing::Values(1, 2, 3));
+
+TEST(ChaosTest, FaultStormWithElectionsPreservesSafety) {
+  RaftCluster cluster(ChaosOptions(/*elections=*/true));
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  ChaosResult result = RunChaos(cluster, 6, 2500000, 42);
+  EXPECT_GT(result.n_acked, 50);
+  CheckSafety(cluster, result);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,94 @@
+// Unit tests for the cooperative mutex.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/coro_mutex.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+class CoroMutexTest : public ::testing::Test {
+ protected:
+  CoroMutexTest() : reactor_(std::make_unique<Reactor>("test")) {}
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(CoroMutexTest, UncontendedLockUnlock) {
+  CoroMutex mu;
+  bool done = false;
+  Coroutine::Create([&]() {
+    mu.Lock();
+    EXPECT_TRUE(mu.locked());
+    mu.Unlock();
+    EXPECT_FALSE(mu.locked());
+    done = true;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(CoroMutexTest, CriticalSectionsSerialize) {
+  CoroMutex mu;
+  std::vector<int> trace;
+  auto gate = std::make_shared<IntEvent>();
+  Coroutine::Create([&]() {
+    CoroLock lock(mu);
+    trace.push_back(1);
+    gate->Wait();  // hold the lock across a wait point
+    trace.push_back(2);
+  });
+  Coroutine::Create([&]() {
+    CoroLock lock(mu);
+    trace.push_back(3);  // must run only after 2
+  });
+  Coroutine::Create([&]() { gate->Set(1); });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(CoroMutexTest, FifoHandoff) {
+  CoroMutex mu;
+  std::vector<int> order;
+  auto gate = std::make_shared<IntEvent>();
+  Coroutine::Create([&]() {
+    CoroLock lock(mu);
+    gate->Wait();
+  });
+  for (int i = 0; i < 5; i++) {
+    Coroutine::Create([&, i]() {
+      CoroLock lock(mu);
+      order.push_back(i);
+    });
+  }
+  Coroutine::Create([&]() { gate->Set(1); });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(CoroMutexTest, ManyContenders) {
+  CoroMutex mu;
+  int counter = 0;
+  int max_seen = 0;
+  int inside = 0;
+  const int kN = 200;
+  for (int i = 0; i < kN; i++) {
+    Coroutine::Create([&]() {
+      CoroLock lock(mu);
+      inside++;
+      max_seen = std::max(max_seen, inside);
+      SleepUs(100);  // force interleaving attempts
+      counter++;
+      inside--;
+    });
+  }
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(counter, kN);
+  EXPECT_EQ(max_seen, 1);  // mutual exclusion held across wait points
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,124 @@
+// Unit tests for stackful coroutines and their scheduling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/coroutine.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+class CoroutineTest : public ::testing::Test {
+ protected:
+  CoroutineTest() : reactor_(std::make_unique<Reactor>("test")) {}
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(CoroutineTest, RunsBody) {
+  bool ran = false;
+  Coroutine::Create([&]() { ran = true; });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(CoroutineTest, CurrentIsSetInsideBody) {
+  Coroutine* observed = nullptr;
+  auto co = Coroutine::Create([&]() { observed = Coroutine::Current(); });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(observed, co.get());
+  EXPECT_EQ(Coroutine::Current(), nullptr);
+}
+
+TEST_F(CoroutineTest, FinishedStateAfterReturn) {
+  auto co = Coroutine::Create([]() {});
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(co->Finished());
+  EXPECT_EQ(reactor_->alive_coroutines(), 0u);
+}
+
+TEST_F(CoroutineTest, ManyCoroutinesAllRun) {
+  int count = 0;
+  const int kN = 1000;
+  for (int i = 0; i < kN; i++) {
+    Coroutine::Create([&]() { count++; });
+  }
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(count, kN);
+}
+
+TEST_F(CoroutineTest, YieldAndScheduleResumes) {
+  std::vector<int> order;
+  Coroutine* first = nullptr;
+  Coroutine::Create([&]() {
+    first = Coroutine::Current();
+    order.push_back(1);
+    Coroutine::Yield();
+    order.push_back(3);
+  });
+  Coroutine::Create([&]() {
+    order.push_back(2);
+    Reactor::Current()->Schedule(first);
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(CoroutineTest, NestedCreateRunsBoth) {
+  bool inner = false;
+  bool outer = false;
+  Coroutine::Create([&]() {
+    outer = true;
+    Coroutine::Create([&]() { inner = true; });
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(outer);
+  EXPECT_TRUE(inner);
+}
+
+TEST_F(CoroutineTest, DeepStackUsage) {
+  // Recursion that uses a few tens of KB of stack must fit in the coroutine
+  // stack without corruption.
+  bool done = false;
+  std::function<uint64_t(int)> rec = [&](int depth) -> uint64_t {
+    char pad[512];
+    pad[0] = static_cast<char>(depth);
+    if (depth == 0) {
+      return static_cast<uint64_t>(pad[0]);
+    }
+    return rec(depth - 1) + static_cast<uint64_t>(pad[0]);
+  };
+  Coroutine::Create([&]() {
+    uint64_t v = rec(100);
+    EXPECT_GT(v, 0u);
+    done = true;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(CoroutineTest, SleepOrdersByDeadline) {
+  std::vector<int> order;
+  Coroutine::Create([&]() {
+    SleepUs(20000);
+    order.push_back(2);
+  });
+  Coroutine::Create([&]() {
+    SleepUs(5000);
+    order.push_back(1);
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(CoroutineTest, IdsAreUnique) {
+  auto a = Coroutine::Create([]() {});
+  auto b = Coroutine::Create([]() {});
+  EXPECT_NE(a->id(), b->id());
+  reactor_->RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace depfast

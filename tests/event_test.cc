@@ -1,0 +1,219 @@
+// Unit tests for basic events: IntEvent, BoxEvent, TimeoutEvent,
+// SharedIntEvent, wait timeouts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/base/time_util.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+class EventTest : public ::testing::Test {
+ protected:
+  EventTest() : reactor_(std::make_unique<Reactor>("test")) {}
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(EventTest, WaitReturnsImmediatelyWhenAlreadySet) {
+  bool done = false;
+  Coroutine::Create([&]() {
+    auto ev = std::make_shared<IntEvent>();
+    ev->Set(1);
+    EXPECT_EQ(ev->Wait(), Event::EvStatus::kReady);
+    done = true;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(EventTest, WaitBlocksUntilSet) {
+  auto ev = std::make_shared<IntEvent>();
+  std::vector<int> order;
+  Coroutine::Create([&]() {
+    order.push_back(1);
+    ev->Wait();
+    order.push_back(3);
+  });
+  Coroutine::Create([&]() {
+    order.push_back(2);
+    ev->Set(1);
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(ev->Ready());
+}
+
+TEST_F(EventTest, TargetRequiresThreshold) {
+  auto ev = std::make_shared<IntEvent>(3);
+  bool woke = false;
+  Coroutine::Create([&]() {
+    ev->Wait();
+    woke = true;
+  });
+  Coroutine::Create([&]() {
+    ev->Add();
+    ev->Add();
+    EXPECT_FALSE(ev->Ready());
+    ev->Add();
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(ev->value(), 3);
+}
+
+TEST_F(EventTest, WaitTimesOut) {
+  auto ev = std::make_shared<IntEvent>();
+  Event::EvStatus st = Event::EvStatus::kInit;
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  Coroutine::Create([&]() {
+    st = ev->Wait(10000);
+    elapsed = MonotonicUs() - begin;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(st, Event::EvStatus::kTimeout);
+  EXPECT_TRUE(ev->TimedOut());
+  EXPECT_GE(elapsed, 9000u);
+}
+
+TEST_F(EventTest, SetAfterTimeoutDoesNotRevive) {
+  auto ev = std::make_shared<IntEvent>();
+  Coroutine::Create([&]() { ev->Wait(5000); });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(ev->TimedOut());
+  ev->Set(1);
+  EXPECT_TRUE(ev->TimedOut());
+  EXPECT_FALSE(ev->Ready());
+}
+
+TEST_F(EventTest, TimeoutTimerAfterFireIsHarmless) {
+  auto ev = std::make_shared<IntEvent>();
+  Event::EvStatus st = Event::EvStatus::kInit;
+  Coroutine::Create([&]() { st = ev->Wait(50000); });
+  Coroutine::Create([&]() { ev->Set(1); });
+  reactor_->RunUntilIdle();  // runs past the timer deadline too
+  EXPECT_EQ(st, Event::EvStatus::kReady);
+  EXPECT_TRUE(ev->Ready());
+}
+
+TEST_F(EventTest, FailFiresWithNegativeVote) {
+  auto ev = std::make_shared<IntEvent>();
+  Coroutine::Create([&]() { ev->Wait(); });
+  Coroutine::Create([&]() { ev->Fail(); });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(ev->Ready());
+  EXPECT_FALSE(ev->vote_ok());
+}
+
+TEST_F(EventTest, BoxEventCarriesPayload) {
+  auto ev = std::make_shared<BoxEvent<std::string>>();
+  std::string got;
+  Coroutine::Create([&]() {
+    ev->Wait();
+    got = ev->value_ref();
+  });
+  Coroutine::Create([&]() { ev->SetValue("payload"); });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(got, "payload");
+}
+
+TEST_F(EventTest, TimeoutEventFiresAfterDelay) {
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  Coroutine::Create([&]() {
+    auto ev = std::make_shared<TimeoutEvent>(15000);
+    EXPECT_EQ(ev->Wait(), Event::EvStatus::kReady);
+    elapsed = MonotonicUs() - begin;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(elapsed, 14000u);
+}
+
+TEST_F(EventTest, SleepUsSleeps) {
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  Coroutine::Create([&]() {
+    SleepUs(10000);
+    elapsed = MonotonicUs() - begin;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(elapsed, 9000u);
+}
+
+TEST_F(EventTest, SharedIntEventWakesByThreshold) {
+  SharedIntEvent commit;
+  std::vector<int> woke;
+  Coroutine::Create([&]() {
+    commit.WaitUntilGe(10);
+    woke.push_back(10);
+  });
+  Coroutine::Create([&]() {
+    commit.WaitUntilGe(5);
+    woke.push_back(5);
+  });
+  Coroutine::Create([&]() {
+    commit.Set(5);
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(woke, (std::vector<int>{5}));
+  commit.Set(12);
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(woke, (std::vector<int>{5, 10}));
+}
+
+TEST_F(EventTest, SharedIntEventIsMonotonic) {
+  SharedIntEvent v;
+  v.Set(10);
+  v.Set(3);  // ignored
+  EXPECT_EQ(v.value(), 10);
+}
+
+TEST_F(EventTest, SharedIntEventImmediateWhenSatisfied) {
+  SharedIntEvent v;
+  v.Set(100);
+  bool done = false;
+  Coroutine::Create([&]() {
+    EXPECT_EQ(v.WaitUntilGe(50), Event::EvStatus::kReady);
+    done = true;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(EventTest, SharedIntEventWaitTimeout) {
+  SharedIntEvent v;
+  Event::EvStatus st = Event::EvStatus::kInit;
+  Coroutine::Create([&]() { st = v.WaitUntilGe(5, 5000); });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(st, Event::EvStatus::kTimeout);
+}
+
+TEST_F(EventTest, ManyWaitersOnOneEvent) {
+  // Multiple coroutines each waiting on their own event set by one producer.
+  const int kN = 100;
+  int woke = 0;
+  std::vector<std::shared_ptr<IntEvent>> evs;
+  for (int i = 0; i < kN; i++) {
+    evs.push_back(std::make_shared<IntEvent>());
+  }
+  for (int i = 0; i < kN; i++) {
+    Coroutine::Create([&, i]() {
+      evs[static_cast<size_t>(i)]->Wait();
+      woke++;
+    });
+  }
+  Coroutine::Create([&]() {
+    for (auto& ev : evs) {
+      ev->Set(1);
+    }
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(woke, kN);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,160 @@
+// Tests for the §5 extension: detecting a fail-slow LEADER (which plain Raft
+// tolerates silently, degrading everyone) and demoting it via re-election so
+// it becomes a well-tolerated fail-slow follower.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+
+namespace depfast {
+namespace {
+
+RaftClusterOptions DetectingOptions() {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = false;
+  opts.raft.heartbeat_us = 10000;
+  opts.raft.election_timeout_min_us = 80000;
+  opts.raft.election_timeout_max_us = 160000;
+  opts.raft.rpc_timeout_us = 50000;
+  // Paper-scale per-op costs so a 5%-CPU leader actually saturates under
+  // the background load (detection keys off the leader's CPU backlog).
+  opts.raft.leader_cmd_cost_us = 120;
+  opts.raft.apply_cost_us = 20;
+  opts.raft.enable_failslow_leader_detection = true;
+  // Threshold sits well above healthy apply latency (~2-3 ms) plus host
+  // scheduling spikes, and well below the saturated fail-slow leader's
+  // ~45 ms; several consecutive strikes filter transient host stalls.
+  opts.raft.failslow_leader_threshold_us = 30000;
+  opts.raft.failslow_leader_strikes = 8;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  return opts;
+}
+
+void RunClientOp(RaftClientHandle& client, std::function<void(RaftClient&)> fn) {
+  std::atomic<bool> done{false};
+  RaftClient* session = client.session.get();
+  client.thread->reactor()->Post([&, session]() {
+    Coroutine::Create([&, session]() {
+      fn(*session);
+      done.store(true);
+    });
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Keeps a background write load running (a fail-slow leader only builds a
+// CPU backlog under load).
+class BackgroundLoad {
+ public:
+  BackgroundLoad(RaftCluster& cluster, int n_writers) {
+    client_ = cluster.MakeClient("bg");
+    client_->thread->reactor()->Post([this, n_writers]() {
+      for (int j = 0; j < n_writers; j++) {
+        Coroutine::Create([this, j]() {
+          int i = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            client_->session->Put("bg" + std::to_string(j) + "_" + std::to_string(i++ % 50), "v");
+          }
+          live_.fetch_sub(1);
+        });
+        live_.fetch_add(1);
+      }
+    });
+  }
+  ~BackgroundLoad() {
+    stop_.store(true);
+    while (live_.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+ private:
+  std::unique_ptr<RaftClientHandle> client_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> live_{0};
+};
+
+TEST(FailSlowLeaderTest, SlowLeaderIsDemoted) {
+  RaftCluster cluster(DetectingOptions());
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  int old_leader = cluster.LeaderIndex();
+  ASSERT_GE(old_leader, 0);
+  {
+    BackgroundLoad load(cluster, 16);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // The LEADER fails slow: with plain Raft the whole group limps forever.
+    cluster.InjectFault(old_leader, FaultType::kCpuSlow);
+    // Detection + re-election should move leadership to a healthy node.
+    uint64_t deadline = MonotonicUs() + 10000000;
+    int new_leader = -1;
+    while (MonotonicUs() < deadline) {
+      int cur = cluster.LeaderIndex();
+      if (cur >= 0 && cur != old_leader) {
+        new_leader = cur;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    EXPECT_GE(new_leader, 0);
+    EXPECT_NE(new_leader, old_leader);
+  }
+  // The demoted node is now a fail-slow FOLLOWER — which the system
+  // tolerates: writes still work, promptly.
+  auto client = cluster.MakeClient("c1");
+  int ok = 0;
+  uint64_t begin = MonotonicUs();
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 20; i++) {
+      if (c.Put("after" + std::to_string(i), "demotion")) {
+        ok++;
+      }
+    }
+  });
+  EXPECT_EQ(ok, 20);
+  EXPECT_LT(MonotonicUs() - begin, 5000000u);
+}
+
+TEST(FailSlowLeaderTest, HealthyLeaderIsNotDemoted) {
+  RaftCluster cluster(DetectingOptions());
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  int leader = cluster.LeaderIndex();
+  uint64_t term_before = 0;
+  cluster.RunOn(leader, [&]() { term_before = cluster.server(leader).raft->term(); });
+  {
+    BackgroundLoad load(cluster, 16);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  // No false positives: same leader, same term.
+  EXPECT_EQ(cluster.LeaderIndex(), leader);
+  uint64_t term_after = 0;
+  cluster.RunOn(leader, [&]() { term_after = cluster.server(leader).raft->term(); });
+  EXPECT_EQ(term_after, term_before);
+}
+
+TEST(FailSlowLeaderTest, DetectionOffMeansSlowLeaderStays) {
+  auto opts = DetectingOptions();
+  opts.raft.enable_failslow_leader_detection = false;
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  int leader = cluster.LeaderIndex();
+  BackgroundLoad load(cluster, 16);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  cluster.InjectFault(leader, FaultType::kCpuSlow);
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  // Plain Raft: heartbeats still flow, so the slow leader keeps its seat
+  // (this is exactly the algorithmic gap §2 and Copilot point at).
+  EXPECT_EQ(cluster.LeaderIndex(), leader);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,199 @@
+// Unit tests for the fault framework: CPU/memory models and FaultInjector
+// wiring of each Table 1 fault type.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/time_util.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_types.h"
+#include "src/faults/resource_model.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  FaultsTest() : reactor_(std::make_unique<Reactor>("node")) {}
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(FaultsTest, HealthyCpuWorkTakesRoughlyCost) {
+  CpuModel cpu(reactor_.get());
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  Coroutine::Create([&]() {
+    cpu.Work(10000);
+    elapsed = MonotonicUs() - begin;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(elapsed, 9000u);
+  EXPECT_LT(elapsed, 40000u);
+}
+
+TEST_F(FaultsTest, CpuShareStretchesWork) {
+  CpuModel cpu(reactor_.get());
+  cpu.SetShare(0.05);  // Table 1 CPU-slow: 5%
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  Coroutine::Create([&]() {
+    cpu.Work(2000);  // 2 ms of work -> 40 ms at 5%
+    elapsed = MonotonicUs() - begin;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(elapsed, 35000u);
+}
+
+TEST_F(FaultsTest, CpuIsSerialResource) {
+  CpuModel cpu(reactor_.get());
+  uint64_t begin = MonotonicUs();
+  uint64_t last = 0;
+  int done = 0;
+  for (int i = 0; i < 4; i++) {
+    Coroutine::Create([&]() {
+      cpu.Work(5000);
+      done++;
+      last = MonotonicUs() - begin;
+    });
+  }
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(done, 4);
+  EXPECT_GE(last, 18000u);  // 4 x 5 ms serialized
+}
+
+TEST_F(FaultsTest, ContentionReducesShareDuringDuty) {
+  CpuModel cpu(reactor_.get());
+  cpu.SetContention(16.0, 1.0);  // contender always runnable
+  double share = cpu.EffectiveShare(MonotonicUs());
+  EXPECT_NEAR(share, 1.0 / 17.0, 1e-9);
+  cpu.Clear();
+  EXPECT_DOUBLE_EQ(cpu.EffectiveShare(MonotonicUs()), 1.0);
+}
+
+TEST_F(FaultsTest, ContentionDutyCycleAlternates) {
+  CpuModel cpu(reactor_.get());
+  cpu.SetContention(16.0, 0.5);
+  // Phase 0-50ms of each 100ms window: contended; 50-100ms: free.
+  EXPECT_LT(cpu.EffectiveShare(100000 * 5 + 10000), 0.1);
+  EXPECT_DOUBLE_EQ(cpu.EffectiveShare(100000 * 5 + 60000), 1.0);
+}
+
+TEST_F(FaultsTest, MemPenaltyAppliesOverCap) {
+  MemModel mem;
+  mem.SetCap(1000, 6.0);
+  mem.Alloc(500);
+  EXPECT_FALSE(mem.OverCap());
+  EXPECT_DOUBLE_EQ(mem.PenaltyFactor(), 1.0);
+  mem.Alloc(600);
+  EXPECT_TRUE(mem.OverCap());
+  EXPECT_DOUBLE_EQ(mem.PenaltyFactor(), 6.0);
+  mem.Free(600);
+  EXPECT_FALSE(mem.OverCap());
+}
+
+TEST_F(FaultsTest, MemExternalUsageCounts) {
+  MemModel mem;
+  mem.SetCap(1000, 4.0);
+  mem.SetExternalUsage(1500);
+  EXPECT_TRUE(mem.OverCap());
+  EXPECT_EQ(mem.usage(), 1500u);
+}
+
+TEST_F(FaultsTest, OomKillAtFourTimesCap) {
+  MemModel mem;
+  mem.SetCap(1000, 4.0);
+  mem.Alloc(3999);
+  EXPECT_FALSE(mem.OomKilled());
+  mem.Alloc(2);
+  EXPECT_TRUE(mem.OomKilled());
+}
+
+TEST_F(FaultsTest, CpuWorkSlowedBySwapPenalty) {
+  CpuModel cpu(reactor_.get());
+  MemModel mem;
+  cpu.set_mem(&mem);
+  mem.SetCap(100, 5.0);
+  mem.Alloc(200);  // thrashing
+  uint64_t begin = MonotonicUs();
+  uint64_t elapsed = 0;
+  Coroutine::Create([&]() {
+    cpu.Work(4000);  // 4 ms -> 20 ms under 5x penalty
+    elapsed = MonotonicUs() - begin;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(elapsed, 18000u);
+}
+
+TEST_F(FaultsTest, WorkAsyncNotifiesWithoutBlocking) {
+  CpuModel cpu(reactor_.get());
+  bool done = false;
+  auto ev = std::make_shared<IntEvent>();
+  cpu.WorkAsync(5000, ev);
+  Coroutine::Create([&]() {
+    ev->Wait();
+    done = true;
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(FaultsTest, MakeFaultCanonicalParameters) {
+  FaultSpec cpu_slow = MakeFault(FaultType::kCpuSlow);
+  EXPECT_EQ(cpu_slow.type, FaultType::kCpuSlow);
+  EXPECT_DOUBLE_EQ(cpu_slow.cpu_share, 0.05);       // "5% CPU" (Table 1)
+  EXPECT_DOUBLE_EQ(cpu_slow.contender_weight, 16.0);  // "16x higher share"
+  FaultSpec net = MakeFault(FaultType::kNetworkSlow);
+  EXPECT_EQ(net.net_delay_us, 400000u);  // "400 milliseconds"
+}
+
+TEST_F(FaultsTest, FaultTypeNamesMatchPaperFigureLegend) {
+  EXPECT_STREQ(FaultTypeName(FaultType::kNone), "No Slowness");
+  EXPECT_STREQ(FaultTypeName(FaultType::kCpuSlow), "CPU Slowness");
+  EXPECT_STREQ(FaultTypeName(FaultType::kCpuContention), "CPU Contention");
+  EXPECT_STREQ(FaultTypeName(FaultType::kDiskSlow), "Disk Slowness");
+  EXPECT_STREQ(FaultTypeName(FaultType::kDiskContention), "Disk Contention");
+  EXPECT_STREQ(FaultTypeName(FaultType::kMemContention), "Memory Contention");
+  EXPECT_STREQ(FaultTypeName(FaultType::kNetworkSlow), "Network Slowness");
+}
+
+// Parameterized: every fault type applies and clears cleanly through the
+// injector onto a full NodeEnv.
+class InjectorSweepTest : public ::testing::TestWithParam<FaultType> {};
+
+TEST_P(InjectorSweepTest, ApplyAndClear) {
+  Reactor reactor("node");
+  CpuModel cpu(&reactor);
+  MemModel mem;
+  cpu.set_mem(&mem);
+  SimDisk disk(&reactor);
+  SimTransport transport;
+  transport.RegisterNode(1, &reactor, [](NodeId, Marshal) {});
+  NodeEnv env{1, "s1", &reactor, &cpu, &mem, &disk, &transport};
+
+  FaultInjector::Apply(env, MakeFault(GetParam()));
+  reactor.RunUntilIdle();
+  switch (GetParam()) {
+    case FaultType::kCpuSlow:
+      EXPECT_LT(cpu.EffectiveShare(MonotonicUs()), 0.06);
+      break;
+    case FaultType::kCpuContention:
+      // Somewhere in the duty cycle the share is reduced.
+      EXPECT_LT(cpu.EffectiveShare(0), 0.1);
+      break;
+    case FaultType::kMemContention:
+      EXPECT_GT(mem.cap(), 0u);
+      break;
+    default:
+      break;
+  }
+  FaultInjector::Clear(env);
+  reactor.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(cpu.EffectiveShare(0), 1.0);
+  EXPECT_EQ(mem.cap(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, InjectorSweepTest, ::testing::ValuesIn(kAllFaultTypes));
+
+}  // namespace
+}  // namespace depfast

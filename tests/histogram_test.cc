@@ -1,0 +1,125 @@
+// Unit + property tests for the latency histogram.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/rand.h"
+
+namespace depfast {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 100.0, 2.0);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  // Group 0 buckets are width-1, so values < 64 are exact.
+  Histogram h;
+  for (uint64_t v = 0; v < 64; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(100), 63u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, PercentileOrdering) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 10000; i++) {
+    h.Record(rng.NextRange(1, 1000000));
+  }
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Percentile(100));
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, MergeEqualsCombined) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(21);
+  for (int i = 0; i < 5000; i++) {
+    uint64_t v = rng.NextRange(1, 100000);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(HistogramTest, SummaryContainsFields) {
+  Histogram h;
+  h.Record(10);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+// Property: percentile estimates stay within the documented relative error
+// (sub-bucket width / value <= 1/64 for large values).
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {
+  uint64_t scale = GetParam();
+  Histogram h;
+  std::vector<uint64_t> values;
+  Rng rng(scale);
+  for (int i = 0; i < 20000; i++) {
+    uint64_t v = rng.NextRange(scale, scale * 2);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    auto idx = static_cast<size_t>(p / 100.0 * static_cast<double>(values.size()));
+    if (idx >= values.size()) {
+      idx = values.size() - 1;
+    }
+    double exact = static_cast<double>(values[idx]);
+    double approx = static_cast<double>(h.Percentile(p));
+    EXPECT_NEAR(approx / exact, 1.0, 0.05) << "p=" << p << " scale=" << scale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramAccuracyTest,
+                         ::testing::Values(100, 1000, 10000, 1000000, 50000000));
+
+}  // namespace
+}  // namespace depfast

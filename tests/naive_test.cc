@@ -1,0 +1,209 @@
+// Integration tests for the baseline engine: correct replication when
+// healthy, plus each profile's pathological behaviour under fail-slow
+// followers (the §2.2 root causes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/base/time_util.h"
+#include "src/naive/naive_cluster.h"
+
+namespace depfast {
+namespace {
+
+NaiveClusterOptions FastOptions(NaiveProfile profile) {
+  NaiveClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.profile = std::move(profile);
+  opts.config.rpc_timeout_us = 50000;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  return opts;
+}
+
+void RunClientOp(RaftClientHandle& client, std::function<void(RaftClient&)> fn) {
+  std::atomic<bool> done{false};
+  RaftClient* session = client.session.get();
+  client.thread->reactor()->Post([&, session]() {
+    Coroutine::Create([&, session]() {
+      fn(*session);
+      done.store(true);
+    });
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+class NaiveProfileTest : public ::testing::TestWithParam<int> {
+ protected:
+  static NaiveProfile ProfileFor(int p) {
+    switch (p) {
+      case 0:
+        return NaiveProfile::MongoLike();
+      case 1:
+        return NaiveProfile::TidbLike();
+      default:
+        return NaiveProfile::RethinkLike();
+    }
+  }
+};
+
+TEST_P(NaiveProfileTest, HealthyClusterServesWrites) {
+  NaiveCluster cluster(FastOptions(ProfileFor(GetParam())));
+  auto client = cluster.MakeClient("c1");
+  int ok = 0;
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 30; i++) {
+      if (c.Put("k" + std::to_string(i), "v" + std::to_string(i))) {
+        ok++;
+      }
+    }
+  });
+  EXPECT_EQ(ok, 30);
+  // Replicas converge.
+  uint64_t deadline = MonotonicUs() + 5000000;
+  bool converged = false;
+  while (MonotonicUs() < deadline && !converged) {
+    converged = true;
+    for (int i = 0; i < 3; i++) {
+      uint64_t applied = 0;
+      cluster.RunOn(i, [&, i]() { applied = cluster.server(i).node->last_applied(); });
+      if (applied < 30) {
+        converged = false;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(converged);
+  std::string v;
+  cluster.RunOn(2, [&]() { v = cluster.server(2).node->kv().Get("k7").value_or(""); });
+  EXPECT_EQ(v, "v7");
+}
+
+TEST_P(NaiveProfileTest, FollowerRedirectsToLeader) {
+  NaiveCluster cluster(FastOptions(ProfileFor(GetParam())));
+  auto client = cluster.MakeClient("c1");
+  bool ok = false;
+  RunClientOp(*client, [&](RaftClient& c) { ok = c.Put("x", "y"); });
+  EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, NaiveProfileTest, ::testing::Values(0, 1, 2));
+
+// Drives `n_coroutines` concurrent writers for `n_ops` ops each.
+void RunConcurrentLoad(RaftClientHandle& client, int n_coroutines, int n_ops) {
+  std::atomic<int> done{0};
+  RaftClient* session = client.session.get();
+  client.thread->reactor()->Post([&, session]() {
+    for (int j = 0; j < n_coroutines; j++) {
+      Coroutine::Create([&, session, j]() {
+        for (int i = 0; i < n_ops; i++) {
+          session->Put("k" + std::to_string(j) + "_" + std::to_string(i),
+                       std::string(200, 'x'));
+        }
+        done++;
+      });
+    }
+  });
+  while (done.load() < n_coroutines) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(NaiveTest, BacklogGrowsWithSlowFollower) {
+  // Mongo-like pipelined leader: a severely CPU-slow follower acks slower
+  // than entries arrive; the leader's unacked backlog must grow (it never
+  // discards).
+  NaiveCluster cluster(FastOptions(NaiveProfile::MongoLike()));
+  FaultSpec cpu = MakeFault(FaultType::kCpuSlow);
+  cpu.cpu_share = 0.01;
+  cluster.InjectFault(1, cpu);
+  auto client = cluster.MakeClient("c1");
+  RunConcurrentLoad(*client, 8, 40);
+  uint64_t backlog = 0;
+  cluster.RunOn(0, [&]() { backlog = cluster.server(0).node->BacklogEntries(); });
+  EXPECT_GT(backlog, 20u);
+  uint64_t retransmits = 0;
+  cluster.RunOn(0, [&]() { retransmits = cluster.server(0).node->n_retransmits(); });
+  EXPECT_GT(retransmits, 0u);
+  uint64_t buffer = 0;
+  cluster.RunOn(0, [&]() { buffer = cluster.server(0).node->BufferBytes(); });
+  EXPECT_GT(buffer, 4096u);
+}
+
+TEST(NaiveTest, RegionLoopBlocksOnEvictedEntries) {
+  // TiDB-like: let the slow follower fall behind more than the entry cache;
+  // the leader must perform blocking disk reads.
+  auto opts = FastOptions(NaiveProfile::TidbLike());
+  opts.profile.entry_cache_entries = 16;  // tiny cache to trigger quickly
+  NaiveCluster cluster(opts);
+  FaultSpec net = MakeFault(FaultType::kNetworkSlow);
+  net.net_delay_us = 200000;
+  cluster.InjectFault(1, net);
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 80; i++) {
+      c.Put("k" + std::to_string(i), "v");
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  uint64_t blocked_us = 0;
+  cluster.RunOn(0, [&]() { blocked_us = cluster.server(0).node->n_blocking_read_us(); });
+  EXPECT_GT(blocked_us, 0u);
+}
+
+TEST(NaiveTest, UnboundedBuffersOomCrashLeader) {
+  // Rethink-like: tiny machine memory + a follower that cannot drain =>
+  // outgoing buffers blow past 4x the cap and the leader "OOM-crashes".
+  auto opts = FastOptions(NaiveProfile::RethinkLike());
+  opts.machine_mem_cap_bytes = 64 * 1024;  // scaled-down RAM
+  opts.config.client_op_timeout_us = 300000;
+  NaiveCluster cluster(opts);
+  FaultSpec cpu = MakeFault(FaultType::kCpuSlow);
+  cpu.cpu_share = 0.01;
+  cluster.InjectFault(1, cpu);
+  auto client = cluster.MakeClient("c1");
+  uint64_t deadline = MonotonicUs() + 10000000;
+  bool oom = false;
+  while (MonotonicUs() < deadline && !oom) {
+    // Keep concurrent load flowing so the unacked buffers keep growing.
+    RunConcurrentLoad(*client, 8, 25);
+    cluster.RunOn(0, [&]() { oom = cluster.server(0).node->crashed(); });
+  }
+  EXPECT_TRUE(oom);
+}
+
+TEST(NaiveTest, SlowFollowerStillConvergesEventually) {
+  // Even the naive engine repairs the follower once the fault clears (via
+  // retransmission) — the pathology is the impact radius, not data loss.
+  NaiveCluster cluster(FastOptions(NaiveProfile::MongoLike()));
+  FaultSpec net = MakeFault(FaultType::kNetworkSlow);
+  net.net_delay_us = 150000;
+  cluster.InjectFault(2, net);
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 25; i++) {
+      c.Put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+  });
+  cluster.ClearFault(2);
+  uint64_t deadline = MonotonicUs() + 8000000;
+  uint64_t applied = 0;
+  while (MonotonicUs() < deadline) {
+    cluster.RunOn(2, [&]() { applied = cluster.server(2).node->last_applied(); });
+    if (applied >= 25) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_GE(applied, 25u);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,232 @@
+// Unit + property tests for compound events: QuorumEvent, AndEvent, OrEvent,
+// nesting, votes, and the fast-path/slow-path pattern from §3.2.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/compound_event.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+class QuorumEventTest : public ::testing::Test {
+ protected:
+  QuorumEventTest() : reactor_(std::make_unique<Reactor>("test")) {}
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(QuorumEventTest, FiresAtQuorumNotBefore) {
+  auto q = std::make_shared<QuorumEvent>(3, 2);
+  std::vector<std::shared_ptr<IntEvent>> kids;
+  for (int i = 0; i < 3; i++) {
+    kids.push_back(std::make_shared<IntEvent>());
+    q->AddChild(kids.back());
+  }
+  bool woke = false;
+  Coroutine::Create([&]() {
+    q->Wait();
+    woke = true;
+  });
+  Coroutine::Create([&]() {
+    kids[0]->Set(1);
+    EXPECT_FALSE(q->Ready());
+    kids[1]->Set(1);
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(woke);
+  EXPECT_TRUE(q->Ready());
+  EXPECT_EQ(q->n_yes(), 2);
+}
+
+TEST_F(QuorumEventTest, ThirdReplyAfterQuorumIsHarmless) {
+  auto q = std::make_shared<QuorumEvent>(3, 2);
+  std::vector<std::shared_ptr<IntEvent>> kids;
+  for (int i = 0; i < 3; i++) {
+    kids.push_back(std::make_shared<IntEvent>());
+    q->AddChild(kids.back());
+  }
+  Coroutine::Create([&]() { q->Wait(); });
+  Coroutine::Create([&]() {
+    kids[0]->Set(1);
+    kids[1]->Set(1);
+    kids[2]->Set(1);  // straggler reply arrives later
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(q->Ready());
+  EXPECT_EQ(q->n_yes(), 3);
+}
+
+TEST_F(QuorumEventTest, AlreadyFiredChildCountsOnAdd) {
+  auto child = std::make_shared<IntEvent>();
+  child->Set(1);
+  auto q = std::make_shared<QuorumEvent>(1, 1);
+  q->AddChild(child);
+  EXPECT_TRUE(q->Ready());
+}
+
+TEST_F(QuorumEventTest, NegativeChildVotesNo) {
+  auto q = std::make_shared<QuorumEvent>(3, 2);
+  auto a = std::make_shared<IntEvent>();
+  auto b = std::make_shared<IntEvent>();
+  auto c = std::make_shared<IntEvent>();
+  q->AddChild(a);
+  q->AddChild(b);
+  q->AddChild(c);
+  a->Fail();
+  EXPECT_EQ(q->n_no(), 1);
+  EXPECT_FALSE(q->Ready());
+  EXPECT_FALSE(q->QuorumImpossible());
+  b->Fail();
+  EXPECT_TRUE(q->QuorumImpossible());
+  EXPECT_FALSE(q->Ready());
+}
+
+TEST_F(QuorumEventTest, ManualVotes) {
+  auto q = std::make_shared<QuorumEvent>(5, 3);
+  q->VoteYes();
+  q->VoteYes();
+  EXPECT_FALSE(q->Ready());
+  q->VoteNo();
+  EXPECT_FALSE(q->QuorumImpossible());
+  q->VoteYes();
+  EXPECT_TRUE(q->Ready());
+}
+
+TEST_F(QuorumEventTest, WaitWithTimeoutWhenQuorumImpossible) {
+  // The paper's "minority-plus-one-reject" detection: callers time out or
+  // check QuorumImpossible instead of hanging forever.
+  auto q = std::make_shared<QuorumEvent>(3, 2);
+  Event::EvStatus st = Event::EvStatus::kInit;
+  Coroutine::Create([&]() { st = q->Wait(5000); });
+  Coroutine::Create([&]() {
+    q->VoteNo();
+    q->VoteNo();
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(st, Event::EvStatus::kTimeout);
+  EXPECT_TRUE(q->QuorumImpossible());
+}
+
+TEST_F(QuorumEventTest, AndEventNeedsAll) {
+  auto a = std::make_shared<IntEvent>();
+  auto b = std::make_shared<IntEvent>();
+  auto and_ev = std::make_shared<AndEvent>();
+  and_ev->AddChild(a);
+  and_ev->AddChild(b);
+  bool woke = false;
+  Coroutine::Create([&]() {
+    and_ev->Wait();
+    woke = true;
+  });
+  Coroutine::Create([&]() {
+    a->Set(1);
+    EXPECT_FALSE(and_ev->Ready());
+    b->Set(1);
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(QuorumEventTest, EmptyAndEventNotReady) {
+  auto and_ev = std::make_shared<AndEvent>();
+  EXPECT_FALSE(and_ev->IsReady());
+}
+
+TEST_F(QuorumEventTest, OrEventFiresOnAny) {
+  auto a = std::make_shared<IntEvent>();
+  auto b = std::make_shared<IntEvent>();
+  auto or_ev = std::make_shared<OrEvent>();
+  or_ev->AddChild(a);
+  or_ev->AddChild(b);
+  bool woke = false;
+  Coroutine::Create([&]() {
+    or_ev->Wait();
+    woke = true;
+  });
+  Coroutine::Create([&]() { b->Set(1); });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(or_ev->FiredChild(), b.get());
+}
+
+TEST_F(QuorumEventTest, NestedAndOfQuorums) {
+  // AndEvent of two QuorumEvents, as the paper says events must nest.
+  auto q1 = std::make_shared<QuorumEvent>(3, 2);
+  auto q2 = std::make_shared<QuorumEvent>(3, 2);
+  auto and_ev = std::make_shared<AndEvent>();
+  and_ev->AddChild(q1);
+  and_ev->AddChild(q2);
+  bool woke = false;
+  Coroutine::Create([&]() {
+    and_ev->Wait();
+    woke = true;
+  });
+  Coroutine::Create([&]() {
+    q1->VoteYes();
+    q1->VoteYes();
+    EXPECT_FALSE(and_ev->Ready());
+    q2->VoteYes();
+    q2->VoteYes();
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(QuorumEventTest, FastPathSlowPathPattern) {
+  // §3.2: OrEvent(fast_ok, fast_reject) with quorum children; the reject
+  // side fires first and the caller takes the slow path.
+  auto fast_ok = std::make_shared<QuorumEvent>(3, 3);      // fast quorum: all 3
+  auto fast_reject = std::make_shared<QuorumEvent>(3, 1);  // any reject
+  auto fastpath = std::make_shared<OrEvent>();
+  fastpath->AddChild(fast_ok);
+  fastpath->AddChild(fast_reject);
+  std::string taken;
+  Coroutine::Create([&]() {
+    fastpath->Wait(/*timeout_us=*/100000);
+    if (fast_ok->Ready()) {
+      taken = "fast";
+    } else if (fast_reject->Ready() || fastpath->TimedOut()) {
+      taken = "slow";
+    }
+  });
+  Coroutine::Create([&]() {
+    fast_ok->VoteYes();
+    fast_ok->VoteYes();
+    fast_reject->VoteYes();  // one replica rejected
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(taken, "slow");
+}
+
+// Property sweep: for every (n, k) and every subset size s of positive
+// replies, the quorum fires iff s >= k.
+class QuorumSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QuorumSweepTest, FiresExactlyAtThreshold) {
+  auto [n, k] = GetParam();
+  auto reactor = std::make_unique<Reactor>("sweep");
+  for (int s = 0; s <= n; s++) {
+    auto q = std::make_shared<QuorumEvent>(n, k);
+    std::vector<std::shared_ptr<IntEvent>> kids;
+    for (int i = 0; i < n; i++) {
+      kids.push_back(std::make_shared<IntEvent>());
+      q->AddChild(kids.back());
+    }
+    for (int i = 0; i < s; i++) {
+      kids[static_cast<size_t>(i)]->Set(1);
+    }
+    reactor->RunUntilIdle();
+    EXPECT_EQ(q->Ready(), s >= k) << "n=" << n << " k=" << k << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QuorumSweepTest,
+                         ::testing::Values(std::make_tuple(1, 1), std::make_tuple(3, 2),
+                                           std::make_tuple(5, 3), std::make_tuple(5, 4),
+                                           std::make_tuple(7, 4), std::make_tuple(9, 5)));
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,101 @@
+// Unit tests for the RaftLog structure and AppendEntries receiver rules.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/raft/raft_log.h"
+
+namespace depfast {
+namespace {
+
+Marshal Cmd(const std::string& s) {
+  Marshal m;
+  m << s;
+  return m;
+}
+
+TEST(RaftLogTest, StartsWithSentinel) {
+  RaftLog log;
+  EXPECT_EQ(log.LastIndex(), 0u);
+  EXPECT_EQ(log.LastTerm(), 0u);
+  EXPECT_TRUE(log.Matches(0, 0));
+}
+
+TEST(RaftLogTest, AppendAssignsSequentialIndexes) {
+  RaftLog log;
+  EXPECT_EQ(log.Append(1, Cmd("a")), 1u);
+  EXPECT_EQ(log.Append(1, Cmd("b")), 2u);
+  EXPECT_EQ(log.Append(2, Cmd("c")), 3u);
+  EXPECT_EQ(log.LastIndex(), 3u);
+  EXPECT_EQ(log.LastTerm(), 2u);
+  EXPECT_EQ(log.TermAt(2), 1u);
+}
+
+TEST(RaftLogTest, MatchesChecksTerm) {
+  RaftLog log;
+  log.Append(1, Cmd("a"));
+  EXPECT_TRUE(log.Matches(1, 1));
+  EXPECT_FALSE(log.Matches(1, 2));
+  EXPECT_FALSE(log.Matches(5, 1));
+}
+
+TEST(RaftLogTest, ApplyAppendIdempotent) {
+  RaftLog log;
+  std::vector<LogEntry> entries = {{1, Cmd("a")}, {1, Cmd("b")}};
+  EXPECT_EQ(log.ApplyAppend(1, entries), 2u);
+  EXPECT_EQ(log.ApplyAppend(1, entries), 0u);  // duplicate delivery
+  EXPECT_EQ(log.LastIndex(), 2u);
+}
+
+TEST(RaftLogTest, ApplyAppendTruncatesConflicts) {
+  RaftLog log;
+  log.Append(1, Cmd("a"));
+  log.Append(1, Cmd("b"));
+  log.Append(1, Cmd("c"));
+  // New leader's entries conflict at index 2.
+  std::vector<LogEntry> entries = {{2, Cmd("x")}};
+  EXPECT_EQ(log.ApplyAppend(2, entries), 1u);
+  EXPECT_EQ(log.LastIndex(), 2u);
+  EXPECT_EQ(log.TermAt(2), 2u);
+  Marshal copy = log.At(2).cmd;
+  std::string s;
+  copy >> s;
+  EXPECT_EQ(s, "x");
+}
+
+TEST(RaftLogTest, ApplyAppendPartialOverlap) {
+  RaftLog log;
+  log.Append(1, Cmd("a"));
+  log.Append(1, Cmd("b"));
+  std::vector<LogEntry> entries = {{1, Cmd("b")}, {1, Cmd("c")}};
+  EXPECT_EQ(log.ApplyAppend(2, entries), 1u);  // only "c" is new
+  EXPECT_EQ(log.LastIndex(), 3u);
+}
+
+TEST(RaftLogTest, SliceCopiesRange) {
+  RaftLog log;
+  for (int i = 0; i < 10; i++) {
+    log.Append(1, Cmd(std::to_string(i)));
+  }
+  auto s = log.Slice(3, 5);
+  ASSERT_EQ(s.size(), 3u);
+  Marshal copy = s[0].cmd;
+  std::string v;
+  copy >> v;
+  EXPECT_EQ(v, "2");
+}
+
+TEST(RaftLogTest, ApproxBytesTracksAppendAndTruncate) {
+  RaftLog log;
+  log.Append(1, Cmd("aaaa"));
+  uint64_t b1 = log.ApproxBytes();
+  EXPECT_GT(b1, 0u);
+  log.Append(1, Cmd("bbbb"));
+  EXPECT_GT(log.ApproxBytes(), b1);
+  std::vector<LogEntry> entries = {{2, Cmd("c")}};
+  log.ApplyAppend(1, entries);  // truncates both, adds one
+  EXPECT_LT(log.ApproxBytes(), b1);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,308 @@
+// Integration tests for DepFastRaft on full multi-threaded clusters:
+// replication, elections, catch-up, consistency, and fail-slow tolerance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+
+namespace depfast {
+namespace {
+
+RaftClusterOptions FastOptions(int n_nodes, bool pin_leader) {
+  RaftClusterOptions opts;
+  opts.n_nodes = n_nodes;
+  opts.pin_leader = pin_leader;
+  opts.raft.heartbeat_us = 10000;
+  opts.raft.election_timeout_min_us = 60000;
+  opts.raft.election_timeout_max_us = 120000;
+  opts.raft.rpc_timeout_us = 50000;
+  opts.raft.quorum_wait_us = 150000;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  return opts;
+}
+
+// Runs `fn` inside a coroutine on the client's reactor and waits for it.
+void RunClientOp(RaftClientHandle& client, std::function<void(RaftClient&)> fn) {
+  std::atomic<bool> done{false};
+  RaftClient* session = client.session.get();
+  client.thread->reactor()->Post([&, session]() {
+    Coroutine::Create([&, session]() {
+      fn(*session);
+      done.store(true);
+    });
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(RaftTest, PinnedLeaderServesPutGet) {
+  RaftCluster cluster(FastOptions(3, /*pin_leader=*/true));
+  auto client = cluster.MakeClient("c1");
+  bool put_ok = false;
+  std::string got;
+  RunClientOp(*client, [&](RaftClient& c) {
+    put_ok = c.Put("k", "v");
+    got = c.Get("k").value_or("");
+  });
+  EXPECT_TRUE(put_ok);
+  EXPECT_EQ(got, "v");
+}
+
+TEST(RaftTest, CommitsReachAllReplicas) {
+  RaftCluster cluster(FastOptions(3, true));
+  auto client = cluster.MakeClient("c1");
+  const int kOps = 50;
+  int ok = 0;
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < kOps; i++) {
+      if (c.Put("key" + std::to_string(i), "val" + std::to_string(i))) {
+        ok++;
+      }
+    }
+  });
+  EXPECT_EQ(ok, kOps);
+  // Followers apply asynchronously; give heartbeats a moment to ship the
+  // commit index, then verify every replica's state machine.
+  uint64_t deadline = MonotonicUs() + 3000000;
+  bool all_applied = false;
+  while (MonotonicUs() < deadline && !all_applied) {
+    all_applied = true;
+    for (int i = 0; i < 3; i++) {
+      uint64_t applied = 0;
+      cluster.RunOn(i, [&, i]() { applied = cluster.server(i).raft->last_applied(); });
+      if (applied < static_cast<uint64_t>(kOps)) {
+        all_applied = false;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(all_applied);
+  for (int i = 0; i < 3; i++) {
+    std::string v;
+    cluster.RunOn(i, [&, i]() { v = cluster.server(i).raft->kv().Get("key7").value_or(""); });
+    EXPECT_EQ(v, "val7") << "replica " << i;
+  }
+}
+
+TEST(RaftTest, LogsAgreeUpToCommit) {
+  RaftCluster cluster(FastOptions(3, true));
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 30; i++) {
+      c.Put("k" + std::to_string(i % 5), std::to_string(i));
+    }
+  });
+  // Log Matching property: entries below min(commit) are identical.
+  uint64_t min_commit = UINT64_MAX;
+  for (int i = 0; i < 3; i++) {
+    uint64_t c = 0;
+    cluster.RunOn(i, [&, i]() { c = cluster.server(i).raft->commit_idx(); });
+    min_commit = std::min(min_commit, c);
+  }
+  ASSERT_GT(min_commit, 0u);
+  for (uint64_t idx = 1; idx <= min_commit; idx++) {
+    uint64_t term0 = 0;
+    Marshal cmd0;
+    cluster.RunOn(0, [&]() {
+      term0 = cluster.server(0).raft->log().TermAt(idx);
+      cmd0 = cluster.server(0).raft->log().At(idx).cmd;
+    });
+    for (int i = 1; i < 3; i++) {
+      uint64_t term = 0;
+      Marshal cmd;
+      cluster.RunOn(i, [&, i]() {
+        term = cluster.server(i).raft->log().TermAt(idx);
+        cmd = cluster.server(i).raft->log().At(idx).cmd;
+      });
+      EXPECT_EQ(term, term0) << "idx " << idx;
+      EXPECT_TRUE(cmd == cmd0) << "idx " << idx;
+    }
+  }
+}
+
+TEST(RaftTest, ElectionProducesExactlyOneLeader) {
+  RaftCluster cluster(FastOptions(3, /*pin_leader=*/false));
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  int leaders = 0;
+  for (int i = 0; i < 3; i++) {
+    RaftRole role = RaftRole::kFollower;
+    cluster.RunOn(i, [&, i]() { role = cluster.server(i).raft->role(); });
+    if (role == RaftRole::kLeader) {
+      leaders++;
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+  // And the elected leader serves requests.
+  auto client = cluster.MakeClient("c1");
+  bool ok = false;
+  RunClientOp(*client, [&](RaftClient& c) { ok = c.Put("x", "y"); });
+  EXPECT_TRUE(ok);
+}
+
+TEST(RaftTest, ReelectionAfterLeaderShutdown) {
+  RaftCluster cluster(FastOptions(3, false));
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  int old_leader = cluster.LeaderIndex();
+  ASSERT_GE(old_leader, 0);
+  cluster.RunOn(old_leader, [&]() { cluster.server(old_leader).raft->Shutdown(); });
+  // A new leader must emerge among the remaining nodes.
+  uint64_t deadline = MonotonicUs() + 8000000;
+  int new_leader = -1;
+  while (MonotonicUs() < deadline) {
+    for (int i = 0; i < 3; i++) {
+      if (i == old_leader) {
+        continue;
+      }
+      RaftRole role = RaftRole::kFollower;
+      cluster.RunOn(i, [&, i]() { role = cluster.server(i).raft->role(); });
+      if (role == RaftRole::kLeader) {
+        new_leader = i;
+      }
+    }
+    if (new_leader >= 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, old_leader);
+  auto client = cluster.MakeClient("c1");
+  bool ok = false;
+  RunClientOp(*client, [&](RaftClient& c) { ok = c.Put("after", "failover"); });
+  EXPECT_TRUE(ok);
+}
+
+TEST(RaftTest, FailSlowFollowerDoesNotBlockWrites) {
+  RaftCluster cluster(FastOptions(3, true));
+  cluster.InjectFault(1, FaultType::kCpuSlow);  // one fail-slow follower
+  auto client = cluster.MakeClient("c1");
+  int ok = 0;
+  uint64_t begin = MonotonicUs();
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 40; i++) {
+      if (c.Put("k" + std::to_string(i), "v")) {
+        ok++;
+      }
+    }
+  });
+  uint64_t elapsed = MonotonicUs() - begin;
+  EXPECT_EQ(ok, 40);
+  // 40 sequential ops with healthy quorum should take well under a second;
+  // a leaked per-follower wait would cost >= 40 x rpc_timeout = 2 s.
+  EXPECT_LT(elapsed, 1500000u);
+}
+
+TEST(RaftTest, NetworkSlowFollowerCatchesUpAfterClear) {
+  auto opts = FastOptions(3, true);
+  opts.raft.send_queue_cap_bytes = 16 * 1024;  // force drops to the slow peer
+  RaftCluster cluster(opts);
+  FaultSpec net = MakeFault(FaultType::kNetworkSlow);
+  net.net_delay_us = 300000;  // scaled-down tc delay
+  cluster.InjectFault(2, net);
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 30; i++) {
+      c.Put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+  });
+  uint64_t leader_applied = 0;
+  cluster.RunOn(0, [&]() { leader_applied = cluster.server(0).raft->last_applied(); });
+  ASSERT_GE(leader_applied, 30u);
+  cluster.ClearFault(2);
+  // The lagging follower must converge via catch-up.
+  uint64_t deadline = MonotonicUs() + 10000000;
+  uint64_t follower_applied = 0;
+  while (MonotonicUs() < deadline) {
+    cluster.RunOn(2, [&]() { follower_applied = cluster.server(2).raft->last_applied(); });
+    if (follower_applied >= leader_applied) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_GE(follower_applied, leader_applied);
+  std::string v;
+  cluster.RunOn(2, [&]() { v = cluster.server(2).raft->kv().Get("k29").value_or(""); });
+  EXPECT_EQ(v, "v29");
+}
+
+TEST(RaftTest, NotLeaderRedirectsClient) {
+  RaftCluster cluster(FastOptions(3, true));
+  auto client = cluster.MakeClient("c1");
+  // Point the client at a follower first; it must discover the leader.
+  bool ok = false;
+  RunClientOp(*client, [&](RaftClient& c) { ok = c.Put("redirect", "works"); });
+  EXPECT_TRUE(ok);
+}
+
+TEST(RaftTest, FiveNodeClusterToleratesTwoSlowFollowers) {
+  RaftCluster cluster(FastOptions(5, true));
+  cluster.InjectFault(1, FaultType::kCpuSlow);
+  cluster.InjectFault(2, FaultType::kDiskSlow);
+  auto client = cluster.MakeClient("c1");
+  int ok = 0;
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 30; i++) {
+      if (c.Put("k" + std::to_string(i), "v")) {
+        ok++;
+      }
+    }
+  });
+  EXPECT_EQ(ok, 30);  // quorum of 3 healthy nodes suffices
+}
+
+TEST(RaftTest, DeleteAndMissingKey) {
+  RaftCluster cluster(FastOptions(3, true));
+  auto client = cluster.MakeClient("c1");
+  bool deleted = false;
+  bool missing_get = true;
+  bool missing_delete = true;
+  RunClientOp(*client, [&](RaftClient& c) {
+    c.Put("k", "v");
+    deleted = c.Delete("k");
+    missing_get = !c.Get("k").has_value();
+    missing_delete = !c.Delete("k");
+  });
+  EXPECT_TRUE(deleted);
+  EXPECT_TRUE(missing_get);
+  EXPECT_TRUE(missing_delete);
+}
+
+TEST(RaftTest, ConcurrentClients) {
+  RaftCluster cluster(FastOptions(3, true));
+  auto c1 = cluster.MakeClient("c1");
+  auto c2 = cluster.MakeClient("c2");
+  std::atomic<int> ok{0};
+  std::atomic<int> done{0};
+  for (auto* client : {c1.get(), c2.get()}) {
+    RaftClient* session = client->session.get();
+    client->thread->reactor()->Post([&, session]() {
+      // 8 concurrent coroutines per client.
+      for (int j = 0; j < 8; j++) {
+        Coroutine::Create([&, session, j]() {
+          for (int i = 0; i < 10; i++) {
+            if (session->Put("k" + std::to_string(j) + "_" + std::to_string(i), "v")) {
+              ok++;
+            }
+          }
+          done++;
+        });
+      }
+    });
+  }
+  while (done.load() < 16) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(ok.load(), 160);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,263 @@
+// Integration tests for the RPC layer over SimTransport: calls, replies,
+// judges, timeouts, drops, quorum broadcasts, multi-node reactor threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/rpc/rpc.h"
+#include "src/rpc/sim_transport.h"
+#include "src/runtime/compound_event.h"
+#include "src/runtime/reactor.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+namespace {
+
+constexpr int32_t kEcho = 1;
+constexpr int32_t kAddOne = 2;
+constexpr int32_t kJudged = 3;
+constexpr int32_t kSlow = 4;
+
+LinkParams QuietLink() {
+  LinkParams p;
+  p.base_delay_us = 200;
+  p.bytes_per_us = 1000;
+  p.jitter_p = 0.0;
+  return p;
+}
+
+// Two-node harness: a server on its own reactor thread, a client driven on
+// the test's reactor.
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : transport_(QuietLink()),
+        client_reactor_(std::make_unique<Reactor>("client")),
+        server_("server") {
+    client_ = std::make_unique<RpcEndpoint>(1, "client", client_reactor_.get(), &transport_);
+    client_->SetPeerName(2, "server");
+    std::atomic<bool> ready{false};
+    server_.reactor()->Post([&]() {
+      server_ep_ = std::make_unique<RpcEndpoint>(2, "server", server_.reactor(), &transport_);
+      server_ep_->Register(kEcho, [](NodeId, Marshal& args, Marshal* reply) {
+        std::string s;
+        args >> s;
+        *reply << s;
+      });
+      server_ep_->Register(kAddOne, [](NodeId, Marshal& args, Marshal* reply) {
+        int64_t v = 0;
+        args >> v;
+        *reply << (v + 1);
+      });
+      server_ep_->Register(kJudged, [](NodeId, Marshal& args, Marshal* reply) {
+        bool ok = false;
+        args >> ok;
+        *reply << ok;
+      });
+      server_ep_->Register(kSlow, [](NodeId, Marshal& args, Marshal* reply) {
+        SleepUs(100000);
+        *reply << std::string("late");
+      });
+      ready = true;
+    });
+    while (!ready.load()) {
+    }
+  }
+
+  ~RpcTest() override {
+    std::atomic<bool> done{false};
+    server_.reactor()->Post([&]() {
+      server_ep_.reset();
+      done = true;
+    });
+    while (!done.load()) {
+    }
+    server_.Stop();
+  }
+
+  SimTransport transport_;
+  std::unique_ptr<Reactor> client_reactor_;
+  ReactorThread server_;
+  std::unique_ptr<RpcEndpoint> client_;
+  std::unique_ptr<RpcEndpoint> server_ep_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  std::string got;
+  Coroutine::Create([&]() {
+    Marshal args;
+    args << std::string("ping");
+    auto ev = client_->Call(2, kEcho, std::move(args));
+    EXPECT_EQ(ev->Wait(), Event::EvStatus::kReady);
+    got = [&] {
+      std::string s;
+      ev->reply() >> s;
+      return s;
+    }();
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return !got.empty(); }, 2000000));
+  EXPECT_EQ(got, "ping");
+}
+
+TEST_F(RpcTest, ComputationReply) {
+  int64_t got = 0;
+  Coroutine::Create([&]() {
+    Marshal args;
+    args << static_cast<int64_t>(41);
+    auto ev = client_->Call(2, kAddOne, std::move(args));
+    ev->Wait();
+    ev->reply() >> got;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return got != 0; }, 2000000));
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(RpcTest, ManyConcurrentCalls) {
+  std::atomic<int> done{0};
+  const int kN = 200;
+  for (int i = 0; i < kN; i++) {
+    Coroutine::Create([&, i]() {
+      Marshal args;
+      args << static_cast<int64_t>(i);
+      auto ev = client_->Call(2, kAddOne, std::move(args));
+      ev->Wait();
+      int64_t v = 0;
+      ev->reply() >> v;
+      EXPECT_EQ(v, i + 1);
+      done++;
+    });
+  }
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return done == kN; }, 5000000));
+}
+
+TEST_F(RpcTest, JudgeRejectionVotesNo) {
+  bool finished = false;
+  Coroutine::Create([&]() {
+    Marshal args;
+    args << false;  // server replies ok=false
+    CallOpts opts;
+    opts.judge = [](Marshal& reply) {
+      bool ok = false;
+      reply >> ok;
+      return ok;
+    };
+    auto ev = client_->Call(2, kJudged, std::move(args), opts);
+    ev->Wait();
+    EXPECT_TRUE(ev->Ready());
+    EXPECT_FALSE(ev->vote_ok());
+    finished = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return finished; }, 2000000));
+}
+
+TEST_F(RpcTest, CallTimeoutFiresNegative) {
+  bool finished = false;
+  Coroutine::Create([&]() {
+    Marshal args;
+    CallOpts opts;
+    opts.timeout_us = 20000;  // handler sleeps 100 ms
+    auto ev = client_->Call(2, kSlow, std::move(args), opts);
+    ev->Wait();
+    EXPECT_TRUE(ev->Ready());
+    EXPECT_FALSE(ev->vote_ok());
+    EXPECT_TRUE(ev->failed());
+    finished = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return finished; }, 2000000));
+  EXPECT_EQ(client_->n_timeouts(), 1u);
+}
+
+TEST_F(RpcTest, LateReplyAfterTimeoutIgnored) {
+  bool finished = false;
+  Coroutine::Create([&]() {
+    Marshal args;
+    CallOpts opts;
+    opts.timeout_us = 20000;
+    auto ev = client_->Call(2, kSlow, std::move(args), opts);
+    ev->Wait();
+    // Now wait long enough for the late reply to arrive; nothing crashes
+    // and the event stays negative.
+    SleepUs(150000);
+    EXPECT_FALSE(ev->vote_ok());
+    finished = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return finished; }, 3000000));
+}
+
+TEST_F(RpcTest, UnknownMethodErrors) {
+  bool finished = false;
+  Coroutine::Create([&]() {
+    Marshal args;
+    auto ev = client_->Call(2, 999, std::move(args));
+    ev->Wait(1000000);
+    EXPECT_TRUE(ev->Ready());
+    EXPECT_FALSE(ev->vote_ok());
+    EXPECT_TRUE(ev->failed());
+    finished = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return finished; }, 3000000));
+}
+
+TEST_F(RpcTest, UnknownPeerFailsImmediately) {
+  bool finished = false;
+  Coroutine::Create([&]() {
+    Marshal args;
+    auto ev = client_->Call(77, kEcho, std::move(args));
+    EXPECT_TRUE(ev->Ready());  // completed synchronously as a drop
+    EXPECT_TRUE(ev->failed());
+    finished = true;
+  });
+  client_reactor_->RunUntil([&]() { return finished; }, 1000000);
+  EXPECT_EQ(client_->n_drops(), 1u);
+}
+
+TEST_F(RpcTest, QuorumOverRpcEvents) {
+  // The paper's core pattern: broadcast, add each rpc event to a quorum
+  // event, wait for a majority. Here: 2 real servers + 1 dead address; the
+  // quorum of 2 fires from the live replies.
+  bool finished = false;
+  Coroutine::Create([&]() {
+    auto q = std::make_shared<QuorumEvent>(3, 2);
+    for (NodeId peer : {2u, 2u, 77u}) {  // 77 is unreachable
+      Marshal args;
+      args << std::string("b");
+      CallOpts opts;
+      opts.timeout_us = 500000;
+      q->AddChild(client_->Call(peer, kEcho, std::move(args), opts));
+    }
+    EXPECT_EQ(q->Wait(1000000), Event::EvStatus::kReady);
+    EXPECT_GE(q->n_yes(), 2);
+    EXPECT_EQ(q->n_no(), 1);  // the dead peer voted no instantly
+    finished = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return finished; }, 3000000));
+}
+
+TEST_F(RpcTest, TraceRecordsRpcPeer) {
+  Tracer::Instance().Clear();
+  Tracer::Instance().Enable();
+  bool finished = false;
+  Coroutine::Create([&]() {
+    Marshal args;
+    args << std::string("t");
+    auto ev = client_->Call(2, kEcho, std::move(args));
+    ev->Wait();
+    finished = true;
+  });
+  client_reactor_->RunUntil([&]() { return finished; }, 2000000);
+  auto records = Tracer::Instance().Snapshot();
+  bool found = false;
+  for (const auto& r : records) {
+    if (r.node == "client" && r.kind == "rpc" && !r.peers.empty() && r.peers[0] == "server") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  Tracer::Instance().Disable();
+  Tracer::Instance().Clear();
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,213 @@
+// Unit tests for SimTransport: delivery, ordering, delay/jitter/extra-delay
+// models, bounded queues with discardable drops, byte accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/time_util.h"
+#include "src/rpc/sim_transport.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+LinkParams QuietLink() {
+  LinkParams p;
+  p.base_delay_us = 1000;
+  p.bytes_per_us = 1000;
+  p.jitter_p = 0.0;
+  return p;
+}
+
+Marshal Msg(const std::string& s) {
+  Marshal m;
+  m << s;
+  return m;
+}
+
+std::string Unmsg(Marshal& m) {
+  std::string s;
+  m >> s;
+  return s;
+}
+
+TEST(SimTransportTest, DeliversToRegisteredNode) {
+  Reactor reactor("n");
+  SimTransport t(QuietLink());
+  std::vector<std::string> got;
+  t.RegisterNode(2, &reactor, [&](NodeId from, Marshal m) {
+    EXPECT_EQ(from, 1u);
+    got.push_back(Unmsg(m));
+  });
+  EXPECT_TRUE(t.Send(1, 2, Msg("hello"), SendOpts{}));
+  reactor.RunUntil([&]() { return !got.empty(); }, 1000000);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "hello");
+}
+
+TEST(SimTransportTest, UnknownDestinationFails) {
+  Reactor reactor("n");
+  SimTransport t(QuietLink());
+  EXPECT_FALSE(t.Send(1, 99, Msg("x"), SendOpts{}));
+}
+
+TEST(SimTransportTest, DeliveryRespectsBaseDelay) {
+  Reactor reactor("n");
+  SimTransport t(QuietLink());  // 1 ms one-way
+  std::atomic<uint64_t> delivered_at{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { delivered_at = MonotonicUs(); });
+  uint64_t sent_at = MonotonicUs();
+  t.Send(1, 2, Msg("x"), SendOpts{});
+  reactor.RunUntil([&]() { return delivered_at != 0; }, 1000000);
+  EXPECT_GE(delivered_at - sent_at, 900u);
+}
+
+TEST(SimTransportTest, ExtraDelayOnFaultyNodeAppliesBothDirections) {
+  Reactor reactor("n");
+  SimTransport t(QuietLink());
+  std::atomic<uint64_t> delivered_at{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { delivered_at = MonotonicUs(); });
+  t.RegisterNode(3, &reactor, [&](NodeId, Marshal) { delivered_at = MonotonicUs(); });
+  t.SetNodeExtraDelay(2, 50000);
+  // Ingress to the faulty node.
+  uint64_t sent = MonotonicUs();
+  t.Send(1, 2, Msg("x"), SendOpts{});
+  reactor.RunUntil([&]() { return delivered_at != 0; }, 2000000);
+  EXPECT_GE(delivered_at - sent, 50000u);
+  // Egress from the faulty node.
+  delivered_at = 0;
+  sent = MonotonicUs();
+  t.Send(2, 3, Msg("y"), SendOpts{});
+  reactor.RunUntil([&]() { return delivered_at != 0; }, 2000000);
+  EXPECT_GE(delivered_at - sent, 50000u);
+}
+
+TEST(SimTransportTest, FifoPerLinkWithoutJitter) {
+  Reactor reactor("n");
+  SimTransport t(QuietLink());
+  std::vector<std::string> got;
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal m) { got.push_back(Unmsg(m)); });
+  for (int i = 0; i < 20; i++) {
+    t.Send(1, 2, Msg("m" + std::to_string(i)), SendOpts{});
+  }
+  reactor.RunUntil([&]() { return got.size() == 20; }, 2000000);
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], "m" + std::to_string(i));
+  }
+}
+
+TEST(SimTransportTest, BandwidthSerializesLargeMessages) {
+  Reactor reactor("n");
+  LinkParams p = QuietLink();
+  p.bytes_per_us = 10;  // 10 MB/s
+  SimTransport t(p);
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { got++; });
+  // 100 KB at 10 B/us = 10 ms serialization each; two messages pipeline.
+  Marshal big;
+  big << std::string(100000, 'x');
+  uint64_t begin = MonotonicUs();
+  t.Send(1, 2, std::move(big), SendOpts{});
+  Marshal big2;
+  big2 << std::string(100000, 'y');
+  t.Send(1, 2, std::move(big2), SendOpts{});
+  reactor.RunUntil([&]() { return got == 2; }, 5000000);
+  uint64_t elapsed = MonotonicUs() - begin;
+  EXPECT_GE(elapsed, 20000u);  // both messages share one pipe
+}
+
+TEST(SimTransportTest, DiscardableDroppedOverCap) {
+  Reactor reactor("n");
+  LinkParams p = QuietLink();
+  p.bytes_per_us = 1;       // slow pipe so bytes stay queued
+  p.base_delay_us = 50000;  // long in-flight window
+  SimTransport t(p);
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { got++; });
+  t.SetSendQueueCap(1, 2000);
+  int accepted = 0;
+  int dropped = 0;
+  for (int i = 0; i < 10; i++) {
+    SendOpts opts;
+    opts.discardable = true;
+    Marshal m;
+    m << std::string(900, 'x');
+    if (t.Send(1, 2, std::move(m), opts)) {
+      accepted++;
+    } else {
+      dropped++;
+    }
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(t.DroppedCount(1, 2), static_cast<uint64_t>(dropped));
+}
+
+TEST(SimTransportTest, NonDiscardableNeverDropped) {
+  Reactor reactor("n");
+  LinkParams p = QuietLink();
+  p.bytes_per_us = 1;
+  SimTransport t(p);
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { got++; });
+  t.SetSendQueueCap(1, 100);
+  for (int i = 0; i < 10; i++) {
+    Marshal m;
+    m << std::string(900, 'x');
+    EXPECT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  }
+  EXPECT_EQ(t.DroppedCount(1, 2), 0u);
+}
+
+TEST(SimTransportTest, QueuedBytesTracksInFlight) {
+  Reactor reactor("n");
+  LinkParams p = QuietLink();
+  p.base_delay_us = 30000;
+  SimTransport t(p);
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { got++; });
+  Marshal m;
+  m << std::string(1000, 'x');
+  uint64_t size = m.ContentSize();
+  t.Send(1, 2, std::move(m), SendOpts{});
+  EXPECT_EQ(t.QueuedBytes(1, 2), size);
+  EXPECT_EQ(t.OutgoingBytes(1), size);
+  reactor.RunUntil([&]() { return got == 1; }, 1000000);
+  EXPECT_EQ(t.QueuedBytes(1, 2), 0u);
+  EXPECT_EQ(t.TotalDelivered(), 1u);
+}
+
+TEST(SimTransportTest, JitterOccasionallyStalls) {
+  Reactor reactor("n");
+  LinkParams p = QuietLink();
+  p.base_delay_us = 100;
+  p.jitter_p = 0.5;
+  p.jitter_us = 20000;
+  SimTransport t(p, /*seed=*/7);
+  std::vector<uint64_t> latencies;
+  std::atomic<int> got{0};
+  uint64_t sent_at = 0;
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) {
+    latencies.push_back(MonotonicUs() - sent_at);
+    got++;
+  });
+  int slow = 0;
+  for (int i = 0; i < 20; i++) {
+    sent_at = MonotonicUs();
+    int before = got;
+    t.Send(1, 2, Msg("x"), SendOpts{});
+    reactor.RunUntil([&]() { return got > before; }, 1000000);
+    if (latencies.back() > 10000) {
+      slow++;
+    }
+  }
+  EXPECT_GT(slow, 2);
+  EXPECT_LT(slow, 18);
+}
+
+}  // namespace
+}  // namespace depfast

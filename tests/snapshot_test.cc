@@ -1,0 +1,217 @@
+// Tests for log compaction and InstallSnapshot: RaftLog base-offset
+// mechanics, leader auto-compaction, and snapshot-based follower catch-up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+
+namespace depfast {
+namespace {
+
+Marshal Cmd(const std::string& s) {
+  Marshal m;
+  m << s;
+  return m;
+}
+
+TEST(RaftLogCompactionTest, CompactMovesBase) {
+  RaftLog log;
+  for (int i = 1; i <= 10; i++) {
+    log.Append(1, Cmd(std::to_string(i)));
+  }
+  log.CompactTo(6);
+  EXPECT_EQ(log.BaseIndex(), 6u);
+  EXPECT_EQ(log.BaseTerm(), 1u);
+  EXPECT_EQ(log.LastIndex(), 10u);
+  EXPECT_EQ(log.EntryCount(), 4u);
+  EXPECT_FALSE(log.Has(5));
+  EXPECT_TRUE(log.Has(7));
+  EXPECT_EQ(log.TermAt(6), 1u);  // base sentinel term
+  Marshal copy = log.At(7).cmd;
+  std::string s;
+  copy >> s;
+  EXPECT_EQ(s, "7");
+}
+
+TEST(RaftLogCompactionTest, CompactToBaseIsNoop) {
+  RaftLog log;
+  log.Append(1, Cmd("a"));
+  log.CompactTo(1);
+  log.CompactTo(1);
+  log.CompactTo(0);
+  EXPECT_EQ(log.BaseIndex(), 1u);
+  EXPECT_EQ(log.LastIndex(), 1u);
+}
+
+TEST(RaftLogCompactionTest, MatchesBelowBaseIsTrue) {
+  RaftLog log;
+  for (int i = 1; i <= 5; i++) {
+    log.Append(2, Cmd("x"));
+  }
+  log.CompactTo(4);
+  EXPECT_TRUE(log.Matches(2, 99));  // snapshot vouches for anything below base
+  EXPECT_TRUE(log.Matches(4, 2));   // base sentinel must match its term
+  EXPECT_FALSE(log.Matches(4, 3));
+  EXPECT_TRUE(log.Matches(5, 2));
+}
+
+TEST(RaftLogCompactionTest, ApplyAppendSkipsSnapshottedPrefix) {
+  RaftLog log;
+  for (int i = 1; i <= 6; i++) {
+    log.Append(1, Cmd(std::to_string(i)));
+  }
+  log.CompactTo(5);
+  // A batch overlapping the base: entries at 4,5 are skipped, 6 is dup, 7 new.
+  std::vector<LogEntry> entries = {{1, Cmd("4")}, {1, Cmd("5")}, {1, Cmd("6")}, {1, Cmd("7")}};
+  EXPECT_EQ(log.ApplyAppend(4, entries), 1u);
+  EXPECT_EQ(log.LastIndex(), 7u);
+}
+
+TEST(RaftLogCompactionTest, ApproxBytesShrinksOnCompact) {
+  RaftLog log;
+  for (int i = 0; i < 10; i++) {
+    log.Append(1, Cmd("payload-payload"));
+  }
+  uint64_t before = log.ApproxBytes();
+  log.CompactTo(8);
+  EXPECT_LT(log.ApproxBytes(), before);
+}
+
+TEST(RaftLogCompactionTest, ResetToSnapshotFresh) {
+  RaftLog log;
+  log.Append(1, Cmd("a"));
+  log.ResetToSnapshot(100, 7);
+  EXPECT_EQ(log.BaseIndex(), 100u);
+  EXPECT_EQ(log.BaseTerm(), 7u);
+  EXPECT_EQ(log.LastIndex(), 100u);
+  EXPECT_EQ(log.ApproxBytes(), 0u);
+  // And the log keeps working past the new base.
+  EXPECT_EQ(log.Append(8, Cmd("b")), 101u);
+  EXPECT_TRUE(log.Matches(100, 7));
+}
+
+TEST(RaftLogCompactionTest, ResetToSnapshotKeepsMatchingSuffix) {
+  RaftLog log;
+  for (int i = 1; i <= 6; i++) {
+    log.Append(3, Cmd(std::to_string(i)));
+  }
+  log.ResetToSnapshot(4, 3);  // prefix of what we already have
+  EXPECT_EQ(log.BaseIndex(), 4u);
+  EXPECT_EQ(log.LastIndex(), 6u);  // suffix retained
+  Marshal copy = log.At(5).cmd;
+  std::string s;
+  copy >> s;
+  EXPECT_EQ(s, "5");
+}
+
+// ---- cluster-level ----
+
+RaftClusterOptions SnapOptions() {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;
+  opts.raft.snapshot_threshold_entries = 32;  // aggressive, to trigger in-test
+  opts.raft.max_batch = 16;
+  opts.raft.rpc_timeout_us = 50000;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  return opts;
+}
+
+void RunClientOp(RaftClientHandle& client, std::function<void(RaftClient&)> fn) {
+  std::atomic<bool> done{false};
+  RaftClient* session = client.session.get();
+  client.thread->reactor()->Post([&, session]() {
+    Coroutine::Create([&, session]() {
+      fn(*session);
+      done.store(true);
+    });
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(SnapshotClusterTest, LeaderCompactsPastThreshold) {
+  RaftCluster cluster(SnapOptions());
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 100; i++) {
+      c.Put("k" + std::to_string(i % 10), std::to_string(i));
+    }
+  });
+  uint64_t base = 0;
+  uint64_t entry_count = 0;
+  cluster.RunOn(0, [&]() {
+    base = cluster.server(0).raft->log().BaseIndex();
+    entry_count = cluster.server(0).raft->log().EntryCount();
+  });
+  EXPECT_GT(base, 0u);
+  EXPECT_LT(entry_count, 64u);  // the prefix is gone
+  // State survives compaction.
+  std::string v;
+  cluster.RunOn(0, [&]() { v = cluster.server(0).raft->kv().Get("k9").value_or(""); });
+  EXPECT_EQ(v, "99");
+}
+
+TEST(SnapshotClusterTest, LaggingFollowerCatchesUpViaSnapshot) {
+  RaftCluster cluster(SnapOptions());
+  // Wedge follower 2 with a long network delay so it misses everything.
+  FaultSpec net = MakeFault(FaultType::kNetworkSlow);
+  net.net_delay_us = 400000;
+  cluster.InjectFault(2, net);
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 120; i++) {
+      c.Put("key" + std::to_string(i), "v" + std::to_string(i));
+    }
+  });
+  uint64_t leader_base = 0;
+  cluster.RunOn(0, [&]() { leader_base = cluster.server(0).raft->log().BaseIndex(); });
+  ASSERT_GT(leader_base, 0u);  // prefix compacted while follower was wedged
+  cluster.ClearFault(2);
+  // The follower can only recover through InstallSnapshot now.
+  uint64_t deadline = MonotonicUs() + 15000000;
+  uint64_t applied = 0;
+  while (MonotonicUs() < deadline) {
+    cluster.RunOn(2, [&]() { applied = cluster.server(2).raft->last_applied(); });
+    if (applied >= 120) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(applied, 120u);
+  std::string v;
+  uint64_t follower_base = 0;
+  cluster.RunOn(2, [&]() {
+    v = cluster.server(2).raft->kv().Get("key100").value_or("");
+    follower_base = cluster.server(2).raft->log().BaseIndex();
+  });
+  EXPECT_EQ(v, "v100");
+  EXPECT_GT(follower_base, 0u);  // its log floor moved to the snapshot
+}
+
+TEST(SnapshotClusterTest, CompactionDisabledKeepsFullLog) {
+  auto opts = SnapOptions();
+  opts.raft.snapshot_threshold_entries = 0;
+  RaftCluster cluster(opts);
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 80; i++) {
+      c.Put("k", "v");
+    }
+  });
+  uint64_t base = 1;
+  cluster.RunOn(0, [&]() { base = cluster.server(0).raft->log().BaseIndex(); });
+  EXPECT_EQ(base, 0u);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,245 @@
+// Unit tests for storage: SimDisk timing model, FileDisk real I/O, WAL group
+// commit, KvStore state machine + snapshots.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/base/time_util.h"
+#include "src/runtime/reactor.h"
+#include "src/storage/disk.h"
+#include "src/storage/kvstore.h"
+#include "src/storage/wal.h"
+
+namespace depfast {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest() : reactor_(std::make_unique<Reactor>("node")) {}
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(StorageTest, SimDiskWriteFiresAfterModelTime) {
+  SimDiskParams p;
+  p.base_latency_us = 5000;
+  p.bytes_per_us = 100;
+  SimDisk disk(reactor_.get(), p);
+  uint64_t begin = MonotonicUs();
+  uint64_t done_at = 0;
+  Coroutine::Create([&]() {
+    auto ev = std::make_shared<IntEvent>();
+    disk.AsyncWrite(100000, ev);  // 5 ms latency + 1 ms transfer
+    ev->Wait();
+    done_at = MonotonicUs();
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(done_at - begin, 5500u);
+}
+
+TEST_F(StorageTest, SimDiskSerializesIos) {
+  SimDiskParams p;
+  p.base_latency_us = 10000;
+  p.bytes_per_us = 1000;
+  SimDisk disk(reactor_.get(), p);
+  uint64_t begin = MonotonicUs();
+  uint64_t last_done = 0;
+  int done = 0;
+  for (int i = 0; i < 3; i++) {
+    Coroutine::Create([&]() {
+      auto ev = std::make_shared<IntEvent>();
+      disk.AsyncWrite(100, ev);
+      ev->Wait();
+      done++;
+      last_done = MonotonicUs();
+    });
+  }
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(done, 3);
+  EXPECT_GE(last_done - begin, 28000u);  // 3 serialized 10 ms IOs
+}
+
+TEST_F(StorageTest, SimDiskBwThrottleSlowsTransfers) {
+  SimDiskParams p;
+  p.base_latency_us = 100;
+  p.bytes_per_us = 100;
+  SimDisk disk(reactor_.get(), p);
+  disk.SetBwFactor(0.05);  // Table 1 disk-slow
+  uint64_t begin = MonotonicUs();
+  uint64_t done_at = 0;
+  Coroutine::Create([&]() {
+    auto ev = std::make_shared<IntEvent>();
+    disk.AsyncWrite(100000, ev);  // healthy: ~1.1 ms; throttled: ~20 ms
+    ev->Wait();
+    done_at = MonotonicUs();
+  });
+  reactor_->RunUntilIdle();
+  EXPECT_GE(done_at - begin, 15000u);
+}
+
+TEST_F(StorageTest, SimDiskBlockingReadAdvancesOccupancy) {
+  SimDiskParams p;
+  p.base_latency_us = 2000;
+  p.bytes_per_us = 100;
+  SimDisk disk(reactor_.get(), p);
+  uint64_t d1 = disk.BlockingReadUs(1000);
+  EXPECT_GE(d1, 2000u);
+  uint64_t d2 = disk.BlockingReadUs(1000);
+  EXPECT_GT(d2, d1);  // queued behind the first
+}
+
+TEST_F(StorageTest, FileDiskWritesAndNotifies) {
+  std::string path = "/tmp/depfast_filedisk_test.log";
+  remove(path.c_str());
+  IoThreadPool pool(1);
+  bool done = false;
+  {
+    FileDisk disk(reactor_.get(), &pool, path);
+    Coroutine::Create([&]() {
+      auto ev = std::make_shared<IntEvent>();
+      disk.AsyncWrite(4096, ev);
+      ev->Wait();
+      auto rev = std::make_shared<IntEvent>();
+      disk.AsyncRead(1024, rev);
+      rev->Wait();
+      done = true;
+    });
+    reactor_->RunUntil([&]() { return done; }, 5000000);
+  }
+  EXPECT_TRUE(done);
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 0, SEEK_END);
+  EXPECT_EQ(ftell(f), 4096);
+  fclose(f);
+  remove(path.c_str());
+}
+
+TEST_F(StorageTest, WalAppendDurableEvent) {
+  SimDiskParams p;
+  p.base_latency_us = 1000;
+  SimDisk disk(reactor_.get(), p);
+  Wal wal(&disk);
+  bool durable = false;
+  Coroutine::Create([&]() {
+    Marshal rec;
+    rec << std::string("entry1");
+    auto ev = wal.Append(rec);
+    ev->Wait();
+    durable = true;
+  });
+  reactor_->RunUntil([&]() { return durable; }, 2000000);
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(wal.n_appends(), 1u);
+  ASSERT_EQ(wal.records().size(), 1u);
+}
+
+TEST_F(StorageTest, WalGroupCommitBatches) {
+  SimDiskParams p;
+  p.base_latency_us = 20000;  // slow flushes force batching
+  SimDisk disk(reactor_.get(), p);
+  Wal wal(&disk);
+  int durable = 0;
+  const int kN = 10;
+  for (int i = 0; i < kN; i++) {
+    Coroutine::Create([&]() {
+      Marshal rec;
+      rec << std::string("e");
+      auto ev = wal.Append(rec);
+      ev->Wait();
+      durable++;
+    });
+  }
+  reactor_->RunUntil([&]() { return durable == kN; }, 5000000);
+  EXPECT_EQ(durable, kN);
+  // All 10 appends while flush 1 was in flight collapse into few flushes.
+  EXPECT_LE(wal.n_flushes(), 3u);
+  EXPECT_LE(disk.n_writes(), 3u);
+}
+
+TEST_F(StorageTest, WalRecordsPreserveContent) {
+  SimDisk disk(reactor_.get());
+  Wal wal(&disk);
+  Marshal rec1;
+  rec1 << std::string("alpha") << static_cast<uint64_t>(1);
+  Marshal rec2;
+  rec2 << std::string("beta") << static_cast<uint64_t>(2);
+  Coroutine::Create([&]() {
+    wal.Append(rec1);
+    wal.Append(rec2)->Wait();
+  });
+  reactor_->RunUntilIdle();
+  ASSERT_EQ(wal.records().size(), 2u);
+  Marshal copy = wal.records()[0];
+  std::string s;
+  uint64_t v = 0;
+  copy >> s >> v;
+  EXPECT_EQ(s, "alpha");
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore kv;
+  kv.Put("k1", "v1");
+  EXPECT_EQ(kv.Get("k1").value_or(""), "v1");
+  kv.Put("k1", "v2");
+  EXPECT_EQ(kv.Get("k1").value_or(""), "v2");
+  EXPECT_EQ(kv.size(), 1u);
+  EXPECT_TRUE(kv.Delete("k1"));
+  EXPECT_FALSE(kv.Delete("k1"));
+  EXPECT_FALSE(kv.Get("k1").has_value());
+}
+
+TEST(KvStoreTest, ApplyCommands) {
+  KvStore kv;
+  KvCommand put{KvOp::kPut, "a", "1"};
+  EXPECT_TRUE(kv.Apply(put).ok);
+  KvCommand get{KvOp::kGet, "a", ""};
+  KvResult r = kv.Apply(get);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "1");
+  KvCommand del{KvOp::kDelete, "a", ""};
+  EXPECT_TRUE(kv.Apply(del).ok);
+  EXPECT_FALSE(kv.Apply(get).ok);
+}
+
+TEST(KvStoreTest, CommandEncodingRoundTrips) {
+  KvCommand cmd{KvOp::kPut, "key", "value"};
+  Marshal m = cmd.Encode();
+  KvCommand out = KvCommand::Decode(m);
+  EXPECT_EQ(out.op, KvOp::kPut);
+  EXPECT_EQ(out.key, "key");
+  EXPECT_EQ(out.value, "value");
+  KvResult res{true, "v"};
+  Marshal rm = res.Encode();
+  KvResult rout = KvResult::Decode(rm);
+  EXPECT_TRUE(rout.ok);
+  EXPECT_EQ(rout.value, "v");
+}
+
+TEST(KvStoreTest, SnapshotRestore) {
+  KvStore kv;
+  for (int i = 0; i < 100; i++) {
+    kv.Put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  Marshal snap = kv.Snapshot();
+  KvStore kv2;
+  kv2.Restore(snap);
+  EXPECT_EQ(kv2.size(), 100u);
+  EXPECT_EQ(kv2.Get("k42").value_or(""), "v42");
+  EXPECT_EQ(kv2.ApproxBytes(), kv.ApproxBytes());
+}
+
+TEST(KvStoreTest, ApproxBytesTracksMutations) {
+  KvStore kv;
+  kv.Put("abc", "12345");
+  EXPECT_EQ(kv.ApproxBytes(), 8u);
+  kv.Put("abc", "1");
+  EXPECT_EQ(kv.ApproxBytes(), 4u);
+  kv.Delete("abc");
+  EXPECT_EQ(kv.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,162 @@
+// Integration tests for TcpTransport: real loopback sockets end-to-end,
+// including a full RPC exchange.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/rpc/rpc.h"
+#include "src/rpc/tcp_transport.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+TEST(TcpTransportTest, ListenPortAssigned) {
+  Reactor reactor("n");
+  TcpTransport t;
+  t.RegisterNode(1, &reactor, [](NodeId, Marshal) {});
+  EXPECT_GT(t.ListenPort(1), 0);
+  EXPECT_EQ(t.ListenPort(9), 0);
+}
+
+TEST(TcpTransportTest, DeliversOverRealSockets) {
+  Reactor reactor("n");
+  TcpTransport t;
+  std::atomic<int> got{0};
+  std::string content;
+  t.RegisterNode(2, &reactor, [&](NodeId from, Marshal m) {
+    EXPECT_EQ(from, 1u);
+    m >> content;
+    got++;
+  });
+  Marshal msg;
+  msg << std::string("over tcp");
+  EXPECT_TRUE(t.Send(1, 2, std::move(msg), SendOpts{}));
+  EXPECT_TRUE(reactor.RunUntil([&]() { return got == 1; }, 5000000));
+  EXPECT_EQ(content, "over tcp");
+}
+
+TEST(TcpTransportTest, ManyMessagesInOrder) {
+  Reactor reactor("n");
+  TcpTransport t;
+  std::vector<uint64_t> got;
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal m) {
+    uint64_t v = 0;
+    m >> v;
+    got.push_back(v);
+  });
+  const int kN = 500;
+  for (uint64_t i = 0; i < kN; i++) {
+    Marshal m;
+    m << i;
+    ASSERT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  }
+  EXPECT_TRUE(reactor.RunUntil([&]() { return got.size() == kN; }, 10000000));
+  for (uint64_t i = 0; i < kN; i++) {
+    EXPECT_EQ(got[i], i);
+  }
+}
+
+TEST(TcpTransportTest, LargeMessageFraming) {
+  Reactor reactor("n");
+  TcpTransport t;
+  std::string content;
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal m) {
+    m >> content;
+    got++;
+  });
+  std::string big(1 << 20, 'z');  // 1 MiB
+  Marshal m;
+  m << big;
+  EXPECT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  EXPECT_TRUE(reactor.RunUntil([&]() { return got == 1; }, 10000000));
+  EXPECT_EQ(content.size(), big.size());
+  EXPECT_EQ(content, big);
+}
+
+TEST(TcpTransportTest, UnknownDestinationFails) {
+  TcpTransport t;
+  Marshal m;
+  m << std::string("x");
+  EXPECT_FALSE(t.Send(1, 42, std::move(m), SendOpts{}));
+}
+
+TEST(TcpTransportTest, CrossTransportViaExplicitPeer) {
+  // Two transports (as two processes would have): the server side registers
+  // on a fixed port; the client side only knows the address via AddPeer.
+  Reactor reactor("n");
+  TcpTransport server_side;
+  std::atomic<int> got{0};
+  std::string content;
+  server_side.RegisterNodeOnPort(2, 0, &reactor, [&](NodeId from, Marshal m) {
+    EXPECT_EQ(from, 1u);
+    m >> content;
+    got++;
+  });
+  uint16_t port = server_side.ListenPort(2);
+  ASSERT_GT(port, 0);
+
+  TcpTransport client_side;
+  client_side.AddPeer(2, "127.0.0.1", port);
+  Marshal m;
+  m << std::string("cross-process");
+  EXPECT_TRUE(client_side.Send(1, 2, std::move(m), SendOpts{}));
+  EXPECT_TRUE(reactor.RunUntil([&]() { return got == 1; }, 5000000));
+  EXPECT_EQ(content, "cross-process");
+}
+
+TEST(TcpTransportTest, AddPeerUnreachableFails) {
+  TcpTransport t;
+  t.AddPeer(5, "127.0.0.1", 1);  // almost certainly nothing listens on :1
+  Marshal m;
+  m << std::string("x");
+  EXPECT_FALSE(t.Send(1, 5, std::move(m), SendOpts{}));
+}
+
+TEST(TcpTransportTest, RpcEchoOverTcp) {
+  // Full RPC round trip across two reactors through real sockets.
+  TcpTransport t;
+  ReactorThread server("server");
+  std::atomic<bool> server_up{false};
+  std::unique_ptr<RpcEndpoint> server_ep;
+  server.reactor()->Post([&]() {
+    server_ep = std::make_unique<RpcEndpoint>(2, "server", server.reactor(), &t);
+    server_ep->Register(1, [](NodeId, Marshal& args, Marshal* reply) {
+      std::string s;
+      args >> s;
+      *reply << (s + "!");
+    });
+    server_up = true;
+  });
+  while (!server_up.load()) {
+  }
+
+  Reactor client_reactor("client");
+  RpcEndpoint client(1, "client", &client_reactor, &t);
+  std::string got;
+  Coroutine::Create([&]() {
+    Marshal args;
+    args << std::string("tcp");
+    auto ev = client.Call(2, 1, std::move(args));
+    ev->Wait(5000000);
+    if (ev->Ready() && !ev->failed()) {
+      ev->reply() >> got;
+    }
+  });
+  EXPECT_TRUE(client_reactor.RunUntil([&]() { return !got.empty(); }, 10000000));
+  EXPECT_EQ(got, "tcp!");
+  std::atomic<bool> down{false};
+  server.reactor()->Post([&]() {
+    server_ep.reset();
+    down = true;
+  });
+  while (!down.load()) {
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,126 @@
+// Unit tests for trace points and slowness propagation graph construction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/runtime/compound_event.h"
+#include "src/runtime/event.h"
+#include "src/runtime/reactor.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : reactor_(std::make_unique<Reactor>("s1")) {
+    Tracer::Instance().Clear();
+    Tracer::Instance().Enable();
+  }
+  ~TraceTest() override {
+    Tracer::Instance().Disable();
+    Tracer::Instance().Clear();
+  }
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(TraceTest, SingleEventWaitRecorded) {
+  auto ev = std::make_shared<IntEvent>();
+  ev->set_trace_peer("s2");
+  Coroutine::Create([&]() { ev->Wait(); });
+  Coroutine::Create([&]() { ev->Set(1); });
+  reactor_->RunUntilIdle();
+  auto records = Tracer::Instance().Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].node, "s1");
+  EXPECT_EQ(records[0].peers, std::vector<std::string>{"s2"});
+  EXPECT_FALSE(records[0].timed_out);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Instance().Disable();
+  auto ev = std::make_shared<IntEvent>();
+  ev->set_trace_peer("s2");
+  Coroutine::Create([&]() { ev->Wait(); });
+  Coroutine::Create([&]() { ev->Set(1); });
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(Tracer::Instance().Count(), 0u);
+}
+
+TEST_F(TraceTest, QuorumWaitRecordsAllPeers) {
+  auto q = std::make_shared<QuorumEvent>(3, 2);
+  auto a = std::make_shared<IntEvent>();
+  a->set_trace_peer("s2");
+  auto b = std::make_shared<IntEvent>();
+  b->set_trace_peer("s3");
+  q->AddChild(a);
+  q->AddChild(b);
+  Coroutine::Create([&]() { q->Wait(); });
+  Coroutine::Create([&]() {
+    a->Set(1);
+    b->Set(1);
+  });
+  reactor_->RunUntilIdle();
+  auto records = Tracer::Instance().Snapshot();
+  // Child waits are not recorded (nobody waited on them directly); the
+  // quorum wait is, with both peers.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, "quorum");
+  EXPECT_EQ(records[0].quorum_k, 2);
+  EXPECT_EQ(records[0].quorum_n, 3);
+  EXPECT_EQ(records[0].peers.size(), 2u);
+}
+
+TEST_F(TraceTest, SpgClassifiesEdges) {
+  std::vector<WaitRecord> records;
+  records.push_back(WaitRecord{"c1", "rpc", 0, 0, {"s1"}, 120, false});
+  records.push_back(WaitRecord{"c1", "rpc", 0, 0, {"s1"}, 80, false});
+  records.push_back(WaitRecord{"s1", "quorum", 2, 3, {"s2", "s3"}, 300, false});
+  Spg spg = Spg::Build(records);
+  ASSERT_EQ(spg.edges().size(), 3u);
+  EXPECT_TRUE(spg.HasSingleWaitEdge("c1", "s1"));
+  EXPECT_FALSE(spg.HasSingleWaitEdge("s1", "s2"));
+  auto singles = spg.SingleWaitEdges();
+  ASSERT_EQ(singles.size(), 1u);
+  EXPECT_EQ(singles[0].count, 2u);
+  EXPECT_EQ(singles[0].total_wait_us, 200u);
+  EXPECT_EQ(singles[0].Label(), "1/1");
+  auto quorums = spg.QuorumEdges();
+  ASSERT_EQ(quorums.size(), 2u);
+  EXPECT_EQ(quorums[0].Label(), "2/3");
+}
+
+TEST_F(TraceTest, SpgSkipsSelfAndLocalWaits) {
+  std::vector<WaitRecord> records;
+  records.push_back(WaitRecord{"s1", "sleep", 0, 0, {}, 100, false});        // local
+  records.push_back(WaitRecord{"s1", "quorum", 2, 3, {"s1", "s2"}, 10, false});  // self leg
+  Spg spg = Spg::Build(records);
+  ASSERT_EQ(spg.edges().size(), 1u);
+  EXPECT_EQ(spg.edges()[0].dst, "s2");
+}
+
+TEST_F(TraceTest, DotOutputContainsEdges) {
+  std::vector<WaitRecord> records;
+  records.push_back(WaitRecord{"c1", "rpc", 0, 0, {"s1"}, 10, false});
+  records.push_back(WaitRecord{"s1", "quorum", 2, 3, {"s2"}, 10, false});
+  Spg spg = Spg::Build(records);
+  std::string dot = spg.ToDot();
+  EXPECT_NE(dot.find("digraph spg"), std::string::npos);
+  EXPECT_NE(dot.find("\"c1\" -> \"s1\""), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("color=green"), std::string::npos);
+  EXPECT_NE(dot.find("2/3"), std::string::npos);
+}
+
+TEST_F(TraceTest, TimedOutWaitMarked) {
+  auto ev = std::make_shared<IntEvent>();
+  ev->set_trace_peer("s9");
+  Coroutine::Create([&]() { ev->Wait(2000); });
+  reactor_->RunUntilIdle();
+  auto records = Tracer::Instance().Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].timed_out);
+}
+
+}  // namespace
+}  // namespace depfast

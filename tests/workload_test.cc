@@ -1,0 +1,137 @@
+// Tests for the YCSB generator and the closed-loop driver (short smoke runs
+// against both cluster types).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/naive/naive_cluster.h"
+#include "src/raft/raft_cluster.h"
+#include "src/workload/driver.h"
+#include "src/workload/ycsb.h"
+
+namespace depfast {
+namespace {
+
+TEST(YcsbTest, KeysWithinKeyspace) {
+  YcsbConfig cfg;
+  cfg.n_records = 1000;
+  YcsbWorkload w(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 2000; i++) {
+    KvCommand cmd = w.NextOp(rng);
+    EXPECT_EQ(cmd.key.rfind("user", 0), 0u);
+    uint64_t rec = std::stoull(cmd.key.substr(4));
+    EXPECT_LT(rec, 1000u);
+  }
+}
+
+TEST(YcsbTest, WriteFractionRespected) {
+  YcsbConfig cfg;
+  cfg.write_fraction = 0.5;
+  YcsbWorkload w(cfg);
+  Rng rng(7);
+  int writes = 0;
+  const int kN = 4000;
+  for (int i = 0; i < kN; i++) {
+    if (w.NextOp(rng).op == KvOp::kPut) {
+      writes++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / kN, 0.5, 0.05);
+}
+
+TEST(YcsbTest, PureWriteWorkload) {
+  YcsbConfig cfg;  // default write_fraction = 1.0 (the paper's workload)
+  YcsbWorkload w(cfg);
+  Rng rng(9);
+  for (int i = 0; i < 100; i++) {
+    KvCommand cmd = w.NextOp(rng);
+    EXPECT_EQ(cmd.op, KvOp::kPut);
+    EXPECT_EQ(cmd.value.size(), cfg.value_bytes);
+  }
+}
+
+TEST(YcsbTest, ZipfianSkewsKeyPopularity) {
+  YcsbConfig cfg;
+  cfg.n_records = 100000;
+  YcsbWorkload w(cfg);
+  Rng rng(11);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; i++) {
+    counts[w.NextOp(rng).key]++;
+  }
+  int max_count = 0;
+  for (auto& [k, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  // The hottest key should be far above the uniform expectation (~1).
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(YcsbTest, UniformSpreadsKeys) {
+  YcsbConfig cfg;
+  cfg.n_records = 1000;
+  cfg.zipfian = false;
+  YcsbWorkload w(cfg);
+  Rng rng(13);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 10000; i++) {
+    counts[w.NextOp(rng).key]++;
+  }
+  EXPECT_GT(counts.size(), 900u);
+}
+
+TEST(DriverTest, MeasuresDepFastCluster) {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  RaftCluster cluster(opts);
+  DriverConfig cfg;
+  cfg.n_client_threads = 2;
+  cfg.coroutines_per_client = 4;
+  cfg.warmup_us = 200000;
+  cfg.measure_us = 600000;
+  cfg.ycsb.n_records = 1000;
+  BenchResult r = RunDriver(cluster, cfg);
+  EXPECT_GT(r.n_ops, 100u);
+  EXPECT_GT(r.throughput_ops, 100.0);
+  EXPECT_GT(r.avg_latency_us, 0.0);
+  EXPECT_LE(r.p50_us, r.p99_us);
+  EXPECT_EQ(r.n_failures, 0u);
+}
+
+TEST(DriverTest, MeasuresNaiveCluster) {
+  NaiveClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.profile = NaiveProfile::MongoLike();
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  NaiveCluster cluster(opts);
+  DriverConfig cfg;
+  cfg.n_client_threads = 2;
+  cfg.coroutines_per_client = 4;
+  cfg.warmup_us = 200000;
+  cfg.measure_us = 600000;
+  cfg.ycsb.n_records = 1000;
+  BenchResult r = RunDriver(cluster, cfg);
+  EXPECT_GT(r.n_ops, 100u);
+  EXPECT_EQ(r.n_failures, 0u);
+}
+
+TEST(DriverTest, ResultRowFormatted) {
+  BenchResult r;
+  r.throughput_ops = 5000;
+  r.avg_latency_us = 900;
+  r.p50_us = 800;
+  r.p99_us = 2500;
+  std::string row = r.Row();
+  EXPECT_NE(row.find("5000"), std::string::npos);
+  EXPECT_NE(row.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depfast
