@@ -37,6 +37,9 @@ bool Marshal::operator==(const Marshal& other) const {
   if (ContentSize() != other.ContentSize()) {
     return false;
   }
+  if (ContentSize() == 0) {
+    return true;  // memcmp on an empty vector's null data() is UB
+  }
   return memcmp(data(), other.data(), ContentSize()) == 0;
 }
 

@@ -107,6 +107,9 @@ void NaiveNode::Shutdown() {
     done->Fail();
   }
   pending_.clear();
+  // Stop the WAL while the reactor is still alive; the node is destroyed
+  // from the main thread after its reactor thread is gone.
+  wal_.Stop();
 }
 
 uint64_t NaiveNode::BacklogEntries() const {

@@ -129,6 +129,13 @@ std::vector<int> RaftCluster::FollowerIndices() {
   return out;
 }
 
+RaftCounters RaftCluster::CountersOf(int i) {
+  RaftCounters c;
+  RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+  RunOn(i, [&c, h]() { c = h->raft->counters(); });
+  return c;
+}
+
 void RaftCluster::InjectFault(int i, FaultType type) { InjectFault(i, MakeFault(type)); }
 
 void RaftCluster::InjectFault(int i, const FaultSpec& spec) {

@@ -79,6 +79,11 @@ class RaftCluster {
   // Indices of current followers.
   std::vector<int> FollowerIndices();
 
+  // Snapshot of node i's batching/amortization counters (taken on its
+  // reactor thread). Benches read the leader's after a run to report ops per
+  // entry, group-commit ratio and replication fan-out.
+  RaftCounters CountersOf(int i);
+
   // Table 1 fault injection against node i.
   void InjectFault(int i, FaultType type);
   void InjectFault(int i, const FaultSpec& spec);

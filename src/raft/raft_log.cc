@@ -76,6 +76,22 @@ std::vector<LogEntry> RaftLog::Slice(uint64_t from, uint64_t to) const {
   return out;
 }
 
+uint64_t RaftLog::ClampBatchEnd(uint64_t from, size_t max_entries, uint64_t max_bytes) const {
+  DF_CHECK_GT(from, base_idx_);
+  DF_CHECK_LE(from, LastIndex());
+  uint64_t end = from;
+  uint64_t bytes = entries_[Pos(from)].cmd.ContentSize();
+  while (end + 1 <= LastIndex() && end + 1 - from + 1 <= max_entries) {
+    uint64_t next_bytes = entries_[Pos(end + 1)].cmd.ContentSize();
+    if (bytes + next_bytes > max_bytes) {
+      break;
+    }
+    bytes += next_bytes;
+    end++;
+  }
+  return end;
+}
+
 void RaftLog::CompactTo(uint64_t idx) {
   if (idx <= base_idx_) {
     return;

@@ -45,6 +45,12 @@ class RaftLog {
   // Copies entries [from, to] inclusive; `from` must be above the base.
   std::vector<LogEntry> Slice(uint64_t from, uint64_t to) const;
 
+  // Largest `end` such that [from, end] holds at most max_entries entries
+  // and at most max_bytes of command payload — the bound on one replication
+  // round. Always admits at least the entry at `from` (an oversized single
+  // entry still has to ship). `from` must be above the base and <= LastIndex.
+  uint64_t ClampBatchEnd(uint64_t from, size_t max_entries, uint64_t max_bytes) const;
+
   // Drops entries [base+1 .. idx] — they are covered by a snapshot whose
   // last included entry is (idx, its term). No-op if idx <= base.
   void CompactTo(uint64_t idx);

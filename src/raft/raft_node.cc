@@ -88,10 +88,23 @@ void RaftNode::StartAsLeader(uint64_t term) {
 void RaftNode::Shutdown() {
   stopped_ = true;
   leader_epoch_++;
+  batch_gen_++;  // disarm any pending batch-window timer
   for (auto& [idx, pending] : pending_applies_) {
-    pending.done->Fail();
+    for (auto& done : pending.dones) {
+      done->Fail();
+    }
   }
   pending_applies_.clear();
+  for (auto& done : batch_dones_) {
+    done->Fail();
+  }
+  batch_dones_.clear();
+  batch_ops_.clear();
+  batch_bytes_ = 0;
+  // Stop the WAL while the reactor is still alive: the node (and its Wal)
+  // may be destroyed from the main thread after the reactor thread is gone,
+  // where the destructor could no longer wake the flusher.
+  wal_.Stop();
 }
 
 // ---------------------------------------------------------------- election
@@ -241,7 +254,9 @@ void RaftNode::ReplicationPump(uint64_t epoch) {
       continue;
     }
     uint64_t from = sync_idx_ + 1;
-    uint64_t to = std::min(log_.LastIndex(), sync_idx_ + config_.max_batch);
+    // Multi-entry round: everything accumulated since the last round, capped
+    // by max_batch entries and max_batch_bytes of payload.
+    uint64_t to = log_.ClampBatchEnd(from, config_.max_batch, config_.max_batch_bytes);
     StartRound(from, to, epoch);
     sync_idx_ = to;
   }
@@ -293,6 +308,10 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
   }
 
   Marshal encoded = args.Encode();
+  if (!heartbeat) {
+    counters_.rounds++;
+    counters_.bytes_replicated += encoded.ContentSize() * peers_.size();
+  }
   for (NodeId peer : peers_) {
     CallOpts opts;
     opts.timeout_us = config_.rpc_timeout_us;
@@ -390,7 +409,7 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     if (next > log_.LastIndex()) {
       break;
     }
-    uint64_t to = std::min(log_.LastIndex(), next + config_.max_batch - 1);
+    uint64_t to = log_.ClampBatchEnd(next, config_.max_batch, config_.max_batch_bytes);
     AppendEntriesArgs args;
     args.term = term_;
     args.leader_id = env_.id;
@@ -402,7 +421,9 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     opts.timeout_us = config_.rpc_timeout_us * 4;
     opts.discardable = false;  // catch-up traffic must arrive
     opts.judge = AppendReplyOk;
-    auto ev = rpc_->Call(peer, kMethodAppendEntries, args.Encode(), opts);
+    Marshal encoded = args.Encode();
+    counters_.bytes_replicated += encoded.ContentSize();
+    auto ev = rpc_->Call(peer, kMethodAppendEntries, std::move(encoded), opts);
     ev->Wait();
     if (stopped_ || leader_epoch_ != epoch) {
       break;
@@ -786,19 +807,45 @@ ClientCommandReply RaftNode::Submit(const KvCommand& cmd) {
     reply.status = ClientStatus::kNotLeader;
     return reply;
   }
-  env_.cpu->Work(config_.leader_cmd_cost_us);
+  bool coalesce = config_.batch_window_us > 0;
+  // Parse/session work is always per-op; without coalescing the per-entry
+  // propose cost is folded into the same charge (the pre-batching path).
+  env_.cpu->Work(coalesce ? config_.leader_cmd_cost_us
+                          : config_.leader_cmd_cost_us + config_.leader_propose_cost_us);
   if (stopped_ || role_ != RaftRole::kLeader) {
     reply.status = ClientStatus::kNotLeader;
     reply.leader_hint = leader_hint_;
     return reply;
   }
-  uint64_t idx = log_.Append(term_, cmd.Encode());
   auto done = std::make_shared<BoxEvent<KvResult>>();
-  pending_applies_[idx] = PendingApply{done, term_, MonotonicUs()};
-  last_log_watch_.Set(static_cast<int64_t>(idx));
+  if (!coalesce) {
+    std::vector<Marshal> ops;
+    ops.push_back(cmd.Encode());
+    ProposeEntry(std::move(ops), {done});
+  } else {
+    Marshal op = cmd.Encode();
+    batch_bytes_ += op.ContentSize();
+    batch_ops_.push_back(std::move(op));
+    batch_dones_.push_back(done);
+    if (batch_ops_.size() >= config_.batch_max_ops ||
+        batch_bytes_ >= config_.batch_max_entry_bytes) {
+      FlushProposals();  // cap hit: ship now
+    } else if (batch_ops_.size() == 1) {
+      // First op of a batch: arm the window timer. batch_gen_ invalidates it
+      // if a cap-triggered flush ships the batch first.
+      uint64_t gen = batch_gen_;
+      Coroutine::Create([this, gen]() {
+        SleepUs(config_.batch_window_us);
+        if (!stopped_ && batch_gen_ == gen) {
+          FlushProposals();
+        }
+      });
+    }
+  }
   auto st = done->Wait(config_.client_op_timeout_us);
   if (st != Event::EvStatus::kReady || !done->vote_ok()) {
-    pending_applies_.erase(idx);
+    // The pending_applies_ slot is shared with the other ops of the batch,
+    // so it stays registered; resolving this op's event later is a no-op.
     reply.status = st == Event::EvStatus::kTimeout ? ClientStatus::kTimeout
                                                    : ClientStatus::kNotLeader;
     reply.leader_hint = leader_hint_;
@@ -808,6 +855,39 @@ ClientCommandReply RaftNode::Submit(const KvCommand& cmd) {
   reply.leader_hint = env_.id;
   reply.result = done->value_ref().Encode();
   return reply;
+}
+
+void RaftNode::FlushProposals() {
+  batch_gen_++;  // disarm the window timer for this batch
+  if (batch_ops_.empty()) {
+    return;
+  }
+  auto ops = std::move(batch_ops_);
+  auto dones = std::move(batch_dones_);
+  batch_ops_.clear();
+  batch_dones_.clear();
+  batch_bytes_ = 0;
+  // The per-entry propose cost, paid ONCE for the whole batch — this is the
+  // leader-CPU amortization. Work() yields, so re-check state after.
+  env_.cpu->Work(config_.leader_propose_cost_us);
+  if (stopped_ || role_ != RaftRole::kLeader) {
+    for (auto& done : dones) {
+      done->Fail();
+    }
+    return;
+  }
+  ProposeEntry(std::move(ops), std::move(dones));
+}
+
+uint64_t RaftNode::ProposeEntry(std::vector<Marshal> ops,
+                                std::vector<std::shared_ptr<BoxEvent<KvResult>>> dones) {
+  counters_.ops_proposed += ops.size();
+  counters_.entries_proposed++;
+  counters_.batch_ops_histogram.Record(ops.size());
+  uint64_t idx = log_.Append(term_, EncodeBatchPayload(ops));
+  pending_applies_[idx] = PendingApply{std::move(dones), term_, MonotonicUs()};
+  last_log_watch_.Set(static_cast<int64_t>(idx));
+  return idx;
 }
 
 // ------------------------------------------------------------------- apply
@@ -830,17 +910,22 @@ void RaftNode::ApplyLoop() {
       }
       uint64_t idx = last_applied_ + 1;
       LogEntry entry = log_.At(idx);  // copy: the log may grow under us
-      env_.cpu->Work(config_.apply_cost_us);
+      // A multi-op entry decodes to its coalesced ops (a no-op entry to
+      // zero). The whole batch is charged as ONE CPU grant, then applied and
+      // its per-op reply events resolved together (batched apply + reply
+      // coalescing).
+      std::vector<Marshal> ops = DecodeBatchPayload(entry.cmd);
+      env_.cpu->Work(config_.apply_cost_us * std::max<size_t>(ops.size(), 1));
       if (stopped_ || idx <= last_applied_ || idx <= log_.BaseIndex()) {
         // An InstallSnapshot overtook this entry during the CPU wait; its
         // effect is already part of the restored state.
         continue;
       }
-      KvResult result;
-      if (entry.cmd.ContentSize() > 0) {
-        Marshal copy = entry.cmd;
-        KvCommand cmd = KvCommand::Decode(copy);
-        result = kv_.Apply(cmd);
+      std::vector<KvResult> results;
+      results.reserve(ops.size());
+      for (Marshal& op : ops) {
+        KvCommand cmd = KvCommand::Decode(op);
+        results.push_back(kv_.Apply(cmd));
         n_committed_cmds_++;
       }
       last_applied_ = idx;
@@ -848,16 +933,20 @@ void RaftNode::ApplyLoop() {
       MaybeCompact();
       auto it = pending_applies_.find(idx);
       if (it != pending_applies_.end()) {
-        // Self-monitoring sample: how long this command took from append to
+        // Self-monitoring sample: how long this batch took from append to
         // apply on this leader.
         uint64_t now = MonotonicUs();
         auto sample = static_cast<double>(now - it->second.appended_at_us);
         apply_latency_ewma_us_ = apply_latency_ewma_us_ * 0.8 + sample * 0.2;
         last_cmd_apply_us_ = now;
-        if (it->second.term == entry.term) {
-          it->second.done->SetValue(std::move(result));
-        } else {
-          it->second.done->Fail();  // slot was overwritten by another leader
+        bool term_ok = it->second.term == entry.term;
+        auto& dones = it->second.dones;
+        for (size_t i = 0; i < dones.size(); i++) {
+          if (term_ok && i < results.size()) {
+            dones[i]->SetValue(std::move(results[i]));
+          } else {
+            dones[i]->Fail();  // slot was overwritten by another leader
+          }
         }
         pending_applies_.erase(it);
       }

@@ -58,13 +58,24 @@ class RaftNode {
   const RaftLog& log() const { return log_; }
   uint64_t n_committed_cmds() const { return n_committed_cmds_; }
 
+  // Batching/amortization counters (proposal + replication side merged with
+  // the WAL's append/flush tallies). Reactor thread only.
+  RaftCounters counters() const {
+    RaftCounters c = counters_;
+    c.wal_appends = wal_.n_appends();
+    c.wal_flushes = wal_.n_flushes();
+    return c;
+  }
+
   // Executes a command through the replicated log. Must run in a coroutine
   // on this node's reactor. Fails fast with kNotLeader when not leader.
   ClientCommandReply Submit(const KvCommand& cmd);
 
  private:
+  // One proposed log entry's reply state: the per-op completion events of
+  // every client op coalesced into it, resolved individually on apply.
   struct PendingApply {
-    std::shared_ptr<BoxEvent<KvResult>> done;
+    std::vector<std::shared_ptr<BoxEvent<KvResult>>> dones;
     uint64_t term = 0;
     uint64_t appended_at_us = 0;
   };
@@ -87,6 +98,15 @@ class RaftNode {
   void BecomeLeader();
   void StepDown(uint64_t new_term);
   void EnsureCatchUp(NodeId peer);
+
+  // Proposal coalescing: packs the currently buffered client ops into one
+  // multi-op log entry (charging the per-entry propose cost once). Called
+  // when the batch window elapses or an op/byte cap is hit.
+  void FlushProposals();
+  // Appends one multi-op entry to the log and registers its reply events.
+  // Returns the entry's index.
+  uint64_t ProposeEntry(std::vector<Marshal> ops,
+                        std::vector<std::shared_ptr<BoxEvent<KvResult>>> dones);
 
   // Folds everything applied so far into a snapshot and truncates the log
   // prefix (when past the configured threshold).
@@ -157,6 +177,16 @@ class RaftNode {
   std::map<NodeId, uint64_t> next_idx_;
   std::map<NodeId, bool> catching_up_;
   std::map<uint64_t, PendingApply> pending_applies_;
+
+  // Leader-side proposal coalescing buffer (batch_window_us > 0). The first
+  // buffered op arms a window timer; `batch_gen_` invalidates stale timers
+  // once a cap-triggered flush already shipped the batch.
+  std::vector<Marshal> batch_ops_;
+  std::vector<std::shared_ptr<BoxEvent<KvResult>>> batch_dones_;
+  uint64_t batch_bytes_ = 0;
+  uint64_t batch_gen_ = 0;
+
+  RaftCounters counters_;
 
   bool started_ = false;
   bool stopped_ = false;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/histogram.h"
 #include "src/base/marshal.h"
 #include "src/rpc/transport.h"
 
@@ -38,6 +39,26 @@ inline Marshal& operator<<(Marshal& m, const LogEntry& e) {
 inline Marshal& operator>>(Marshal& m, LogEntry& e) {
   m >> e.term >> e.cmd;
   return m;
+}
+
+// Multi-op entry payload. The leader coalesces client ops arriving within
+// the batch window into ONE log entry whose command is a counted sequence of
+// the ops' own encodings; the apply loop decodes the sequence and resolves
+// each op's reply event individually. A leader no-op entry has an empty
+// command, which decodes to zero ops.
+inline Marshal EncodeBatchPayload(const std::vector<Marshal>& ops) {
+  Marshal m;
+  m << ops;
+  return m;
+}
+
+// Takes the payload by value so decoding does not consume the log's copy.
+inline std::vector<Marshal> DecodeBatchPayload(Marshal payload) {
+  std::vector<Marshal> ops;
+  if (!payload.Empty()) {
+    payload >> ops;
+  }
+  return ops;
 }
 
 struct AppendEntriesArgs {
@@ -205,7 +226,21 @@ struct RaftConfig {
   uint64_t quorum_wait_us = 400000;
   // Client-side completion timeout inside the server (commit + apply).
   uint64_t client_op_timeout_us = 2000000;
+  // Entry cap on one replication round (multi-entry AppendEntries).
   size_t max_batch = 128;
+  // Byte cap on one replication round's entry payload. A round ships every
+  // entry accumulated since the last one, clamped by max_batch entries AND
+  // this many payload bytes (at least one entry always ships).
+  uint64_t max_batch_bytes = 1 << 20;
+
+  // Proposal coalescing (leader-side batching). Client ops arriving within
+  // `batch_window_us` of the first buffered op are packed into a single
+  // multi-op log entry, flushed early once `batch_max_ops` ops or
+  // `batch_max_entry_bytes` payload bytes accumulate. Window 0 disables
+  // coalescing: one entry per op, the pre-batching behaviour.
+  uint64_t batch_window_us = 0;
+  size_t batch_max_ops = 64;
+  uint64_t batch_max_entry_bytes = 64 * 1024;
   // Replication rounds allowed in flight before the pump paces itself. The
   // pipeline hides per-round stragglers (a jittered healthy follower) so a
   // transient stall never gates subsequent batches.
@@ -216,8 +251,12 @@ struct RaftConfig {
   // If false the node never starts elections (benches pin a leader).
   bool enable_election = true;
 
-  // Cost model, charged to the node's CpuModel (microseconds).
-  uint64_t leader_cmd_cost_us = 15;      // parse + propose, per command
+  // Cost model, charged to the node's CpuModel (microseconds). The leader's
+  // per-op work is split so batching has something real to amortize: parse
+  // is paid once per client op, propose once per LOG ENTRY — so a B-op
+  // entry pays parse*B + propose instead of (parse+propose)*B.
+  uint64_t leader_cmd_cost_us = 6;       // request parse/session work, per op
+  uint64_t leader_propose_cost_us = 9;   // log append + replication setup, per entry
   uint64_t follower_append_cost_us = 8;  // per entry
   uint64_t apply_cost_us = 4;            // per entry
   uint64_t heartbeat_cost_us = 3;
@@ -248,6 +287,19 @@ struct RaftConfig {
   bool enable_failslow_leader_detection = false;
   uint64_t failslow_leader_threshold_us = 20000;
   int failslow_leader_strikes = 4;
+};
+
+// Hot-path batching counters, surfaced through RaftNode::counters() and
+// RaftCluster::CountersOf() so benches can print the amortization directly
+// (ops per entry, flushes vs appends, rounds, replicated bytes).
+struct RaftCounters {
+  uint64_t ops_proposed = 0;      // client ops accepted into the log
+  uint64_t entries_proposed = 0;  // multi-op log entries created from them
+  uint64_t rounds = 0;            // replication rounds shipped (non-heartbeat)
+  uint64_t wal_appends = 0;       // leader Wal::Append calls
+  uint64_t wal_flushes = 0;       // physical flushes (group commit)
+  uint64_t bytes_replicated = 0;  // entry payload bytes shipped to followers
+  Histogram batch_ops_histogram;  // ops per proposed entry
 };
 
 }  // namespace depfast

@@ -15,14 +15,26 @@ void CompoundEvent::AddChild(std::shared_ptr<Event> child) {
   DF_CHECK(reactor_->OnReactorThread());
   DF_CHECK(child != nullptr);
   child->Activate();
-  child->AddWatcher(this);
   bool already_fired = child->Ready();
+  if (!already_fired) {
+    // Only unfired children need a watcher registration; an already-fired
+    // child is tallied once right here (watching it too would deliver the
+    // same completion through both paths).
+    child->AddWatcher(this);
+  }
   children_.push_back(std::move(child));
   if (already_fired) {
-    OnChildFire(children_.back().get());
+    ChildFired(children_.back().get());
   } else {
     Test();
   }
+}
+
+void CompoundEvent::ChildFired(Event* child) {
+  if (!counted_children_.insert(child).second) {
+    return;  // already counted through the other delivery path
+  }
+  OnChildFire(child);
 }
 
 void CompoundEvent::OnChildFire(Event* child) { Test(); }

@@ -8,6 +8,7 @@
 #define SRC_RUNTIME_COMPOUND_EVENT_H_
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "src/runtime/event.h"
@@ -27,10 +28,21 @@ class CompoundEvent : public Event {
  protected:
   friend class Event;
 
-  // Called (on the owning reactor thread) when a child fires.
+  // Entry point for child completions. A child can reach its parent through
+  // two paths — the watcher notification in Event::Fire() and the
+  // already-fired check in AddChild() — so this guard counts each child at
+  // most once before forwarding to OnChildFire (a double-counted child would
+  // let a QuorumEvent "fire" with k-1 real replies).
+  void ChildFired(Event* child);
+
+  // Called (on the owning reactor thread) at most once per child when it
+  // fires. Subclasses override to tally outcomes.
   virtual void OnChildFire(Event* child);
 
   std::vector<std::shared_ptr<Event>> children_;
+
+ private:
+  std::unordered_set<Event*> counted_children_;
 };
 
 // Fires once at least `quorum` of the expected `n_total` outcomes are

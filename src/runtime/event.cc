@@ -31,9 +31,14 @@ Event::EvStatus Event::Wait(uint64_t timeout_us) {
   status_ = EvStatus::kWaiting;
   waiters_.push_back(co);
   if (timeout_us > 0) {
-    auto self = shared_from_this();
-    reactor_->PostAfter(timeout_us, [self]() {
-      if (self->status_ != EvStatus::kWaiting) {
+    // Weak capture: once the event fires (fast path) and its owners drop it,
+    // the pending timer closure must not keep it alive until the deadline —
+    // with many short waits and long timeouts, fired events would otherwise
+    // pile up on the timer wheel.
+    std::weak_ptr<Event> weak = shared_from_this();
+    reactor_->PostAfter(timeout_us, [weak]() {
+      auto self = weak.lock();
+      if (!self || self->status_ != EvStatus::kWaiting) {
         return;
       }
       self->status_ = EvStatus::kTimeout;
@@ -75,7 +80,7 @@ void Event::Fire() {
   // Copy: a watcher firing in turn may add/remove watchers on this event.
   auto watchers = watchers_;
   for (CompoundEvent* w : watchers) {
-    w->OnChildFire(this);
+    w->ChildFired(this);
   }
 }
 

@@ -5,29 +5,70 @@
 
 namespace depfast {
 
-Wal::Wal(Disk* disk) : state_(std::make_shared<State>()) {
+Wal::Wal(Disk* disk, bool keep_records) : state_(std::make_shared<State>()) {
   state_->disk = disk;
+  state_->keep_records = keep_records;
   state_->wakeup = std::make_shared<IntEvent>();
   auto state = state_;
   Coroutine::Create([state]() { FlusherLoop(state); });
 }
 
-Wal::~Wal() {
+void Wal::Stop() {
+  DF_CHECK(state_->wakeup->reactor()->OnReactorThread());
+  if (state_->stop) {
+    return;
+  }
   state_->stop = true;
-  // Waking the flusher requires the owning reactor thread; during post-
-  // shutdown teardown (reactor already stopped) the flag alone suffices.
-  if (state_->wakeup->reactor()->OnReactorThread()) {
-    state_->wakeup->Set(1);
+  // Fail anything still queued so waiters are not left hanging, then wake
+  // the flusher so its coroutine exits instead of idling forever.
+  FailPending(state_);
+  state_->wakeup->Set(1);
+}
+
+Wal::~Wal() {
+  if (state_->stop) {
+    return;  // already stopped orderly via Stop(); nothing left to wake
+  }
+  state_->stop = true;
+  auto state = state_;
+  auto wake = [state]() {
+    FailPending(state);
+    state->wakeup->Set(1);
+  };
+  Reactor* reactor = state_->wakeup->reactor();
+  if (reactor->OnReactorThread()) {
+    wake();
+  } else {
+    // Destroyed off-thread while the owning reactor is still alive (e.g. a
+    // test tearing a Wal down from a helper thread): post the wakeup to the
+    // owning reactor so the flusher exits and pending appends fail instead
+    // of both leaking. Owners whose reactor may already be gone at
+    // destruction time must call Stop() on the reactor thread first — the
+    // orderly-shutdown path RaftNode::Shutdown takes.
+    reactor->Post(wake);
   }
 }
 
 std::shared_ptr<IntEvent> Wal::Append(const Marshal& record) {
-  state_->n_appends++;
-  state_->records.push_back(record);
   auto done = std::make_shared<IntEvent>();
+  if (state_->stop) {
+    done->Fail();  // nothing will ever flush this record
+    return done;
+  }
+  state_->n_appends++;
+  if (state_->keep_records) {
+    state_->records.push_back(record);
+  }
   state_->pending.emplace_back(record.ContentSize() + kRecordHeaderBytes, done);
   state_->wakeup->Set(1);
   return done;
+}
+
+void Wal::FailPending(const std::shared_ptr<State>& state) {
+  while (!state->pending.empty()) {
+    state->pending.front().second->Fail();
+    state->pending.pop_front();
+  }
 }
 
 void Wal::FlusherLoop(const std::shared_ptr<State>& state) {
@@ -38,6 +79,7 @@ void Wal::FlusherLoop(const std::shared_ptr<State>& state) {
       }
       state->wakeup->Wait();
       if (state->stop) {
+        FailPending(state);
         return;
       }
       state->wakeup = std::make_shared<IntEvent>();  // single-shot; re-arm
@@ -55,6 +97,13 @@ void Wal::FlusherLoop(const std::shared_ptr<State>& state) {
     state->disk->AsyncWrite(batch_bytes, flushed);
     flushed->Wait();
     if (state->stop) {
+      // Stopped mid-flush: the batch was never acknowledged durable. Fail
+      // its waiters and everything queued behind it rather than silently
+      // dropping them (the old code returned here and left them hanging).
+      for (auto& done : batch) {
+        done->Fail();
+      }
+      FailPending(state);
       return;
     }
     state->n_flushes++;

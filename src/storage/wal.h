@@ -18,17 +18,29 @@ namespace depfast {
 
 class Wal {
  public:
-  // Starts the flusher coroutine on the current reactor.
-  explicit Wal(Disk* disk);
+  // Starts the flusher coroutine on the current reactor. `keep_records`
+  // enables the in-memory mirror of every appended record; it exists for
+  // recovery/storage tests only and is off by default — mirroring every
+  // record forever is unbounded memory growth under sustained load (the
+  // RethinkDB unbounded-buffer pathology, inside our own WAL).
+  explicit Wal(Disk* disk, bool keep_records = false);
   ~Wal();
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  // Appends a record; the returned event fires when the record is durable.
+  // Appends a record; the returned event fires when the record is durable
+  // (or fires negative if the WAL stops before the record hits disk).
   std::shared_ptr<IntEvent> Append(const Marshal& record);
 
-  // All records ever appended, in order (the in-memory mirror used by
-  // recovery tests; a real deployment would re-read the file).
+  // Orderly shutdown: fails every pending append and wakes the flusher so
+  // its coroutine exits. Must run on the owning reactor thread. Idempotent;
+  // Append after Stop fails immediately. Owners that destroy the Wal after
+  // the reactor is gone (server handles torn down from the main thread)
+  // MUST Stop() first — the destructor cannot reach a dead reactor.
+  void Stop();
+
+  // All records ever appended, in order. Only populated when the Wal was
+  // constructed with keep_records=true.
   const std::vector<Marshal>& records() const { return state_->records; }
 
   uint64_t n_appends() const { return state_->n_appends; }
@@ -43,6 +55,7 @@ class Wal {
   // flush is in flight cannot dangle.
   struct State {
     Disk* disk = nullptr;
+    bool keep_records = false;
     std::vector<Marshal> records;
     std::deque<std::pair<uint64_t, std::shared_ptr<IntEvent>>> pending;  // (bytes, done)
     std::shared_ptr<IntEvent> wakeup;
@@ -51,6 +64,8 @@ class Wal {
     uint64_t n_flushes = 0;
   };
 
+  // Fails every queued-but-unflushed append so no waiter is left hanging.
+  static void FailPending(const std::shared_ptr<State>& state);
   static void FlusherLoop(const std::shared_ptr<State>& state);
 
   std::shared_ptr<State> state_;

@@ -12,4 +12,27 @@ std::string BenchResult::Row() const {
   return buf;
 }
 
+std::string CountersRow(const RaftCounters& c) {
+  double ops_per_entry = c.entries_proposed > 0
+                             ? static_cast<double>(c.ops_proposed) /
+                                   static_cast<double>(c.entries_proposed)
+                             : 0;
+  double appends_per_flush =
+      c.wal_flushes > 0
+          ? static_cast<double>(c.wal_appends) / static_cast<double>(c.wal_flushes)
+          : 0;
+  char buf[320];
+  snprintf(buf, sizeof(buf),
+           "ops=%llu entries=%llu (%.1f ops/entry, max %llu)  rounds=%llu  "
+           "wal=%llu appends/%llu flushes (%.1f per flush)  repl=%.1fMB",
+           static_cast<unsigned long long>(c.ops_proposed),
+           static_cast<unsigned long long>(c.entries_proposed), ops_per_entry,
+           static_cast<unsigned long long>(c.batch_ops_histogram.max()),
+           static_cast<unsigned long long>(c.rounds),
+           static_cast<unsigned long long>(c.wal_appends),
+           static_cast<unsigned long long>(c.wal_flushes), appends_per_flush,
+           static_cast<double>(c.bytes_replicated) / (1024.0 * 1024.0));
+  return buf;
+}
+
 }  // namespace depfast

@@ -37,9 +37,15 @@ struct BenchResult {
   uint64_t max_us = 0;
   uint64_t n_ops = 0;
   uint64_t n_failures = 0;
+  uint64_t n_retries = 0;  // leader-search/timeout retries across sessions
 
   std::string Row() const;
 };
+
+// One-line report of a leader's batching counters: ops per entry, group
+// commit ratio (WAL appends per physical flush), replication rounds and
+// shipped bytes. Shared by the figure/ablation benches.
+std::string CountersRow(const RaftCounters& c);
 
 // Drives `cluster` (anything with MakeClient(name)) with the configured
 // closed-loop load and measures the steady-state window.
@@ -102,13 +108,16 @@ BenchResult RunDriver(Cluster& cluster, const DriverConfig& config) {
 
   Histogram merged;
   uint64_t failures = 0;
+  uint64_t retries = 0;
   for (auto& state : clients) {
     merged.Merge(state->hist);
     failures += state->failures;
+    retries += state->handle->session->n_retries();
   }
   BenchResult r;
   r.n_ops = merged.count();
   r.n_failures = failures;
+  r.n_retries = retries;
   r.throughput_ops = static_cast<double>(merged.count()) * 1e6 /
                      static_cast<double>(config.measure_us);
   r.avg_latency_us = merged.Mean();

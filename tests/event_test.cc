@@ -100,6 +100,27 @@ TEST_F(EventTest, TimeoutTimerAfterFireIsHarmless) {
   EXPECT_TRUE(ev->Ready());
 }
 
+// Regression: a fast-path wake must not leave the timeout timer holding the
+// event until its (possibly much later) deadline — with many short waits and
+// long timeouts, fired events would pile up on the timer wheel.
+TEST_F(EventTest, TimeoutTimerDoesNotPinFiredEvent) {
+  auto ev = std::make_shared<IntEvent>();
+  std::weak_ptr<IntEvent> weak = ev;
+  bool woke = false;
+  Coroutine::Create([&]() {
+    ev->Wait(60000000);  // 60s timeout, but the event fires immediately
+    woke = true;
+  });
+  Coroutine::Create([&]() { ev->Set(1); });
+  // RunUntil, not RunUntilIdle: idling would sleep out the 60s timer.
+  reactor_->RunUntil([&]() { return woke; }, 1000000);
+  ASSERT_TRUE(woke);
+  ev.reset();
+  // The only remaining reference would be the timer closure's capture; with
+  // a weak capture the event must be gone the moment its owners drop it.
+  EXPECT_TRUE(weak.expired());
+}
+
 TEST_F(EventTest, FailFiresWithNegativeVote) {
   auto ev = std::make_shared<IntEvent>();
   Coroutine::Create([&]() { ev->Wait(); });

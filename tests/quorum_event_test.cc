@@ -67,6 +67,57 @@ TEST_F(QuorumEventTest, AlreadyFiredChildCountsOnAdd) {
   EXPECT_TRUE(q->Ready());
 }
 
+// White-box helper: delivers a child completion through the watcher path
+// directly, simulating the double-delivery an already-fired child used to
+// get (once from AddChild's check, once from the child's watcher list).
+class PokableQuorum : public QuorumEvent {
+ public:
+  using QuorumEvent::QuorumEvent;
+  void Poke(Event* child) { ChildFired(child); }
+};
+
+// Regression: a child reaching its parent through both delivery paths must
+// count as ONE vote, not two — double-counting would let a quorum "fire"
+// with k-1 real replies.
+TEST_F(QuorumEventTest, AlreadyFiredChildCountsExactlyOnce) {
+  auto fired = std::make_shared<IntEvent>();
+  fired->Set(1);
+  auto q = std::make_shared<PokableQuorum>(3, 2);
+  q->AddChild(fired);
+  EXPECT_EQ(q->n_yes(), 1);
+  EXPECT_FALSE(q->Ready());
+  // Second delivery of the same child completion: must be ignored.
+  q->Poke(fired.get());
+  EXPECT_EQ(q->n_yes(), 1);
+  EXPECT_FALSE(q->Ready());
+  // Only a second genuine reply reaches the quorum.
+  auto second = std::make_shared<IntEvent>();
+  q->AddChild(second);
+  second->Set(1);
+  EXPECT_EQ(q->n_yes(), 2);
+  EXPECT_TRUE(q->Ready());
+}
+
+// Same double-path scenario end to end: two already-fired children plus one
+// unfired child under a 3-of-3 quorum must not fire early even if every
+// child is also watched.
+TEST_F(QuorumEventTest, MixedFiredAndPendingChildrenNoDoubleCount) {
+  auto a = std::make_shared<IntEvent>();
+  auto b = std::make_shared<IntEvent>();
+  auto c = std::make_shared<IntEvent>();
+  a->Set(1);
+  b->Set(1);
+  auto q = std::make_shared<QuorumEvent>(3, 3);
+  q->AddChild(a);
+  q->AddChild(b);
+  q->AddChild(c);
+  EXPECT_EQ(q->n_yes(), 2);
+  EXPECT_FALSE(q->Ready());
+  c->Set(1);
+  EXPECT_EQ(q->n_yes(), 3);
+  EXPECT_TRUE(q->Ready());
+}
+
 TEST_F(QuorumEventTest, NegativeChildVotesNo) {
   auto q = std::make_shared<QuorumEvent>(3, 2);
   auto a = std::make_shared<IntEvent>();

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/raft/raft_log.h"
+#include "src/raft/raft_types.h"
 
 namespace depfast {
 namespace {
@@ -95,6 +96,62 @@ TEST(RaftLogTest, ApproxBytesTracksAppendAndTruncate) {
   std::vector<LogEntry> entries = {{2, Cmd("c")}};
   log.ApplyAppend(1, entries);  // truncates both, adds one
   EXPECT_LT(log.ApproxBytes(), b1);
+}
+
+// A multi-op entry must survive the full replication encoding path: batch
+// payload -> log entry -> AppendEntries wire format -> follower log ->
+// decoded ops, byte-identical.
+TEST(RaftLogTest, MultiOpEntryRoundTripsThroughLogAndWire) {
+  std::vector<Marshal> ops;
+  for (int i = 0; i < 5; i++) {
+    ops.push_back(Cmd("op" + std::to_string(i)));
+  }
+  RaftLog leader;
+  leader.Append(3, EncodeBatchPayload(ops));
+
+  // Ship it the way StartRound does: Slice -> AppendEntriesArgs -> Encode.
+  AppendEntriesArgs args;
+  args.term = 3;
+  args.prev_idx = 0;
+  args.prev_term = 0;
+  args.entries = leader.Slice(1, 1);
+  Marshal wire = args.Encode();
+  auto received = AppendEntriesArgs::Decode(wire);
+  ASSERT_EQ(received.entries.size(), 1u);
+
+  RaftLog follower;
+  follower.ApplyAppend(1, received.entries);
+  std::vector<Marshal> decoded = DecodeBatchPayload(follower.At(1).cmd);
+  ASSERT_EQ(decoded.size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    std::string v;
+    decoded[static_cast<size_t>(i)] >> v;
+    EXPECT_EQ(v, "op" + std::to_string(i));
+  }
+  // Decoding copies; the stored entry must still hold the payload.
+  EXPECT_GT(follower.At(1).cmd.ContentSize(), 0u);
+}
+
+// A leader no-op entry (empty command) decodes to zero ops.
+TEST(RaftLogTest, EmptyPayloadDecodesToNoOps) {
+  EXPECT_TRUE(DecodeBatchPayload(Marshal{}).empty());
+}
+
+TEST(RaftLogTest, ClampBatchEndRespectsEntryAndByteCaps) {
+  RaftLog log;
+  for (int i = 0; i < 8; i++) {
+    log.Append(1, Cmd(std::string(100, 'x')));  // ~100+ bytes each
+  }
+  // Entry cap binds.
+  EXPECT_EQ(log.ClampBatchEnd(1, 3, 1 << 20), 3u);
+  // Byte cap binds: ~100 bytes/entry, 250-byte budget -> 2 entries.
+  EXPECT_EQ(log.ClampBatchEnd(1, 128, 250), 2u);
+  // No cap binds: everything accumulated ships in one round.
+  EXPECT_EQ(log.ClampBatchEnd(1, 128, 1 << 20), 8u);
+  // An oversized single entry still ships (progress over the byte cap).
+  EXPECT_EQ(log.ClampBatchEnd(5, 128, 1), 5u);
+  // Starting at the tail returns the tail.
+  EXPECT_EQ(log.ClampBatchEnd(8, 128, 1 << 20), 8u);
 }
 
 }  // namespace

@@ -93,10 +93,12 @@ TEST(RaftTcpTest, ThreeNodeClusterOverRealSockets) {
   std::atomic<int> ok{0};
   std::atomic<bool> done{false};
   std::string got;
+  std::unique_ptr<RpcEndpoint> client_rpc;
+  std::unique_ptr<RaftClient> session;
   client_thread.reactor()->Post([&]() {
-    auto* rpc = new RpcEndpoint(99, "c1", Reactor::Current(), &transport);
-    auto* session = new RaftClient(rpc, {1, 2, 3});
-    Coroutine::Create([&, session]() {
+    client_rpc = std::make_unique<RpcEndpoint>(99, "c1", Reactor::Current(), &transport);
+    session = std::make_unique<RaftClient>(client_rpc.get(), std::vector<NodeId>{1, 2, 3});
+    Coroutine::Create([&, session = session.get()]() {
       for (int i = 0; i < 20; i++) {
         if (session->Put("tcp" + std::to_string(i), "v" + std::to_string(i))) {
           ok++;
@@ -123,6 +125,23 @@ TEST(RaftTcpTest, ThreeNodeClusterOverRealSockets) {
 
   for (auto& n : nodes) {
     RunOn(*n, [&n]() { n->raft->Shutdown(); });
+  }
+  {
+    // Free the client endpoint on its own reactor thread before stopping it.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool freed = false;
+    client_thread.reactor()->Post([&]() {
+      session.reset();
+      client_rpc.reset();
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        freed = true;
+      }
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&]() { return freed; });
   }
   client_thread.Stop();
   for (auto& n : nodes) {

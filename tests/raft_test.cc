@@ -304,5 +304,113 @@ TEST(RaftTest, ConcurrentClients) {
   EXPECT_EQ(ok.load(), 160);
 }
 
+// ------------------------------------------------------- proposal batching
+
+// Issues `n_coroutines` x `ops_each` puts from one client session, all
+// concurrent, and returns how many succeeded.
+int RunConcurrentPuts(RaftClusterOptions opts, RaftCluster& cluster, int n_coroutines,
+                      int ops_each) {
+  auto client = cluster.MakeClient("c1");
+  std::atomic<int> ok{0};
+  std::atomic<int> done{0};
+  RaftClient* session = client->session.get();
+  client->thread->reactor()->Post([&, session]() {
+    for (int j = 0; j < n_coroutines; j++) {
+      Coroutine::Create([&, session, j]() {
+        for (int i = 0; i < ops_each; i++) {
+          if (session->Put("b" + std::to_string(j) + "_" + std::to_string(i),
+                           "v" + std::to_string(i))) {
+            ok++;
+          }
+        }
+        done++;
+      });
+    }
+  });
+  while (done.load() < n_coroutines) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return ok.load();
+}
+
+TEST(RaftTest, BatchingCoalescesConcurrentOps) {
+  auto opts = FastOptions(3, true);
+  opts.raft.batch_window_us = 3000;
+  opts.raft.batch_max_ops = 8;
+  RaftCluster cluster(opts);
+  EXPECT_EQ(RunConcurrentPuts(opts, cluster, 8, 10), 80);
+  RaftCounters c = cluster.CountersOf(0);
+  EXPECT_EQ(c.ops_proposed, 80u);
+  // 8 concurrent closed-loop clients against a 3ms window: ops must share
+  // entries, and no entry may exceed the 8-op cap.
+  EXPECT_LT(c.entries_proposed, c.ops_proposed);
+  EXPECT_LE(c.batch_ops_histogram.max(), 8u);
+  // Every op's value must still be individually applied and readable.
+  std::string v;
+  cluster.RunOn(0, [&]() { v = cluster.server(0).raft->kv().Get("b3_7").value_or(""); });
+  EXPECT_EQ(v, "v7");
+}
+
+// Window 0 is the pre-batching behaviour: one log entry per client op.
+TEST(RaftTest, ZeroWindowKeepsPerOpEntries) {
+  auto opts = FastOptions(3, true);
+  opts.raft.batch_window_us = 0;
+  RaftCluster cluster(opts);
+  EXPECT_EQ(RunConcurrentPuts(opts, cluster, 4, 5), 20);
+  RaftCounters c = cluster.CountersOf(0);
+  EXPECT_EQ(c.ops_proposed, 20u);
+  EXPECT_EQ(c.entries_proposed, 20u);
+  EXPECT_EQ(c.batch_ops_histogram.max(), 1u);
+}
+
+// An op cap of 1 ships every op alone even with a window armed — the other
+// batch-cap boundary.
+TEST(RaftTest, OpCapOneDisablesCoalescing) {
+  auto opts = FastOptions(3, true);
+  opts.raft.batch_window_us = 2000;
+  opts.raft.batch_max_ops = 1;
+  RaftCluster cluster(opts);
+  EXPECT_EQ(RunConcurrentPuts(opts, cluster, 4, 5), 20);
+  RaftCounters c = cluster.CountersOf(0);
+  EXPECT_EQ(c.entries_proposed, c.ops_proposed);
+  EXPECT_EQ(c.batch_ops_histogram.max(), 1u);
+}
+
+// Group commit on the leader's WAL: concurrent replication rounds queue
+// records while a flush is in flight, so physical flushes stay well below
+// appends (fsync amortization, the tentpole's WAL-aware commit).
+TEST(RaftTest, GroupCommitAmortizesFlushes) {
+  auto opts = FastOptions(3, true);
+  opts.disk.base_latency_us = 2000;  // slow fsync forces overlap
+  RaftCluster cluster(opts);
+  EXPECT_EQ(RunConcurrentPuts(opts, cluster, 8, 10), 80);
+  RaftCounters c = cluster.CountersOf(0);
+  // Two layers of amortization: 80 single-op entries ship in far fewer
+  // multi-entry rounds (one WAL append each), and appends issued while a
+  // flush is in flight share the next flush.
+  EXPECT_EQ(c.ops_proposed, 80u);
+  EXPECT_LT(c.rounds, c.ops_proposed);
+  EXPECT_GT(c.wal_appends, 1u);
+  EXPECT_LT(c.wal_flushes, c.wal_appends);
+}
+
+// The paper's Figure 3 invariant must survive batching: a fail-slow minority
+// follower does not gate the batched commit path.
+TEST(RaftTest, BatchingToleratesFailSlowFollower) {
+  auto opts = FastOptions(3, true);
+  opts.raft.batch_window_us = 2000;
+  opts.raft.batch_max_ops = 8;
+  RaftCluster cluster(opts);
+  cluster.InjectFault(1, FaultType::kCpuSlow);
+  uint64_t begin = MonotonicUs();
+  EXPECT_EQ(RunConcurrentPuts(opts, cluster, 8, 5), 40);
+  uint64_t elapsed = MonotonicUs() - begin;
+  // The healthy majority (leader WAL + one follower) commits every batch;
+  // a leaked wait on the slow follower would cost >= rounds x rpc_timeout.
+  EXPECT_LT(elapsed, 1500000u);
+  RaftCounters c = cluster.CountersOf(0);
+  EXPECT_LT(c.entries_proposed, c.ops_proposed);  // batching stayed active
+}
+
 }  // namespace
 }  // namespace depfast

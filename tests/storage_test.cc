@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "src/base/time_util.h"
 #include "src/runtime/reactor.h"
@@ -120,7 +121,7 @@ TEST_F(StorageTest, WalAppendDurableEvent) {
   SimDiskParams p;
   p.base_latency_us = 1000;
   SimDisk disk(reactor_.get(), p);
-  Wal wal(&disk);
+  Wal wal(&disk, /*keep_records=*/true);
   bool durable = false;
   Coroutine::Create([&]() {
     Marshal rec;
@@ -160,7 +161,7 @@ TEST_F(StorageTest, WalGroupCommitBatches) {
 
 TEST_F(StorageTest, WalRecordsPreserveContent) {
   SimDisk disk(reactor_.get());
-  Wal wal(&disk);
+  Wal wal(&disk, /*keep_records=*/true);
   Marshal rec1;
   rec1 << std::string("alpha") << static_cast<uint64_t>(1);
   Marshal rec2;
@@ -177,6 +178,59 @@ TEST_F(StorageTest, WalRecordsPreserveContent) {
   copy >> s >> v;
   EXPECT_EQ(s, "alpha");
   EXPECT_EQ(v, 1u);
+}
+
+// Regression: the in-memory record mirror is opt-in; by default sustained
+// appends must not accumulate memory (the RethinkDB unbounded-buffer
+// pathology, inside our own WAL).
+TEST_F(StorageTest, WalMirrorOffByDefault) {
+  SimDisk disk(reactor_.get());
+  Wal wal(&disk);
+  int durable = 0;
+  for (int i = 0; i < 50; i++) {
+    Coroutine::Create([&]() {
+      Marshal rec;
+      rec << std::string("payload");
+      wal.Append(rec)->Wait();
+      durable++;
+    });
+  }
+  reactor_->RunUntil([&]() { return durable == 50; }, 5000000);
+  EXPECT_EQ(durable, 50);
+  EXPECT_EQ(wal.n_appends(), 50u);
+  EXPECT_TRUE(wal.records().empty());
+}
+
+// Regression: destroying the Wal from a different thread (the normal cluster
+// teardown path: handles die on the main thread) must still wake the flusher
+// coroutine and fail pending appends, instead of leaking both.
+TEST_F(StorageTest, WalOffThreadDestructionDrainsFlusher) {
+  SimDiskParams p;
+  p.base_latency_us = 50000;  // slow: both appends still undurable at dtor
+  SimDisk disk(reactor_.get(), p);
+  auto wal = std::make_unique<Wal>(&disk);
+  int failed = 0;
+  for (int i = 0; i < 2; i++) {
+    Coroutine::Create([&]() {
+      Marshal rec;
+      rec << std::string("e");
+      auto ev = wal->Append(rec);
+      ev->Wait();
+      if (!ev->vote_ok()) {
+        failed++;
+      }
+    });
+  }
+  // Let the flusher start its first (slow) flush.
+  reactor_->RunUntil([&]() { return disk.n_writes() > 0; }, 1000000);
+  std::thread t([&]() { wal.reset(); });
+  t.join();
+  // The posted wakeup + stop flag must fail both waiters and let the flusher
+  // coroutine exit (only the two waiter coroutines finish afterwards too).
+  reactor_->RunUntil([&]() { return failed == 2; }, 5000000);
+  EXPECT_EQ(failed, 2);
+  reactor_->RunUntilIdle();
+  EXPECT_EQ(reactor_->alive_coroutines(), 0u);
 }
 
 TEST(KvStoreTest, PutGetDelete) {
