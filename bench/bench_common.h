@@ -96,6 +96,26 @@ inline RaftClusterOptions PaperRaftCluster(int n_nodes) {
   return opts;
 }
 
+// The real-socket testbed (Ablation E): same 3-node shape but wired through
+// TcpTransport over loopback. Modeled per-op costs are near zero — what this
+// testbed measures is the socket path itself (framing, gather-writes,
+// bounded buffers), so the CPU model must not be the bottleneck.
+inline RaftClusterOptions TcpRaftCluster(bool enable_writev, uint64_t queue_cap_bytes) {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;
+  opts.transport_kind = ClusterTransport::kTcp;
+  opts.tcp.enable_writev = enable_writev;
+  opts.raft.send_queue_cap_bytes = queue_cap_bytes;  // 0 = unbounded
+  opts.raft.batch_window_us = 200;
+  opts.raft.leader_cmd_cost_us = 1;
+  opts.raft.leader_propose_cost_us = 1;
+  opts.raft.follower_append_cost_us = 1;
+  opts.raft.apply_cost_us = 1;
+  opts.disk.base_latency_us = 20;
+  return opts;
+}
+
 inline NaiveClusterOptions PaperNaiveCluster(const NaiveProfile& profile) {
   NaiveClusterOptions opts;
   opts.n_nodes = 3;

@@ -37,6 +37,18 @@ void FaultInjector::Apply(const NodeEnv& env, const FaultSpec& spec) {
     env.transport->SetNodeExtraDelay(env.id,
                                      spec.type == FaultType::kNetworkSlow ? spec.net_delay_us : 0);
   }
+  // Real-socket runs express kNetworkSlow as a slow-drain throttle on every
+  // link TOWARD the faulty node (its inbound NIC is the bottleneck, so all
+  // senders see their buffered bytes drain at the clamped rate).
+  if (env.tcp != nullptr) {
+    if (spec.type == FaultType::kNetworkSlow) {
+      TcpFaultSpec f;
+      f.drain_bytes_per_sec = spec.tcp_drain_bytes_per_sec;
+      env.tcp->SetPeerFault(env.id, f);
+    } else {
+      env.tcp->ClearPeerFault(env.id);
+    }
+  }
   // CPU/disk/memory knobs belong to the node's reactor thread.
   CpuModel* cpu = env.cpu;
   MemModel* mem = env.mem;

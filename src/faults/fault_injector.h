@@ -10,6 +10,7 @@
 #include "src/faults/fault_types.h"
 #include "src/faults/resource_model.h"
 #include "src/rpc/sim_transport.h"
+#include "src/rpc/tcp_transport.h"
 #include "src/storage/disk.h"
 
 namespace depfast {
@@ -24,6 +25,7 @@ struct NodeEnv {
   MemModel* mem = nullptr;
   SimDisk* disk = nullptr;
   SimTransport* transport = nullptr;  // may be null (TCP runs)
+  TcpTransport* tcp = nullptr;        // set instead of `transport` on TCP runs
 };
 
 class FaultInjector {

@@ -45,6 +45,11 @@ struct FaultSpec {
 
   // Network (slow): added one-way NIC delay (tc netem).
   uint64_t net_delay_us = 400000;
+  // Network (slow) on the REAL-socket path: bytes per second the faulty
+  // node's inbound link drains (TcpTransport slow-drain throttle). The
+  // modeled delay above does not apply to real sockets, so TCP runs express
+  // the same Table 1 row as a bandwidth clamp instead.
+  uint64_t tcp_drain_bytes_per_sec = 64 * 1024;
 };
 
 // The canonical Table 1 instantiation for each type.

@@ -5,8 +5,22 @@
 
 namespace depfast {
 
+Transport* RaftCluster::net() const {
+  return transport_ != nullptr ? static_cast<Transport*>(transport_.get())
+                               : static_cast<Transport*>(tcp_transport_.get());
+}
+
 RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
-  transport_ = std::make_unique<SimTransport>(opts_.link, /*seed=*/42);
+  if (opts_.transport_kind == ClusterTransport::kTcp) {
+    TcpTransportOptions topts = opts_.tcp;
+    if (topts.default_queue_cap_bytes == 0) {
+      // Bound real-socket buffers the same way the sim links are bounded.
+      topts.default_queue_cap_bytes = opts_.raft.send_queue_cap_bytes;
+    }
+    tcp_transport_ = std::make_unique<TcpTransport>(topts);
+  } else {
+    transport_ = std::make_unique<SimTransport>(opts_.link, /*seed=*/42);
+  }
   next_client_id_ = opts_.first_node_id + static_cast<NodeId>(opts_.n_nodes) + 100;
 
   std::vector<NodeId> all_ids;
@@ -35,7 +49,7 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
     }
     RunOn(i, [this, h, my_id, my_name, peers, &all_ids, &all_names]() {
       Reactor* reactor = Reactor::Current();
-      h->rpc = std::make_unique<RpcEndpoint>(my_id, my_name, reactor, transport_.get());
+      h->rpc = std::make_unique<RpcEndpoint>(my_id, my_name, reactor, net());
       for (size_t j = 0; j < all_ids.size(); j++) {
         h->rpc->SetPeerName(all_ids[j], all_names[j]);
       }
@@ -44,8 +58,8 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
       h->mem = std::make_unique<MemModel>();
       h->mem->SetDefaultCap(opts_.machine_mem_cap_bytes, opts_.machine_swap_penalty);
       h->cpu->set_mem(h->mem.get());
-      h->env = NodeEnv{my_id,        my_name,       reactor,         h->cpu.get(),
-                       h->mem.get(), h->disk.get(), transport_.get()};
+      h->env = NodeEnv{my_id,        my_name,       reactor,          h->cpu.get(),
+                       h->mem.get(), h->disk.get(), transport_.get(), tcp_transport_.get()};
       RaftConfig cfg = opts_.raft;
       if (opts_.pin_leader) {
         cfg.enable_election = false;
@@ -156,7 +170,7 @@ std::unique_ptr<RaftClientHandle> RaftCluster::MakeClient(const std::string& nam
   bool done = false;
   RaftClientHandle* h = handle.get();
   handle->thread->reactor()->Post([&, h, id, ids, name]() {
-    h->rpc = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), transport_.get());
+    h->rpc = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), net());
     for (int i = 0; i < opts_.n_nodes; i++) {
       h->rpc->SetPeerName(ids[static_cast<size_t>(i)],
                           opts_.name_prefix + std::to_string(ids[static_cast<size_t>(i)]));

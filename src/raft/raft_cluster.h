@@ -16,14 +16,24 @@
 #include "src/raft/raft_client.h"
 #include "src/raft/raft_node.h"
 #include "src/rpc/sim_transport.h"
+#include "src/rpc/tcp_transport.h"
 
 namespace depfast {
+
+// Which wire the cluster's nodes talk over: the modeled SimTransport
+// (default; link params + modeled faults) or real loopback TCP sockets
+// (TcpTransport; gather-writes, bounded buffers, socket-level faults).
+enum class ClusterTransport : uint8_t { kSim = 0, kTcp = 1 };
 
 struct RaftClusterOptions {
   int n_nodes = 3;
   RaftConfig raft;
   LinkParams link;
   SimDiskParams disk;
+  ClusterTransport transport_kind = ClusterTransport::kSim;
+  // TCP-mode transport knobs. If default_queue_cap_bytes is 0 it inherits
+  // raft.send_queue_cap_bytes so both wires bound buffers identically.
+  TcpTransportOptions tcp;
   // Machine-level memory budget per node (healthy baseline).
   uint64_t machine_mem_cap_bytes = 48ull << 20;
   double machine_swap_penalty = 4.0;
@@ -62,7 +72,13 @@ class RaftCluster {
   RaftCluster& operator=(const RaftCluster&) = delete;
 
   int n_nodes() const { return opts_.n_nodes; }
-  SimTransport& transport() { return *transport_; }
+  // The sim transport (sim mode only; aborts in TCP mode).
+  SimTransport& transport() {
+    DF_CHECK_NOTNULL(transport_.get());
+    return *transport_;
+  }
+  // The TCP transport, or nullptr in sim mode.
+  TcpTransport* tcp_transport() { return tcp_transport_.get(); }
   const RaftClusterOptions& options() const { return opts_; }
 
   RaftServerHandle& server(int i) { return *servers_[static_cast<size_t>(i)]; }
@@ -96,8 +112,12 @@ class RaftCluster {
   void Shutdown();
 
  private:
+  // The Transport nodes and clients are wired through (whichever is set).
+  Transport* net() const;
+
   RaftClusterOptions opts_;
   std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<TcpTransport> tcp_transport_;
   std::vector<std::unique_ptr<RaftServerHandle>> servers_;
   NodeId next_client_id_;
   bool shut_down_ = false;

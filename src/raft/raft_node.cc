@@ -73,6 +73,12 @@ void RaftNode::Start() {
     while (!stopped_) {
       if (env_.transport != nullptr && env_.mem != nullptr) {
         env_.mem->SetExternalUsage(env_.transport->OutgoingBytes(env_.id));
+      } else if (env_.tcp != nullptr && env_.mem != nullptr) {
+        uint64_t total = 0;
+        for (NodeId p : peers_) {
+          total += env_.tcp->QueuedBytesTo(p);
+        }
+        env_.mem->SetExternalUsage(total);
       }
       SleepUs(10000);
     }
@@ -255,8 +261,9 @@ void RaftNode::ReplicationPump(uint64_t epoch) {
     }
     uint64_t from = sync_idx_ + 1;
     // Multi-entry round: everything accumulated since the last round, capped
-    // by max_batch entries and max_batch_bytes of payload.
-    uint64_t to = log_.ClampBatchEnd(from, config_.max_batch, config_.max_batch_bytes);
+    // by max_batch entries and the effective byte budget (max_batch_bytes,
+    // clamped under the bounded send-queue cap so the frame is admissible).
+    uint64_t to = log_.ClampBatchEnd(from, config_.max_batch, EffectiveBatchBytes());
     StartRound(from, to, epoch);
     sync_idx_ = to;
   }
@@ -409,7 +416,7 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     if (next > log_.LastIndex()) {
       break;
     }
-    uint64_t to = log_.ClampBatchEnd(next, config_.max_batch, config_.max_batch_bytes);
+    uint64_t to = log_.ClampBatchEnd(next, config_.max_batch, EffectiveBatchBytes());
     AppendEntriesArgs args;
     args.term = term_;
     args.leader_id = env_.id;
@@ -455,31 +462,66 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
 
 bool RaftNode::SendSnapshot(NodeId peer, uint64_t epoch) {
   DF_CHECK_GT(snapshot_idx_, 0u);
-  InstallSnapshotArgs args;
-  args.term = term_;
-  args.leader_id = env_.id;
-  args.snap_idx = snapshot_idx_;
-  args.snap_term = snapshot_term_;
-  args.data = snapshot_data_;
-  CallOpts opts;
-  opts.timeout_us = config_.rpc_timeout_us * 8;  // snapshots are large
-  opts.discardable = false;
-  auto ev = rpc_->Call(peer, kMethodInstallSnapshot, args.Encode(), opts);
-  ev->set_trace_exempt(true);
-  ev->Wait();
-  if (stopped_ || leader_epoch_ != epoch || ev->failed() || !ev->Ready()) {
-    return false;
+  // Pin ONE consistent snapshot for the whole transfer; a concurrent
+  // compaction may replace snapshot_data_ between rounds.
+  Marshal snap = snapshot_data_;
+  const uint64_t snap_idx = snapshot_idx_;
+  const uint64_t snap_term = snapshot_term_;
+  const uint64_t total = snap.ContentSize();
+  const uint64_t chunk = std::max<uint64_t>(config_.snapshot_chunk_bytes, 1);
+  // Batch multiple chunks per RPC under the same byte cap AppendEntries
+  // uses; at least one chunk always ships.
+  const uint64_t per_rpc = std::max<uint64_t>(EffectiveBatchBytes(), chunk);
+  uint64_t offset = 0;
+  while (true) {
+    const uint64_t batch = std::min<uint64_t>(total - offset, per_rpc);
+    InstallSnapshotArgs args;
+    args.term = term_;
+    args.leader_id = env_.id;
+    args.snap_idx = snap_idx;
+    args.snap_term = snap_term;
+    args.offset = offset;
+    args.total_bytes = total;
+    args.n_chunks = static_cast<uint32_t>(std::max<uint64_t>(1, (batch + chunk - 1) / chunk));
+    args.done = offset + batch >= total;
+    args.data.WriteBytes(snap.data() + offset, batch);
+    counters_.snapshot_rounds++;
+    counters_.snapshot_chunks += args.n_chunks;
+    counters_.snapshot_bytes += batch;
+    CallOpts opts;
+    opts.timeout_us = config_.rpc_timeout_us * 8;  // snapshot batches are large
+    opts.discardable = false;
+    auto ev = rpc_->Call(peer, kMethodInstallSnapshot, args.Encode(), opts);
+    ev->set_trace_exempt(true);
+    ev->Wait();
+    if (stopped_ || leader_epoch_ != epoch || ev->failed() || !ev->Ready()) {
+      return false;
+    }
+    Marshal copy = ev->reply();
+    auto r = InstallSnapshotReply::Decode(copy);
+    if (r.term > term_) {
+      StepDown(r.term);
+      return false;
+    }
+    if (!r.ok) {
+      // The follower lost its staged prefix (restart) or is staging a
+      // different snapshot; resume where it says — unless that is no
+      // progress, in which case give up and let CatchUpPeer retry.
+      if (r.next_offset >= offset + batch || r.next_offset > total) {
+        return false;
+      }
+      offset = r.next_offset;
+      continue;
+    }
+    if (r.next_offset >= total) {
+      break;  // follower has (or already had) the full snapshot
+    }
+    if (r.next_offset <= offset) {
+      return false;  // acknowledged but no progress; avoid spinning
+    }
+    offset = r.next_offset;
   }
-  Marshal copy = ev->reply();
-  auto r = InstallSnapshotReply::Decode(copy);
-  if (r.term > term_) {
-    StepDown(r.term);
-    return false;
-  }
-  if (!r.ok) {
-    return false;
-  }
-  match_idx_[peer] = std::max(match_idx_[peer], args.snap_idx);
+  match_idx_[peer] = std::max(match_idx_[peer], snap_idx);
   next_idx_[peer] = match_idx_[peer] + 1;
   AdvanceCommitFromMatches();
   return true;
@@ -678,27 +720,68 @@ void RaftNode::HandleInstallSnapshot(NodeId from, Marshal& args_m, Marshal* repl
     *reply_m = reply.Encode();
     return;
   }
-  if (args.snap_idx > last_applied_) {
-    Marshal data_copy = args.data;
-    kv_.Restore(data_copy);
-    log_.ResetToSnapshot(args.snap_idx, args.snap_term);
-    last_applied_ = args.snap_idx;
-    apply_watch_.Set(static_cast<int64_t>(last_applied_));
-    if (args.snap_idx > commit_idx_) {
-      commit_idx_ = args.snap_idx;
-      commit_watch_.Set(static_cast<int64_t>(commit_idx_));
-    }
-    snapshot_data_ = args.data;
-    snapshot_idx_ = args.snap_idx;
-    snapshot_term_ = args.snap_term;
-    Marshal rec;
-    rec << args.snap_idx << args.snap_term;
-    rec.Append(args.data);
-    auto ev = wal_.Append(rec);
-    ev->Wait();
-  }
   reply.term = term_;
+  if (args.snap_idx <= last_applied_) {
+    // Already at or past this snapshot; tell the leader the transfer is
+    // complete so it skips the remaining batches.
+    reply.ok = true;
+    reply.next_offset = args.total_bytes;
+    *reply_m = reply.Encode();
+    return;
+  }
+  // Stage the batch. A batch at offset 0 (or for a different snapshot)
+  // restarts staging; a mid-transfer batch we have no prefix for — e.g. we
+  // restarted and lost it — is refused with the offset we DO have, so the
+  // leader resumes instead of resending everything blindly.
+  if (args.snap_idx != snap_stage_idx_ || args.snap_term != snap_stage_term_ ||
+      args.offset == 0) {
+    if (args.offset != 0) {
+      reply.ok = false;
+      reply.next_offset = 0;
+      *reply_m = reply.Encode();
+      return;
+    }
+    snap_stage_.Clear();
+    snap_stage_idx_ = args.snap_idx;
+    snap_stage_term_ = args.snap_term;
+  }
+  if (args.offset != snap_stage_.ContentSize()) {
+    reply.ok = false;
+    reply.next_offset = snap_stage_.ContentSize();
+    *reply_m = reply.Encode();
+    return;
+  }
+  snap_stage_.Append(args.data);
+  if (!args.done) {
+    reply.ok = true;
+    reply.next_offset = snap_stage_.ContentSize();
+    *reply_m = reply.Encode();
+    return;
+  }
+  DF_CHECK_EQ(snap_stage_.ContentSize(), args.total_bytes);
+  Marshal full = std::move(snap_stage_);
+  snap_stage_ = Marshal();
+  snap_stage_idx_ = 0;
+  snap_stage_term_ = 0;
+  Marshal data_copy = full;
+  kv_.Restore(data_copy);
+  log_.ResetToSnapshot(args.snap_idx, args.snap_term);
+  last_applied_ = args.snap_idx;
+  apply_watch_.Set(static_cast<int64_t>(last_applied_));
+  if (args.snap_idx > commit_idx_) {
+    commit_idx_ = args.snap_idx;
+    commit_watch_.Set(static_cast<int64_t>(commit_idx_));
+  }
+  snapshot_data_ = full;
+  snapshot_idx_ = args.snap_idx;
+  snapshot_term_ = args.snap_term;
+  Marshal rec;
+  rec << args.snap_idx << args.snap_term;
+  rec.Append(full);
+  auto ev = wal_.Append(rec);
+  ev->Wait();
   reply.ok = true;
+  reply.next_offset = args.total_bytes;
   *reply_m = reply.Encode();
 }
 

@@ -114,6 +114,18 @@ class RaftNode {
   // Ships the current snapshot to a follower whose next index fell below
   // the log base. Returns true on installed.
   bool SendSnapshot(NodeId peer, uint64_t epoch);
+  // Byte budget of one point-to-point replication batch (catch-up round or
+  // snapshot batch). Clamped to half the bounded send-queue cap so a
+  // non-discardable batch can ALWAYS be admitted once the queue drains —
+  // without this, a batch larger than the cap is refused forever and
+  // catch-up livelocks against its own backpressure.
+  uint64_t EffectiveBatchBytes() const {
+    uint64_t bytes = config_.max_batch_bytes;
+    if (config_.send_queue_cap_bytes > 0) {
+      bytes = std::min(bytes, std::max<uint64_t>(config_.send_queue_cap_bytes / 2, 1));
+    }
+    return bytes;
+  }
   // ReadIndex: confirms this node is still leader via a quorum ping round
   // (coalesced across concurrent reads). Returns false if leadership could
   // not be confirmed.
@@ -163,6 +175,14 @@ class RaftNode {
   Marshal snapshot_data_;
   uint64_t snapshot_idx_ = 0;
   uint64_t snapshot_term_ = 0;
+
+  // Follower-side staging of an in-flight chunked InstallSnapshot: bytes
+  // received so far for (snap_stage_idx_, snap_stage_term_). Restored into
+  // the state machine only when the final batch arrives; a batch for a
+  // different snapshot (or offset 0) resets the staging.
+  Marshal snap_stage_;
+  uint64_t snap_stage_idx_ = 0;
+  uint64_t snap_stage_term_ = 0;
 
   // In-flight readIndex confirmation round, shared by concurrent reads.
   std::shared_ptr<QuorumEvent> read_round_;

@@ -137,21 +137,32 @@ struct RequestVoteReply {
   }
 };
 
+// Snapshot transfer is chunked: the snapshot is cut into
+// `snapshot_chunk_bytes` chunks, and each RPC ships a BATCH of consecutive
+// chunks bounded by `max_batch_bytes` — mirroring how AppendEntries batches
+// entries, so a multi-MB snapshot needs neither one giant frame nor one
+// round trip per chunk.
 struct InstallSnapshotArgs {
   uint64_t term = 0;
   NodeId leader_id = 0;
-  uint64_t snap_idx = 0;   // last log index folded into the snapshot
-  uint64_t snap_term = 0;  // its term
-  Marshal data;            // serialized state machine
+  uint64_t snap_idx = 0;     // last log index folded into the snapshot
+  uint64_t snap_term = 0;    // its term
+  uint64_t offset = 0;       // byte offset of this batch within the snapshot
+  uint64_t total_bytes = 0;  // full snapshot size (for staging validation)
+  uint32_t n_chunks = 1;     // chunks coalesced into this RPC
+  bool done = false;         // final batch: follower restores on receipt
+  Marshal data;              // this batch's bytes
 
   Marshal Encode() const {
     Marshal m;
-    m << term << leader_id << snap_idx << snap_term << data;
+    m << term << leader_id << snap_idx << snap_term << offset << total_bytes << n_chunks << done
+      << data;
     return m;
   }
   static InstallSnapshotArgs Decode(Marshal& m) {
     InstallSnapshotArgs a;
-    m >> a.term >> a.leader_id >> a.snap_idx >> a.snap_term >> a.data;
+    m >> a.term >> a.leader_id >> a.snap_idx >> a.snap_term >> a.offset >> a.total_bytes >>
+        a.n_chunks >> a.done >> a.data;
     return a;
   }
 };
@@ -159,15 +170,19 @@ struct InstallSnapshotArgs {
 struct InstallSnapshotReply {
   uint64_t term = 0;
   bool ok = false;
+  // Byte offset the follower expects next. On ok this acknowledges the
+  // batch; on !ok it tells the leader where to resume (e.g. after a
+  // follower restart lost the staged prefix).
+  uint64_t next_offset = 0;
 
   Marshal Encode() const {
     Marshal m;
-    m << term << ok;
+    m << term << ok << next_offset;
     return m;
   }
   static InstallSnapshotReply Decode(Marshal& m) {
     InstallSnapshotReply r;
-    m >> r.term >> r.ok;
+    m >> r.term >> r.ok >> r.next_offset;
     return r;
   }
 };
@@ -273,6 +288,10 @@ struct RaftConfig {
   // Followers that fall behind the base are caught up via InstallSnapshot.
   // 0 disables compaction.
   uint64_t snapshot_threshold_entries = 8192;
+  // Chunk granularity of InstallSnapshot transfers. Each RPC batches as many
+  // consecutive chunks as fit in max(max_batch_bytes, snapshot_chunk_bytes);
+  // at least one chunk always ships.
+  uint64_t snapshot_chunk_bytes = 64 * 1024;
 
   // ReadIndex fast reads: serve reads from the leader's state machine after
   // confirming leadership with a quorum ping round — no log entry appended.
@@ -299,6 +318,12 @@ struct RaftCounters {
   uint64_t wal_appends = 0;       // leader Wal::Append calls
   uint64_t wal_flushes = 0;       // physical flushes (group commit)
   uint64_t bytes_replicated = 0;  // entry payload bytes shipped to followers
+  // Snapshot chunk batching (leader side): rounds is InstallSnapshot RPCs
+  // issued, chunks the chunk total across them — chunks/rounds is the
+  // amortization factor the byte cap allows.
+  uint64_t snapshot_rounds = 0;
+  uint64_t snapshot_chunks = 0;
+  uint64_t snapshot_bytes = 0;    // snapshot payload bytes shipped
   Histogram batch_ops_histogram;  // ops per proposed entry
 };
 

@@ -6,15 +6,22 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/base/time_util.h"
 
 namespace depfast {
 
 namespace {
+
+// Hard bound on iovecs per gather-write (well under any platform IOV_MAX).
+constexpr size_t kIovHardMax = 64;
 
 void SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -29,9 +36,16 @@ void SetNoDelay(int fd) {
 
 }  // namespace
 
-TcpTransport::TcpTransport() {
+TcpTransport::TcpTransport() : TcpTransport(TcpTransportOptions{}) {}
+
+TcpTransport::TcpTransport(TcpTransportOptions opts) : opts_(opts) {
+  opts_.max_iov = std::clamp<size_t>(opts_.max_iov, 1, kIovHardMax);
+  opts_.max_flush_bytes = std::max<size_t>(opts_.max_flush_bytes, 1);
   DF_CHECK_EQ(pipe(wake_pipe_), 0);
   SetNonBlocking(wake_pipe_[0]);
+  // Non-blocking writes too: a full pipe already guarantees a wakeup, and a
+  // blocking write here would stall the SENDER's thread behind the poller.
+  SetNonBlocking(wake_pipe_[1]);
   poller_ = std::thread([this]() { PollerLoop(); });
 }
 
@@ -114,6 +128,58 @@ uint16_t TcpTransport::ListenPort(NodeId id) const {
   return it == endpoints_.end() ? 0 : it->second.port;
 }
 
+void TcpTransport::SetQueueCap(NodeId to, uint64_t cap_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  queue_caps_[to] = cap_bytes;
+}
+
+void TcpTransport::SetPeerFault(NodeId to, const TcpFaultSpec& fault) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_faults_[to] = fault;
+  }
+  WakePoller();
+}
+
+void TcpTransport::ClearPeerFault(NodeId to) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_faults_.erase(to);
+  }
+  WakePoller();
+}
+
+TransportCounters TcpTransport::counters() const {
+  TransportCounters c;
+  c.frames_sent = n_frames_sent_.load(std::memory_order_relaxed);
+  c.bytes_sent = n_bytes_sent_.load(std::memory_order_relaxed);
+  c.writev_calls = n_writev_calls_.load(std::memory_order_relaxed);
+  c.drops = n_drops_.load(std::memory_order_relaxed);
+  c.backpressure_stalls = n_backpressure_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::shared_ptr<TcpTransport::Conn> TcpTransport::FindOutConn(NodeId to) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = out_conns_.find(to);
+  return it == out_conns_.end() ? nullptr : it->second;
+}
+
+uint64_t TcpTransport::QueuedBytesTo(NodeId to) const {
+  auto conn = FindOutConn(to);
+  return conn == nullptr ? 0 : conn->queued_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t TcpTransport::PeakQueuedBytesTo(NodeId to) const {
+  auto conn = FindOutConn(to);
+  return conn == nullptr ? 0 : conn->peak_queued_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t TcpTransport::CapFor(NodeId to) const {
+  auto it = queue_caps_.find(to);
+  return it == queue_caps_.end() ? opts_.default_queue_cap_bytes : it->second;
+}
+
 int TcpTransport::ConnectTo(const std::string& host, uint16_t port) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   DF_CHECK_GE(fd, 0);
@@ -136,6 +202,13 @@ int TcpTransport::ConnectTo(const std::string& host, uint16_t port) {
 }
 
 bool TcpTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) {
+  // Frame: [u32 length][u32 from][payload]. Admission is decided BEFORE the
+  // payload is copied into a frame, so refused sends (cap overflow on a slow
+  // link) cost no memcpy on the caller's thread — overflow is the common
+  // case while a peer is fail-slow.
+  const uint32_t payload_len = static_cast<uint32_t>(msg.ContentSize());
+  const size_t frame_size = 8 + payload_len;
+
   std::shared_ptr<Conn> conn;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -153,9 +226,12 @@ bool TcpTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
       port = peer->second.second;
     }
     auto it = out_conns_.find(to);
-    if (it != out_conns_.end()) {
+    if (it != out_conns_.end() && !it->second->dead) {
       conn = it->second;
     } else {
+      if (it != out_conns_.end()) {
+        out_conns_.erase(it);  // reconnect past a dead connection
+      }
       int fd = ConnectTo(host, port);
       if (fd < 0) {
         return false;
@@ -165,19 +241,33 @@ bool TcpTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
       conn->owner = to;
       out_conns_[to] = conn;
     }
-  }
-  // Frame: [u32 length][u32 from][payload]. Built off-thread, appended to the
-  // connection's outbound buffer by the poller (via the send queue) so all
-  // socket writes stay on one thread.
-  uint32_t payload_len = static_cast<uint32_t>(msg.ContentSize());
-  std::vector<uint8_t> frame(8 + payload_len);
-  uint32_t len_field = payload_len + 4;
-  memcpy(frame.data(), &len_field, 4);
-  uint32_t from32 = from;
-  memcpy(frame.data() + 4, &from32, 4);
-  msg.ReadBytes(frame.data() + 8, payload_len);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
+    // Bounded outgoing buffer (§2.3): the cap counts RESIDENT bytes —
+    // staged in send_queue_ plus pending in the connection's frame queue.
+    uint64_t cap = CapFor(to);
+    uint64_t resident = conn->queued_bytes.load(std::memory_order_relaxed);
+    if (cap > 0 && resident + frame_size > cap) {
+      if (opts.discardable) {
+        n_drops_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        n_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    // Admitted: account the bytes under the lock, build the frame under it
+    // too (a short memcpy) so frames from one caller stay ordered.
+    uint64_t now_resident =
+        conn->queued_bytes.fetch_add(frame_size, std::memory_order_relaxed) + frame_size;
+    uint64_t peak = conn->peak_queued_bytes.load(std::memory_order_relaxed);
+    while (now_resident > peak &&
+           !conn->peak_queued_bytes.compare_exchange_weak(peak, now_resident,
+                                                          std::memory_order_relaxed)) {
+    }
+    std::vector<uint8_t> frame(frame_size);
+    uint32_t len_field = payload_len + 4;
+    memcpy(frame.data(), &len_field, 4);
+    uint32_t from32 = from;
+    memcpy(frame.data() + 4, &from32, 4);
+    msg.ReadBytes(frame.data() + 8, payload_len);
     send_queue_.emplace_back(std::move(conn), std::move(frame));
   }
   WakePoller();
@@ -185,18 +275,137 @@ bool TcpTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
 }
 
 void TcpTransport::WakePoller() {
+  // One pending byte is enough; skip the syscall when a wakeup is already
+  // queued (high-rate senders would otherwise write per message).
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   char b = 1;
   ssize_t n = write(wake_pipe_[1], &b, 1);
-  (void)n;
+  (void)n;  // EAGAIN: pipe full of wakeups — the poller is waking anyway
+}
+
+void TcpTransport::MarkDead(Conn& conn) {
+  if (conn.dead) {
+    return;
+  }
+  conn.dead = true;
+  if (conn.fd >= 0) {
+    close(conn.fd);
+    conn.fd = -1;
+  }
+  // Account the frames that will never reach the socket.
+  uint64_t pending = 0;
+  for (const auto& f : conn.out) {
+    pending += f.size();
+  }
+  pending -= std::min<uint64_t>(pending, conn.out_head_sent);
+  conn.out.clear();
+  conn.out_head_sent = 0;
+  conn.queued_bytes.fetch_sub(std::min<uint64_t>(
+                                  pending, conn.queued_bytes.load(std::memory_order_relaxed)),
+                              std::memory_order_relaxed);
+  conn.in.clear();
 }
 
 void TcpTransport::FlushConn(Conn& conn) {
+  if (conn.dead || conn.out.empty() || conn.fault.stall) {
+    return;
+  }
+  // Slow-drain throttle: a token bucket refilled per poll cycle models a
+  // peer whose inbound link drains at a bounded rate (tc-netem style, but on
+  // the real socket path).
+  size_t budget = opts_.max_flush_bytes;
+  if (conn.fault.drain_bytes_per_sec > 0) {
+    uint64_t now = MonotonicUs();
+    if (conn.last_drain_us == 0) {
+      conn.last_drain_us = now;
+    }
+    conn.drain_credit += static_cast<double>(now - conn.last_drain_us) *
+                         static_cast<double>(conn.fault.drain_bytes_per_sec) / 1e6;
+    conn.last_drain_us = now;
+    // At most one second of burst so a long-idle bucket cannot defeat the
+    // throttle.
+    conn.drain_credit =
+        std::min(conn.drain_credit, static_cast<double>(conn.fault.drain_bytes_per_sec));
+    if (conn.drain_credit < 1.0) {
+      return;
+    }
+    budget = std::min<size_t>(budget, static_cast<size_t>(conn.drain_credit));
+  }
+  if (conn.fault.max_write_bytes > 0) {
+    budget = std::min(budget, conn.fault.max_write_bytes);
+  }
+  // Under an active fault, do a single clamped syscall per cycle so torn
+  // frames and drain pacing are deterministic.
+  const bool single_shot = conn.fault.Any();
+
+  // The pre-writev baseline moves one frame per syscall, so build a
+  // single-entry "batch" for it.
+  const size_t iov_cap = opts_.enable_writev ? opts_.max_iov : 1;
   while (!conn.out.empty()) {
-    ssize_t n = write(conn.fd, conn.out.data(), conn.out.size());
-    if (n > 0) {
-      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+    iovec iov[kIovHardMax];
+    size_t n_iov = 0;
+    size_t total = 0;
+    size_t head_skip = conn.out_head_sent;
+    for (auto& f : conn.out) {
+      if (n_iov == iov_cap || total >= budget) {
+        break;
+      }
+      size_t len = std::min(f.size() - head_skip, budget - total);
+      iov[n_iov].iov_base = f.data() + head_skip;
+      iov[n_iov].iov_len = len;
+      n_iov++;
+      total += len;
+      head_skip = 0;
+    }
+    if (n_iov == 0) {
+      break;
+    }
+    ssize_t n;
+    if (opts_.enable_writev) {
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = n_iov;
+      n = sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
     } else {
-      break;  // would-block or error; retry on next writable event
+      // Pre-writev baseline: one syscall per frame (Ablation E's off mode).
+      n = send(conn.fd, iov[0].iov_base, iov[0].iov_len, MSG_NOSIGNAL);
+    }
+    n_writev_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        break;  // socket full; retry on the next writable event
+      }
+      MarkDead(conn);
+      break;
+    }
+    if (n == 0) {
+      break;
+    }
+    n_bytes_sent_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    conn.queued_bytes.fetch_sub(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    if (conn.fault.drain_bytes_per_sec > 0) {
+      conn.drain_credit -= static_cast<double>(n);
+    }
+    // Retire fully-written frames; a partial tail write leaves a torn frame
+    // whose offset out_head_sent carries into the next flush.
+    size_t left = static_cast<size_t>(n);
+    while (left > 0) {
+      auto& f = conn.out.front();
+      size_t remaining = f.size() - conn.out_head_sent;
+      if (left >= remaining) {
+        left -= remaining;
+        conn.out.pop_front();
+        conn.out_head_sent = 0;
+        n_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        conn.out_head_sent += left;
+        left = 0;
+      }
+    }
+    if (static_cast<size_t>(n) < total || single_shot) {
+      break;  // short write, or fault pacing: one syscall this cycle
     }
   }
 }
@@ -237,12 +446,24 @@ void TcpTransport::DispatchFrames(Conn& conn) {
 
 void TcpTransport::PollerLoop() {
   while (!stop_.load()) {
-    // Move queued sends into connection buffers.
+    // Re-arm wakeups first: any WakePoller() from here on writes a fresh
+    // byte, which poll() below (or the next cycle) observes.
+    wake_pending_.store(false, std::memory_order_release);
+    // Move queued sends into connection buffers; frames bound for a
+    // connection that died in the meantime are dropped (their bytes were
+    // already un-accounted by MarkDead, so subtract only the staged part).
     {
       std::lock_guard<std::mutex> lk(mu_);
       while (!send_queue_.empty()) {
         auto& [conn, bytes] = send_queue_.front();
-        conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+        if (conn->dead) {
+          conn->queued_bytes.fetch_sub(
+              std::min<uint64_t>(bytes.size(),
+                                 conn->queued_bytes.load(std::memory_order_relaxed)),
+              std::memory_order_relaxed);
+        } else {
+          conn->out.push_back(std::move(bytes));
+        }
         send_queue_.pop_front();
       }
     }
@@ -257,23 +478,40 @@ void TcpTransport::PollerLoop() {
         listeners.emplace_back(id, ep.listen_fd);
         pfds.push_back(pollfd{ep.listen_fd, POLLIN, 0});
       }
-      for (auto& [id, conn] : out_conns_) {
-        conns.push_back(conn);
+      // Drop connections that died last cycle, then snapshot the live ones
+      // along with their current fault spec (poller-thread copy).
+      for (auto it = out_conns_.begin(); it != out_conns_.end();) {
+        if (it->second->dead) {
+          it = out_conns_.erase(it);
+          continue;
+        }
+        auto f = peer_faults_.find(it->second->owner);
+        it->second->fault = f == peer_faults_.end() ? TcpFaultSpec{} : f->second;
+        conns.push_back(it->second);
+        ++it;
       }
     }
+    in_conns_.erase(std::remove_if(in_conns_.begin(), in_conns_.end(),
+                                   [](const std::shared_ptr<Conn>& c) { return c->dead; }),
+                    in_conns_.end());
     for (auto& conn : in_conns_) {
+      conn->fault = TcpFaultSpec{};  // faults target outbound links
       conns.push_back(conn);
     }
     for (auto& conn : conns) {
       short events = POLLIN;
-      if (!conn->out.empty()) {
+      // Register for writability only when a flush could make progress NOW;
+      // a stalled or credit-empty throttled connection would otherwise spin
+      // on an always-writable socket.
+      bool throttled = conn->fault.drain_bytes_per_sec > 0 && conn->drain_credit < 1.0;
+      if (!conn->out.empty() && !conn->fault.stall && !throttled) {
         events |= POLLOUT;
       }
       pfds.push_back(pollfd{conn->fd, events, 0});
     }
 
     int rc = poll(pfds.data(), pfds.size(), 100);
-    if (rc <= 0) {
+    if (rc < 0) {
       continue;
     }
     size_t idx = 0;
@@ -299,10 +537,21 @@ void TcpTransport::PollerLoop() {
       idx++;
     }
     for (auto& conn : conns) {
-      short rev = pfds[idx].revents;
+      short rev = idx < pfds.size() ? pfds[idx].revents : 0;
       idx++;
-      if (rev & POLLOUT) {
+      if (conn->dead) {
+        continue;
+      }
+      // Throttled connections flush on the poll tick (their credit refills
+      // with time, not with socket readiness).
+      bool throttled_pending = !conn->out.empty() && conn->fault.drain_bytes_per_sec > 0 &&
+                               !conn->fault.stall;
+      if ((rev & POLLOUT) || throttled_pending) {
         FlushConn(*conn);
+      }
+      if (rev & (POLLERR | POLLHUP | POLLNVAL)) {
+        MarkDead(*conn);
+        continue;
       }
       if (rev & POLLIN) {
         char buf[16384];
@@ -310,11 +559,19 @@ void TcpTransport::PollerLoop() {
           ssize_t n = read(conn->fd, buf, sizeof(buf));
           if (n > 0) {
             conn->in.insert(conn->in.end(), buf, buf + n);
-          } else {
+          } else if (n == 0) {
+            // EOF: dispatch what arrived, then retire the connection so an
+            // always-readable closed socket cannot spin the poller.
+            if (conn->inbound) {
+              DispatchFrames(*conn);
+            }
+            MarkDead(*conn);
             break;
+          } else {
+            break;  // EAGAIN or error; error surfaces via POLLERR next cycle
           }
         }
-        if (conn->inbound) {
+        if (!conn->dead && conn->inbound) {
           DispatchFrames(*conn);
         }
       }

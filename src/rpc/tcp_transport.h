@@ -2,9 +2,17 @@
 // travel through actual non-blocking sockets serviced by a poller thread and
 // are delivered on the destination reactor. Functionally interchangeable
 // with SimTransport (same Transport interface); used to validate that the
-// stack runs over a real network path. Fault injection (delay, throttling)
-// is only available on SimTransport — on real deployments those faults come
-// from cgroups/tc, per Table 1.
+// stack runs over a real network path.
+//
+// The outgoing path mirrors the paper's §2.3 prescription on real sockets:
+// each peer has a gather-write queue of framed messages, flushed with a
+// single writev per poll cycle (bounded by an iovec/byte cap), and a
+// BOUNDED resident-byte budget — discardable (quorum-covered) traffic over
+// the cap is dropped and counted, everything else is refused so the caller
+// paces itself. Fault injection is available here too: per-peer slow-drain
+// (throttled flush), partial-write simulation (torn frames) and full
+// connection stalls, so the Figure 1/3 fail-slow experiments run over real
+// sockets, not just SimTransport.
 #ifndef SRC_RPC_TCP_TRANSPORT_H_
 #define SRC_RPC_TCP_TRANSPORT_H_
 
@@ -21,9 +29,41 @@
 
 namespace depfast {
 
+// A Table 1-style fail-slow fault acting on the real-socket path toward one
+// peer (the receiver reads slowly / its NIC is delayed / the link wedges).
+struct TcpFaultSpec {
+  // Throttle: at most this many bytes per second drain toward the peer
+  // (token bucket, refilled per poll cycle). 0 = unlimited.
+  uint64_t drain_bytes_per_sec = 0;
+  // Partial-write simulation: clamp each flush syscall to this many bytes,
+  // leaving a torn frame that the next flush completes. 0 = unlimited.
+  size_t max_write_bytes = 0;
+  // Freeze the connection entirely (nothing drains until cleared).
+  bool stall = false;
+
+  bool Any() const { return drain_bytes_per_sec > 0 || max_write_bytes > 0 || stall; }
+};
+
+struct TcpTransportOptions {
+  // Gather-write path: coalesce all pending frames of a peer into one
+  // writev per poll cycle. false = one write() per frame (the pre-writev
+  // baseline, kept for Ablation E).
+  bool enable_writev = true;
+  // Frame cap per gather-write (clamped to 64 internally).
+  size_t max_iov = 64;
+  // Byte cap per gather-write syscall.
+  size_t max_flush_bytes = 1 << 20;
+  // Per-peer resident outgoing-byte cap (staged + queued frames). Over it,
+  // discardable sends are dropped and counted; non-discardable sends are
+  // refused (backpressure) so the caller retries at the peer's pace.
+  // 0 = unbounded (the RethinkDB pathology).
+  uint64_t default_queue_cap_bytes = 0;
+};
+
 class TcpTransport : public Transport {
  public:
   TcpTransport();
+  explicit TcpTransport(TcpTransportOptions opts);
   ~TcpTransport() override;
 
   void RegisterNode(NodeId id, Reactor* reactor, RecvHandler handler) override;
@@ -41,6 +81,27 @@ class TcpTransport : public Transport {
   // Port the node's listener is bound to (for tests).
   uint16_t ListenPort(NodeId id) const;
 
+  // ---- Bounded-buffer knobs (thread-safe) ----
+
+  // Per-peer override of the resident outgoing-byte cap toward `to`
+  // (0 = unbounded). The default comes from TcpTransportOptions.
+  void SetQueueCap(NodeId to, uint64_t cap_bytes);
+
+  // ---- Fault injection (thread-safe) ----
+
+  void SetPeerFault(NodeId to, const TcpFaultSpec& fault);
+  void ClearPeerFault(NodeId to);
+
+  // ---- Introspection (thread-safe) ----
+
+  TransportCounters counters() const;
+  // Resident outgoing bytes currently buffered toward `to` (staged in the
+  // send queue + pending in the connection's frame queue).
+  uint64_t QueuedBytesTo(NodeId to) const;
+  // High-water mark of QueuedBytesTo(to) over the transport's lifetime —
+  // the leader-side buffer footprint the §2 pathology grows without bound.
+  uint64_t PeakQueuedBytesTo(NodeId to) const;
+
  private:
   struct Endpoint {
     Reactor* reactor = nullptr;
@@ -52,26 +113,53 @@ class TcpTransport : public Transport {
     int fd = -1;
     NodeId owner = 0;           // destination node this connection leads to (sender side)
     bool inbound = false;       // accepted connection (receiver side)
-    std::vector<uint8_t> out;   // pending outbound bytes (poller thread only)
+    bool dead = false;          // write/read error or EOF; awaiting cleanup
+    // Pending outbound frames (poller thread only). out_head_sent is how
+    // much of out.front() already reached the socket (a torn frame).
+    std::deque<std::vector<uint8_t>> out;
+    size_t out_head_sent = 0;
     std::vector<uint8_t> in;    // partial inbound frame bytes
+    // Resident byte accounting, shared with Send()'s cap check.
+    std::atomic<uint64_t> queued_bytes{0};
+    std::atomic<uint64_t> peak_queued_bytes{0};
+    // Poller-thread copy of the peer's fault spec + slow-drain bucket.
+    TcpFaultSpec fault;
+    double drain_credit = 0;
+    uint64_t last_drain_us = 0;
   };
 
   void PollerLoop();
   void WakePoller();
-  // Poller thread: flush as much of conn.out as the socket accepts.
+  // Poller thread: flush pending frames with gather-writes, honouring the
+  // connection's fault spec (stall / drain budget / write clamp).
   void FlushConn(Conn& conn);
   // Poller thread: consume complete frames from conn.in.
   void DispatchFrames(Conn& conn);
+  // Poller thread: close the fd and drop pending frames (accounted).
+  void MarkDead(Conn& conn);
   int ConnectTo(const std::string& host, uint16_t port);
+  uint64_t CapFor(NodeId to) const;  // requires mu_ held
+  std::shared_ptr<Conn> FindOutConn(NodeId to) const;  // takes mu_
 
+  TcpTransportOptions opts_;
   mutable std::mutex mu_;
   std::map<NodeId, Endpoint> endpoints_;                 // guarded by mu_
   std::map<NodeId, std::pair<std::string, uint16_t>> peers_;  // remote nodes, guarded
   std::map<NodeId, std::shared_ptr<Conn>> out_conns_;    // sender->dest, guarded by mu_
+  std::map<NodeId, TcpFaultSpec> peer_faults_;           // guarded by mu_
+  std::map<NodeId, uint64_t> queue_caps_;                // guarded by mu_
   std::vector<std::shared_ptr<Conn>> in_conns_;          // poller thread only
   std::deque<std::pair<std::shared_ptr<Conn>, std::vector<uint8_t>>> send_queue_;  // guarded
   std::atomic<bool> stop_{false};
+  std::atomic<bool> wake_pending_{false};  // elides redundant wake-pipe writes
   int wake_pipe_[2] = {-1, -1};
+
+  std::atomic<uint64_t> n_frames_sent_{0};
+  std::atomic<uint64_t> n_bytes_sent_{0};
+  std::atomic<uint64_t> n_writev_calls_{0};
+  std::atomic<uint64_t> n_drops_{0};
+  std::atomic<uint64_t> n_backpressure_{0};
+
   std::thread poller_;
 };
 

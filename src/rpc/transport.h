@@ -23,6 +23,23 @@ struct SendOpts {
   bool discardable = false;
 };
 
+// Wire-level accounting a transport keeps while moving messages. The §2
+// fail-slow pathology is an UNBOUNDED leader-side outgoing buffer; these
+// counters make the bounded-buffer behaviour observable: how much was
+// actually written, how often the gather-write path coalesced frames, and
+// what the overflow policy did (drops for quorum-covered traffic,
+// backpressure refusals for must-arrive traffic).
+struct TransportCounters {
+  uint64_t frames_sent = 0;         // frames fully written to a socket
+  uint64_t bytes_sent = 0;          // framed bytes written (incl. headers)
+  uint64_t writev_calls = 0;        // flush syscalls (writev; write() when
+                                    // gather-writes are disabled)
+  uint64_t drops = 0;               // discardable messages refused over cap
+  uint64_t backpressure_stalls = 0; // non-discardable messages refused over
+                                    // cap (the sender's RpcEvent fails and
+                                    // the caller paces itself)
+};
+
 class Transport {
  public:
   // Invoked on the destination node's reactor thread for each delivery.

@@ -198,6 +198,280 @@ TEST(SnapshotClusterTest, LaggingFollowerCatchesUpViaSnapshot) {
   EXPECT_GT(follower_base, 0u);  // its log floor moved to the snapshot
 }
 
+// Wedges follower 2, writes `n_ops` puts of `val_len`-byte values (enough to
+// trigger leader compaction while the follower misses everything), clears the
+// fault and waits for snapshot-based catch-up. Returns what the follower
+// applied; `leader_base_out` proves the prefix was compacted (catch-up had to
+// go through InstallSnapshot, not AppendEntries).
+uint64_t WedgeWriteCatchUp(RaftCluster& cluster, int n_ops, size_t val_len,
+                           uint64_t* leader_base_out) {
+  FaultSpec net = MakeFault(FaultType::kNetworkSlow);
+  net.net_delay_us = 400000;
+  cluster.InjectFault(2, net);
+  auto client = cluster.MakeClient("c1");
+  RunClientOp(*client, [&](RaftClient& c) {
+    std::string v(val_len, 'x');
+    for (int i = 0; i < n_ops; i++) {
+      c.Put("key" + std::to_string(i), v);
+    }
+  });
+  cluster.RunOn(0, [&]() { *leader_base_out = cluster.server(0).raft->log().BaseIndex(); });
+  cluster.ClearFault(2);
+  uint64_t deadline = MonotonicUs() + 15000000;
+  uint64_t applied = 0;
+  while (MonotonicUs() < deadline) {
+    cluster.RunOn(2, [&]() { applied = cluster.server(2).raft->last_applied(); });
+    if (applied >= static_cast<uint64_t>(n_ops)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return applied;
+}
+
+TEST(SnapshotClusterTest, InstallBatchesMultipleChunksPerRpc) {
+  // With a small chunk unit and the default (large) byte cap, one
+  // InstallSnapshot RPC must carry MANY chunks: rounds stay low while the
+  // chunk counter reflects the real snapshot granularity.
+  auto opts = SnapOptions();
+  opts.raft.snapshot_chunk_bytes = 1024;
+  RaftCluster cluster(opts);
+  uint64_t leader_base = 0;
+  uint64_t applied = WedgeWriteCatchUp(cluster, 120, 100, &leader_base);
+  ASSERT_GT(leader_base, 0u);
+  EXPECT_GE(applied, 120u);
+  RaftCounters c = cluster.CountersOf(0);
+  EXPECT_GT(c.snapshot_rounds, 0u);
+  EXPECT_GT(c.snapshot_bytes, 0u);
+  // ≥2 chunks per round on average: the ~12KB+ snapshot spans many 1KB
+  // chunks and the byte cap (1MB default) lets one RPC carry them all.
+  EXPECT_GE(c.snapshot_chunks, 2 * c.snapshot_rounds);
+}
+
+TEST(SnapshotClusterTest, ByteCapClampsBatchesMidSnapshot) {
+  // A tight byte cap splits the transfer into many rounds, and every round's
+  // payload respects the cap — including the ones in the middle of the
+  // snapshot, not just the first.
+  auto opts = SnapOptions();
+  opts.raft.snapshot_chunk_bytes = 2048;
+  opts.raft.max_batch_bytes = 4096;  // 2 chunks per RPC
+  RaftCluster cluster(opts);
+  uint64_t leader_base = 0;
+  uint64_t applied = WedgeWriteCatchUp(cluster, 150, 200, &leader_base);
+  ASSERT_GT(leader_base, 0u);
+  EXPECT_GE(applied, 150u);
+  RaftCounters c = cluster.CountersOf(0);
+  // The ~30KB+ snapshot cannot fit the 4KB cap: multiple rounds, each
+  // carrying at most cap bytes and at most cap/chunk chunks.
+  EXPECT_GE(c.snapshot_rounds, 4u);
+  EXPECT_LE(c.snapshot_bytes, c.snapshot_rounds * opts.raft.max_batch_bytes);
+  EXPECT_GE(c.snapshot_chunks, c.snapshot_rounds);
+  EXPECT_LE(c.snapshot_chunks, 2 * c.snapshot_rounds);
+}
+
+TEST(SnapshotClusterTest, ChunkBatchingReducesRpcRounds) {
+  // The point of batching chunks: against a one-chunk-per-RPC baseline
+  // (byte cap == chunk size), the batched transfer needs ≥2× fewer rounds
+  // for the same snapshot.
+  uint64_t rounds_single = 0;
+  uint64_t rounds_batched = 0;
+  {
+    auto opts = SnapOptions();
+    opts.raft.snapshot_chunk_bytes = 2048;
+    opts.raft.max_batch_bytes = 2048;  // baseline: one chunk per RPC
+    RaftCluster cluster(opts);
+    uint64_t leader_base = 0;
+    uint64_t applied = WedgeWriteCatchUp(cluster, 150, 200, &leader_base);
+    ASSERT_GT(leader_base, 0u);
+    EXPECT_GE(applied, 150u);
+    rounds_single = cluster.CountersOf(0).snapshot_rounds;
+  }
+  {
+    auto opts = SnapOptions();
+    opts.raft.snapshot_chunk_bytes = 2048;
+    opts.raft.max_batch_bytes = 16384;  // 8 chunks per RPC
+    RaftCluster cluster(opts);
+    uint64_t leader_base = 0;
+    uint64_t applied = WedgeWriteCatchUp(cluster, 150, 200, &leader_base);
+    ASSERT_GT(leader_base, 0u);
+    EXPECT_GE(applied, 150u);
+    rounds_batched = cluster.CountersOf(0).snapshot_rounds;
+  }
+  ASSERT_GT(rounds_batched, 0u);
+  EXPECT_GE(rounds_single, 2 * rounds_batched);
+}
+
+// ---- follower restart mid-install ----
+
+// A minimal hand-wired follower on its own reactor thread, driven by crafted
+// InstallSnapshot RPCs from a fake leader endpoint. Restarting = tearing the
+// whole node down (thread included) and rebuilding it, which loses the
+// in-memory staging buffer — exactly what a process restart does.
+struct ManualFollower {
+  std::unique_ptr<RpcEndpoint> rpc;
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<MemModel> mem;
+  std::unique_ptr<RaftNode> raft;
+  std::unique_ptr<ReactorThread> thread;
+};
+
+void StartFollower(ManualFollower& n, SimTransport* net, NodeId id) {
+  n.thread = std::make_unique<ReactorThread>("f" + std::to_string(id));
+  std::atomic<bool> up{false};
+  n.thread->reactor()->Post([&, id]() {
+    Reactor* reactor = Reactor::Current();
+    n.rpc = std::make_unique<RpcEndpoint>(id, "follower", reactor, net);
+    n.disk = std::make_unique<SimDisk>(reactor);
+    n.cpu = std::make_unique<CpuModel>(reactor);
+    n.mem = std::make_unique<MemModel>();
+    RaftConfig cfg;
+    cfg.enable_election = false;
+    NodeEnv env{id, "follower", reactor, n.cpu.get(), n.mem.get(), n.disk.get(), nullptr};
+    n.raft = std::make_unique<RaftNode>(env, n.rpc.get(), n.disk.get(),
+                                        std::vector<NodeId>{1}, cfg);
+    n.raft->Start();
+    up.store(true);
+  });
+  while (!up.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void StopFollower(ManualFollower& n) {
+  std::atomic<bool> down{false};
+  n.thread->reactor()->Post([&]() {
+    n.raft->Shutdown();
+    down.store(true);
+  });
+  while (!down.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  n.thread->Stop();  // parked coroutines die with the reactor
+  n.raft.reset();
+  n.rpc.reset();
+  n.disk.reset();
+  n.cpu.reset();
+  n.mem.reset();
+  n.thread.reset();
+}
+
+TEST(SnapshotClusterTest, FollowerRestartMidInstallResumesFromZero) {
+  SimTransport net;
+  ManualFollower follower;
+  StartFollower(follower, &net, 2);
+
+  // Fake leader endpoint on its own reactor.
+  ReactorThread leader_thread("fake-leader");
+  std::unique_ptr<RpcEndpoint> leader_rpc;
+  {
+    std::atomic<bool> up{false};
+    leader_thread.reactor()->Post([&]() {
+      leader_rpc = std::make_unique<RpcEndpoint>(1, "fake-leader", Reactor::Current(), &net);
+      up.store(true);
+    });
+    while (!up.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // The snapshot being shipped: 50 keys folded up to index 500.
+  KvStore src;
+  for (int i = 0; i < 50; i++) {
+    src.Put("snapkey" + std::to_string(i), "snapval" + std::to_string(i));
+  }
+  Marshal snap = src.Snapshot();
+  const uint64_t total = snap.ContentSize();
+  const uint64_t half = total / 2;
+  ASSERT_GT(half, 0u);
+
+  auto send_batch = [&](uint64_t offset, uint64_t len, bool done) {
+    InstallSnapshotReply out;
+    std::atomic<bool> got{false};
+    leader_thread.reactor()->Post([&]() {
+      Coroutine::Create([&]() {
+        InstallSnapshotArgs a;
+        a.term = 1;
+        a.leader_id = 1;
+        a.snap_idx = 500;
+        a.snap_term = 1;
+        a.offset = offset;
+        a.total_bytes = total;
+        a.n_chunks = 1;
+        a.done = done;
+        a.data.WriteBytes(snap.data() + offset, len);
+        CallOpts opts;
+        opts.timeout_us = 2000000;
+        auto ev = leader_rpc->Call(2, kMethodInstallSnapshot, a.Encode(), opts);
+        ev->Wait();
+        if (!ev->failed()) {
+          out = InstallSnapshotReply::Decode(ev->reply());
+        }
+        got.store(true);
+      });
+    });
+    while (!got.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return out;
+  };
+
+  // First half stages fine.
+  InstallSnapshotReply r1 = send_batch(0, half, false);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_EQ(r1.next_offset, half);
+
+  // The follower restarts: staged bytes are gone.
+  StopFollower(follower);
+  StartFollower(follower, &net, 2);
+
+  // The second half is refused — the follower has no prefix for it and
+  // points the leader back to offset 0.
+  InstallSnapshotReply r2 = send_batch(half, total - half, true);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.next_offset, 0u);
+
+  // Resending from the reported offset completes the install.
+  InstallSnapshotReply r3 = send_batch(0, half, false);
+  EXPECT_TRUE(r3.ok);
+  InstallSnapshotReply r4 = send_batch(half, total - half, true);
+  EXPECT_TRUE(r4.ok);
+  EXPECT_EQ(r4.next_offset, total);
+
+  // The restored state machine and log floor are the snapshot's.
+  std::string v;
+  uint64_t base = 0;
+  uint64_t applied = 0;
+  {
+    std::atomic<bool> done{false};
+    follower.thread->reactor()->Post([&]() {
+      v = follower.raft->kv().Get("snapkey7").value_or("");
+      base = follower.raft->log().BaseIndex();
+      applied = follower.raft->last_applied();
+      done.store(true);
+    });
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(v, "snapval7");
+  EXPECT_EQ(base, 500u);
+  EXPECT_EQ(applied, 500u);
+
+  StopFollower(follower);
+  {
+    std::atomic<bool> freed{false};
+    leader_thread.reactor()->Post([&]() {
+      leader_rpc.reset();
+      freed.store(true);
+    });
+    while (!freed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  leader_thread.Stop();
+}
+
 TEST(SnapshotClusterTest, CompactionDisabledKeepsFullLog) {
   auto opts = SnapOptions();
   opts.raft.snapshot_threshold_entries = 0;

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/rpc/rpc.h"
 #include "src/rpc/tcp_transport.h"
@@ -156,6 +159,181 @@ TEST(TcpTransportTest, RpcEchoOverTcp) {
   while (!down.load()) {
   }
   server.Stop();
+}
+
+// ---- gather-writes, bounded buffers, fault injection ----
+
+TcpFaultSpec Stall() {
+  TcpFaultSpec f;
+  f.stall = true;
+  return f;
+}
+
+TEST(TcpTransportTest, WritevCoalescesFrames) {
+  Reactor reactor("n");
+  TcpTransport t;
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal) { got++; });
+  // Stall the link first so all frames pile up in the gather queue, then
+  // release it: everything should leave in one (or very few) writev calls.
+  t.SetPeerFault(2, Stall());
+  const int kN = 50;
+  for (uint64_t i = 0; i < kN; i++) {
+    Marshal m;
+    m << i;
+    ASSERT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(t.counters().frames_sent, 0u);  // stalled: nothing drained
+  uint64_t calls_before = t.counters().writev_calls;
+  t.ClearPeerFault(2);
+  EXPECT_TRUE(reactor.RunUntil([&]() { return got == kN; }, 5000000));
+  auto c = t.counters();
+  EXPECT_EQ(c.frames_sent, static_cast<uint64_t>(kN));
+  EXPECT_LE(c.writev_calls - calls_before, 3u);  // 50 frames, ~1 gather-write
+}
+
+TEST(TcpTransportTest, OverflowDropsDiscardable) {
+  Reactor reactor("n");
+  TcpTransport t;
+  t.RegisterNode(2, &reactor, [](NodeId, Marshal) {});
+  t.SetPeerFault(2, Stall());
+  t.SetQueueCap(2, 1024);
+  SendOpts discardable;
+  discardable.discardable = true;
+  int accepted = 0;
+  int refused = 0;
+  for (int i = 0; i < 100; i++) {
+    Marshal m;
+    m << std::string(100, 'x');
+    if (t.Send(1, 2, std::move(m), discardable)) {
+      accepted++;
+    } else {
+      refused++;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(refused, 0);
+  auto c = t.counters();
+  EXPECT_EQ(c.drops, static_cast<uint64_t>(refused));
+  EXPECT_EQ(c.backpressure_stalls, 0u);
+  // The resident buffer never exceeded the cap, even at its peak.
+  EXPECT_LE(t.QueuedBytesTo(2), 1024u);
+  EXPECT_LE(t.PeakQueuedBytesTo(2), 1024u);
+}
+
+TEST(TcpTransportTest, OverflowBackpressuresNonDiscardable) {
+  Reactor reactor("n");
+  TcpTransport t;
+  t.RegisterNode(2, &reactor, [](NodeId, Marshal) {});
+  t.SetPeerFault(2, Stall());
+  t.SetQueueCap(2, 1024);
+  int refused = 0;
+  for (int i = 0; i < 100; i++) {
+    Marshal m;
+    m << std::string(100, 'x');
+    if (!t.Send(1, 2, std::move(m), SendOpts{})) {
+      refused++;
+    }
+  }
+  EXPECT_GT(refused, 0);
+  auto c = t.counters();
+  EXPECT_EQ(c.backpressure_stalls, static_cast<uint64_t>(refused));
+  EXPECT_EQ(c.drops, 0u);  // must-arrive traffic is refused, never dropped
+  EXPECT_LE(t.PeakQueuedBytesTo(2), 1024u);
+}
+
+TEST(TcpTransportTest, PartialWriteTornFrameCompletes) {
+  Reactor reactor("n");
+  TcpTransport t;
+  std::string content;
+  std::atomic<int> got{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal m) {
+    m >> content;
+    got++;
+  });
+  TcpFaultSpec torn;
+  torn.max_write_bytes = 5;  // each flush writes ≤5 bytes of the 112B frame
+  t.SetPeerFault(2, torn);
+  std::string payload(100, 'q');
+  Marshal m;
+  m << payload;
+  EXPECT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  EXPECT_TRUE(reactor.RunUntil([&]() { return got == 1; }, 10000000));
+  EXPECT_EQ(content, payload);
+  auto c = t.counters();
+  EXPECT_EQ(c.frames_sent, 1u);
+  EXPECT_GE(c.writev_calls, 2u);  // the torn frame took multiple flushes
+}
+
+TEST(TcpTransportTest, UnregisterDuringStalledConn) {
+  // Tear the transport down while a stalled connection still holds queued
+  // frames; ASan verifies nothing leaks and the poller join doesn't hang.
+  Reactor reactor("n");
+  {
+    TcpTransport t;
+    t.RegisterNode(2, &reactor, [](NodeId, Marshal) {});
+    t.SetPeerFault(2, Stall());
+    for (uint64_t i = 0; i < 10; i++) {
+      Marshal m;
+      m << i;
+      ASSERT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+    }
+    EXPECT_GT(t.QueuedBytesTo(2), 0u);
+    t.UnregisterNode(2);
+  }
+  SUCCEED();
+}
+
+TEST(TcpTransportTest, NoWritevModeStillDelivers) {
+  Reactor reactor("n");
+  TcpTransportOptions topts;
+  topts.enable_writev = false;  // Ablation E baseline: one write per frame
+  TcpTransport t(topts);
+  std::vector<uint64_t> gotv;
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal m) {
+    uint64_t v = 0;
+    m >> v;
+    gotv.push_back(v);
+  });
+  const uint64_t kN = 20;
+  for (uint64_t i = 0; i < kN; i++) {
+    Marshal m;
+    m << i;
+    ASSERT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  }
+  EXPECT_TRUE(reactor.RunUntil([&]() { return gotv.size() == kN; }, 10000000));
+  for (uint64_t i = 0; i < kN; i++) {
+    EXPECT_EQ(gotv[i], i);
+  }
+  auto c = t.counters();
+  EXPECT_EQ(c.frames_sent, kN);
+  EXPECT_GE(c.writev_calls, kN);  // at least one syscall per frame
+}
+
+TEST(TcpTransportTest, SlowDrainThrottlesRate) {
+  Reactor reactor("n");
+  TcpTransport t;
+  std::atomic<uint64_t> got_bytes{0};
+  t.RegisterNode(2, &reactor, [&](NodeId, Marshal m) {
+    got_bytes += m.ContentSize();
+  });
+  TcpFaultSpec slow;
+  slow.drain_bytes_per_sec = 8192;
+  t.SetPeerFault(2, slow);
+  // 64 KiB queued against an 8 KiB/s drain: after ~1s only ~a drain-second
+  // (plus the initial burst allowance) can have arrived.
+  for (int i = 0; i < 16; i++) {
+    Marshal m;
+    m << std::string(4096, 'd');
+    ASSERT_TRUE(t.Send(1, 2, std::move(m), SendOpts{}));
+  }
+  reactor.RunUntil([&]() { return false; }, 1000000);  // run the reactor 1s
+  EXPECT_LT(got_bytes.load(), 40000u);   // far from the full 64 KiB
+  uint64_t still_queued = t.QueuedBytesTo(2);
+  EXPECT_GT(still_queued, 0u);  // the backlog is still draining
+  t.ClearPeerFault(2);
+  EXPECT_TRUE(reactor.RunUntil([&]() { return t.QueuedBytesTo(2) == 0; }, 5000000));
 }
 
 }  // namespace
