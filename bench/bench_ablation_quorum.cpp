@@ -168,6 +168,7 @@ void AblationD(uint64_t measure_us) {
       opts.raft = PaperBatchedRaftConfig(window_ms * 1000, cap);
       RaftCluster cluster(opts);
       BenchResult r = RunDriver(cluster, PaperDriver(measure_us));
+      cluster.ExportMetrics();
       RaftCounters c = cluster.CountersOf(0);
       double ops_per_entry = c.entries_proposed > 0
                                  ? static_cast<double>(c.ops_proposed) /
@@ -191,10 +192,12 @@ void AblationD(uint64_t measure_us) {
 
 int main(int argc, char** argv) {
   depfast::SetLogLevel(depfast::LogLevel::kError);
+  std::string metrics_json = depfast::bench::TakeFlag(argc, argv, "--metrics-json");
   uint64_t measure_us = argc > 1 ? std::stoull(argv[1]) * 1000000ull : 2000000;
   depfast::bench::AblationA();
   depfast::bench::AblationB();
   depfast::bench::AblationC(measure_us);
   depfast::bench::AblationD(measure_us);
+  depfast::bench::DumpMetricsJson(metrics_json);
   return 0;
 }

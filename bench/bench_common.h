@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/base/metrics.h"
 #include "src/naive/naive_cluster.h"
 #include "src/raft/raft_cluster.h"
 #include "src/workload/driver.h"
@@ -131,6 +132,43 @@ inline NaiveClusterOptions PaperNaiveCluster(const NaiveProfile& profile) {
   opts.machine_mem_cap_bytes = profile.crash_on_oom ? (768ull << 10) : (2ull << 20);
   opts.machine_swap_penalty = 1.5;
   return opts;
+}
+
+// Extracts a `--flag value` pair from argv (compacting argv in place and
+// shrinking argc), returning the value or `def` when absent. Call before any
+// positional-argument parsing so flags can appear anywhere.
+inline std::string TakeFlag(int& argc, char** argv, const std::string& flag,
+                            const std::string& def = "") {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (argv[i] == flag) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < argc; j++) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      return value;
+    }
+  }
+  return def;
+}
+
+// Writes the global MetricsRegistry snapshot as flat JSON to `path` (no-op
+// when empty). Every bench accepts --metrics-json <path> and calls this at
+// exit, so BENCH_*.json trajectory files can be produced from any run.
+inline void DumpMetricsJson(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::string json = MetricsRegistry::Global().RenderJson();
+  fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  printf("metrics snapshot written to %s\n", path.c_str());
 }
 
 inline void PrintHeader(const std::string& title) {

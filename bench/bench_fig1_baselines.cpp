@@ -98,6 +98,7 @@ void RunRethinkCrashDemo() {
 
 int main(int argc, char** argv) {
   depfast::SetLogLevel(depfast::LogLevel::kError);
+  std::string metrics_json = depfast::bench::TakeFlag(argc, argv, "--metrics-json");
   uint64_t measure_us = 2000000;
   if (argc > 1) {
     measure_us = std::stoull(argv[1]) * 1000000ull;
@@ -111,5 +112,6 @@ int main(int argc, char** argv) {
       "\nPaper reference (Fig. 1, §2.2): one fail-slow follower causes up to 17-41%%\n"
       "throughput loss, 21-50%% average-latency increase and 1.6-3.46x P99 increase\n"
       "across MongoDB/TiDB/RethinkDB; CPU fail-slow crashed the RethinkDB leader.\n");
+  depfast::bench::DumpMetricsJson(metrics_json);
   return 0;
 }

@@ -22,7 +22,7 @@ namespace depfast {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(const std::string& out_path) {
   PrintHeader("Figure 2 — slowness propagation graph, 3 shards x 3 replicas");
 
   // Three independent shards: s1-s3, s4-s6, s7-s9 (leaders s1, s4, s7).
@@ -83,12 +83,18 @@ void Run() {
              ? "yes (leader slowness reaches clients, as the paper notes)"
              : "unexpected topology");
 
-  printf("\nGraphviz (figure2.dot):\n%s", spg.ToDot().c_str());
-  FILE* f = fopen("figure2.dot", "w");
+  printf("\nGraphviz (%s):\n%s", out_path.c_str(), spg.ToDot().c_str());
+  FILE* f = fopen(out_path.c_str(), "w");
   if (f != nullptr) {
     fputs(spg.ToDot().c_str(), f);
     fclose(f);
-    printf("written to ./figure2.dot\n");
+    printf("written to %s\n", out_path.c_str());
+  } else {
+    fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  }
+
+  for (auto& shard : shards) {
+    shard->ExportMetrics();
   }
 }
 
@@ -96,8 +102,11 @@ void Run() {
 }  // namespace bench
 }  // namespace depfast
 
-int main() {
+int main(int argc, char** argv) {
   depfast::SetLogLevel(depfast::LogLevel::kError);
-  depfast::bench::Run();
+  std::string out = depfast::bench::TakeFlag(argc, argv, "--out", "figure2.dot");
+  std::string metrics_json = depfast::bench::TakeFlag(argc, argv, "--metrics-json");
+  depfast::bench::Run(out);
+  depfast::bench::DumpMetricsJson(metrics_json);
   return 0;
 }

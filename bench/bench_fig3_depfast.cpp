@@ -45,6 +45,7 @@ ConditionResult RunCondition(int n_nodes, FaultType fault, uint64_t measure_us, 
   ConditionResult r;
   r.bench = RunDriver(cluster, drv);
   r.leader = cluster.CountersOf(0);
+  cluster.ExportMetrics();
   return r;
 }
 
@@ -113,6 +114,7 @@ void RunTcpAblation(uint64_t measure_us) {
       drv.coroutines_per_client = 16;
       drv.warmup_us = 300000;
       BenchResult r = RunDriver(cluster, drv);
+      cluster.ExportMetrics();
       TransportCounters tc = cluster.tcp_transport()->counters();
       uint64_t peak = cluster.tcp_transport()->PeakQueuedBytesTo(opts.first_node_id + 2);
       double frames_per_wv =
@@ -135,6 +137,7 @@ void RunTcpAblation(uint64_t measure_us) {
 
 int main(int argc, char** argv) {
   depfast::SetLogLevel(depfast::LogLevel::kWarn);
+  std::string metrics_json = depfast::bench::TakeFlag(argc, argv, "--metrics-json");
   uint64_t measure_us = 2000000;
   int argi = 1;
   if (argc > argi && std::string(argv[argi]) == "tcp") {
@@ -143,6 +146,7 @@ int main(int argc, char** argv) {
       tcp_measure_us = std::stoull(argv[argi + 1]) * 1000000ull;
     }
     depfast::bench::RunTcpAblation(tcp_measure_us);
+    depfast::bench::DumpMetricsJson(metrics_json);
     return 0;
   }
   if (argc > 1) {
@@ -162,5 +166,6 @@ int main(int argc, char** argv) {
          "average latency and P99 latency under a minority of fail-slow followers;\n"
          "base performance ~5K req/s. Batching changes the base, not the invariant:\n"
          "the drift columns must stay within 5%% in BOTH modes.\n");
+  depfast::bench::DumpMetricsJson(metrics_json);
   return 0;
 }

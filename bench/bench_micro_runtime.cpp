@@ -4,17 +4,25 @@
 // per-wait-point cost the programming model introduces.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/base/marshal.h"
+#include "src/base/metrics.h"
 #include "src/base/rand.h"
 #include "src/base/histogram.h"
+#include "src/raft/raft_cluster.h"
 #include "src/rpc/rpc.h"
 #include "src/rpc/sim_transport.h"
+#include "src/workload/driver.h"
 #include "src/runtime/compound_event.h"
 #include "src/runtime/coro_mutex.h"
 #include "src/runtime/event.h"
 #include "src/runtime/reactor.h"
+#include "src/runtime/trace.h"
 
 namespace depfast {
 namespace {
@@ -83,6 +91,167 @@ void BM_QuorumEvent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuorumEvent)->Arg(3)->Arg(5)->Arg(9)->Arg(33);
+
+// Tracing overhead on the hottest wait-point path: the same set+wait cycle
+// with the sharded Tracer off (arg 0) and on (arg 1, drained at the online
+// monitor's cadence so records don't just pile up and hit the drop path).
+// The per-iteration delta between the two is the cost a wait point pays for
+// always-on capture; the acceptance bar is <=2% on end-to-end throughput.
+void BM_IntEventSetWaitTracing(benchmark::State& state) {
+  Reactor reactor("bench");
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  if (state.range(0) != 0) {
+    tracer.Enable();
+  }
+  uint64_t n = 0;
+  for (auto _ : state) {
+    auto ev = std::make_shared<IntEvent>();
+    Coroutine::Create([ev]() { ev->Wait(); });
+    Coroutine::Create([ev]() { ev->Set(1); });
+    reactor.RunUntilIdle();
+    if ((++n & 0x3fff) == 0) {
+      tracer.Drain();
+    }
+  }
+  tracer.Disable();
+  tracer.Clear();
+}
+BENCHMARK(BM_IntEventSetWaitTracing)->Arg(0)->Arg(1);
+
+// Raw cost of Tracer::Record on the thread-local shard (the append itself,
+// without the event machinery around it).
+void BM_TracerRecord(benchmark::State& state) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  tracer.Enable();
+  uint64_t n = 0;
+  for (auto _ : state) {
+    WaitRecord r;
+    r.node = "bench";
+    r.kind = "int";
+    r.wait_us = 12;
+    r.end_us = 1;
+    tracer.Record(std::move(r));
+    if ((++n & 0x3fff) == 0) {
+      tracer.Drain();
+    }
+  }
+  tracer.Disable();
+  tracer.Clear();
+}
+BENCHMARK(BM_TracerRecord);
+
+// End-to-end form of the tracing-overhead question (the ISSUE's ≤2% bar):
+// no-fault 3-node cluster throughput over real sockets with the observability
+// stack off (arg 0) vs fully on — tracer, quorum-leg capture, and the online
+// SpgMonitor polling at its default cadence (arg 1). Items/s = committed ops.
+// Single-core CI boxes are noisy; compare paired repetitions (best ratio),
+// as tcp_failslow_test does, rather than single means.
+void BM_ClusterNoFaultThroughput(benchmark::State& state) {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;
+  opts.transport_kind = ClusterTransport::kTcp;
+  opts.raft.send_queue_cap_bytes = 256 * 1024;
+  opts.raft.batch_window_us = 200;
+  opts.raft.leader_cmd_cost_us = 1;
+  opts.raft.leader_propose_cost_us = 1;
+  opts.raft.follower_append_cost_us = 1;
+  opts.raft.apply_cost_us = 1;
+  opts.disk.base_latency_us = 20;
+  opts.enable_monitor = state.range(0) != 0;
+  RaftCluster cluster(opts);
+  if (!cluster.WaitForLeader()) {
+    state.SkipWithError("no leader");
+    return;
+  }
+  DriverConfig d;
+  d.n_client_threads = 1;
+  d.coroutines_per_client = 16;
+  d.warmup_us = 200000;
+  d.measure_us = 1000000;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    BenchResult r = RunDriver(cluster, d);
+    ops += r.n_ops;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  cluster.Shutdown();
+}
+BENCHMARK(BM_ClusterNoFaultThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()  // ops/s against wall time: the driver blocks while the
+                     // reactor threads commit, so CPU time would mislead
+    ->Iterations(2);
+
+// The authoritative overhead number (the ≤2% acceptance bar). The Arg(0) /
+// Arg(1) entries above run as sequential blocks minutes apart, and shared CI
+// boxes drift by more than the effect size over that span — so this entry
+// interleaves off/on clusters WITHIN each iteration (alternating which goes
+// first) and reports the median paired ratio, which cancels the drift.
+void BM_ClusterTracingOverheadPaired(benchmark::State& state) {
+  RaftClusterOptions base;
+  base.n_nodes = 3;
+  base.pin_leader = true;
+  base.transport_kind = ClusterTransport::kTcp;
+  base.raft.send_queue_cap_bytes = 256 * 1024;
+  base.raft.batch_window_us = 200;
+  base.raft.leader_cmd_cost_us = 1;
+  base.raft.leader_propose_cost_us = 1;
+  base.raft.follower_append_cost_us = 1;
+  base.raft.apply_cost_us = 1;
+  base.disk.base_latency_us = 20;
+  DriverConfig d;
+  d.n_client_threads = 1;
+  d.coroutines_per_client = 16;
+  d.warmup_us = 200000;
+  d.measure_us = 1000000;
+  auto run_once = [&](bool monitor) -> double {
+    RaftClusterOptions opts = base;
+    opts.enable_monitor = monitor;
+    RaftCluster cluster(opts);
+    if (!cluster.WaitForLeader()) {
+      return 0;
+    }
+    BenchResult r = RunDriver(cluster, d);
+    cluster.Shutdown();
+    return r.throughput_ops;
+  };
+  std::vector<double> ratios;
+  double off_sum = 0;
+  double on_sum = 0;
+  int i = 0;
+  for (auto _ : state) {
+    double off;
+    double on;
+    if (i++ % 2 == 0) {
+      off = run_once(false);
+      on = run_once(true);
+    } else {
+      on = run_once(true);
+      off = run_once(false);
+    }
+    if (off <= 0 || on <= 0) {
+      state.SkipWithError("cluster failed to start");
+      return;
+    }
+    off_sum += off;
+    on_sum += on;
+    ratios.push_back(on / off);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  double median = ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  state.counters["overhead_pct"] = (1.0 - median) * 100.0;
+  state.counters["off_ops_s"] = off_sum / static_cast<double>(ratios.size());
+  state.counters["on_ops_s"] = on_sum / static_cast<double>(ratios.size());
+}
+BENCHMARK(BM_ClusterTracingOverheadPaired)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(5);
 
 void BM_CoroMutexLockUnlock(benchmark::State& state) {
   Reactor reactor("bench");
@@ -193,4 +362,34 @@ BENCHMARK(BM_RpcEchoSameThread);
 }  // namespace
 }  // namespace depfast
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so --metrics-json can be stripped
+// before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  std::string metrics_json;
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::string(argv[i]) == "--metrics-json") {
+      metrics_json = argv[i + 1];
+      for (int j = i; j + 2 < argc; j++) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_json.empty()) {
+    FILE* f = fopen(metrics_json.c_str(), "w");
+    if (f != nullptr) {
+      std::string json = depfast::MetricsRegistry::Global().RenderJson();
+      fwrite(json.data(), 1, json.size(), f);
+      fputc('\n', f);
+      fclose(f);
+    }
+  }
+  return 0;
+}

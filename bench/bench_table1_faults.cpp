@@ -154,8 +154,10 @@ void Run() {
 }  // namespace bench
 }  // namespace depfast
 
-int main() {
+int main(int argc, char** argv) {
   depfast::SetLogLevel(depfast::LogLevel::kError);
+  std::string metrics_json = depfast::bench::TakeFlag(argc, argv, "--metrics-json");
   depfast::bench::Run();
+  depfast::bench::DumpMetricsJson(metrics_json);
   return 0;
 }

@@ -1,0 +1,164 @@
+#include "src/base/metrics.h"
+
+#include <sstream>
+
+namespace depfast {
+
+namespace {
+
+// name{l1="v1",l2="v2"} — or bare name when label-free.
+std::string SeriesName(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::ostringstream os;
+  os << name << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << k << "=\"" << v << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+// Same but with extra labels appended (for quantile series).
+std::string SeriesName(const std::string& name, const MetricLabels& labels,
+                       const std::string& extra_k, const std::string& extra_v) {
+  MetricLabels all = labels;
+  all[extra_k] = extra_v;
+  return SeriesName(name, all);
+}
+
+void AppendJsonEntry(std::ostringstream& os, bool& first, const std::string& key,
+                     double value) {
+  if (!first) {
+    os << ',';
+  }
+  first = false;
+  os << '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+  os << "\":";
+  // Integral values print without a decimal point.
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    os << static_cast<int64_t>(value);
+  } else {
+    os << value;
+  }
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[Key{name, std::move(labels)}];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[Key{name, std::move(labels)}];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[Key{name, std::move(labels)}];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>();
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  std::string last_name;
+  for (const auto& [key, c] : counters_) {
+    if (key.first != last_name) {
+      os << "# TYPE " << key.first << " counter\n";
+      last_name = key.first;
+    }
+    os << SeriesName(key.first, key.second) << ' ' << c->value() << '\n';
+  }
+  last_name.clear();
+  for (const auto& [key, g] : gauges_) {
+    if (key.first != last_name) {
+      os << "# TYPE " << key.first << " gauge\n";
+      last_name = key.first;
+    }
+    os << SeriesName(key.first, key.second) << ' ' << g->value() << '\n';
+  }
+  last_name.clear();
+  for (const auto& [key, hm] : histograms_) {
+    Histogram h = hm->Get();
+    if (key.first != last_name) {
+      os << "# TYPE " << key.first << " summary\n";
+      last_name = key.first;
+    }
+    for (double q : {0.5, 0.9, 0.99}) {
+      std::ostringstream qv;
+      qv << q;
+      os << SeriesName(key.first, key.second, "quantile", qv.str()) << ' '
+         << h.Percentile(q * 100) << '\n';
+    }
+    os << SeriesName(key.first + "_sum", key.second) << ' ' << h.sum() << '\n';
+    os << SeriesName(key.first + "_count", key.second) << ' ' << h.count() << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    AppendJsonEntry(os, first, SeriesName(key.first, key.second),
+                    static_cast<double>(c->value()));
+  }
+  for (const auto& [key, g] : gauges_) {
+    AppendJsonEntry(os, first, SeriesName(key.first, key.second),
+                    static_cast<double>(g->value()));
+  }
+  for (const auto& [key, hm] : histograms_) {
+    Histogram h = hm->Get();
+    const std::string base = SeriesName(key.first, key.second);
+    AppendJsonEntry(os, first, base + "_count", static_cast<double>(h.count()));
+    AppendJsonEntry(os, first, base + "_sum", static_cast<double>(h.sum()));
+    AppendJsonEntry(os, first, base + "_p50", static_cast<double>(h.Percentile(50)));
+    AppendJsonEntry(os, first, base + "_p99", static_cast<double>(h.Percentile(99)));
+    AppendJsonEntry(os, first, base + "_max", static_cast<double>(h.max()));
+  }
+  os << '}';
+  return os.str();
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace depfast

@@ -1,0 +1,110 @@
+// Unified metrics: one registration surface for the counters, gauges, and
+// latency histograms that were previously scattered across RaftCounters,
+// TransportCounters, and ad-hoc WAL/tracer stats. Metrics are identified by
+// (name, labels) — e.g. ("raft_commits_total", {node=s1}) — so one registry
+// holds every node's series side by side, exactly like a Prometheus scrape
+// target would.
+//
+// Exposition: RenderText() emits Prometheus text format (histograms as
+// summary-style count/sum/quantiles); RenderJson() emits a flat snapshot for
+// the BENCH_*.json trajectory files.
+//
+// Handles returned by GetCounter/GetGauge/GetHistogram are stable for the
+// registry's lifetime; hot paths should grab the handle once and Inc() it.
+#ifndef SRC_BASE_METRICS_H_
+#define SRC_BASE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/histogram.h"
+
+namespace depfast {
+
+// Label set, kept sorted for a canonical identity. Small (0-2 entries).
+using MetricLabels = std::map<std::string, std::string>;
+
+// Monotonically increasing count (thread-safe).
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  // For absorbing externally-maintained totals (e.g. copying RaftCounters
+  // into the registry at export time).
+  void Set(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Point-in-time signed value (thread-safe).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Histogram guarded by a mutex: recorders are per-node reactor threads and
+// the only contention is the renderer, so the lock is effectively free.
+class HistogramMetric {
+ public:
+  void Record(uint64_t value_us) {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.Record(value_us);
+  }
+  void MergeFrom(const Histogram& other) {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.Merge(other);
+  }
+  // Copy out for rendering/aggregation.
+  Histogram Get() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return h_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram h_;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry most call sites use. Tests may build their own.
+  static MetricsRegistry& Global();
+
+  // Find-or-create. The returned pointer stays valid until Clear().
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  HistogramMetric* GetHistogram(const std::string& name, MetricLabels labels = {});
+
+  // Prometheus text exposition format.
+  std::string RenderText() const;
+  // Flat JSON object: {"name{label=\"v\"}": value, ...}; histograms expand
+  // into _count/_sum/_p50/_p99/_max entries.
+  std::string RenderJson() const;
+
+  // Drops every metric (invalidates all handles). Test isolation only.
+  void Clear();
+
+ private:
+  using Key = std::pair<std::string, MetricLabels>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_BASE_METRICS_H_

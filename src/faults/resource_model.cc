@@ -39,6 +39,10 @@ void CpuModel::Work(uint64_t cost_us) {
     return;
   }
   auto ev = std::make_shared<TimeoutEvent>(complete_at - now);
+  ev->set_trace_kind("cpu");
+  // Self peer: lets the online detector classify local CPU slowness; the
+  // offline SPG skips self peers so no graph edge appears.
+  ev->set_trace_peer(reactor_->name());
   ev->Wait();
 }
 

@@ -78,6 +78,25 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
       }
     });
   }
+
+  if (opts_.enable_monitor) {
+    // Discard records a previous tracer user left behind (same-process test
+    // sequences): their old end_us stamps would re-anchor the monitor's
+    // windows into the past and pollute the rolling baselines.
+    Tracer::Instance().Drain();
+    Tracer::Instance().Enable();
+    monitor_ = std::make_unique<SpgMonitor>(opts_.monitor);
+    monitor_thread_ = std::thread([this]() {
+      while (!monitor_stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(opts_.monitor_poll_us));
+        auto records = Tracer::Instance().Drain();
+        std::lock_guard<std::mutex> lk(monitor_mu_);
+        monitor_->Ingest(std::move(records));
+        auto found = monitor_->AdvanceTo(MonotonicUs());
+        verdicts_.insert(verdicts_.end(), found.begin(), found.end());
+      }
+    });
+  }
 }
 
 RaftCluster::~RaftCluster() { Shutdown(); }
@@ -150,6 +169,56 @@ RaftCounters RaftCluster::CountersOf(int i) {
   return c;
 }
 
+std::vector<SlownessVerdict> RaftCluster::Verdicts() {
+  std::lock_guard<std::mutex> lk(monitor_mu_);
+  return verdicts_;
+}
+
+uint64_t RaftCluster::MonitorWindowsClosed() {
+  std::lock_guard<std::mutex> lk(monitor_mu_);
+  return monitor_ != nullptr ? monitor_->windows_closed() : 0;
+}
+
+void RaftCluster::ExportMetrics(MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    reg = &MetricsRegistry::Global();
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftCounters c = CountersOf(i);
+    MetricLabels node{{"node", opts_.name_prefix +
+                                   std::to_string(opts_.first_node_id + static_cast<NodeId>(i))}};
+    reg->GetCounter("raft_ops_proposed_total", node)->Set(c.ops_proposed);
+    reg->GetCounter("raft_entries_proposed_total", node)->Set(c.entries_proposed);
+    reg->GetCounter("raft_replication_rounds_total", node)->Set(c.rounds);
+    reg->GetCounter("raft_wal_appends_total", node)->Set(c.wal_appends);
+    reg->GetCounter("raft_wal_flushes_total", node)->Set(c.wal_flushes);
+    reg->GetCounter("raft_bytes_replicated_total", node)->Set(c.bytes_replicated);
+    reg->GetCounter("raft_snapshot_rounds_total", node)->Set(c.snapshot_rounds);
+    reg->GetCounter("raft_snapshot_chunks_total", node)->Set(c.snapshot_chunks);
+    reg->GetCounter("raft_snapshot_bytes_total", node)->Set(c.snapshot_bytes);
+    reg->GetHistogram("raft_batch_ops", node)->MergeFrom(c.batch_ops_histogram);
+  }
+  if (tcp_transport_ != nullptr) {
+    TransportCounters t = tcp_transport_->counters();
+    reg->GetCounter("transport_frames_sent_total")->Set(t.frames_sent);
+    reg->GetCounter("transport_bytes_sent_total")->Set(t.bytes_sent);
+    reg->GetCounter("transport_writev_calls_total")->Set(t.writev_calls);
+    reg->GetCounter("transport_drops_total")->Set(t.drops);
+    reg->GetCounter("transport_backpressure_stalls_total")->Set(t.backpressure_stalls);
+  }
+  Tracer& tracer = Tracer::Instance();
+  reg->GetCounter("trace_records_total")->Set(tracer.n_recorded());
+  reg->GetCounter("trace_records_dropped_total")->Set(tracer.n_dropped());
+  reg->GetGauge("trace_shards")->Set(static_cast<int64_t>(tracer.shard_count()));
+  {
+    std::lock_guard<std::mutex> lk(monitor_mu_);
+    if (monitor_ != nullptr) {
+      reg->GetCounter("spg_windows_closed_total")->Set(monitor_->windows_closed());
+      reg->GetCounter("spg_verdicts_total")->Set(verdicts_.size());
+    }
+  }
+}
+
 void RaftCluster::InjectFault(int i, FaultType type) { InjectFault(i, MakeFault(type)); }
 
 void RaftCluster::InjectFault(int i, const FaultSpec& spec) {
@@ -192,6 +261,11 @@ void RaftCluster::Shutdown() {
     return;
   }
   shut_down_ = true;
+  if (monitor_thread_.joinable()) {
+    monitor_stop_.store(true, std::memory_order_relaxed);
+    monitor_thread_.join();
+    Tracer::Instance().Disable();
+  }
   for (int i = 0; i < opts_.n_nodes; i++) {
     RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
     RunOn(i, [h]() { h->raft->Shutdown(); });

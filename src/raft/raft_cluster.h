@@ -5,18 +5,22 @@
 #ifndef SRC_RAFT_RAFT_CLUSTER_H_
 #define SRC_RAFT_RAFT_CLUSTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/faults/fault_injector.h"
 #include "src/raft/raft_client.h"
 #include "src/raft/raft_node.h"
 #include "src/rpc/sim_transport.h"
 #include "src/rpc/tcp_transport.h"
+#include "src/runtime/spg_monitor.h"
 
 namespace depfast {
 
@@ -43,6 +47,12 @@ struct RaftClusterOptions {
   // Shard label prefixed to node names ("s1".."sN" by default).
   std::string name_prefix = "s";
   NodeId first_node_id = 1;
+  // Live fail-slow detection: enables the Tracer and runs a monitor thread
+  // that drains it into an SpgMonitor every monitor_poll_us, accumulating
+  // verdicts (read them with Verdicts()). Works over both transports.
+  bool enable_monitor = false;
+  SpgMonitorOptions monitor;
+  uint64_t monitor_poll_us = 100000;
 };
 
 // One server node's bundle. Internals (raft, rpc, disk, cpu) live on the
@@ -100,6 +110,16 @@ class RaftCluster {
   // entry, group-commit ratio and replication fan-out.
   RaftCounters CountersOf(int i);
 
+  // Verdicts emitted by the online monitor so far (enable_monitor only).
+  std::vector<SlownessVerdict> Verdicts();
+  // Windows the monitor has closed so far (0 when disabled).
+  uint64_t MonitorWindowsClosed();
+
+  // Publishes per-node RaftCounters, transport counters and tracer stats
+  // into `reg` (the global registry by default) under node= labels, so
+  // RenderText()/RenderJson() expose the whole cluster in one scrape.
+  void ExportMetrics(MetricsRegistry* reg = nullptr);
+
   // Table 1 fault injection against node i.
   void InjectFault(int i, FaultType type);
   void InjectFault(int i, const FaultSpec& spec);
@@ -121,6 +141,13 @@ class RaftCluster {
   std::vector<std::unique_ptr<RaftServerHandle>> servers_;
   NodeId next_client_id_;
   bool shut_down_ = false;
+
+  // Online monitor (enable_monitor): a plain thread polling the Tracer.
+  std::unique_ptr<SpgMonitor> monitor_;
+  std::thread monitor_thread_;
+  std::atomic<bool> monitor_stop_{false};
+  std::mutex monitor_mu_;  // guards monitor_ state + verdicts_ after start
+  std::vector<SlownessVerdict> verdicts_;
 };
 
 }  // namespace depfast

@@ -1,6 +1,7 @@
 #include "src/runtime/compound_event.h"
 
 #include "src/base/logging.h"
+#include "src/base/time_util.h"
 #include "src/runtime/trace.h"
 
 namespace depfast {
@@ -62,6 +63,24 @@ void QuorumEvent::OnChildFire(Event* child) {
   } else {
     n_no_++;
   }
+  // Per-leg completion record. The quorum wait itself fires at k of n and so
+  // MASKS a slow minority replica; the leg records carry the per-peer latency
+  // and outcome that survive the masking. Emitted even for trace-exempt
+  // children (the exemption is about wait points — a leg is a completion, not
+  // a wait) and flagged quorum_leg so Spg::Build skips them.
+  Tracer& tracer = Tracer::Instance();
+  if (tracer.enabled() && !child->trace_peer().empty() &&
+      child->created_at_us() != 0 && child->fired_at_us() != 0) {
+    WaitRecord r;
+    r.node = reactor_->name();
+    r.kind = child->trace_kind();
+    r.peers.push_back(child->trace_peer());
+    r.wait_us = child->fired_at_us() - child->created_at_us();
+    r.end_us = child->fired_at_us();
+    r.quorum_leg = true;
+    r.ok = child->vote_ok();
+    tracer.Record(std::move(r));
+  }
   Test();
 }
 
@@ -82,6 +101,8 @@ void QuorumEvent::RecordWait(uint64_t wait_us) {
   }
   r.wait_us = wait_us;
   r.timed_out = TimedOut();
+  r.end_us = MonotonicUs();
+  r.ok = !TimedOut() && !QuorumImpossible();
   tracer.Record(std::move(r));
 }
 

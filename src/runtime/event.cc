@@ -9,8 +9,17 @@
 
 namespace depfast {
 
-Event::Event() : reactor_(Reactor::Current()) {
-  DF_CHECK_NOTNULL(reactor_);
+Event::Event() : reactor_(Reactor::Current()) { DF_CHECK_NOTNULL(reactor_); }
+
+void Event::set_trace_peer(std::string peer) {
+  trace_peer_ = std::move(peer);
+  if (created_at_us_ == 0 && !trace_peer_.empty() && Tracer::Instance().enabled()) {
+    // 0 means "not stamped" — the clock is process-relative, so an event
+    // labeled in the very first microsecond must still read as stamped.
+    // Callers label events immediately after creation, so this IS the issue
+    // time of the RPC / disk request for leg-latency purposes.
+    created_at_us_ = std::max<uint64_t>(MonotonicUs(), 1);
+  }
 }
 
 Event::~Event() = default;
@@ -21,10 +30,16 @@ Event::EvStatus Event::Wait(uint64_t timeout_us) {
   DF_CHECK_NOTNULL(co);
   Activate();
   if (status_ == EvStatus::kReady || status_ == EvStatus::kTimeout) {
+    // Fast path: the event completed before anyone waited (e.g. an RPC whose
+    // send was refused at the bounded queue fires negative synchronously).
+    // Still a wait point — record it with zero duration, or the tracer goes
+    // blind exactly when a peer turns fail-slow and sends start failing.
+    RecordWait(0);
     return status_;
   }
   if (IsReady()) {
     Fire();
+    RecordWait(0);
     return status_;
   }
   uint64_t begin_us = MonotonicUs();
@@ -72,6 +87,9 @@ void Event::Fire() {
     return;
   }
   status_ = EvStatus::kReady;
+  if (created_at_us_ != 0) {
+    fired_at_us_ = std::max<uint64_t>(MonotonicUs(), 1);
+  }
   auto waiters = std::move(waiters_);
   waiters_.clear();
   for (Coroutine* w : waiters) {
@@ -100,14 +118,38 @@ void Event::RecordWait(uint64_t wait_us) {
   if (!tracer.enabled() || trace_exempt_) {
     return;
   }
+  bool local = trace_peer_.empty() || trace_peer_ == reactor_->name();
+  if (local && vote_ok_ && !TimedOut()) {
+    // Successful LOCAL waits — peer-less internal signals (batch wakeups,
+    // sleeps, which neither Spg::Build nor the detector even look at) and
+    // self-peer disk/cpu waits — dominate record volume on the no-fault hot
+    // path (~4/5 of all records) while carrying per-record information the
+    // consumers only need statistically: keep 1 in 8. Slow local waits remain
+    // fully represented (uniform sampling preserves the detector's window
+    // percentiles and the self-edge still clears min_edge_count by orders of
+    // magnitude); failed or timed-out waits and every remote-peer wait are
+    // never sampled — those are the decisive signals.
+    static thread_local uint32_t sample = 0;
+    static thread_local uint32_t seen_epoch = 0;
+    uint32_t epoch = tracer.epoch();
+    if (seen_epoch != epoch) {
+      seen_epoch = epoch;
+      sample = 0;
+    }
+    if ((sample++ & 0x7) != 0) {
+      return;
+    }
+  }
   WaitRecord r;
   r.node = reactor_->name();
-  r.kind = kind();
+  r.kind = trace_kind();
   if (!trace_peer_.empty()) {
     r.peers.push_back(trace_peer_);
   }
   r.wait_us = wait_us;
   r.timed_out = TimedOut();
+  r.end_us = MonotonicUs();
+  r.ok = vote_ok_ && !TimedOut();
   tracer.Record(std::move(r));
 }
 

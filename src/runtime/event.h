@@ -61,9 +61,25 @@ class Event : public std::enable_shared_from_this<Event> {
   // judged as a rejection (or an error/timeout reply) fires with a `no`.
   bool vote_ok() const { return vote_ok_; }
 
-  // Trace metadata: the remote node this wait depends on, if any.
-  void set_trace_peer(std::string peer) { trace_peer_ = std::move(peer); }
+  // Trace metadata: the remote node this wait depends on, if any. Setting a
+  // non-empty peer also stamps the creation time (tracer enabled): only
+  // peer-labeled events can become quorum legs, so the mass of unlabeled
+  // internal events (batch wakeups, sleeps) skips the clock reads entirely.
+  void set_trace_peer(std::string peer);
   const std::string& trace_peer() const { return trace_peer_; }
+
+  // Overrides the kind reported to trace points, classifying the wait by the
+  // RESOURCE it depends on ("disk", "cpu") when the event class alone cannot
+  // (a WAL durability event is a plain IntEvent). Pass a string literal; the
+  // pointer is stored, not copied.
+  void set_trace_kind(const char* k) { trace_kind_ = k; }
+  const char* trace_kind() const { return trace_kind_ != nullptr ? trace_kind_ : kind(); }
+
+  // Monotonic timestamps captured while the tracer is enabled (0 otherwise):
+  // creation (the issue time of an RPC / disk request) and firing. Their
+  // difference is the per-leg completion latency the SlownessDetector uses.
+  uint64_t created_at_us() const { return created_at_us_; }
+  uint64_t fired_at_us() const { return fired_at_us_; }
 
   // Marks waits on this event as bookkeeping (reply-processing callbacks,
   // straggler continuations) rather than protocol-gating: they are excluded
@@ -96,6 +112,9 @@ class Event : public std::enable_shared_from_this<Event> {
   Reactor* reactor_;
   EvStatus status_ = EvStatus::kInit;
   bool vote_ok_ = true;
+  const char* trace_kind_ = nullptr;
+  uint64_t created_at_us_ = 0;
+  uint64_t fired_at_us_ = 0;
   // Several coroutines may block on one event (e.g. coalesced readIndex
   // rounds); firing (or the earliest timeout) wakes them all.
   std::vector<Coroutine*> waiters_;

@@ -1,0 +1,227 @@
+#include "src/runtime/spg_monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace depfast {
+
+namespace {
+
+// Event kind -> resource class accused by a slow edge of that kind.
+std::string ResourceClass(const std::string& kind) {
+  if (kind == "rpc") {
+    return "network";
+  }
+  if (kind == "disk" || kind == "cpu") {
+    return kind;
+  }
+  return kind;  // unmapped kinds accuse themselves (still actionable)
+}
+
+uint64_t PercentileOf(std::vector<uint64_t>& v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(v.size()));
+  if (idx >= v.size()) {
+    idx = v.size() - 1;
+  }
+  return v[idx];
+}
+
+uint64_t MedianOf(const std::deque<uint64_t>& d) {
+  if (d.empty()) {
+    return 0;
+  }
+  std::vector<uint64_t> v(d.begin(), d.end());
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double MedianOf(const std::deque<double>& d) {
+  if (d.empty()) {
+    return 0;
+  }
+  std::vector<double> v(d.begin(), d.end());
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+std::string SlownessVerdict::Summary() const {
+  std::ostringstream os;
+  os << "fail-slow: node=" << node << " resource=" << resource << " victims=[";
+  for (size_t i = 0; i < victims.size(); i++) {
+    if (i > 0) {
+      os << ' ';
+    }
+    os << victims[i];
+  }
+  os << "] severity=" << severity << " (" << reason << ")";
+  return os.str();
+}
+
+SpgMonitor::SpgMonitor(SpgMonitorOptions opts) : opts_(opts) {}
+
+void SpgMonitor::Ingest(const std::vector<WaitRecord>& records) {
+  std::vector<WaitRecord> copy = records;
+  Ingest(std::move(copy));
+}
+
+void SpgMonitor::Ingest(std::vector<WaitRecord>&& records) {
+  for (auto& r : records) {
+    if (r.end_us == 0) {
+      continue;  // hand-built or untimed record; the window key is end_us
+    }
+    if (window_start_us_ == 0 || r.end_us < window_start_us_) {
+      window_start_us_ = r.end_us;  // anchor (or re-anchor for stragglers)
+    }
+    open_records_.push_back(std::move(r));
+  }
+}
+
+std::vector<SlownessVerdict> SpgMonitor::AdvanceTo(uint64_t now_us) {
+  std::vector<SlownessVerdict> out;
+  if (window_start_us_ == 0) {
+    return out;  // nothing ingested yet; nothing to judge
+  }
+  while (window_start_us_ + opts_.window_us <= now_us) {
+    CloseWindow(window_start_us_ + opts_.window_us, &out);
+    window_start_us_ += opts_.window_us;
+  }
+  return out;
+}
+
+void SpgMonitor::CloseWindow(uint64_t window_end_us, std::vector<SlownessVerdict>* out) {
+  // Split off this window's records.
+  std::vector<WaitRecord> window;
+  std::vector<WaitRecord> rest;
+  for (auto& r : open_records_) {
+    if (r.end_us < window_end_us) {
+      window.push_back(std::move(r));
+    } else {
+      rest.push_back(std::move(r));
+    }
+  }
+  open_records_ = std::move(rest);
+  windows_closed_++;
+  last_window_spg_ = Spg::Build(window);
+
+  // Per-edge stats. Quorum waits fire at k of n — their latency reflects the
+  // MAJORITY and would smear blame across all peers, so they carry no
+  // detection signal; the per-peer quorum legs (and direct waits) do.
+  std::map<EdgeKey, WindowStats> stats;
+  for (const auto& r : window) {
+    if (r.kind == "quorum" || r.peers.empty()) {
+      continue;
+    }
+    for (const auto& peer : r.peers) {
+      WindowStats& s = stats[EdgeKey{r.node, peer, r.kind}];
+      s.lat_us.push_back(r.wait_us);
+      if (!r.ok) {
+        s.n_fail++;
+      }
+    }
+  }
+
+  // Judge each edge seen this window against its rolling baseline.
+  struct SlowEdge {
+    EdgeKey key;
+    double severity;
+    std::string reason;
+  };
+  std::vector<SlowEdge> slow;
+  for (auto& [key, s] : stats) {
+    if (s.lat_us.size() < opts_.min_edge_count) {
+      continue;  // too few samples to judge (state carries over untouched)
+    }
+    EdgeState& st = edges_[key];
+    uint64_t p90 = PercentileOf(s.lat_us, 90);
+    double fail_frac =
+        static_cast<double>(s.n_fail) / static_cast<double>(s.lat_us.size());
+    bool warm = st.baseline_p90s.size() >= opts_.min_baseline_windows;
+
+    bool is_slow = false;
+    if (warm) {
+      double base_fail = MedianOf(st.baseline_fail_fracs);
+      if (fail_frac >= opts_.fail_frac_threshold &&
+          base_fail < opts_.baseline_fail_frac_max) {
+        // Completions are mostly drops/timeouts on a previously clean edge:
+        // verdict immediately — a throttled peer kills discardable RPCs fast,
+        // so waiting for a latency signal would miss it.
+        std::ostringstream reason;
+        reason << "fail_frac=" << fail_frac << " baseline=" << base_fail;
+        slow.push_back(SlowEdge{key, fail_frac / opts_.fail_frac_threshold,
+                                reason.str()});
+        is_slow = true;
+      } else {
+        uint64_t base_p90 = MedianOf(st.baseline_p90s);
+        uint64_t bar = std::max<uint64_t>(
+            static_cast<uint64_t>(opts_.latency_threshold *
+                                  static_cast<double>(base_p90)),
+            opts_.min_latency_us);
+        if (p90 >= bar) {
+          st.strikes++;
+          is_slow = true;
+          if (st.strikes >= opts_.latency_strikes) {
+            std::ostringstream reason;
+            reason << "p90=" << p90 << "us baseline=" << base_p90 << "us";
+            slow.push_back(SlowEdge{
+                key,
+                static_cast<double>(p90) / std::max<double>(1.0, static_cast<double>(base_p90)),
+                reason.str()});
+          }
+        }
+      }
+    }
+    if (!is_slow) {
+      st.strikes = 0;
+      // Clean (or warmup) window: fold into the rolling baseline.
+      st.baseline_p90s.push_back(p90);
+      st.baseline_fail_fracs.push_back(fail_frac);
+      while (st.baseline_p90s.size() > opts_.baseline_windows) {
+        st.baseline_p90s.pop_front();
+      }
+      while (st.baseline_fail_fracs.size() > opts_.baseline_windows) {
+        st.baseline_fail_fracs.pop_front();
+      }
+    }
+  }
+
+  if (slow.empty()) {
+    return;
+  }
+
+  // Group slow edges by accused node (the dst being waited on). A slow SELF
+  // edge (node waiting on its own disk/cpu) wins resource classification —
+  // it names the root cause, while network edges may only be the symptom.
+  std::map<std::string, std::vector<const SlowEdge*>> by_node;
+  for (const auto& e : slow) {
+    by_node[e.key.dst].push_back(&e);
+  }
+  for (const auto& [node, node_edges] : by_node) {
+    SlownessVerdict v;
+    v.window_end_us = window_end_us;
+    v.node = node;
+    const SlowEdge* self_edge = nullptr;
+    for (const SlowEdge* e : node_edges) {
+      if (e->key.src == node) {
+        self_edge = e;
+      }
+      if (e->key.src != node &&
+          std::find(v.victims.begin(), v.victims.end(), e->key.src) ==
+              v.victims.end()) {
+        v.victims.push_back(e->key.src);
+      }
+      v.severity = std::max(v.severity, e->severity);
+    }
+    const SlowEdge* rep = self_edge != nullptr ? self_edge : node_edges.front();
+    v.resource = ResourceClass(rep->key.kind);
+    v.reason = rep->reason;
+    out->push_back(std::move(v));
+  }
+}
+
+}  // namespace depfast

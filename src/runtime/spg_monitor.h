@@ -1,0 +1,129 @@
+// Online fail-slow detection (the live form of §3.3's runtime verification):
+// the SpgMonitor folds the tracer's wait records into sliding-window SPGs and
+// a per-edge statistical detector that compares each window against a rolling
+// baseline of clean windows. When an edge turns slow, verdicts name the
+// accused node, its resource class (disk / network / cpu, from the event
+// kind), and the victims the slowness propagates to.
+//
+// Two complementary rules, because fail-slow manifests two ways:
+//  - Latency: the window's p90 exceeds threshold x the rolling baseline
+//    median (with an absolute floor so microsecond jitter can't trip it),
+//    for `latency_strikes` consecutive windows.
+//  - Failure fraction: most completions on the edge fail (drops at a full
+//    send queue, RPC timeouts) while the baseline was clean. Under a
+//    bandwidth-throttled peer, discardable RPCs die fast instead of slowly —
+//    latency alone would MISS the fault.
+//
+// Quorum-leg records (per-peer completions emitted by QuorumEvent) are the
+// main food: quorum waits themselves fire at k of n and mask the slow
+// replica, so the legs are the only per-peer signal. Self-edges (peer ==
+// node, e.g. WAL flush waits) classify local resource faults and take
+// priority when resolving the accused node's root cause.
+#ifndef SRC_RUNTIME_SPG_MONITOR_H_
+#define SRC_RUNTIME_SPG_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runtime/trace.h"
+
+namespace depfast {
+
+struct SpgMonitorOptions {
+  uint64_t window_us = 1000000;  // sliding-window width (1 s)
+  // Latency rule: p90 >= max(latency_threshold * baseline median-of-p90s,
+  // min_latency_us), for latency_strikes consecutive windows.
+  double latency_threshold = 3.0;
+  uint64_t min_latency_us = 5000;
+  int latency_strikes = 2;
+  // Failure rule: fail fraction >= fail_frac_threshold in a window whose
+  // baseline was clean (< baseline_fail_frac_max).
+  double fail_frac_threshold = 0.5;
+  double baseline_fail_frac_max = 0.1;
+  // Edges with fewer completions than this in a window are ignored (too few
+  // samples to judge).
+  uint64_t min_edge_count = 5;
+  // Rolling baseline: median over up to `baseline_windows` clean windows;
+  // no judgement until at least `min_baseline_windows` are banked.
+  size_t baseline_windows = 8;
+  size_t min_baseline_windows = 3;
+};
+
+// One detection: `node` is the accused fail-slow node, `resource` its
+// classified resource ("network", "disk", "cpu", or the raw event kind),
+// `victims` the nodes whose waits the slowness propagated to.
+struct SlownessVerdict {
+  uint64_t window_end_us = 0;
+  std::string node;
+  std::string resource;
+  std::vector<std::string> victims;
+  // How far past the bar the edge was: latency ratio vs baseline, or the
+  // failure fraction scaled to the same >= 1.0 convention.
+  double severity = 0;
+  std::string reason;  // human-readable one-liner
+
+  std::string Summary() const;
+};
+
+class SpgMonitor {
+ public:
+  explicit SpgMonitor(SpgMonitorOptions opts = {});
+
+  // Feeds records (any order within reason); they are bucketed by end_us.
+  void Ingest(const std::vector<WaitRecord>& records);
+  void Ingest(std::vector<WaitRecord>&& records);
+
+  // Closes every window ending at or before `now_us` and runs the detector
+  // on each; returns the verdicts those windows produced (empty when
+  // healthy). Call periodically with the current monotonic time.
+  std::vector<SlownessVerdict> AdvanceTo(uint64_t now_us);
+
+  // SPG aggregated over the records of the most recently closed window
+  // (quorum legs excluded, as in offline builds).
+  const Spg& LastWindowSpg() const { return last_window_spg_; }
+
+  uint64_t windows_closed() const { return windows_closed_; }
+  const SpgMonitorOptions& options() const { return opts_; }
+
+ private:
+  // Directed wait edge: src waited on dst via events of `kind`.
+  struct EdgeKey {
+    std::string src;
+    std::string dst;
+    std::string kind;
+    bool operator<(const EdgeKey& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return kind < o.kind;
+    }
+  };
+
+  // Accumulated stats for one edge within the open window.
+  struct WindowStats {
+    std::vector<uint64_t> lat_us;  // per-completion latencies
+    uint64_t n_fail = 0;
+  };
+
+  // Cross-window detector state for one edge.
+  struct EdgeState {
+    std::deque<uint64_t> baseline_p90s;  // clean-window p90s (rolling)
+    std::deque<double> baseline_fail_fracs;
+    int strikes = 0;  // consecutive latency-slow windows
+  };
+
+  void CloseWindow(uint64_t window_end_us, std::vector<SlownessVerdict>* out);
+
+  SpgMonitorOptions opts_;
+  uint64_t window_start_us_ = 0;  // 0 until the first record anchors it
+  std::vector<WaitRecord> open_records_;
+  std::map<EdgeKey, EdgeState> edges_;
+  Spg last_window_spg_;
+  uint64_t windows_closed_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_SPG_MONITOR_H_

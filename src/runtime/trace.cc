@@ -1,33 +1,151 @@
 #include "src/runtime/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <tuple>
 
 namespace depfast {
+
+// Releases the calling thread's shard back to the free pool at thread exit,
+// so long-lived processes that churn reactor threads reuse a bounded set of
+// shards instead of growing one per thread ever created.
+struct TracerTlsHandle {
+  void* shard = nullptr;
+  ~TracerTlsHandle();
+};
+
+namespace {
+thread_local TracerTlsHandle tls_handle;
+}  // namespace
+
+TracerTlsHandle::~TracerTlsHandle() {
+  if (shard != nullptr) {
+    Tracer::Instance().ReleaseShard(static_cast<Tracer::Shard*>(shard));
+  }
+}
 
 Tracer& Tracer::Instance() {
   static Tracer tracer;
   return tracer;
 }
 
+Tracer::Shard* Tracer::ShardForThisThread() {
+  if (tls_handle.shard != nullptr) {
+    return static_cast<Shard*>(tls_handle.shard);
+  }
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  Shard* mine = nullptr;
+  for (auto& s : shards_) {
+    if (!s->in_use) {
+      mine = s.get();
+      break;
+    }
+  }
+  if (mine == nullptr) {
+    shards_.push_back(std::make_unique<Shard>());
+    mine = shards_.back().get();
+  }
+  mine->in_use = true;
+  tls_handle.shard = mine;
+  return mine;
+}
+
+void Tracer::ReleaseShard(Shard* shard) {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  shard->in_use = false;  // records stay until Snapshot/Drain/Clear
+}
+
 void Tracer::Record(WaitRecord r) {
-  std::lock_guard<std::mutex> lk(mu_);
-  records_.push_back(std::move(r));
+  Shard* s = ShardForThisThread();
+  size_t cap = shard_capacity_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(s->mu);
+  if (s->buf.size() >= cap) {
+    s->dropped++;
+    return;
+  }
+  if (s->buf.capacity() == 0) {
+    s->buf.reserve(std::min<size_t>(cap, 1024));
+  }
+  s->accepted++;
+  s->buf.push_back(std::move(r));
 }
 
 std::vector<WaitRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return records_;
+  std::vector<WaitRecord> out;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    out.insert(out.end(), s->buf.begin(), s->buf.end());
+  }
+  return out;
+}
+
+std::vector<WaitRecord> Tracer::Drain() {
+  std::vector<WaitRecord> out;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    if (out.empty()) {
+      out = std::move(s->buf);
+      s->buf = {};
+    } else {
+      out.insert(out.end(), std::make_move_iterator(s->buf.begin()),
+                 std::make_move_iterator(s->buf.end()));
+      s->buf.clear();
+    }
+  }
+  return out;
 }
 
 size_t Tracer::Count() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return records_.size();
+  size_t n = 0;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    n += s->buf.size();
+  }
+  return n;
+}
+
+uint64_t Tracer::n_dropped() const {
+  uint64_t n = 0;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    n += s->dropped;
+  }
+  return n;
+}
+
+uint64_t Tracer::n_recorded() const {
+  uint64_t n = 0;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    n += s->accepted;
+  }
+  return n;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
-  records_.clear();
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    s->buf.clear();
+    s->buf.shrink_to_fit();
+    s->dropped = 0;
+    s->accepted = 0;
+  }
+}
+
+void Tracer::SetShardCapacity(size_t capacity) {
+  shard_capacity_.store(std::max<size_t>(capacity, 1), std::memory_order_relaxed);
+}
+
+size_t Tracer::shard_count() const {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  return shards_.size();
 }
 
 std::string SpgEdge::Label() const {
@@ -43,6 +161,9 @@ Spg Spg::Build(const std::vector<WaitRecord>& records) {
   for (const auto& r : records) {
     if (r.peers.empty()) {
       continue;  // pure local wait (sleep, condition); no propagation edge
+    }
+    if (r.quorum_leg) {
+      continue;  // sub-wait of a quorum; the quorum edge already covers it
     }
     bool is_quorum = r.kind == "quorum";
     int k = is_quorum ? r.quorum_k : 1;
@@ -106,6 +227,79 @@ std::string Spg::ToDot() const {
        << (e.quorum ? 1.5 : 2.0) << "];\n";
   }
   os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<WaitRecord>& records, size_t max_spans) {
+  // Stable pid per node name; tid 1 for direct waits, 2 for quorum legs so
+  // overlapping spans of one node land on separate rows.
+  std::map<std::string, int> pids;
+  std::vector<const WaitRecord*> spans;
+  for (const auto& r : records) {
+    if (r.end_us == 0) {
+      continue;
+    }
+    spans.push_back(&r);
+  }
+  size_t stride = max_spans == 0 ? 1 : (spans.size() + max_spans - 1) / std::max<size_t>(max_spans, 1);
+  stride = std::max<size_t>(stride, 1);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t i = 0; i < spans.size(); i += stride) {
+    const WaitRecord& r = *spans[i];
+    auto it = pids.find(r.node);
+    if (it == pids.end()) {
+      it = pids.emplace(r.node, static_cast<int>(pids.size()) + 1).first;
+    }
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    uint64_t start = r.end_us > r.wait_us ? r.end_us - r.wait_us : 0;
+    os << "{\"name\":";
+    AppendJsonString(os, r.kind);
+    os << ",\"cat\":" << (r.quorum_leg ? "\"leg\"" : "\"wait\"");
+    os << ",\"ph\":\"X\",\"ts\":" << start << ",\"dur\":" << r.wait_us;
+    os << ",\"pid\":" << it->second << ",\"tid\":" << (r.quorum_leg ? 2 : 1);
+    os << ",\"args\":{\"peers\":\"";
+    for (size_t p = 0; p < r.peers.size(); p++) {
+      if (p > 0) {
+        os << " ";
+      }
+      os << r.peers[p];
+    }
+    os << "\",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.kind == "quorum") {
+      os << ",\"k\":" << r.quorum_k << ",\"n\":" << r.quorum_n;
+    }
+    os << "}}";
+  }
+  // Process-name metadata so the viewer shows node names instead of pids.
+  for (const auto& [name, pid] : pids) {
+    os << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":";
+    AppendJsonString(os, name);
+    os << "}}";
+  }
+  os << "]}";
   return os.str();
 }
 

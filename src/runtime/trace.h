@@ -4,12 +4,21 @@
 // vertices are nodes/clients, directed edges are waiting-for relationships,
 // single-event waits are "red" edges and quorum waits are "green" edges
 // labeled k/n.
+//
+// Capture is sharded so it stays enabled under full load: each recording
+// thread owns a fixed-capacity shard it appends to without touching any
+// global lock (the per-shard mutex is only ever contended by a reader
+// snapshotting/draining, which happens a few times per second). A full shard
+// drops new records and counts the drops — memory is bounded no matter how
+// long the run is. Consumers either Snapshot() (non-destructive, offline SPG
+// builds) or Drain() (destructive, the online SpgMonitor's feed).
 #ifndef SRC_RUNTIME_TRACE_H_
 #define SRC_RUNTIME_TRACE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,27 +33,83 @@ struct WaitRecord {
   std::vector<std::string> peers;  // remote nodes the wait depended on
   uint64_t wait_us = 0;
   bool timed_out = false;
+  // Monotonic time the wait ended (0 for hand-built records) — the window
+  // key of the online monitor and the span end of the Chrome trace export.
+  uint64_t end_us = 0;
+  // A quorum leg: the completion of ONE child of a quorum wait, emitted when
+  // the child fires. The quorum never waits on an individual leg, so these
+  // are not wait points (Spg::Build skips them) — but they are the only
+  // per-peer latency signal that survives quorum masking, which is exactly
+  // what the SlownessDetector needs to name the slow replica.
+  bool quorum_leg = false;
+  // Outcome: false for error/timeout/drop completions (negative votes).
+  bool ok = true;
 };
 
 class Tracer {
  public:
+  static constexpr size_t kDefaultShardCapacity = 1 << 16;
+
   static Tracer& Instance();
 
-  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Enable() {
+    // A new epoch resets per-thread sampling counters (Event::RecordWait), so
+    // capture is deterministic from the first record of every Enable() cycle.
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+  }
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint32_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
+  // Appends to the calling thread's shard; drops (and counts) if full.
   void Record(WaitRecord r);
+
+  // Copy of every retained record across shards (per-shard order preserved;
+  // shards concatenated in registration order).
   std::vector<WaitRecord> Snapshot() const;
+  // Moves records out of every shard, freeing their capacity.
+  std::vector<WaitRecord> Drain();
+
+  // Records currently retained across shards.
   size_t Count() const;
+  // Records dropped on full shards since the last Clear().
+  uint64_t n_dropped() const;
+  // Records accepted since the last Clear().
+  uint64_t n_recorded() const;
+
   void Clear();
 
+  // Capacity for shards (applies to existing shards immediately; a shard
+  // holding more than the new capacity keeps its excess until drained).
+  void SetShardCapacity(size_t capacity);
+  size_t shard_capacity() const { return shard_capacity_.load(std::memory_order_relaxed); }
+  size_t shard_count() const;
+
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<WaitRecord> buf;
+    uint64_t dropped = 0;
+    uint64_t accepted = 0;
+    bool in_use = false;  // bound to a live thread (guarded by registry_mu_)
+  };
+
   Tracer() = default;
 
+  Shard* ShardForThisThread();
+  void ReleaseShard(Shard* shard);
+
+  friend struct TracerTlsHandle;
+
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<WaitRecord> records_;
+  std::atomic<uint32_t> epoch_{0};
+  std::atomic<size_t> shard_capacity_{kDefaultShardCapacity};
+  mutable std::mutex registry_mu_;
+  // Shards are never deallocated (thread-local fast paths hold raw pointers);
+  // shards of exited threads are recycled for new threads, so the count is
+  // bounded by the peak number of concurrently-recording threads.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 struct SpgEdge {
@@ -78,6 +143,12 @@ class Spg {
  private:
   std::vector<SpgEdge> edges_;
 };
+
+// Chrome trace-event JSON ("catapult" format, load via chrome://tracing or
+// https://ui.perfetto.dev) of the given wait spans: one complete event per
+// record, one row (pid) per node. Records without an end timestamp are
+// skipped; if more than `max_spans` qualify, the set is stride-sampled.
+std::string ChromeTraceJson(const std::vector<WaitRecord>& records, size_t max_spans = 20000);
 
 }  // namespace depfast
 

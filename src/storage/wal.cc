@@ -51,6 +51,11 @@ Wal::~Wal() {
 
 std::shared_ptr<IntEvent> Wal::Append(const Marshal& record) {
   auto done = std::make_shared<IntEvent>();
+  done->set_trace_kind("disk");
+  // Self peer: waits on local durability become self-edges for the online
+  // detector (root-cause = this node's disk). Spg::Build skips self peers,
+  // so the offline graph keeps the no-server-red-edges invariant.
+  done->set_trace_peer(done->reactor()->name());
   if (state_->stop) {
     done->Fail();  // nothing will ever flush this record
     return done;
@@ -94,6 +99,8 @@ void Wal::FlusherLoop(const std::shared_ptr<State>& state) {
       state->pending.pop_front();
     }
     auto flushed = std::make_shared<IntEvent>();
+    flushed->set_trace_kind("disk");
+    flushed->set_trace_peer(flushed->reactor()->name());
     state->disk->AsyncWrite(batch_bytes, flushed);
     flushed->Wait();
     if (state->stop) {

@@ -121,5 +121,75 @@ TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {
 INSTANTIATE_TEST_SUITE_P(Scales, HistogramAccuracyTest,
                          ::testing::Values(100, 1000, 10000, 1000000, 50000000));
 
+// Bucket-boundary edge cases at powers of two, where the log-bucketed layout
+// switches group (and doubles its sub-bucket width). A single recorded value
+// must be reported exactly at every percentile — Percentile returns the
+// bucket upper bound clamped to max, and both bound the value from above.
+TEST(HistogramTest, PercentileExactAtPowerOfTwoBoundaries) {
+  for (uint64_t v : {uint64_t{63}, uint64_t{64}, uint64_t{65}, uint64_t{127},
+                     uint64_t{128}, uint64_t{129}, uint64_t{1023}, uint64_t{1024},
+                     uint64_t{1} << 20, (uint64_t{1} << 20) + 1}) {
+    Histogram h;
+    h.Record(v);
+    for (double p : {0.0, 50.0, 99.0, 100.0}) {
+      EXPECT_EQ(h.Percentile(p), v) << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+TEST(HistogramTest, ValuesBelowSubCountAreExact) {
+  // Group 0 is linear with width-1 buckets: no approximation below 64.
+  Histogram h;
+  for (uint64_t v = 0; v < 64; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(100), 63u);
+  EXPECT_EQ(h.min(), 0u);
+  // The p-th percentile lands on an exact integer (bucket upper == value).
+  EXPECT_EQ(h.Percentile(50), 31u);
+}
+
+TEST(HistogramTest, SameBucketNeighborsReportUpperBound) {
+  // 128 and 129 share one width-2 bucket in group 2: the histogram reports
+  // the bucket's upper bound (129) for both — the documented <=1/64 relative
+  // error, never an underestimate of the true percentile by more than that.
+  Histogram h;
+  h.Record(128);
+  h.Record(129);
+  EXPECT_EQ(h.Percentile(50), 129u);
+  EXPECT_EQ(h.Percentile(100), 129u);
+  EXPECT_EQ(h.min(), 128u);
+  EXPECT_EQ(h.max(), 129u);
+}
+
+TEST(HistogramTest, MergeDisjointRanges) {
+  // Per-label aggregation merges histograms whose ranges don't overlap
+  // (e.g. a fast node and a fail-slow node): counts add bucket-wise and the
+  // percentiles of the merged distribution straddle the gap.
+  Histogram fast;
+  Histogram slow;
+  for (int i = 0; i < 1000; i++) {
+    fast.Record(100 + static_cast<uint64_t>(i) % 100);        // [100, 200)
+    slow.Record(1000000 + static_cast<uint64_t>(i) * 1000);   // [1e6, 2e6)
+  }
+  Histogram merged = fast;
+  merged.Merge(slow);
+  EXPECT_EQ(merged.count(), 2000u);
+  EXPECT_EQ(merged.sum(), fast.sum() + slow.sum());
+  EXPECT_EQ(merged.min(), 100u);
+  EXPECT_EQ(merged.max(), slow.max());
+  // Half the mass is below 200: p50 sits at the top of the fast range, p99
+  // deep in the slow range (within the 1/64 bucket error).
+  EXPECT_LE(merged.Percentile(50), 205u);
+  EXPECT_GE(merged.Percentile(99), 1900000u);
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  uint64_t p99_before = merged.Percentile(99);
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), 2000u);
+  EXPECT_EQ(merged.Percentile(99), p99_before);
+  EXPECT_EQ(merged.min(), 100u);
+}
+
 }  // namespace
 }  // namespace depfast

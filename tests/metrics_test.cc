@@ -1,0 +1,100 @@
+// Unit tests for the unified metrics registry and its exposition formats.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/metrics.h"
+
+namespace depfast {
+namespace {
+
+TEST(MetricsTest, CounterFindOrCreateReturnsStableHandle) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("ops_total", {{"node", "s1"}});
+  Counter* b = reg.GetCounter("ops_total", {{"node", "s1"}});
+  EXPECT_EQ(a, b);
+  Counter* other = reg.GetCounter("ops_total", {{"node", "s2"}});
+  EXPECT_NE(a, other);
+  a->Inc();
+  a->Inc(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_EQ(other->value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("queue_bytes");
+  g->Set(100);
+  g->Add(-30);
+  EXPECT_EQ(g->value(), 70);
+}
+
+TEST(MetricsTest, HistogramMetricRecordsAndMerges) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("wait_us", {{"kind", "rpc"}});
+  h->Record(100);
+  h->Record(200);
+  Histogram other;
+  other.Record(400);
+  h->MergeFrom(other);
+  Histogram snap = h->Get();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_EQ(snap.sum(), 700u);
+}
+
+TEST(MetricsTest, RenderTextPrometheusFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("raft_commits_total", {{"node", "s1"}})->Inc(7);
+  reg.GetCounter("raft_commits_total", {{"node", "s2"}})->Inc(9);
+  reg.GetGauge("trace_shards")->Set(4);
+  reg.GetHistogram("wait_us", {{"node", "s1"}})->Record(50);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("# TYPE raft_commits_total counter"), std::string::npos);
+  EXPECT_NE(text.find("raft_commits_total{node=\"s1\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("raft_commits_total{node=\"s2\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trace_shards gauge"), std::string::npos);
+  EXPECT_NE(text.find("trace_shards 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wait_us summary"), std::string::npos);
+  EXPECT_NE(text.find("wait_us{node=\"s1\",quantile=\"0.99\"} 50"), std::string::npos);
+  EXPECT_NE(text.find("wait_us_sum{node=\"s1\"} 50"), std::string::npos);
+  EXPECT_NE(text.find("wait_us_count{node=\"s1\"} 1"), std::string::npos);
+  // One TYPE line per metric name, not per series.
+  size_t first = text.find("# TYPE raft_commits_total");
+  size_t second = text.find("# TYPE raft_commits_total", first + 1);
+  EXPECT_EQ(second, std::string::npos);
+}
+
+TEST(MetricsTest, RenderJsonFlatSnapshot) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops_total", {{"node", "s1"}})->Inc(3);
+  reg.GetGauge("depth")->Set(-2);
+  reg.GetHistogram("lat_us")->Record(10);
+  std::string json = reg.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"ops_total{node=\\\"s1\\\"}\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us_p99\":10"), std::string::npos);
+}
+
+TEST(MetricsTest, ClearDropsEverything) {
+  MetricsRegistry reg;
+  reg.GetCounter("a")->Inc();
+  reg.Clear();
+  EXPECT_EQ(reg.RenderText(), "");
+  // Re-created after Clear starts at zero.
+  EXPECT_EQ(reg.GetCounter("a")->value(), 0u);
+}
+
+TEST(MetricsTest, LabelOrderIsCanonical) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  Counter* b = reg.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b);  // std::map labels sort keys, so insertion order is moot
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("x{a=\"1\",b=\"2\"}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -1,0 +1,187 @@
+// Observability over real sockets: a TCP-mode cluster under a slow-drain
+// follower must (a) show the paper's SPG structure — a red single-wait edge
+// from the leader to the slow follower (the catch-up path), green quorum
+// edges everywhere else — and (b) have the online monitor name the faulty
+// node and resource class within three windows, with a paired no-fault run
+// producing zero verdicts. The fault runs also emit the scrape/trace
+// artifacts CI uploads (Prometheus text + Chrome trace JSON).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+#include "src/runtime/trace.h"
+#include "src/workload/driver.h"
+
+namespace depfast {
+namespace {
+
+RaftClusterOptions TcpOptions() {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;
+  opts.transport_kind = ClusterTransport::kTcp;
+  opts.raft.send_queue_cap_bytes = 256 * 1024;
+  opts.raft.batch_window_us = 200;
+  // Tiny modeled costs: these tests exercise the real-socket path.
+  opts.raft.leader_cmd_cost_us = 1;
+  opts.raft.leader_propose_cost_us = 1;
+  opts.raft.follower_append_cost_us = 1;
+  opts.raft.apply_cost_us = 1;
+  opts.disk.base_latency_us = 20;
+  return opts;
+}
+
+SpgMonitorOptions MonitorOptions() {
+  SpgMonitorOptions m;
+  m.window_us = 300000;
+  m.min_baseline_windows = 2;
+  // The slow-drain fault manifests as failed completions (drops at the
+  // bounded queue, catch-up timeouts), so the failure-fraction rule carries
+  // detection; the latency floor keeps loopback jitter out of the picture.
+  m.min_latency_us = 5000;
+  m.latency_strikes = 2;
+  return m;
+}
+
+DriverConfig Load(uint64_t measure_us) {
+  DriverConfig d;
+  d.n_client_threads = 1;
+  d.coroutines_per_client = 16;
+  d.warmup_us = 100000;
+  d.measure_us = measure_us;
+  return d;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  f << content;
+  return static_cast<bool>(f);
+}
+
+TEST(ObservabilityTcpTest, SpgShowsRedEdgeToSlowDrainFollower) {
+  RaftClusterOptions opts = TcpOptions();
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader());
+  ASSERT_EQ(cluster.LeaderIndex(), 0);
+
+  Tracer::Instance().Clear();
+  Tracer::Instance().Enable();
+  // Follower s3's link drains at 64 KiB/s: replication traffic over the
+  // bounded queue is dropped, the follower lags, and the leader's catch-up
+  // coroutine starts waiting on s3 DIRECTLY (non-exempt, non-discardable) —
+  // the one place a server legitimately single-waits on a server.
+  cluster.InjectFault(2, FaultType::kNetworkSlow);
+  BenchResult faulted = RunDriver(cluster, Load(2000000));
+  cluster.ClearFault(2);
+  auto records = Tracer::Instance().Snapshot();
+  Tracer::Instance().Disable();
+  Tracer::Instance().Clear();
+  ASSERT_GT(faulted.n_ops, 0u);
+  ASSERT_FALSE(records.empty());
+
+  Spg spg = Spg::Build(records);
+  // Red edge: leader -> slow follower (catch-up), and only toward the slow
+  // follower — the healthy one stays behind quorum edges.
+  EXPECT_TRUE(spg.HasSingleWaitEdge("s1", "s3")) << spg.ToDot();
+  EXPECT_FALSE(spg.HasSingleWaitEdge("s1", "s2")) << spg.ToDot();
+  // Green structure: clients wait on the leader, the leader waits on quorums.
+  EXPECT_TRUE(spg.HasSingleWaitEdge("c1", "s1"));
+  EXPECT_FALSE(spg.QuorumEdges().empty());
+
+  // Chrome-trace artifact for CI (build/tests/observability_trace.json).
+  std::string json = ChromeTraceJson(records);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  ASSERT_TRUE(WriteFile("observability_trace.json", json));
+  cluster.Shutdown();
+}
+
+TEST(ObservabilityTcpTest, MonitorNamesSlowFollowerWithinThreeWindows) {
+  RaftClusterOptions opts = TcpOptions();
+  opts.enable_monitor = true;
+  opts.monitor = MonitorOptions();
+  opts.monitor_poll_us = 50000;
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader());
+
+  // Healthy baseline: several clean windows, zero verdicts (the
+  // no-false-positive bar of the acceptance criteria).
+  BenchResult base = RunDriver(cluster, Load(1500000));
+  ASSERT_GT(base.n_ops, 0u);
+  {
+    auto verdicts = cluster.Verdicts();
+    EXPECT_TRUE(verdicts.empty()) << verdicts[0].Summary();
+  }
+
+  uint64_t inject_us = MonotonicUs();
+  cluster.InjectFault(2, FaultType::kNetworkSlow);
+  BenchResult faulted = RunDriver(cluster, Load(1500000));
+  ASSERT_GT(faulted.n_ops, 0u);
+
+  // The detector must accuse s3 (network) using the per-peer quorum legs —
+  // client-visible latency barely moves, which is exactly the point.
+  bool found = false;
+  SlownessVerdict verdict;
+  uint64_t deadline = MonotonicUs() + 5000000;
+  while (MonotonicUs() < deadline && !found) {
+    for (const auto& v : cluster.Verdicts()) {
+      if (v.node == "s3") {
+        verdict = v;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  cluster.ClearFault(2);
+  ASSERT_TRUE(found) << "no verdict for s3; windows closed: "
+                     << cluster.MonitorWindowsClosed();
+  EXPECT_EQ(verdict.resource, "network") << verdict.Summary();
+  EXPECT_NE(std::find(verdict.victims.begin(), verdict.victims.end(), "s1"),
+            verdict.victims.end())
+      << verdict.Summary();
+  // Localization latency: the accusing window closed within 3 windows of
+  // the injection instant.
+  EXPECT_LE(verdict.window_end_us, inject_us + 3 * opts.monitor.window_us)
+      << verdict.Summary();
+
+  // Prometheus-text artifact for CI (build/tests/observability_metrics.prom).
+  cluster.ExportMetrics();
+  std::string prom = MetricsRegistry::Global().RenderText();
+  EXPECT_NE(prom.find("raft_ops_proposed_total{node=\"s1\"}"), std::string::npos);
+  EXPECT_NE(prom.find("transport_frames_sent_total"), std::string::npos);
+  EXPECT_NE(prom.find("spg_windows_closed_total"), std::string::npos);
+  EXPECT_NE(prom.find("spg_verdicts_total"), std::string::npos);
+  ASSERT_TRUE(WriteFile("observability_metrics.prom", prom));
+  cluster.Shutdown();
+}
+
+TEST(ObservabilityTcpTest, NoFaultRunProducesNoVerdicts) {
+  RaftClusterOptions opts = TcpOptions();
+  opts.enable_monitor = true;
+  opts.monitor = MonitorOptions();
+  opts.monitor_poll_us = 50000;
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader());
+  BenchResult r = RunDriver(cluster, Load(2000000));
+  ASSERT_GT(r.n_ops, 0u);
+  EXPECT_GE(cluster.MonitorWindowsClosed(), 3u);
+  auto verdicts = cluster.Verdicts();
+  EXPECT_TRUE(verdicts.empty()) << verdicts[0].Summary();
+  cluster.Shutdown();
+}
+
+}  // namespace
+}  // namespace depfast

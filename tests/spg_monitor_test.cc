@@ -1,0 +1,257 @@
+// Tests for the online fail-slow detector: synthetic window streams exercise
+// each detection rule in isolation, then a live sim-mode cluster run shows
+// the monitor localizing an injected disk fault to the right node and
+// resource class while a healthy baseline stays verdict-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+#include "src/runtime/spg_monitor.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+namespace {
+
+// Small synthetic windows: 1ms wide, low floors so microsecond-scale
+// latencies are judgeable, baselines warm after 3 clean windows.
+SpgMonitorOptions TestOpts() {
+  SpgMonitorOptions o;
+  o.window_us = 1000;
+  o.latency_threshold = 3.0;
+  o.min_latency_us = 300;
+  o.latency_strikes = 2;
+  o.min_edge_count = 5;
+  o.min_baseline_windows = 3;
+  return o;
+}
+
+// Emits `n` completions on edge src->dst of `kind` inside the window that
+// starts at t0 (records land at t0+1, t0+11, ...), the first `n_fail` of
+// them failed. Records are quorum legs: the per-peer signal the detector
+// feeds on (and the shape Spg::Build must exclude).
+std::vector<WaitRecord> EdgeWindow(const std::string& src, const std::string& dst,
+                                   const std::string& kind, uint64_t t0, int n,
+                                   uint64_t lat_us, int n_fail = 0) {
+  std::vector<WaitRecord> out;
+  for (int i = 0; i < n; i++) {
+    WaitRecord r;
+    r.node = src;
+    r.kind = kind;
+    r.peers.push_back(dst);
+    r.wait_us = lat_us;
+    r.end_us = t0 + static_cast<uint64_t>(i) * 10 + 1;
+    r.quorum_leg = true;
+    r.ok = i >= n_fail;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// The first record anchors window 0 at t=1, so window k closes once
+// AdvanceTo sees k*1000 + 1001.
+uint64_t CloseOf(uint64_t k) { return k * 1000 + 1001; }
+
+TEST(SpgMonitorTest, SteadyTrafficProducesNoVerdicts) {
+  SpgMonitor m(TestOpts());
+  for (uint64_t w = 0; w < 6; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 100));
+    EXPECT_TRUE(m.AdvanceTo(CloseOf(w)).empty()) << "window " << w;
+  }
+  EXPECT_EQ(m.windows_closed(), 6u);
+}
+
+TEST(SpgMonitorTest, LatencyRuleFiresAfterStrikes) {
+  SpgMonitor m(TestOpts());
+  // 4 clean windows bank a ~100us baseline.
+  for (uint64_t w = 0; w < 4; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 100));
+    ASSERT_TRUE(m.AdvanceTo(CloseOf(w)).empty());
+  }
+  // First slow window: strike one, no verdict yet (one bad window is noise).
+  m.Ingest(EdgeWindow("s1", "s2", "rpc", 4000, 10, 2000));
+  EXPECT_TRUE(m.AdvanceTo(CloseOf(4)).empty());
+  // Second consecutive slow window: verdict naming dst as the slow node.
+  m.Ingest(EdgeWindow("s1", "s2", "rpc", 5000, 10, 2000));
+  auto verdicts = m.AdvanceTo(CloseOf(5));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].node, "s2");
+  EXPECT_EQ(verdicts[0].resource, "network");
+  ASSERT_EQ(verdicts[0].victims.size(), 1u);
+  EXPECT_EQ(verdicts[0].victims[0], "s1");
+  EXPECT_GE(verdicts[0].severity, 3.0);  // 2000us vs 100us baseline
+  EXPECT_EQ(verdicts[0].window_end_us, 6001u);
+  EXPECT_NE(verdicts[0].Summary().find("node=s2"), std::string::npos);
+}
+
+TEST(SpgMonitorTest, SlowWindowsDoNotPoisonTheBaseline) {
+  // The slow windows must be EXCLUDED from the rolling baseline — otherwise
+  // a sustained fault would normalize itself away after a few windows.
+  SpgMonitor m(TestOpts());
+  for (uint64_t w = 0; w < 4; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 100));
+    ASSERT_TRUE(m.AdvanceTo(CloseOf(w)).empty());
+  }
+  int verdict_windows = 0;
+  for (uint64_t w = 4; w < 10; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 2000));
+    if (!m.AdvanceTo(CloseOf(w)).empty()) {
+      verdict_windows++;
+    }
+  }
+  // Strike window 4 is silent; every later slow window keeps accusing.
+  EXPECT_EQ(verdict_windows, 5);
+}
+
+TEST(SpgMonitorTest, FailureFractionFiresImmediately) {
+  SpgMonitor m(TestOpts());
+  for (uint64_t w = 0; w < 4; w++) {
+    m.Ingest(EdgeWindow("s1", "s3", "rpc", w * 1000, 10, 100));
+    ASSERT_TRUE(m.AdvanceTo(CloseOf(w)).empty());
+  }
+  // A throttled peer kills discardable RPCs FAST (drops, not slow waits):
+  // latency stays tiny but 8/10 completions fail. One window suffices.
+  m.Ingest(EdgeWindow("s1", "s3", "rpc", 4000, 10, 50, /*n_fail=*/8));
+  auto verdicts = m.AdvanceTo(CloseOf(4));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].node, "s3");
+  EXPECT_EQ(verdicts[0].resource, "network");
+  EXPECT_NE(verdicts[0].reason.find("fail_frac"), std::string::npos);
+}
+
+TEST(SpgMonitorTest, SelfEdgeWinsResourceClassification) {
+  // s2's disk turns slow: s2's own WAL waits (self edge, kind disk) AND the
+  // replication legs s1 waits on (kind rpc) both trip. The verdict must name
+  // the root cause (disk), not the network symptom, and list s1 as victim.
+  SpgMonitor m(TestOpts());
+  for (uint64_t w = 0; w < 4; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 200));
+    m.Ingest(EdgeWindow("s2", "s2", "disk", w * 1000, 10, 80));
+    ASSERT_TRUE(m.AdvanceTo(CloseOf(w)).empty());
+  }
+  std::vector<SlownessVerdict> verdicts;
+  for (uint64_t w = 4; w < 6; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 2500));
+    m.Ingest(EdgeWindow("s2", "s2", "disk", w * 1000, 10, 1800));
+    auto found = m.AdvanceTo(CloseOf(w));
+    verdicts.insert(verdicts.end(), found.begin(), found.end());
+  }
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].node, "s2");
+  EXPECT_EQ(verdicts[0].resource, "disk");
+  ASSERT_EQ(verdicts[0].victims.size(), 1u);
+  EXPECT_EQ(verdicts[0].victims[0], "s1");
+}
+
+TEST(SpgMonitorTest, SparseEdgesAreNotJudged) {
+  SpgMonitor m(TestOpts());
+  for (uint64_t w = 0; w < 4; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 100));
+    ASSERT_TRUE(m.AdvanceTo(CloseOf(w)).empty());
+  }
+  // 3 completions < min_edge_count: too few samples, even if all are awful.
+  for (uint64_t w = 4; w < 8; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 3, 50000));
+    EXPECT_TRUE(m.AdvanceTo(CloseOf(w)).empty()) << "window " << w;
+  }
+}
+
+TEST(SpgMonitorTest, ColdEdgesAreNotJudged) {
+  // Slow from the very first window: with no clean baseline there is nothing
+  // to compare against, so the monitor stays silent instead of guessing.
+  SpgMonitor m(TestOpts());
+  for (uint64_t w = 0; w < 2; w++) {
+    m.Ingest(EdgeWindow("s1", "s2", "rpc", w * 1000, 10, 40000));
+    EXPECT_TRUE(m.AdvanceTo(CloseOf(w)).empty()) << "window " << w;
+  }
+}
+
+TEST(SpgMonitorTest, LastWindowSpgExcludesQuorumLegs) {
+  SpgMonitor m(TestOpts());
+  m.Ingest(EdgeWindow("s1", "s2", "rpc", 0, 10, 100));  // legs only
+  WaitRecord direct{"c1", "rpc", 0, 0, {"s1"}, 120, false};
+  direct.end_us = 500;
+  m.Ingest(std::vector<WaitRecord>{direct});
+  m.AdvanceTo(CloseOf(0));
+  const Spg& spg = m.LastWindowSpg();
+  EXPECT_TRUE(spg.HasSingleWaitEdge("c1", "s1"));
+  EXPECT_FALSE(spg.HasSingleWaitEdge("s1", "s2"));  // legs never become edges
+}
+
+// Live localization: a 3-node sim cluster under client load, monitor on.
+// After a healthy baseline (zero verdicts — the no-false-positive bar), one
+// follower's disk turns fail-slow; the monitor must accuse that node with
+// resource class "disk" while the leader masks the fault from clients.
+TEST(SpgMonitorClusterTest, LocalizesInjectedDiskFault) {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;
+  opts.enable_monitor = true;
+  opts.monitor.window_us = 250000;
+  opts.monitor.min_latency_us = 1000;  // floor above healthy sim waits
+  opts.monitor.latency_threshold = 3.0;
+  opts.monitor.latency_strikes = 2;
+  opts.monitor.min_baseline_windows = 2;
+  opts.monitor_poll_us = 50000;
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader());
+  ASSERT_EQ(cluster.LeaderIndex(), 0);
+
+  auto client = cluster.MakeClient("c1");
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> n_ops{0};
+  RaftClient* session = client->session.get();
+  client->thread->reactor()->Post([&, session]() {
+    Coroutine::Create([&, session]() {
+      int i = 0;
+      while (!stop.load()) {
+        session->Put("k" + std::to_string(i % 64), "v");
+        n_ops++;
+        i++;
+      }
+      done = true;
+    });
+  });
+
+  // Healthy baseline: enough load for several clean windows.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  EXPECT_GT(n_ops.load(), 0u);
+  EXPECT_TRUE(cluster.Verdicts().empty()) << cluster.Verdicts()[0].Summary();
+
+  // Follower s2's disk turns fail-slow (Table 1: 5% of healthy bandwidth).
+  cluster.InjectFault(1, FaultType::kDiskSlow);
+  bool found = false;
+  SlownessVerdict verdict;
+  uint64_t deadline = MonotonicUs() + 8000000;
+  while (MonotonicUs() < deadline && !found) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    for (const auto& v : cluster.Verdicts()) {
+      if (v.node == "s2") {
+        verdict = v;
+        found = true;
+        break;
+      }
+    }
+  }
+  stop = true;
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(found) << "monitor never accused s2; windows closed: "
+                     << cluster.MonitorWindowsClosed();
+  EXPECT_EQ(verdict.resource, "disk") << verdict.Summary();
+  EXPECT_GE(verdict.severity, 1.0);
+  // Fault localization used the per-peer legs, not client-visible latency:
+  // the accused node is a follower the quorum masks.
+  EXPECT_NE(verdict.node, "s1");
+  cluster.Shutdown();
+}
+
+}  // namespace
+}  // namespace depfast

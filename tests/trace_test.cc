@@ -62,13 +62,30 @@ TEST_F(TraceTest, QuorumWaitRecordsAllPeers) {
   });
   reactor_->RunUntilIdle();
   auto records = Tracer::Instance().Snapshot();
-  // Child waits are not recorded (nobody waited on them directly); the
-  // quorum wait is, with both peers.
-  ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].kind, "quorum");
-  EXPECT_EQ(records[0].quorum_k, 2);
-  EXPECT_EQ(records[0].quorum_n, 3);
-  EXPECT_EQ(records[0].peers.size(), 2u);
+  // Nobody waited on the children directly, so they produce no wait records —
+  // but each firing child emits a quorum LEG record (the per-peer completion
+  // latency that survives quorum masking); the quorum wait itself is recorded
+  // with both peers.
+  ASSERT_EQ(records.size(), 3u);
+  std::vector<const WaitRecord*> legs;
+  const WaitRecord* quorum = nullptr;
+  for (const auto& r : records) {
+    if (r.quorum_leg) {
+      legs.push_back(&r);
+    } else {
+      quorum = &r;
+    }
+  }
+  ASSERT_EQ(legs.size(), 2u);
+  EXPECT_EQ(legs[0]->peers.size(), 1u);
+  EXPECT_TRUE(legs[0]->ok);
+  EXPECT_GT(legs[0]->end_us, 0u);
+  ASSERT_NE(quorum, nullptr);
+  EXPECT_EQ(quorum->kind, "quorum");
+  EXPECT_EQ(quorum->quorum_k, 2);
+  EXPECT_EQ(quorum->quorum_n, 3);
+  EXPECT_EQ(quorum->peers.size(), 2u);
+  EXPECT_TRUE(quorum->ok);
 }
 
 TEST_F(TraceTest, SpgClassifiesEdges) {
@@ -120,6 +137,96 @@ TEST_F(TraceTest, TimedOutWaitMarked) {
   auto records = Tracer::Instance().Snapshot();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_TRUE(records[0].timed_out);
+  EXPECT_FALSE(records[0].ok);
+}
+
+TEST_F(TraceTest, SpgSkipsQuorumLegRecords) {
+  std::vector<WaitRecord> records;
+  records.push_back(WaitRecord{"s1", "quorum", 2, 3, {"s2", "s3"}, 300, false});
+  // Leg records must never become red edges — they are completions of quorum
+  // sub-waits, not wait points (the paper's no-server-red-edges invariant).
+  WaitRecord leg{"s1", "rpc", 0, 0, {"s2"}, 900, false};
+  leg.end_us = 1000;
+  leg.quorum_leg = true;
+  records.push_back(leg);
+  Spg spg = Spg::Build(records);
+  EXPECT_FALSE(spg.HasSingleWaitEdge("s1", "s2"));
+  EXPECT_EQ(spg.SingleWaitEdges().size(), 0u);
+  EXPECT_EQ(spg.QuorumEdges().size(), 2u);
+}
+
+TEST_F(TraceTest, ShardCapacityBoundsMemoryAndCountsDrops) {
+  Tracer::Instance().SetShardCapacity(8);
+  for (int i = 0; i < 20; i++) {
+    WaitRecord r;
+    r.node = "s1";
+    r.kind = "int";
+    r.wait_us = static_cast<uint64_t>(i);
+    r.end_us = 1;
+    Tracer::Instance().Record(std::move(r));
+  }
+  EXPECT_EQ(Tracer::Instance().Count(), 8u);
+  EXPECT_EQ(Tracer::Instance().n_dropped(), 12u);
+  EXPECT_EQ(Tracer::Instance().n_recorded(), 8u);
+  Tracer::Instance().SetShardCapacity(Tracer::kDefaultShardCapacity);
+}
+
+TEST_F(TraceTest, DrainMovesRecordsOut) {
+  for (int i = 0; i < 5; i++) {
+    WaitRecord r;
+    r.node = "s1";
+    r.kind = "int";
+    r.end_us = 1;
+    Tracer::Instance().Record(std::move(r));
+  }
+  auto first = Tracer::Instance().Drain();
+  EXPECT_EQ(first.size(), 5u);
+  EXPECT_EQ(Tracer::Instance().Count(), 0u);
+  EXPECT_EQ(Tracer::Instance().Drain().size(), 0u);
+  // Drained space is reusable: the capacity bound applies to retained
+  // records, not lifetime records.
+  Tracer::Instance().SetShardCapacity(4);
+  for (int i = 0; i < 4; i++) {
+    WaitRecord r;
+    r.node = "s1";
+    r.end_us = 1;
+    Tracer::Instance().Record(std::move(r));
+  }
+  EXPECT_EQ(Tracer::Instance().n_dropped(), 0u);
+  EXPECT_EQ(Tracer::Instance().Drain().size(), 4u);
+  Tracer::Instance().SetShardCapacity(Tracer::kDefaultShardCapacity);
+}
+
+TEST_F(TraceTest, TraceKindOverridesEventKind) {
+  auto ev = std::make_shared<IntEvent>();
+  ev->set_trace_kind("disk");
+  ev->set_trace_peer("s1");
+  Coroutine::Create([&]() { ev->Wait(); });
+  Coroutine::Create([&]() { ev->Set(1); });
+  reactor_->RunUntilIdle();
+  auto records = Tracer::Instance().Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, "disk");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRendersSpans) {
+  std::vector<WaitRecord> records;
+  WaitRecord r1{"s1", "rpc", 0, 0, {"s2"}, 100, false};
+  r1.end_us = 500;
+  records.push_back(r1);
+  WaitRecord r2{"s2", "disk", 0, 0, {"s2"}, 40, false};
+  r2.end_us = 600;
+  r2.quorum_leg = true;
+  records.push_back(r2);
+  WaitRecord no_end{"s3", "int", 0, 0, {}, 5, false};  // end_us 0: skipped
+  records.push_back(no_end);
+  std::string json = ChromeTraceJson(records);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rpc\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"leg\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":400"), std::string::npos);  // 500 - 100
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"int\""), std::string::npos);
 }
 
 }  // namespace
