@@ -10,7 +10,131 @@ Transport* RaftCluster::net() const {
                                : static_cast<Transport*>(tcp_transport_.get());
 }
 
+// Turns MitigationController actions into the cluster's concrete levers:
+//   Engage          shed cap on the transport toward the accused peer, every
+//                   other node demotes it in its replication bookkeeping,
+//                   and a self-accused leader is stepped down (with an
+//                   election triggered on a healthy peer).
+//   BeginProbation  lift shed + demotion so the peer gets one full-speed
+//                   trial (catch-up re-kicked by SetPeerMitigated(false)).
+//   Probe           echo RPC (term-0 Ping: no role side effects) from the
+//                   leader; clean = replied within probe_latency_ok_us AND,
+//                   when the prober leads, the peer's match index is within
+//                   probe_lag_entries of the log tail.
+//   Readmit         bookkeeping only — probation already lifted everything.
+// All methods run on the cluster's monitor thread (the controller dispatch
+// contract), so blocking RunOn posts are safe here.
+class RaftMitigationPolicy : public MitigationPolicy {
+ public:
+  RaftMitigationPolicy(RaftCluster* cluster, MitigationPolicyOptions opts)
+      : cluster_(cluster), opts_(opts) {}
+
+  void Engage(const std::string& peer, const std::string& reason) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    NodeId id = cluster_->opts_.first_node_id + static_cast<NodeId>(idx);
+    DF_LOG_INFO("mitigation policy: engage against %s (%s)", peer.c_str(), reason.c_str());
+    cluster_->net()->SetPeerShed(id, opts_.shed_cap_bytes);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      RaftNode* raft = cluster_->servers_[static_cast<size_t>(j)]->raft.get();
+      cluster_->RunOn(j, [raft, id]() { raft->SetPeerMitigated(id, true); });
+    }
+    if (opts_.demote_leader && !cluster_->opts_.pin_leader) {
+      RaftNode* accused = cluster_->servers_[static_cast<size_t>(idx)]->raft.get();
+      bool was_leader = false;
+      cluster_->RunOn(idx, [accused, &was_leader]() {
+        was_leader = accused->role() == RaftRole::kLeader;
+        accused->StepDownIfLeader();
+      });
+      if (was_leader) {
+        int healthy = idx == 0 ? 1 : 0;
+        RaftNode* raft = cluster_->servers_[static_cast<size_t>(healthy)]->raft.get();
+        cluster_->RunOn(healthy, [raft]() { raft->TriggerFailslowElection(); });
+      }
+    }
+  }
+
+  void BeginProbation(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    NodeId id = cluster_->opts_.first_node_id + static_cast<NodeId>(idx);
+    DF_LOG_INFO("mitigation policy: probation for %s", peer.c_str());
+    cluster_->net()->SetPeerShed(id, 0);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      RaftNode* raft = cluster_->servers_[static_cast<size_t>(j)]->raft.get();
+      cluster_->RunOn(j, [raft, id]() { raft->SetPeerMitigated(id, false); });
+    }
+  }
+
+  void Probe(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    MitigationController* ctl = cluster_->mitigation_.get();
+    if (idx < 0 || ctl == nullptr) {
+      return;
+    }
+    NodeId id = cluster_->opts_.first_node_id + static_cast<NodeId>(idx);
+    int prober = cluster_->LeaderIndex();
+    if (prober < 0 || prober == idx) {
+      prober = idx == 0 ? 1 : 0;
+    }
+    RaftServerHandle* ph = cluster_->servers_[static_cast<size_t>(prober)].get();
+    const uint64_t timeout = opts_.probe_timeout_us;
+    const uint64_t ok_lat = opts_.probe_latency_ok_us;
+    const uint64_t lag_ok = opts_.probe_lag_entries;
+    // RunOn returns once the coroutine is SPAWNED; the probe itself runs
+    // async on the prober's reactor and reports via OnProbeResult (which
+    // only queues — a reactor thread must never dispatch policy actions).
+    cluster_->RunOn(prober, [ph, ctl, id, peer, timeout, ok_lat, lag_ok]() {
+      Coroutine::Create([ph, ctl, id, peer, timeout, ok_lat, lag_ok]() {
+        uint64_t t0 = MonotonicUs();
+        PingArgs args;  // term 0: a pure echo, no term/role side effects
+        CallOpts copts;
+        copts.timeout_us = timeout;
+        auto ev = ph->rpc->Call(id, kMethodPing, args.Encode(), copts);
+        ev->set_trace_exempt(true);  // probes must not feed detection
+        ev->Wait();
+        uint64_t lat = MonotonicUs() - t0;
+        bool clean = !ev->failed() && lat <= ok_lat;
+        if (clean && ph->raft->role() == RaftRole::kLeader) {
+          clean = ph->raft->match_idx_of(id) + lag_ok >= ph->raft->last_log_idx();
+        }
+        ctl->OnProbeResult(peer, clean, MonotonicUs());
+      });
+    });
+  }
+
+  void Readmit(const std::string& peer) override {
+    DF_LOG_INFO("mitigation policy: %s re-admitted", peer.c_str());
+  }
+
+ private:
+  int IndexOf(const std::string& peer) const {
+    for (int i = 0; i < cluster_->n_nodes(); i++) {
+      if (cluster_->NodeName(i) == peer) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  RaftCluster* cluster_;
+  MitigationPolicyOptions opts_;
+};
+
 RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
+  if (opts_.enable_mitigation) {
+    opts_.enable_monitor = true;  // the loop is closed FROM verdicts
+  }
   if (opts_.transport_kind == ClusterTransport::kTcp) {
     TcpTransportOptions topts = opts_.tcp;
     if (topts.default_queue_cap_bytes == 0) {
@@ -79,6 +203,21 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
     });
   }
 
+  if (opts_.enable_mitigation) {
+    MitigationPolicyOptions popts = opts_.mitigation_policy;
+    if (popts.shed_cap_bytes == 0) {
+      popts.shed_cap_bytes = opts_.raft.send_queue_cap_bytes > 0
+                                 ? std::max<uint64_t>(opts_.raft.send_queue_cap_bytes / 4, 1)
+                                 : 64 * 1024;
+    }
+    mitigation_policy_impl_ = std::make_unique<RaftMitigationPolicy>(this, popts);
+    mitigation_ =
+        std::make_unique<MitigationController>(opts_.mitigation, mitigation_policy_impl_.get());
+    for (int i = 0; i < opts_.n_nodes; i++) {
+      mitigation_->SeedPeer(NodeName(i));
+    }
+  }
+
   if (opts_.enable_monitor) {
     // Discard records a previous tracer user left behind (same-process test
     // sequences): their old end_us stamps would re-anchor the monitor's
@@ -90,10 +229,23 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
       while (!monitor_stop_.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::microseconds(opts_.monitor_poll_us));
         auto records = Tracer::Instance().Drain();
-        std::lock_guard<std::mutex> lk(monitor_mu_);
-        monitor_->Ingest(std::move(records));
-        auto found = monitor_->AdvanceTo(MonotonicUs());
-        verdicts_.insert(verdicts_.end(), found.begin(), found.end());
+        std::vector<SlownessVerdict> found;
+        {
+          std::lock_guard<std::mutex> lk(monitor_mu_);
+          monitor_->Ingest(std::move(records));
+          found = monitor_->AdvanceTo(MonotonicUs());
+          verdicts_.insert(verdicts_.end(), found.begin(), found.end());
+        }
+        // Feed the controller OUTSIDE monitor_mu_: its policy callbacks
+        // block on RunOn posts, and holding the lock across those would
+        // stall every Verdicts()/ExportMetrics() caller meanwhile.
+        if (mitigation_ != nullptr) {
+          uint64_t now = MonotonicUs();
+          for (const auto& v : found) {
+            mitigation_->OnVerdict(v, now);
+          }
+          mitigation_->Tick(now);
+        }
       }
     });
   }
@@ -179,6 +331,10 @@ uint64_t RaftCluster::MonitorWindowsClosed() {
   return monitor_ != nullptr ? monitor_->windows_closed() : 0;
 }
 
+MitigationState RaftCluster::MitigationStateOf(int i) {
+  return mitigation_ != nullptr ? mitigation_->StateOf(NodeName(i)) : MitigationState::kHealthy;
+}
+
 void RaftCluster::ExportMetrics(MetricsRegistry* reg) {
   if (reg == nullptr) {
     reg = &MetricsRegistry::Global();
@@ -196,6 +352,7 @@ void RaftCluster::ExportMetrics(MetricsRegistry* reg) {
     reg->GetCounter("raft_snapshot_rounds_total", node)->Set(c.snapshot_rounds);
     reg->GetCounter("raft_snapshot_chunks_total", node)->Set(c.snapshot_chunks);
     reg->GetCounter("raft_snapshot_bytes_total", node)->Set(c.snapshot_bytes);
+    reg->GetCounter("raft_mitigated_skips_total", node)->Set(c.mitigated_skips);
     reg->GetHistogram("raft_batch_ops", node)->MergeFrom(c.batch_ops_histogram);
   }
   if (tcp_transport_ != nullptr) {
@@ -205,6 +362,7 @@ void RaftCluster::ExportMetrics(MetricsRegistry* reg) {
     reg->GetCounter("transport_writev_calls_total")->Set(t.writev_calls);
     reg->GetCounter("transport_drops_total")->Set(t.drops);
     reg->GetCounter("transport_backpressure_stalls_total")->Set(t.backpressure_stalls);
+    reg->GetCounter("transport_shed_drops_total")->Set(t.shed_drops);
   }
   Tracer& tracer = Tracer::Instance();
   reg->GetCounter("trace_records_total")->Set(tracer.n_recorded());

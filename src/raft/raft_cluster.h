@@ -20,9 +20,29 @@
 #include "src/raft/raft_node.h"
 #include "src/rpc/sim_transport.h"
 #include "src/rpc/tcp_transport.h"
+#include "src/runtime/mitigation.h"
 #include "src/runtime/spg_monitor.h"
 
 namespace depfast {
+
+// How the cluster turns MitigationController actions into Raft/transport
+// levers (the RaftMitigationPolicy in raft_cluster.cc).
+struct MitigationPolicyOptions {
+  // Resident-byte shed cap applied toward a mitigated peer
+  // (Transport::SetPeerShed). 0 = derive from raft.send_queue_cap_bytes / 4.
+  uint64_t shed_cap_bytes = 0;
+  // Probation probe: echo-RPC timeout, and the round-trip latency below
+  // which a probe counts as clean.
+  uint64_t probe_timeout_us = 100000;
+  uint64_t probe_latency_ok_us = 20000;
+  // A clean probe issued by the leader additionally requires the peer's
+  // match index within this many entries of the leader's log tail, so a
+  // peer is only re-admitted once its catch-up actually converged.
+  uint64_t probe_lag_entries = 512;
+  // Step a self-accused leader down and trigger an election on a healthy
+  // peer (skipped when the cluster pins its leader).
+  bool demote_leader = true;
+};
 
 // Which wire the cluster's nodes talk over: the modeled SimTransport
 // (default; link params + modeled faults) or real loopback TCP sockets
@@ -53,6 +73,13 @@ struct RaftClusterOptions {
   bool enable_monitor = false;
   SpgMonitorOptions monitor;
   uint64_t monitor_poll_us = 100000;
+  // Closed-loop mitigation: feed the monitor's verdicts into a
+  // MitigationController that demotes accused peers (transport shed +
+  // deprioritized replication + leader stepdown) and re-admits them after
+  // clean probation probes. Implies enable_monitor.
+  bool enable_mitigation = false;
+  MitigationOptions mitigation;
+  MitigationPolicyOptions mitigation_policy;
 };
 
 // One server node's bundle. Internals (raft, rpc, disk, cpu) live on the
@@ -115,6 +142,11 @@ class RaftCluster {
   // Windows the monitor has closed so far (0 when disabled).
   uint64_t MonitorWindowsClosed();
 
+  // The mitigation controller (enable_mitigation only; nullptr otherwise).
+  MitigationController* mitigation() { return mitigation_.get(); }
+  // Node i's mitigation state (kHealthy when mitigation is disabled).
+  MitigationState MitigationStateOf(int i);
+
   // Publishes per-node RaftCounters, transport counters and tracer stats
   // into `reg` (the global registry by default) under node= labels, so
   // RenderText()/RenderJson() expose the whole cluster in one scrape.
@@ -132,8 +164,14 @@ class RaftCluster {
   void Shutdown();
 
  private:
+  friend class RaftMitigationPolicy;
+
   // The Transport nodes and clients are wired through (whichever is set).
   Transport* net() const;
+  // Node name of index i ("s1".."sN" by default).
+  std::string NodeName(int i) const {
+    return opts_.name_prefix + std::to_string(opts_.first_node_id + static_cast<NodeId>(i));
+  }
 
   RaftClusterOptions opts_;
   std::unique_ptr<SimTransport> transport_;
@@ -148,6 +186,11 @@ class RaftCluster {
   std::atomic<bool> monitor_stop_{false};
   std::mutex monitor_mu_;  // guards monitor_ state + verdicts_ after start
   std::vector<SlownessVerdict> verdicts_;
+
+  // Closed-loop mitigation (enable_mitigation). Declared policy-first so the
+  // controller, which holds a raw policy pointer, is destroyed before it.
+  std::unique_ptr<MitigationPolicy> mitigation_policy_impl_;
+  std::unique_ptr<MitigationController> mitigation_;
 };
 
 }  // namespace depfast

@@ -220,6 +220,51 @@ void RaftNode::StepDown(uint64_t new_term) {
   leader_epoch_++;
 }
 
+void RaftNode::SetPeerMitigated(NodeId peer, bool mitigated) {
+  bool& cur = mitigated_peers_[peer];
+  if (cur == mitigated) {
+    return;
+  }
+  cur = mitigated;
+  DF_LOG_INFO("%s: peer n%u %s", env_.name.c_str(), peer,
+              mitigated ? "demoted (verdict-driven mitigation)" : "restored");
+  if (!mitigated && role_ == RaftRole::kLeader) {
+    // Probation lifted the demotion: feed the peer everything it missed at
+    // full speed, so a clean probe can also require it to be caught up.
+    EnsureCatchUp(peer);
+  }
+}
+
+void RaftNode::StepDownIfLeader() {
+  if (stopped_ || role_ != RaftRole::kLeader) {
+    return;
+  }
+  DF_LOG_INFO("%s: self-accused fail-slow leader -> stepping down", env_.name.c_str());
+  StepDown(term_);
+  // Restart the election grace period so the healthy peer's election lands
+  // before this node tries to retake leadership.
+  last_heartbeat_us_ = MonotonicUs();
+}
+
+void RaftNode::TriggerFailslowElection() {
+  if (stopped_ || failslow_election_inflight_ || role_ != RaftRole::kFollower) {
+    return;
+  }
+  failslow_election_inflight_ = true;
+  // Randomized delay: several followers may act on the same evidence (a slow
+  // broadcast, a shared verdict), so firing immediately would cause
+  // perpetual split votes.
+  uint64_t stagger = rng_.NextRange(0, config_.election_timeout_min_us / 2);
+  Coroutine::Create([this, stagger]() {
+    SleepUs(stagger);
+    if (!stopped_ && role_ == RaftRole::kFollower) {
+      RunElection();
+    }
+    failslow_leader_strikes_ = 0;
+    failslow_election_inflight_ = false;
+  });
+}
+
 void RaftNode::PersistMeta() {
   Marshal rec;
   rec << term_ << voted_for_;
@@ -315,21 +360,52 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
   }
 
   Marshal encoded = args.Encode();
+  // Mitigated (demoted) peers get a heartbeat-shaped frame instead of the
+  // entry payload: same prev/commit bookkeeping, zero entry bytes. Their
+  // entries arrive later via the paced catch-up path, so a fail-slow peer's
+  // link carries timers and commit indexes, not replication volume. Built
+  // lazily — fault-free rounds never pay for it.
+  Marshal hb_encoded;
+  bool hb_built = false;
   if (!heartbeat) {
     counters_.rounds++;
-    counters_.bytes_replicated += encoded.ContentSize() * peers_.size();
   }
   for (NodeId peer : peers_) {
+    const bool demoted = !heartbeat && IsPeerMitigated(peer);
+    if (demoted && !hb_built) {
+      AppendEntriesArgs hb;
+      hb.term = args.term;
+      hb.leader_id = args.leader_id;
+      hb.prev_idx = args.prev_idx;
+      hb.prev_term = args.prev_term;
+      hb.commit_idx = args.commit_idx;
+      hb.leader_lag_us = args.leader_lag_us;
+      hb_encoded = hb.Encode();
+      hb_built = true;
+    }
+    if (!heartbeat) {
+      if (demoted) {
+        counters_.mitigated_skips++;
+      } else {
+        counters_.bytes_replicated += encoded.ContentSize();
+      }
+    }
     CallOpts opts;
     opts.timeout_us = config_.rpc_timeout_us;
     opts.discardable = true;  // quorum-covered: droppable for slow links
     opts.judge = AppendReplyOk;
-    auto ev = rpc_->Call(peer, kMethodAppendEntries, encoded, opts);
+    auto ev = rpc_->Call(peer, kMethodAppendEntries, demoted ? hb_encoded : encoded, opts);
     ev->set_trace_exempt(true);  // only the quorum wait gates the protocol
+    if (IsPeerMitigated(peer)) {
+      // Sends toward a demoted peer fail BECAUSE of the shed cap; their leg
+      // records must not re-accuse the peer the mitigation already acted on.
+      // Probation restores the peer, and with it full leg visibility.
+      ev->set_trace_leg_exempt(true);
+    }
     q->AddChild(ev);
     // Straggler continuation: track match index, detect higher terms, and
     // kick catch-up — without any round ever waiting on this peer alone.
-    Coroutine::Create([this, ev, peer, to_idx, heartbeat, epoch]() {
+    Coroutine::Create([this, ev, peer, to_idx, heartbeat, demoted, epoch]() {
       ev->Wait();
       if (stopped_ || leader_epoch_ != epoch) {
         return;
@@ -345,10 +421,14 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
         return;
       }
       if (r.success) {
-        if (!heartbeat && to_idx > match_idx_[peer]) {
+        if (!heartbeat && !demoted && to_idx > match_idx_[peer]) {
           match_idx_[peer] = to_idx;
           next_idx_[peer] = to_idx + 1;
           AdvanceCommitFromMatches();
+        } else if (demoted && to_idx > match_idx_[peer]) {
+          // The empty frame was acked but carried no entries; the match
+          // index must NOT advance. Hand the gap to the paced catch-up.
+          EnsureCatchUp(peer);
         }
       } else {
         EnsureCatchUp(peer);
@@ -404,8 +484,17 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
   // fail-slow follower is fed at its own pace without unbounded buffering.
   while (!stopped_ && role_ == RaftRole::kLeader && leader_epoch_ == epoch &&
          match_idx_[peer] < log_.LastIndex()) {
+    // Re-read per iteration: the MitigationController may demote or restore
+    // the peer while this loop runs.
+    const bool mitigated = IsPeerMitigated(peer);
     uint64_t next = std::clamp<uint64_t>(next_idx_[peer], 1, log_.LastIndex() + 1);
     if (next <= log_.BaseIndex()) {
+      if (mitigated && config_.mitigated_defer_snapshot) {
+        // A multi-MB transfer to a fail-slow peer is the §2 pathology in a
+        // single RPC; hold the snapshot until probation restores the peer.
+        SleepUs(std::max<uint64_t>(config_.mitigated_catchup_pace_us, 1000));
+        continue;
+      }
       // The entries this follower needs were compacted away: ship the
       // snapshot instead, then continue with the log suffix.
       if (!SendSnapshot(peer, epoch)) {
@@ -416,7 +505,14 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     if (next > log_.LastIndex()) {
       break;
     }
-    uint64_t to = log_.ClampBatchEnd(next, config_.max_batch, EffectiveBatchBytes());
+    uint64_t batch_bytes = EffectiveBatchBytes();
+    if (mitigated) {
+      // Demoted peers recover in smaller, paced batches so their traffic
+      // cannot crowd the quorum path toward healthy peers.
+      batch_bytes = std::max<uint64_t>(
+          batch_bytes / std::max<uint64_t>(config_.mitigated_batch_divisor, 1), 1);
+    }
+    uint64_t to = log_.ClampBatchEnd(next, config_.max_batch, batch_bytes);
     AppendEntriesArgs args;
     args.term = term_;
     args.leader_id = env_.id;
@@ -431,6 +527,12 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     Marshal encoded = args.Encode();
     counters_.bytes_replicated += encoded.ContentSize();
     auto ev = rpc_->Call(peer, kMethodAppendEntries, std::move(encoded), opts);
+    if (mitigated) {
+      // Paced recovery traffic refused at the shed cap is mitigation-induced;
+      // recording those failures would keep the verdict stream (and thus the
+      // controller's quiet gate) pinned forever.
+      ev->set_trace_exempt(true);
+    }
     ev->Wait();
     if (stopped_ || leader_epoch_ != epoch) {
       break;
@@ -449,6 +551,9 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
       match_idx_[peer] = std::max(match_idx_[peer], to);
       next_idx_[peer] = match_idx_[peer] + 1;
       AdvanceCommitFromMatches();
+      if (mitigated && config_.mitigated_catchup_pace_us > 0) {
+        SleepUs(config_.mitigated_catchup_pace_us);
+      }
     } else {
       uint64_t backoff = std::min(next - 1, r.last_idx + 1);
       next_idx_[peer] = std::max<uint64_t>(backoff, 1);
@@ -585,7 +690,8 @@ void RaftNode::HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_
   last_heartbeat_us_ = MonotonicUs();
   leader_hint_ = args.leader_id;
 
-  if (config_.enable_failslow_leader_detection && role_ == RaftRole::kFollower) {
+  if (config_.enable_failslow_leader_detection && role_ == RaftRole::kFollower &&
+      !failslow_election_inflight_) {
     if (args.leader_lag_us > config_.failslow_leader_threshold_us) {
       failslow_leader_strikes_++;
       if (failslow_leader_strikes_ >= config_.failslow_leader_strikes) {
@@ -595,17 +701,7 @@ void RaftNode::HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_
         DF_LOG_INFO("%s: leader n%u reports lag %llums for %d heartbeats -> demoting",
                     env_.name.c_str(), args.leader_id,
                     (unsigned long long)(args.leader_lag_us / 1000), failslow_leader_strikes_);
-        failslow_leader_strikes_ = -1000;  // hold off while the election runs
-        // Randomized delay: both followers observe the same slow broadcast,
-        // so firing immediately would cause perpetual split votes.
-        uint64_t stagger = rng_.NextRange(0, config_.election_timeout_min_us / 2);
-        Coroutine::Create([this, stagger]() {
-          SleepUs(stagger);
-          if (!stopped_ && role_ == RaftRole::kFollower) {
-            RunElection();
-          }
-          failslow_leader_strikes_ = 0;
-        });
+        TriggerFailslowElection();
       }
     } else {
       failslow_leader_strikes_ = 0;

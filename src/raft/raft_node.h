@@ -57,6 +57,31 @@ class RaftNode {
   const KvStore& kv() const { return kv_; }
   const RaftLog& log() const { return log_; }
   uint64_t n_committed_cmds() const { return n_committed_cmds_; }
+  uint64_t match_idx_of(NodeId peer) const {
+    auto it = match_idx_.find(peer);
+    return it == match_idx_.end() ? 0 : it->second;
+  }
+
+  // ---- Verdict-driven mitigation hooks (reactor thread only) ----
+
+  // Marks `peer` demoted: replication rounds ship it heartbeat-shaped
+  // frames (no entry payload), catch-up batches shrink and pace themselves
+  // (mitigated_batch_divisor / mitigated_catchup_pace_us), and snapshot
+  // installs are deferred (mitigated_defer_snapshot). Quorums still count
+  // the peer's legs — commit safety is untouched; only the byte flow is.
+  void SetPeerMitigated(NodeId peer, bool mitigated);
+  bool IsPeerMitigated(NodeId peer) const {
+    auto it = mitigated_peers_.find(peer);
+    return it != mitigated_peers_.end() && it->second;
+  }
+  // Self-accused fail-slow leader: demote to follower without bumping the
+  // term so a healthy peer's election supersedes cleanly. No-op unless
+  // currently leader.
+  void StepDownIfLeader();
+  // Starts a staggered election on this (follower) node — the mitigation
+  // policy calls it on a HEALTHY peer after stepping the accused leader
+  // down. Shares the election-in-flight guard with the legacy probe path.
+  void TriggerFailslowElection();
 
   // Batching/amortization counters (proposal + replication side merged with
   // the WAL's append/flush tallies). Reactor thread only.
@@ -208,10 +233,18 @@ class RaftNode {
 
   RaftCounters counters_;
 
+  // Peers currently demoted by the MitigationController (reactor thread
+  // only, like all RaftNode state).
+  std::map<NodeId, bool> mitigated_peers_;
+
   bool started_ = false;
   bool stopped_ = false;
   uint64_t n_committed_cmds_ = 0;
   int failslow_leader_strikes_ = 0;  // consecutive over-threshold heartbeats seen
+  // A fail-slow-leader election (legacy probe or verdict-driven trigger) is
+  // staged/running; suppresses further strikes and duplicate triggers until
+  // it resolves.
+  bool failslow_election_inflight_ = false;
   // Self-monitoring for the §5 extension: EWMA of append->apply latency of
   // client commands (the user-visible health of this leader).
   double apply_latency_ewma_us_ = 0;

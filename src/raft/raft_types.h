@@ -69,8 +69,9 @@ struct AppendEntriesArgs {
   std::vector<LogEntry> entries;
   uint64_t commit_idx = 0;
   // Self-reported leader load (its CPU backlog): the §5 future-work signal.
-  // Followers use it to detect a fail-slow leader — one that still
-  // heartbeats, so plain Raft would never re-elect — and demote it.
+  // Feeds the LEGACY heartbeat-lag probe (enable_failslow_leader_detection);
+  // the verdict-driven mitigation path (RaftClusterOptions::enable_mitigation)
+  // does not use it — the SpgMonitor accuses the leader from trace evidence.
   uint64_t leader_lag_us = 0;
 
   Marshal Encode() const {
@@ -297,15 +298,38 @@ struct RaftConfig {
   // confirming leadership with a quorum ping round — no log entry appended.
   bool enable_read_index = true;
 
-  // §5 extension — fail-slow LEADER mitigation. A fail-slow leader slows the
-  // whole group by design (§2) and plain Raft never re-elects it because
-  // heartbeats keep flowing. When enabled, followers watch the leader's
-  // self-reported lag; after `failslow_leader_strikes` consecutive
-  // heartbeats above `failslow_leader_threshold_us`, a follower starts an
-  // election, demoting the slow leader to a (well-tolerated) slow follower.
+  // §5 extension — fail-slow LEADER mitigation, legacy probe path. A
+  // fail-slow leader slows the whole group by design (§2) and plain Raft
+  // never re-elects it because heartbeats keep flowing. When enabled,
+  // followers watch the leader's self-reported lag (leader_lag_us piggybacked
+  // on AppendEntries); after `failslow_leader_strikes` consecutive heartbeats
+  // above `failslow_leader_threshold_us`, a follower starts an election,
+  // demoting the slow leader to a (well-tolerated) slow follower.
+  //
+  // This heartbeat-lag probe is NOT the only mitigation any more: the
+  // verdict-driven closed loop (RaftClusterOptions::enable_mitigation, see
+  // src/runtime/mitigation.h) covers the same case from SpgMonitor trace
+  // evidence — a self-accused leader is stepped down and an election is
+  // triggered on a healthy follower — plus fail-slow FOLLOWERS: transport
+  // shed caps (Transport::SetPeerShed), demoted catch-up batching
+  // (mitigated_batch_divisor / mitigated_catchup_pace_us /
+  // mitigated_defer_snapshot) and probation probes. The legacy probe stays
+  // available behind this flag for comparison and for monitor-less runs.
   bool enable_failslow_leader_detection = false;
   uint64_t failslow_leader_threshold_us = 20000;
   int failslow_leader_strikes = 4;
+
+  // Verdict-driven mitigation knobs (used while the MitigationController has
+  // a peer demoted; see RaftClusterOptions::enable_mitigation). Catch-up
+  // batches toward a mitigated peer shrink by `mitigated_batch_divisor` and
+  // are paced by `mitigated_catchup_pace_us` between rounds, so the slow
+  // peer's recovery traffic cannot crowd out quorum traffic to healthy
+  // peers; snapshot installs are deferred while mitigated when
+  // `mitigated_defer_snapshot` is set (a multi-MB transfer to a fail-slow
+  // peer is the §2 pathology in one RPC).
+  uint64_t mitigated_batch_divisor = 4;
+  uint64_t mitigated_catchup_pace_us = 20000;
+  bool mitigated_defer_snapshot = true;
 };
 
 // Hot-path batching counters, surfaced through RaftNode::counters() and
@@ -324,6 +348,9 @@ struct RaftCounters {
   uint64_t snapshot_rounds = 0;
   uint64_t snapshot_chunks = 0;
   uint64_t snapshot_bytes = 0;    // snapshot payload bytes shipped
+  // Replication rounds where a mitigated peer got a heartbeat-shaped frame
+  // instead of the entry payload (verdict-driven demotion active).
+  uint64_t mitigated_skips = 0;
   Histogram batch_ops_histogram;  // ops per proposed entry
 };
 

@@ -33,6 +33,15 @@ void SimTransport::SetSendQueueCap(NodeId node, uint64_t cap_bytes) {
   queue_cap_[node] = cap_bytes;
 }
 
+void SimTransport::SetPeerShed(NodeId to, uint64_t cap_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cap_bytes == 0) {
+    shed_caps_.erase(to);
+  } else {
+    shed_caps_[to] = cap_bytes;
+  }
+}
+
 SimTransport::Link& SimTransport::GetLink(NodeId from, NodeId to) {
   auto key = std::make_pair(from, to);
   auto it = links_.find(key);
@@ -68,9 +77,21 @@ bool SimTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
     if (cap_it != queue_cap_.end()) {
       cap = cap_it->second;
     }
-    if (opts.discardable &&
+    // Mitigation shed toward a demoted destination: clamp the budget and
+    // make ALL overflow droppable, so even must-arrive traffic fails fast
+    // and its sender paces itself instead of buffering.
+    uint64_t shed = 0;
+    auto shed_it = shed_caps_.find(to);
+    if (shed_it != shed_caps_.end()) {
+      shed = shed_it->second;
+      cap = std::min(cap, shed);
+    }
+    if ((opts.discardable || shed > 0) &&
         link->queued_bytes.load(std::memory_order_relaxed) + size > cap) {
       link->dropped.fetch_add(1, std::memory_order_relaxed);
+      if (shed > 0 && !opts.discardable) {
+        n_shed_drops_.fetch_add(1, std::memory_order_relaxed);
+      }
       return false;
     }
 

@@ -44,6 +44,11 @@ class SimTransport : public Transport {
   // without bound. ~0 (default) = unbounded.
   void SetSendQueueCap(NodeId node, uint64_t cap_bytes);
 
+  // Mitigation shed: clamps every link INTO `to` to `cap_bytes` resident
+  // bytes and treats all overflow as droppable (non-discardable overflow is
+  // counted separately). 0 clears.
+  void SetPeerShed(NodeId to, uint64_t cap_bytes) override;
+
   // ---- Introspection ----
 
   // Bytes currently queued (sent, not yet delivered) from `from` to `to`.
@@ -53,6 +58,8 @@ class SimTransport : public Transport {
   uint64_t OutgoingBytes(NodeId node) const;
   uint64_t DroppedCount(NodeId from, NodeId to) const;
   uint64_t TotalDelivered() const { return n_delivered_.load(std::memory_order_relaxed); }
+  // Non-discardable messages refused by an active shed cap.
+  uint64_t ShedDropCount() const { return n_shed_drops_.load(std::memory_order_relaxed); }
 
  private:
   struct Endpoint {
@@ -74,8 +81,10 @@ class SimTransport : public Transport {
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
   std::map<NodeId, uint64_t> extra_delay_us_;
   std::map<NodeId, uint64_t> queue_cap_;
+  std::map<NodeId, uint64_t> shed_caps_;  // mitigation: per-DESTINATION clamp
   Rng rng_;
   std::atomic<uint64_t> n_delivered_{0};
+  std::atomic<uint64_t> n_shed_drops_{0};
 };
 
 }  // namespace depfast

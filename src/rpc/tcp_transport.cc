@@ -133,6 +133,15 @@ void TcpTransport::SetQueueCap(NodeId to, uint64_t cap_bytes) {
   queue_caps_[to] = cap_bytes;
 }
 
+void TcpTransport::SetPeerShed(NodeId to, uint64_t cap_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cap_bytes == 0) {
+    shed_caps_.erase(to);
+  } else {
+    shed_caps_[to] = cap_bytes;
+  }
+}
+
 void TcpTransport::SetPeerFault(NodeId to, const TcpFaultSpec& fault) {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -156,6 +165,7 @@ TransportCounters TcpTransport::counters() const {
   c.writev_calls = n_writev_calls_.load(std::memory_order_relaxed);
   c.drops = n_drops_.load(std::memory_order_relaxed);
   c.backpressure_stalls = n_backpressure_.load(std::memory_order_relaxed);
+  c.shed_drops = n_shed_drops_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -243,11 +253,21 @@ bool TcpTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
     }
     // Bounded outgoing buffer (§2.3): the cap counts RESIDENT bytes —
     // staged in send_queue_ plus pending in the connection's frame queue.
+    // An active mitigation shed toward `to` clamps the budget further and
+    // makes non-discardable overflow a refusal too (counted separately).
     uint64_t cap = CapFor(to);
+    uint64_t shed = 0;
+    auto shed_it = shed_caps_.find(to);
+    if (shed_it != shed_caps_.end()) {
+      shed = shed_it->second;
+      cap = cap == 0 ? shed : std::min(cap, shed);
+    }
     uint64_t resident = conn->queued_bytes.load(std::memory_order_relaxed);
     if (cap > 0 && resident + frame_size > cap) {
       if (opts.discardable) {
         n_drops_.fetch_add(1, std::memory_order_relaxed);
+      } else if (shed > 0 && resident + frame_size > shed) {
+        n_shed_drops_.fetch_add(1, std::memory_order_relaxed);
       } else {
         n_backpressure_.fetch_add(1, std::memory_order_relaxed);
       }

@@ -87,6 +87,11 @@ class TcpTransport : public Transport {
   // (0 = unbounded). The default comes from TcpTransportOptions.
   void SetQueueCap(NodeId to, uint64_t cap_bytes);
 
+  // Mitigation shed: clamps the resident budget toward `to` to `cap_bytes`
+  // on top of any queue cap, and refuses EVERY send over it (counted in
+  // counters().shed_drops for non-discardable traffic). 0 clears.
+  void SetPeerShed(NodeId to, uint64_t cap_bytes) override;
+
   // ---- Fault injection (thread-safe) ----
 
   void SetPeerFault(NodeId to, const TcpFaultSpec& fault);
@@ -148,6 +153,7 @@ class TcpTransport : public Transport {
   std::map<NodeId, std::shared_ptr<Conn>> out_conns_;    // sender->dest, guarded by mu_
   std::map<NodeId, TcpFaultSpec> peer_faults_;           // guarded by mu_
   std::map<NodeId, uint64_t> queue_caps_;                // guarded by mu_
+  std::map<NodeId, uint64_t> shed_caps_;                 // mitigation clamps, guarded by mu_
   std::vector<std::shared_ptr<Conn>> in_conns_;          // poller thread only
   std::deque<std::pair<std::shared_ptr<Conn>, std::vector<uint8_t>>> send_queue_;  // guarded
   std::atomic<bool> stop_{false};
@@ -159,6 +165,7 @@ class TcpTransport : public Transport {
   std::atomic<uint64_t> n_writev_calls_{0};
   std::atomic<uint64_t> n_drops_{0};
   std::atomic<uint64_t> n_backpressure_{0};
+  std::atomic<uint64_t> n_shed_drops_{0};
 
   std::thread poller_;
 };

@@ -38,6 +38,8 @@ struct TransportCounters {
   uint64_t backpressure_stalls = 0; // non-discardable messages refused over
                                     // cap (the sender's RpcEvent fails and
                                     // the caller paces itself)
+  uint64_t shed_drops = 0;          // non-discardable messages refused by an
+                                    // active mitigation shed cap (SetPeerShed)
 };
 
 class Transport {
@@ -54,6 +56,14 @@ class Transport {
   // message was dropped (unknown destination, or discardable over a full
   // queue). Thread-safe.
   virtual bool Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opts) = 0;
+
+  // Mitigation shed mode (the MitigationController's transport lever):
+  // while set, the resident-byte budget toward `to` is clamped to
+  // `cap_bytes` and EVERY send over it — discardable or not — is refused
+  // and counted, so a demoted peer can back up neither the sender's memory
+  // nor its pacing. 0 clears. Default: no-op (transports without bounded
+  // queues ignore it). Thread-safe.
+  virtual void SetPeerShed(NodeId to, uint64_t cap_bytes) { (void)to; (void)cap_bytes; }
 };
 
 }  // namespace depfast

@@ -67,9 +67,11 @@ void QuorumEvent::OnChildFire(Event* child) {
   // MASKS a slow minority replica; the leg records carry the per-peer latency
   // and outcome that survive the masking. Emitted even for trace-exempt
   // children (the exemption is about wait points — a leg is a completion, not
-  // a wait) and flagged quorum_leg so Spg::Build skips them.
+  // a wait) and flagged quorum_leg so Spg::Build skips them. Legs marked
+  // trace_leg_exempt (mitigation-induced traffic toward a demoted peer) are
+  // the one exception: their failures are self-inflicted, not evidence.
   Tracer& tracer = Tracer::Instance();
-  if (tracer.enabled() && !child->trace_peer().empty() &&
+  if (tracer.enabled() && !child->trace_peer().empty() && !child->trace_leg_exempt() &&
       child->created_at_us() != 0 && child->fired_at_us() != 0) {
     WaitRecord r;
     r.node = reactor_->name();

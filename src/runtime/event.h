@@ -88,6 +88,14 @@ class Event : public std::enable_shared_from_this<Event> {
   void set_trace_exempt(bool exempt) { trace_exempt_ = exempt; }
   bool trace_exempt() const { return trace_exempt_; }
 
+  // Suppresses the per-leg completion record a parent QuorumEvent would emit
+  // for this child. Set on legs whose failure is CAUSED by mitigation (sends
+  // refused at a shed cap toward an already-demoted peer): feeding those back
+  // to the detector would keep the accusation alive forever. Orthogonal to
+  // set_trace_exempt, which covers the event's own wait point.
+  void set_trace_leg_exempt(bool exempt) { trace_leg_exempt_ = exempt; }
+  bool trace_leg_exempt() const { return trace_leg_exempt_; }
+
   Reactor* reactor() const { return reactor_; }
 
  protected:
@@ -121,6 +129,7 @@ class Event : public std::enable_shared_from_this<Event> {
   std::vector<CompoundEvent*> watchers_;
   std::string trace_peer_;
   bool trace_exempt_ = false;
+  bool trace_leg_exempt_ = false;
 };
 
 // Fires when its integer value reaches the target (default target 1, so it

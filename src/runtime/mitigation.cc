@@ -1,0 +1,281 @@
+#include "src/runtime/mitigation.h"
+
+#include "src/base/logging.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+
+const char* MitigationStateName(MitigationState s) {
+  switch (s) {
+    case MitigationState::kHealthy:
+      return "healthy";
+    case MitigationState::kAccused:
+      return "accused";
+    case MitigationState::kMitigated:
+      return "mitigated";
+    case MitigationState::kProbation:
+      return "probation";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* ActionName(uint8_t kind) {
+  switch (kind) {
+    case 0:
+      return "engage";
+    case 1:
+      return "begin_probation";
+    case 2:
+      return "probe";
+    case 3:
+      return "readmit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MitigationController::MitigationController(MitigationOptions opts, MitigationPolicy* policy,
+                                           MetricsRegistry* reg)
+    : opts_(opts), policy_(policy), reg_(reg != nullptr ? reg : &MetricsRegistry::Global()) {
+  DF_CHECK_NOTNULL(policy_);
+  // Eagerly create the action counters so scrapes/JSON dumps of a fault-free
+  // run expose them AT ZERO instead of omitting them.
+  for (uint8_t k = 0; k < 4; k++) {
+    reg_->GetCounter("mitigation_actions_total", {{"action", ActionName(k)}});
+  }
+}
+
+void MitigationController::SeedPeer(const std::string& peer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  peers_.emplace(peer, PeerState{});
+  reg_->GetGauge("mitigation_state", {{"peer", peer}})->Set(0);
+}
+
+void MitigationController::SetStateLocked(const std::string& peer, PeerState* ps,
+                                          MitigationState to, uint64_t now_us) {
+  if (ps->state == to) {
+    return;
+  }
+  DF_LOG_INFO("mitigation: %s %s -> %s", peer.c_str(), MitigationStateName(ps->state),
+              MitigationStateName(to));
+  ps->state = to;
+  ps->since_us = now_us;
+  n_transitions_++;
+  reg_->GetCounter("mitigation_transitions_total",
+                   {{"peer", peer}, {"to", MitigationStateName(to)}})
+      ->Inc();
+  reg_->GetGauge("mitigation_state", {{"peer", peer}})->Set(static_cast<int64_t>(to));
+  // Transition annotation for drained trace streams. The peer list is left
+  // EMPTY on purpose: Spg::Build and the SpgMonitor both skip peerless
+  // records, so mitigation events can never feed back into detection as
+  // fake wait edges — they only show up in snapshots/Chrome exports.
+  Tracer& tracer = Tracer::Instance();
+  if (tracer.enabled()) {
+    WaitRecord r;
+    r.node = peer;
+    r.kind = std::string("mitigation:") + MitigationStateName(to);
+    r.end_us = now_us;
+    tracer.Record(std::move(r));
+  }
+}
+
+void MitigationController::QueueLocked(ActionKind kind, const std::string& peer,
+                                       std::string reason) {
+  queued_.push_back(Action{kind, peer, std::move(reason)});
+}
+
+void MitigationController::DispatchQueued() {
+  std::vector<Action> actions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    actions.swap(queued_);
+    n_actions_ += actions.size();
+  }
+  // Policy callbacks run OUTSIDE mu_: they may block on cross-thread posts
+  // and may legally re-enter the controller (e.g. a same-thread probe
+  // completion calling OnProbeResult).
+  for (const Action& a : actions) {
+    reg_->GetCounter("mitigation_actions_total",
+                     {{"action", ActionName(static_cast<uint8_t>(a.kind))}})
+        ->Inc();
+    switch (a.kind) {
+      case ActionKind::kEngage:
+        policy_->Engage(a.peer, a.reason);
+        break;
+      case ActionKind::kBeginProbation:
+        policy_->BeginProbation(a.peer);
+        break;
+      case ActionKind::kProbe:
+        policy_->Probe(a.peer);
+        break;
+      case ActionKind::kReadmit:
+        policy_->Readmit(a.peer);
+        break;
+    }
+  }
+}
+
+void MitigationController::OnVerdict(const SlownessVerdict& v, uint64_t now_us) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState& ps = peers_[v.node];
+    ps.last_verdict_us = now_us;
+    switch (ps.state) {
+      case MitigationState::kHealthy:
+        ps.strikes = 1;
+        SetStateLocked(v.node, &ps, MitigationState::kAccused, now_us);
+        if (ps.strikes >= opts_.accuse_strikes) {
+          ps.engages++;
+          SetStateLocked(v.node, &ps, MitigationState::kMitigated, now_us);
+          QueueLocked(ActionKind::kEngage, v.node, v.Summary());
+        }
+        break;
+      case MitigationState::kAccused:
+        ps.strikes++;
+        if (ps.strikes >= opts_.accuse_strikes) {
+          ps.engages++;
+          SetStateLocked(v.node, &ps, MitigationState::kMitigated, now_us);
+          QueueLocked(ActionKind::kEngage, v.node, v.Summary());
+        }
+        break;
+      case MitigationState::kMitigated:
+        break;  // already acting; the fresh verdict just extends the quiet gate
+      case MitigationState::kProbation:
+        // The trial traffic re-exposed the fault: relapse immediately.
+        ps.clean_probes = 0;
+        ps.dirty_probes = 0;
+        ps.engages++;
+        SetStateLocked(v.node, &ps, MitigationState::kMitigated, now_us);
+        QueueLocked(ActionKind::kEngage, v.node, "relapse during probation: " + v.Summary());
+        break;
+    }
+  }
+  DispatchQueued();
+}
+
+void MitigationController::Tick(uint64_t now_us) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [peer, ps] : peers_) {
+      switch (ps.state) {
+        case MitigationState::kHealthy:
+          break;
+        case MitigationState::kAccused:
+          if (now_us - ps.last_verdict_us >= opts_.accuse_decay_us) {
+            ps.strikes = 0;
+            SetStateLocked(peer, &ps, MitigationState::kHealthy, now_us);
+          }
+          break;
+        case MitigationState::kMitigated:
+          if (now_us - ps.since_us >= opts_.min_mitigated_us &&
+              now_us - ps.last_verdict_us >= opts_.verdict_quiet_us) {
+            ps.clean_probes = 0;
+            ps.dirty_probes = 0;
+            ps.probe_inflight = false;
+            ps.next_probe_us = now_us;  // first probe fires this tick
+            SetStateLocked(peer, &ps, MitigationState::kProbation, now_us);
+            QueueLocked(ActionKind::kBeginProbation, peer, "");
+          }
+          break;
+        case MitigationState::kProbation:
+          break;
+      }
+      if (ps.state == MitigationState::kProbation && !ps.probe_inflight &&
+          now_us >= ps.next_probe_us) {
+        ps.probe_inflight = true;
+        ps.next_probe_us = now_us + opts_.probe_interval_us;
+        QueueLocked(ActionKind::kProbe, peer, "");
+      }
+    }
+  }
+  DispatchQueued();
+}
+
+void MitigationController::OnProbeResult(const std::string& peer, bool clean, uint64_t now_us) {
+  // NO dispatch here: this is called from reactor threads (the probe's
+  // completion coroutine), where a blocking policy action could deadlock.
+  // State advances now; the queued actions run on the next Tick().
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return;
+  }
+  PeerState& ps = it->second;
+  ps.probe_inflight = false;
+  if (ps.state != MitigationState::kProbation) {
+    return;  // stale probe completion; the peer already moved on
+  }
+  if (clean) {
+    ps.dirty_probes = 0;
+    ps.clean_probes++;
+    if (ps.clean_probes >= opts_.clean_probes_to_readmit) {
+      ps.strikes = 0;
+      ps.readmits++;
+      SetStateLocked(peer, &ps, MitigationState::kHealthy, now_us);
+      QueueLocked(ActionKind::kReadmit, peer, "");
+    }
+  } else {
+    ps.clean_probes = 0;
+    ps.dirty_probes++;
+    if (ps.dirty_probes >= opts_.dirty_probes_to_remitigate) {
+      ps.engages++;
+      SetStateLocked(peer, &ps, MitigationState::kMitigated, now_us);
+      QueueLocked(ActionKind::kEngage, peer, "consecutive dirty probation probes");
+    }
+  }
+}
+
+MitigationState MitigationController::StateOf(const std::string& peer) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? MitigationState::kHealthy : it->second.state;
+}
+
+MitigationPeerInfo MitigationController::InfoOf(const std::string& peer) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MitigationPeerInfo info;
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) {
+    const PeerState& ps = it->second;
+    info.state = ps.state;
+    info.strikes = ps.strikes;
+    info.clean_probes = ps.clean_probes;
+    info.since_us = ps.since_us;
+    info.last_verdict_us = ps.last_verdict_us;
+    info.engages = ps.engages;
+    info.readmits = ps.readmits;
+  }
+  return info;
+}
+
+std::map<std::string, MitigationPeerInfo> MitigationController::Snapshot() const {
+  std::map<std::string, MitigationPeerInfo> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [peer, ps] : peers_) {
+    MitigationPeerInfo info;
+    info.state = ps.state;
+    info.strikes = ps.strikes;
+    info.clean_probes = ps.clean_probes;
+    info.since_us = ps.since_us;
+    info.last_verdict_us = ps.last_verdict_us;
+    info.engages = ps.engages;
+    info.readmits = ps.readmits;
+    out[peer] = info;
+  }
+  return out;
+}
+
+uint64_t MitigationController::transitions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return n_transitions_;
+}
+
+uint64_t MitigationController::actions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return n_actions_;
+}
+
+}  // namespace depfast

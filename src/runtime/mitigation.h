@@ -1,0 +1,181 @@
+// Closed-loop fail-slow mitigation (the acting half of §3.3/§5): the
+// MitigationController consumes the SlownessVerdicts the online SpgMonitor
+// emits and drives one hysteresis state machine per accused peer:
+//
+//     healthy --verdict--> accused --strikes--> mitigated
+//        ^                    |                     |
+//        |                 (decay)            (dwell + quiet)
+//        |                    v                     v
+//        +---- readmit --- probation <--------------+
+//                             |  ^
+//                  (verdict / dirty probes)
+//
+// The controller decides WHEN; a pluggable MitigationPolicy decides WHAT —
+// shedding the accused peer's transport budget, steering the Raft hot path
+// away from it, demoting a self-accused leader (see RaftCluster's policy).
+// Hysteresis makes verdict flapping harmless: once engaged, a peer cannot be
+// re-admitted before `min_mitigated_us` of dwell plus `verdict_quiet_us` of
+// verdict silence plus `clean_probes_to_readmit` clean probation probes, so
+// the fastest possible mitigate->readmit->mitigate cycle is bounded below by
+// the probation period no matter how fast verdicts flap.
+//
+// Every transition is a labeled MetricsRegistry counter, a per-peer state
+// gauge, and a trace record (kind "mitigation:<state>", empty peer list —
+// both Spg::Build and the SpgMonitor skip peerless records, so transitions
+// annotate drained traces without fabricating wait edges).
+#ifndef SRC_RUNTIME_MITIGATION_H_
+#define SRC_RUNTIME_MITIGATION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/runtime/spg_monitor.h"
+
+namespace depfast {
+
+enum class MitigationState : uint8_t {
+  kHealthy = 0,
+  kAccused = 1,    // verdicts arriving, not yet past the strike bar
+  kMitigated = 2,  // policy engaged: peer off the hot path, budget shed
+  kProbation = 3,  // trial re-admission: full traffic + periodic probes
+};
+
+const char* MitigationStateName(MitigationState s);
+
+struct MitigationOptions {
+  // Verdicts (within decay of each other) needed to go accused -> mitigated.
+  int accuse_strikes = 2;
+  // An accused peer with no fresh verdict for this long is re-acquitted
+  // without any policy action (a transient blip never costs a demotion).
+  uint64_t accuse_decay_us = 3000000;
+  // Minimum dwell in mitigated before probation may start.
+  uint64_t min_mitigated_us = 1000000;
+  // Verdict silence required (on top of the dwell) before probation starts —
+  // while the fault persists the detector keeps accusing, so this is the
+  // gate that keeps a still-faulty peer demoted.
+  uint64_t verdict_quiet_us = 700000;
+  // Probation probe cadence (policy->Probe per period).
+  uint64_t probe_interval_us = 300000;
+  // Consecutive clean probes that re-admit the peer.
+  int clean_probes_to_readmit = 2;
+  // Consecutive dirty probes that send a probation peer back to mitigated.
+  // > 1 gives the unthrottled catch-up round time to close a large backlog
+  // before a lag-based probe verdict condemns the peer again.
+  int dirty_probes_to_remitigate = 3;
+};
+
+// What mitigation DOES. Implementations are transport/protocol specific
+// (RaftCluster installs one that sheds transport budget, deprioritizes the
+// peer in RaftNode and demotes a self-accused leader). Callbacks run on the
+// thread that called OnVerdict()/Tick() — never on a reactor thread — so
+// they may block on RunOn-style cross-thread posts.
+class MitigationPolicy {
+ public:
+  virtual ~MitigationPolicy() = default;
+  // Peer crossed the strike bar (or relapsed from probation): demote it.
+  virtual void Engage(const std::string& peer, const std::string& reason) = 0;
+  // Probation starts: restore the peer's budgets for the trial (the "one
+  // unthrottled catch-up round").
+  virtual void BeginProbation(const std::string& peer) = 0;
+  // Probation probe: run a lightweight health check (echo RPC + caught-up
+  // bar) and report via controller->OnProbeResult(peer, clean, now).
+  virtual void Probe(const std::string& peer) = 0;
+  // Peer passed probation: full re-admission.
+  virtual void Readmit(const std::string& peer) = 0;
+};
+
+// Public snapshot of one peer's mitigation state.
+struct MitigationPeerInfo {
+  MitigationState state = MitigationState::kHealthy;
+  int strikes = 0;
+  int clean_probes = 0;
+  uint64_t since_us = 0;         // when the current state was entered
+  uint64_t last_verdict_us = 0;  // last verdict naming this peer
+  uint64_t engages = 0;          // times the policy engaged on this peer
+  uint64_t readmits = 0;
+};
+
+class MitigationController {
+ public:
+  // `policy` must outlive the controller. `reg` defaults to the global
+  // registry; tests may pass their own.
+  MitigationController(MitigationOptions opts, MitigationPolicy* policy,
+                       MetricsRegistry* reg = nullptr);
+
+  // Pre-registers a peer as healthy so state gauges and snapshots cover the
+  // whole membership even before any verdict arrives.
+  void SeedPeer(const std::string& peer);
+
+  // Feeds one detector verdict. Dispatches any resulting policy actions
+  // before returning. Monitor/control thread only (NOT a reactor thread —
+  // policy actions may block on cross-thread posts).
+  void OnVerdict(const SlownessVerdict& v, uint64_t now_us);
+
+  // Advances time-driven transitions (accused decay, probation entry, probe
+  // scheduling) and dispatches queued policy actions. Same thread contract
+  // as OnVerdict. Call periodically (the cluster monitor thread does).
+  void Tick(uint64_t now_us);
+
+  // Completion of a policy Probe. Safe from ANY thread, including reactor
+  // threads: it only mutates state and queues actions — the next Tick()
+  // dispatches them (dispatching here could deadlock a reactor posting to
+  // itself).
+  void OnProbeResult(const std::string& peer, bool clean, uint64_t now_us);
+
+  MitigationState StateOf(const std::string& peer) const;
+  MitigationPeerInfo InfoOf(const std::string& peer) const;
+  std::map<std::string, MitigationPeerInfo> Snapshot() const;
+
+  // Total state transitions / policy actions dispatched so far. A fault-free
+  // run keeps both at zero.
+  uint64_t transitions() const;
+  uint64_t actions() const;
+
+  const MitigationOptions& options() const { return opts_; }
+
+ private:
+  struct PeerState {
+    MitigationState state = MitigationState::kHealthy;
+    int strikes = 0;
+    int clean_probes = 0;
+    int dirty_probes = 0;
+    bool probe_inflight = false;
+    uint64_t since_us = 0;
+    uint64_t last_verdict_us = 0;
+    uint64_t next_probe_us = 0;
+    uint64_t engages = 0;
+    uint64_t readmits = 0;
+  };
+
+  enum class ActionKind : uint8_t { kEngage, kBeginProbation, kProbe, kReadmit };
+  struct Action {
+    ActionKind kind;
+    std::string peer;
+    std::string reason;
+  };
+
+  // Requires mu_ held. Records the transition (counter, gauge, trace).
+  void SetStateLocked(const std::string& peer, PeerState* ps, MitigationState to,
+                      uint64_t now_us);
+  void QueueLocked(ActionKind kind, const std::string& peer, std::string reason);
+  // Takes the queued actions out under mu_ and runs them unlocked.
+  void DispatchQueued();
+
+  MitigationOptions opts_;
+  MitigationPolicy* policy_;
+  MetricsRegistry* reg_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PeerState> peers_;
+  std::vector<Action> queued_;
+  uint64_t n_transitions_ = 0;
+  uint64_t n_actions_ = 0;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_MITIGATION_H_

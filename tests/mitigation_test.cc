@@ -1,0 +1,366 @@
+// Tests for the closed-loop mitigation subsystem: the MitigationController's
+// hysteresis state machine (verdicts in, policy actions out) and the
+// verdict-driven fail-slow-leader stepdown on a live sim cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+#include "src/runtime/mitigation.h"
+
+namespace depfast {
+namespace {
+
+// Records every policy action with the test's simulated timestamp, so the
+// hysteresis assertions can reason about WHEN the controller acted.
+class FakePolicy : public MitigationPolicy {
+ public:
+  struct Rec {
+    std::string action;
+    std::string peer;
+    uint64_t at_us;
+  };
+
+  explicit FakePolicy(const uint64_t* clock) : clock_(clock) {}
+
+  void Engage(const std::string& peer, const std::string&) override {
+    recs_.push_back({"engage", peer, *clock_});
+  }
+  void BeginProbation(const std::string& peer) override {
+    recs_.push_back({"probation", peer, *clock_});
+  }
+  void Probe(const std::string& peer) override { recs_.push_back({"probe", peer, *clock_}); }
+  void Readmit(const std::string& peer) override { recs_.push_back({"readmit", peer, *clock_}); }
+
+  int Count(const std::string& action) const {
+    int n = 0;
+    for (const auto& r : recs_) {
+      if (r.action == action) {
+        n++;
+      }
+    }
+    return n;
+  }
+  std::vector<uint64_t> TimesOf(const std::string& action) const {
+    std::vector<uint64_t> out;
+    for (const auto& r : recs_) {
+      if (r.action == action) {
+        out.push_back(r.at_us);
+      }
+    }
+    return out;
+  }
+  const std::vector<Rec>& recs() const { return recs_; }
+
+ private:
+  const uint64_t* clock_;
+  std::vector<Rec> recs_;
+};
+
+MitigationOptions TestOptions() {
+  MitigationOptions o;
+  o.accuse_strikes = 2;
+  o.accuse_decay_us = 3000000;
+  o.min_mitigated_us = 1000000;
+  o.verdict_quiet_us = 700000;
+  o.probe_interval_us = 300000;
+  o.clean_probes_to_readmit = 2;
+  o.dirty_probes_to_remitigate = 3;
+  return o;
+}
+
+SlownessVerdict V(const std::string& node, uint64_t now_us) {
+  SlownessVerdict v;
+  v.window_end_us = now_us;
+  v.node = node;
+  v.resource = "network";
+  v.severity = 2.0;
+  v.reason = "test verdict";
+  return v;
+}
+
+TEST(MitigationControllerTest, NoVerdictsMeansZeroActions) {
+  uint64_t clock = 1000000;
+  FakePolicy policy(&clock);
+  MetricsRegistry reg;
+  MitigationController ctl(TestOptions(), &policy, &reg);
+  ctl.SeedPeer("s1");
+  ctl.SeedPeer("s2");
+  ctl.SeedPeer("s3");
+  // Ten simulated seconds of fault-free ticking.
+  for (int i = 0; i < 100; i++) {
+    clock += 100000;
+    ctl.Tick(clock);
+  }
+  EXPECT_EQ(ctl.actions(), 0u);
+  EXPECT_EQ(ctl.transitions(), 0u);
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kHealthy);
+  EXPECT_TRUE(policy.recs().empty());
+}
+
+TEST(MitigationControllerTest, LifecycleEngageProbeReadmit) {
+  uint64_t clock = 1000000;
+  FakePolicy policy(&clock);
+  MetricsRegistry reg;
+  MitigationController ctl(TestOptions(), &policy, &reg);
+  ctl.SeedPeer("s2");
+
+  ctl.OnVerdict(V("s2", clock), clock);
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kAccused);
+  EXPECT_EQ(policy.Count("engage"), 0);
+
+  clock += 100000;
+  ctl.OnVerdict(V("s2", clock), clock);  // second strike: engage
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kMitigated);
+  ASSERT_EQ(policy.Count("engage"), 1);
+
+  // Fault clears (no more verdicts). After min_mitigated dwell AND
+  // verdict_quiet silence, probation begins and the first probe fires.
+  for (int i = 0; i < 12; i++) {
+    clock += 100000;
+    ctl.Tick(clock);
+  }
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kProbation);
+  EXPECT_EQ(policy.Count("probation"), 1);
+  EXPECT_EQ(policy.Count("probe"), 1);
+
+  ctl.OnProbeResult("s2", /*clean=*/true, clock);
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kProbation);  // 1 of 2 clean
+
+  clock += 300000;  // next probe period
+  ctl.Tick(clock);
+  EXPECT_EQ(policy.Count("probe"), 2);
+  ctl.OnProbeResult("s2", /*clean=*/true, clock);
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kHealthy);
+  clock += 100000;
+  ctl.Tick(clock);  // dispatches the queued readmit
+  EXPECT_EQ(policy.Count("readmit"), 1);
+
+  MitigationPeerInfo info = ctl.InfoOf("s2");
+  EXPECT_EQ(info.engages, 1u);
+  EXPECT_EQ(info.readmits, 1u);
+}
+
+TEST(MitigationControllerTest, DirtyProbesRemitigate) {
+  uint64_t clock = 1000000;
+  FakePolicy policy(&clock);
+  MetricsRegistry reg;
+  MitigationController ctl(TestOptions(), &policy, &reg);
+  ctl.SeedPeer("s2");
+  ctl.OnVerdict(V("s2", clock), clock);
+  ctl.OnVerdict(V("s2", clock), clock);
+  for (int i = 0; i < 20; i++) {
+    clock += 100000;
+    ctl.Tick(clock);
+  }
+  ASSERT_EQ(ctl.StateOf("s2"), MitigationState::kProbation);
+  // Three consecutive dirty probes (not one — a big post-fault backlog must
+  // not instantly condemn the peer) re-engage the mitigation.
+  for (int i = 0; i < 3; i++) {
+    ctl.OnProbeResult("s2", /*clean=*/false, clock);
+    clock += 300000;
+    ctl.Tick(clock);
+  }
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kMitigated);
+  EXPECT_EQ(policy.Count("engage"), 2);
+}
+
+TEST(MitigationControllerTest, AccusedDecaysWithoutAction) {
+  uint64_t clock = 1000000;
+  FakePolicy policy(&clock);
+  MetricsRegistry reg;
+  MitigationController ctl(TestOptions(), &policy, &reg);
+  ctl.SeedPeer("s2");
+  ctl.OnVerdict(V("s2", clock), clock);  // one blip, below the strike bar
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kAccused);
+  for (int i = 0; i < 35; i++) {
+    clock += 100000;
+    ctl.Tick(clock);
+  }
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kHealthy);
+  EXPECT_EQ(ctl.actions(), 0u);  // a transient blip never costs a demotion
+}
+
+// The hysteresis property the ISSUE demands: a fault flapping FASTER than
+// the detector window cannot make the controller oscillate. One engage, no
+// probation while verdicts keep arriving; and after a relapse, consecutive
+// engages are spaced by at least the mitigated dwell + quiet period.
+TEST(MitigationControllerTest, FlappingVerdictsNeverOscillate) {
+  uint64_t clock = 1000000;
+  FakePolicy policy(&clock);
+  MetricsRegistry reg;
+  MitigationController ctl(TestOptions(), &policy, &reg);
+  ctl.SeedPeer("s2");
+
+  // 10 s of verdicts every 200 ms (far below every controller period).
+  for (int i = 0; i < 50; i++) {
+    ctl.OnVerdict(V("s2", clock), clock);
+    ctl.Tick(clock);
+    clock += 200000;
+  }
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kMitigated);
+  EXPECT_EQ(policy.Count("engage"), 1);  // sticky: engaged exactly once
+  EXPECT_EQ(policy.Count("probation"), 0);
+  EXPECT_EQ(policy.Count("readmit"), 0);
+
+  // Verdicts stop; probation opens only after dwell + quiet.
+  for (int i = 0; i < 20; i++) {
+    clock += 100000;
+    ctl.Tick(clock);
+  }
+  ASSERT_EQ(ctl.StateOf("s2"), MitigationState::kProbation);
+
+  // The trial re-exposes the fault: relapse. The second engage must be at
+  // least min_mitigated + verdict_quiet after the first — the lower bound
+  // on any mitigate -> probation -> mitigate cycle.
+  ctl.OnVerdict(V("s2", clock), clock);
+  EXPECT_EQ(ctl.StateOf("s2"), MitigationState::kMitigated);
+  auto engages = policy.TimesOf("engage");
+  ASSERT_EQ(engages.size(), 2u);
+  const MitigationOptions& o = ctl.options();
+  EXPECT_GE(engages[1] - engages[0], o.min_mitigated_us + o.verdict_quiet_us);
+}
+
+// ---------------------------------------------------------------- cluster
+
+void RunClientOp(RaftClientHandle& client, std::function<void(RaftClient&)> fn) {
+  std::atomic<bool> done{false};
+  RaftClient* session = client.session.get();
+  client.thread->reactor()->Post([&, session]() {
+    Coroutine::Create([&, session]() {
+      fn(*session);
+      done.store(true);
+    });
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Background write load (a fail-slow leader only builds a CPU backlog under
+// load; same shape as failslow_leader_test's).
+class BackgroundLoad {
+ public:
+  BackgroundLoad(RaftCluster& cluster, int n_writers) {
+    client_ = cluster.MakeClient("bg");
+    client_->thread->reactor()->Post([this, n_writers]() {
+      for (int j = 0; j < n_writers; j++) {
+        Coroutine::Create([this, j]() {
+          int i = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            client_->session->Put("bg" + std::to_string(j) + "_" + std::to_string(i++ % 50), "v");
+          }
+          live_.fetch_sub(1);
+        });
+        live_.fetch_add(1);
+      }
+    });
+  }
+  ~BackgroundLoad() {
+    stop_.store(true);
+    while (live_.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+ private:
+  std::unique_ptr<RaftClientHandle> client_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> live_{0};
+};
+
+RaftClusterOptions MitigatedClusterOptions() {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = false;
+  opts.raft.heartbeat_us = 10000;
+  opts.raft.election_timeout_min_us = 80000;
+  opts.raft.election_timeout_max_us = 160000;
+  opts.raft.rpc_timeout_us = 50000;
+  opts.raft.leader_cmd_cost_us = 120;
+  opts.raft.apply_cost_us = 20;
+  // The legacy heartbeat-lag probe stays OFF: stepdown must come from the
+  // detector verdicts through the MitigationController.
+  opts.raft.enable_failslow_leader_detection = false;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  opts.enable_mitigation = true;
+  opts.monitor.window_us = 300000;
+  opts.monitor.min_baseline_windows = 2;
+  opts.monitor.min_latency_us = 5000;
+  opts.monitor.latency_strikes = 2;
+  opts.monitor_poll_us = 50000;
+  opts.mitigation.accuse_strikes = 2;
+  opts.mitigation.min_mitigated_us = 2000000;
+  opts.mitigation.verdict_quiet_us = 1000000;
+  return opts;
+}
+
+TEST(MitigationClusterTest, VerdictDrivenLeaderStepdown) {
+  RaftCluster cluster(MitigatedClusterOptions());
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  int old_leader = cluster.LeaderIndex();
+  ASSERT_GE(old_leader, 0);
+  ASSERT_NE(cluster.mitigation(), nullptr);
+  {
+    BackgroundLoad load(cluster, 16);
+    // Bank clean baseline windows before the fault.
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    cluster.InjectFault(old_leader, FaultType::kCpuSlow);
+    // CPU self-edges accuse the leader; the policy steps it down and
+    // triggers an election on a healthy follower. Generous deadline: under a
+    // parallel ctest pass the detector's real-time windows stretch.
+    uint64_t deadline = MonotonicUs() + 40000000;
+    int new_leader = -1;
+    while (MonotonicUs() < deadline) {
+      int cur = cluster.LeaderIndex();
+      if (cur >= 0 && cur != old_leader) {
+        new_leader = cur;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    EXPECT_GE(new_leader, 0);
+    EXPECT_NE(new_leader, old_leader);
+  }
+  // The stepdown went through the controller, not the legacy probe.
+  EXPECT_GE(cluster.mitigation()->InfoOf("s" + std::to_string(old_leader + 1)).engages, 1u);
+  EXPECT_GE(cluster.mitigation()->transitions(), 2u);
+
+  // The demoted cluster still serves writes promptly.
+  auto client = cluster.MakeClient("c1");
+  int ok = 0;
+  RunClientOp(*client, [&](RaftClient& c) {
+    for (int i = 0; i < 20; i++) {
+      if (c.Put("after" + std::to_string(i), "stepdown")) {
+        ok++;
+      }
+    }
+  });
+  EXPECT_EQ(ok, 20);
+}
+
+TEST(MitigationClusterTest, FaultFreeClusterTakesNoActions) {
+  auto opts = MitigatedClusterOptions();
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  {
+    BackgroundLoad load(cluster, 8);
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+  }
+  ASSERT_NE(cluster.mitigation(), nullptr);
+  EXPECT_EQ(cluster.mitigation()->actions(), 0u);
+  for (int i = 0; i < cluster.n_nodes(); i++) {
+    EXPECT_EQ(cluster.MitigationStateOf(i), MitigationState::kHealthy);
+  }
+}
+
+}  // namespace
+}  // namespace depfast
