@@ -1,0 +1,251 @@
+// Multi-Raft scaling bench: throughput / tail latency vs group count on the
+// shared-socket deployment (3 physical nodes over real loopback sockets, one
+// connection per peer pair no matter how many groups), driven by a zipfian
+// write workload over >= 1M records. Plus the evacuation ablation: with 64
+// groups and one node turned fail-slow mid-run, closed-loop leader
+// evacuation ON vs OFF.
+//
+// Emits machine-readable BENCH_multiraft.json (override with --out <path>);
+// --quick shrinks windows for CI smoke runs.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/base/histogram.h"
+#include "src/raft/sharded_kv.h"
+#include "src/workload/ycsb.h"
+
+namespace depfast {
+namespace bench {
+namespace {
+
+constexpr uint64_t kRecords = 1u << 20;  // >= 1M records
+
+MultiRaftOptions BenchOptions(ClusterTransport kind) {
+  MultiRaftOptions opts;
+  opts.n_nodes = 3;
+  opts.transport_kind = kind;
+  opts.raft.send_queue_cap_bytes = 256 * 1024;
+  opts.raft.batch_window_us = 200;
+  // Near-zero modeled costs: the subject is the shared socket/reactor path,
+  // not the CPU model.
+  opts.raft.leader_cmd_cost_us = 1;
+  opts.raft.leader_propose_cost_us = 1;
+  opts.raft.follower_append_cost_us = 1;
+  opts.raft.apply_cost_us = 1;
+  opts.disk.base_latency_us = 20;
+  return opts;
+}
+
+struct LoadResult {
+  uint64_t n_ops = 0;
+  double throughput_ops = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+};
+
+// Closed-loop zipfian write load on one session: `n_coro` coroutines, each
+// op timed into a shared histogram.
+LoadResult RunZipfLoad(ShardedKvSession& session, int n_coro, uint64_t warmup_us,
+                       uint64_t measure_us, uint64_t seed) {
+  YcsbConfig ycfg;
+  ycfg.n_records = kRecords;
+  ycfg.zipfian = true;
+  ycfg.write_fraction = 1.0;
+  ycfg.value_bytes = 100;
+  ycfg.seed = seed;
+  auto workload = std::make_shared<YcsbWorkload>(ycfg);
+  auto hist = std::make_shared<Histogram>();
+  std::atomic<int> live{0};
+  std::atomic<uint64_t> ops{0};
+  uint64_t start_measure = MonotonicUs() + warmup_us;
+  uint64_t deadline = start_measure + measure_us;
+  session.thread()->reactor()->Post([&, workload, hist, start_measure, deadline]() {
+    for (int c = 0; c < n_coro; c++) {
+      live.fetch_add(1);
+      Coroutine::Create([&, workload, hist, start_measure, deadline, c]() {
+        Rng rng(seed * 7919 + static_cast<uint64_t>(c));
+        while (true) {
+          uint64_t now = MonotonicUs();
+          if (now >= deadline) {
+            break;
+          }
+          KvCommand cmd = workload->NextOp(rng);
+          uint64_t t0 = MonotonicUs();
+          bool ok = session.Put(cmd.key, cmd.value);
+          uint64_t t1 = MonotonicUs();
+          if (ok && t0 >= start_measure && t1 <= deadline) {
+            ops.fetch_add(1, std::memory_order_relaxed);
+            hist->Record(t1 - t0);
+          }
+        }
+        live.fetch_sub(1);
+      });
+    }
+  });
+  while (live.load() != 0 || MonotonicUs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  LoadResult r;
+  r.n_ops = ops.load();
+  r.throughput_ops = static_cast<double>(r.n_ops) * 1e6 / static_cast<double>(measure_us);
+  r.p50_us = hist->Percentile(0.50);
+  r.p99_us = hist->Percentile(0.99);
+  return r;
+}
+
+struct ScalePoint {
+  int groups = 0;
+  LoadResult load;
+  uint64_t coalesced_calls = 0;
+  uint64_t batch_frames = 0;
+  size_t out_conns = 0;
+};
+
+ScalePoint RunScalePoint(int groups, uint64_t warmup_us, uint64_t measure_us) {
+  MultiRaftOptions opts = BenchOptions(ClusterTransport::kTcp);
+  ShardedKvCluster cluster(groups, opts);
+  auto session = cluster.MakeSession("bench");
+  DF_CHECK_NOTNULL(session.get());
+  ScalePoint p;
+  p.groups = groups;
+  p.load = RunZipfLoad(*session, 32, warmup_us, measure_us, 1000 + static_cast<uint64_t>(groups));
+  p.coalesced_calls = cluster.CoalescedCalls();
+  p.batch_frames = cluster.BatchFrames();
+  p.out_conns = cluster.tcp_transport()->OutConnCount();
+  printf("%-8d %12.0f %10lu %10lu %14lu %12lu %10zu\n", groups, p.load.throughput_ops,
+         (unsigned long)p.load.p50_us, (unsigned long)p.load.p99_us,
+         (unsigned long)p.coalesced_calls, (unsigned long)p.batch_frames, p.out_conns);
+  cluster.Shutdown();
+  return p;
+}
+
+struct AblationPoint {
+  bool evacuation = false;
+  LoadResult baseline;
+  LoadResult faulted;
+  uint64_t evacuations = 0;
+  int leaders_on_faulty_after = 0;
+};
+
+// 64 groups, node 1 turns fail-slow after a baseline window; measure the
+// faulted window with the closed loop on (verdict -> evacuate + shed) vs off
+// (detection only, leaders stay pinned on the slow node).
+AblationPoint RunEvacuationAblation(bool evacuation, uint64_t warmup_us, uint64_t measure_us) {
+  MultiRaftOptions opts = BenchOptions(ClusterTransport::kTcp);
+  opts.enable_monitor = true;
+  opts.enable_mitigation = evacuation;
+  opts.monitor.window_us = 300000;
+  opts.monitor.min_baseline_windows = 2;
+  opts.monitor.min_latency_us = 5000;
+  opts.monitor.latency_strikes = 2;
+  opts.monitor_poll_us = 50000;
+  opts.mitigation.accuse_strikes = 2;
+  opts.mitigation.min_mitigated_us = 60000000;  // no probation inside the run
+  const int kGroups = 64;
+  const int kFaulty = 1;
+  ShardedKvCluster cluster(kGroups, opts);
+  auto session = cluster.MakeSession("bench");
+  DF_CHECK_NOTNULL(session.get());
+  AblationPoint p;
+  p.evacuation = evacuation;
+  p.baseline = RunZipfLoad(*session, 32, warmup_us, measure_us, 2000);
+  cluster.InjectFault(kFaulty, FaultType::kNetworkSlow);
+  // Give the detection loop a window to close the loop before measuring
+  // (with evacuation off this interval just runs the fault in).
+  RunZipfLoad(*session, 32, 0, measure_us, 2001);
+  p.faulted = RunZipfLoad(*session, 32, 0, measure_us, 2002);
+  p.evacuations = cluster.evacuations();
+  p.leaders_on_faulty_after = cluster.LeadersOnNode(kFaulty);
+  printf("%-12s %14.0f %14.0f %10lu %10lu %12lu %8d\n", evacuation ? "on" : "off",
+         p.baseline.throughput_ops, p.faulted.throughput_ops,
+         (unsigned long)p.faulted.p50_us, (unsigned long)p.faulted.p99_us,
+         (unsigned long)p.evacuations, p.leaders_on_faulty_after);
+  cluster.ClearFault(kFaulty);
+  cluster.Shutdown();
+  return p;
+}
+
+void AppendLoadJson(std::string* out, const LoadResult& r) {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "{\"n_ops\": %lu, \"throughput_ops\": %.1f, \"p50_us\": %lu, \"p99_us\": %lu}",
+           (unsigned long)r.n_ops, r.throughput_ops, (unsigned long)r.p50_us,
+           (unsigned long)r.p99_us);
+  *out += buf;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = TakeFlag(argc, argv, "--out", "BENCH_multiraft.json");
+  bool quick = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  uint64_t warmup_us = quick ? 300000 : 800000;
+  uint64_t measure_us = quick ? 1000000 : 3000000;
+
+  PrintHeader("Multi-Raft scaling — 3 nodes over TCP, zipfian writes, 1M records");
+  printf("%-8s %12s %10s %10s %14s %12s %10s\n", "groups", "ops/s", "p50(us)", "p99(us)",
+         "coalesced", "batchframes", "sockets");
+  std::vector<ScalePoint> scale;
+  for (int groups : {1, 4, 16, 64}) {
+    scale.push_back(RunScalePoint(groups, warmup_us, measure_us));
+  }
+
+  PrintHeader("Evacuation ablation — 64 groups, node 1 fail-slow (network)");
+  printf("%-12s %14s %14s %10s %10s %12s %8s\n", "evacuation", "base ops/s", "faulted ops/s",
+         "p50(us)", "p99(us)", "evacuated", "left");
+  std::vector<AblationPoint> ablation;
+  ablation.push_back(RunEvacuationAblation(false, warmup_us, measure_us));
+  ablation.push_back(RunEvacuationAblation(true, warmup_us, measure_us));
+
+  std::string json = "{\n  \"bench\": \"multiraft\",\n  \"n_nodes\": 3,\n";
+  json += "  \"records\": " + std::to_string(kRecords) + ",\n";
+  json += "  \"zipf_theta\": 0.99,\n";
+  json += "  \"measure_us\": " + std::to_string(measure_us) + ",\n";
+  json += "  \"scaling\": [\n";
+  for (size_t i = 0; i < scale.size(); i++) {
+    const ScalePoint& p = scale[i];
+    json += "    {\"groups\": " + std::to_string(p.groups) + ", \"load\": ";
+    AppendLoadJson(&json, p.load);
+    json += ", \"coalesced_calls\": " + std::to_string(p.coalesced_calls);
+    json += ", \"batch_frames\": " + std::to_string(p.batch_frames);
+    json += ", \"out_conns\": " + std::to_string(p.out_conns) + "}";
+    json += i + 1 < scale.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"evacuation_ablation\": [\n";
+  for (size_t i = 0; i < ablation.size(); i++) {
+    const AblationPoint& p = ablation[i];
+    json += std::string("    {\"evacuation\": ") + (p.evacuation ? "true" : "false");
+    json += ", \"baseline\": ";
+    AppendLoadJson(&json, p.baseline);
+    json += ", \"faulted\": ";
+    AppendLoadJson(&json, p.faulted);
+    json += ", \"evacuations\": " + std::to_string(p.evacuations);
+    json += ", \"leaders_on_faulty_after\": " + std::to_string(p.leaders_on_faulty_after) + "}";
+    json += i + 1 < ablation.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  FILE* f = fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  printf("\nresults written to %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace depfast
+
+int main(int argc, char** argv) { return depfast::bench::Main(argc, argv); }

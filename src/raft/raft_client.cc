@@ -6,14 +6,17 @@
 namespace depfast {
 
 RaftClient::RaftClient(RpcEndpoint* rpc, std::vector<NodeId> servers, uint64_t op_timeout_us,
-                       int max_attempts)
+                       int max_attempts, uint32_t group)
     : rpc_(rpc),
       servers_(std::move(servers)),
       op_timeout_us_(op_timeout_us),
-      max_attempts_(max_attempts) {
+      max_attempts_(max_attempts),
+      group_(group) {
   DF_CHECK(!servers_.empty());
   target_ = servers_[0];
 }
+
+void RaftClient::SetTargetHint(NodeId server) { target_ = server; }
 
 std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
   for (int attempt = 0; attempt < max_attempts_; attempt++) {
@@ -22,6 +25,7 @@ std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
     }
     CallOpts opts;
     opts.timeout_us = op_timeout_us_;
+    opts.group = group_;
     auto ev = rpc_->Call(target_, kMethodClientCommand, cmd.Encode(), opts);
     ev->Wait();
     if (ev->failed() || !ev->Ready()) {
@@ -70,6 +74,7 @@ std::optional<KvResult> RaftClient::FastRead(const std::string& key) {
     args << key;
     CallOpts opts;
     opts.timeout_us = op_timeout_us_;
+    opts.group = group_;
     auto ev = rpc_->Call(target_, kMethodClientRead, std::move(args), opts);
     ev->Wait();
     if (ev->failed() || !ev->Ready()) {

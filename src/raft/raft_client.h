@@ -17,8 +17,14 @@ namespace depfast {
 
 class RaftClient {
  public:
+  // `group` selects the Raft group this session talks to when the servers
+  // multiplex many groups over one endpoint (Multi-Raft).
   RaftClient(RpcEndpoint* rpc, std::vector<NodeId> servers, uint64_t op_timeout_us = 3000000,
-             int max_attempts = 8);
+             int max_attempts = 8, uint32_t group = 0);
+
+  // Steers the first attempt at `server` (e.g. the group's known leader);
+  // the normal hint-following takes over from there.
+  void SetTargetHint(NodeId server);
 
   // Executes a command on the replicated store; retries through leader
   // changes. Returns nullopt if every attempt failed.
@@ -41,6 +47,7 @@ class RaftClient {
   std::vector<NodeId> servers_;
   uint64_t op_timeout_us_;
   int max_attempts_;
+  uint32_t group_;
   NodeId target_;
   size_t rr_ = 0;  // round-robin cursor for leader search
   uint64_t n_retries_ = 0;

@@ -219,35 +219,9 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
   }
 
   if (opts_.enable_monitor) {
-    // Discard records a previous tracer user left behind (same-process test
-    // sequences): their old end_us stamps would re-anchor the monitor's
-    // windows into the past and pollute the rolling baselines.
-    Tracer::Instance().Drain();
-    Tracer::Instance().Enable();
-    monitor_ = std::make_unique<SpgMonitor>(opts_.monitor);
-    monitor_thread_ = std::thread([this]() {
-      while (!monitor_stop_.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::microseconds(opts_.monitor_poll_us));
-        auto records = Tracer::Instance().Drain();
-        std::vector<SlownessVerdict> found;
-        {
-          std::lock_guard<std::mutex> lk(monitor_mu_);
-          monitor_->Ingest(std::move(records));
-          found = monitor_->AdvanceTo(MonotonicUs());
-          verdicts_.insert(verdicts_.end(), found.begin(), found.end());
-        }
-        // Feed the controller OUTSIDE monitor_mu_: its policy callbacks
-        // block on RunOn posts, and holding the lock across those would
-        // stall every Verdicts()/ExportMetrics() caller meanwhile.
-        if (mitigation_ != nullptr) {
-          uint64_t now = MonotonicUs();
-          for (const auto& v : found) {
-            mitigation_->OnVerdict(v, now);
-          }
-          mitigation_->Tick(now);
-        }
-      }
-    });
+    verdict_loop_ = std::make_unique<VerdictLoop>(opts_.monitor, opts_.monitor_poll_us,
+                                                  mitigation_.get());
+    verdict_loop_->Start();
   }
 }
 
@@ -322,13 +296,11 @@ RaftCounters RaftCluster::CountersOf(int i) {
 }
 
 std::vector<SlownessVerdict> RaftCluster::Verdicts() {
-  std::lock_guard<std::mutex> lk(monitor_mu_);
-  return verdicts_;
+  return verdict_loop_ != nullptr ? verdict_loop_->Verdicts() : std::vector<SlownessVerdict>{};
 }
 
 uint64_t RaftCluster::MonitorWindowsClosed() {
-  std::lock_guard<std::mutex> lk(monitor_mu_);
-  return monitor_ != nullptr ? monitor_->windows_closed() : 0;
+  return verdict_loop_ != nullptr ? verdict_loop_->WindowsClosed() : 0;
 }
 
 MitigationState RaftCluster::MitigationStateOf(int i) {
@@ -368,12 +340,9 @@ void RaftCluster::ExportMetrics(MetricsRegistry* reg) {
   reg->GetCounter("trace_records_total")->Set(tracer.n_recorded());
   reg->GetCounter("trace_records_dropped_total")->Set(tracer.n_dropped());
   reg->GetGauge("trace_shards")->Set(static_cast<int64_t>(tracer.shard_count()));
-  {
-    std::lock_guard<std::mutex> lk(monitor_mu_);
-    if (monitor_ != nullptr) {
-      reg->GetCounter("spg_windows_closed_total")->Set(monitor_->windows_closed());
-      reg->GetCounter("spg_verdicts_total")->Set(verdicts_.size());
-    }
+  if (verdict_loop_ != nullptr) {
+    reg->GetCounter("spg_windows_closed_total")->Set(verdict_loop_->WindowsClosed());
+    reg->GetCounter("spg_verdicts_total")->Set(verdict_loop_->Verdicts().size());
   }
 }
 
@@ -419,10 +388,8 @@ void RaftCluster::Shutdown() {
     return;
   }
   shut_down_ = true;
-  if (monitor_thread_.joinable()) {
-    monitor_stop_.store(true, std::memory_order_relaxed);
-    monitor_thread_.join();
-    Tracer::Instance().Disable();
+  if (verdict_loop_ != nullptr) {
+    verdict_loop_->Stop();
   }
   for (int i = 0; i < opts_.n_nodes; i++) {
     RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();

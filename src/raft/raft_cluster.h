@@ -22,6 +22,7 @@
 #include "src/rpc/tcp_transport.h"
 #include "src/runtime/mitigation.h"
 #include "src/runtime/spg_monitor.h"
+#include "src/runtime/verdict_loop.h"
 
 namespace depfast {
 
@@ -86,6 +87,14 @@ struct RaftClusterOptions {
 // reactor thread; cross-thread access must go through RunOn(). `thread` is
 // declared last so it is destroyed (joined) first.
 struct RaftServerHandle {
+  // Detach the endpoint from the (possibly shared) transport before member
+  // teardown frees the reactor; otherwise a TCP poller thread could still
+  // post an inbound frame to the dead reactor.
+  ~RaftServerHandle() {
+    if (rpc != nullptr) {
+      rpc->Detach();
+    }
+  }
   std::unique_ptr<RpcEndpoint> rpc;
   std::unique_ptr<SimDisk> disk;
   std::unique_ptr<CpuModel> cpu;
@@ -96,6 +105,11 @@ struct RaftServerHandle {
 };
 
 struct RaftClientHandle {
+  ~RaftClientHandle() {
+    if (rpc != nullptr) {
+      rpc->Detach();
+    }
+  }
   std::unique_ptr<RpcEndpoint> rpc;
   std::unique_ptr<RaftClient> session;
   std::unique_ptr<ReactorThread> thread;
@@ -180,17 +194,14 @@ class RaftCluster {
   NodeId next_client_id_;
   bool shut_down_ = false;
 
-  // Online monitor (enable_monitor): a plain thread polling the Tracer.
-  std::unique_ptr<SpgMonitor> monitor_;
-  std::thread monitor_thread_;
-  std::atomic<bool> monitor_stop_{false};
-  std::mutex monitor_mu_;  // guards monitor_ state + verdicts_ after start
-  std::vector<SlownessVerdict> verdicts_;
-
   // Closed-loop mitigation (enable_mitigation). Declared policy-first so the
   // controller, which holds a raw policy pointer, is destroyed before it.
   std::unique_ptr<MitigationPolicy> mitigation_policy_impl_;
   std::unique_ptr<MitigationController> mitigation_;
+  // Online monitor thread (enable_monitor): drains the Tracer into an
+  // SpgMonitor and feeds verdicts into the controller. Declared after the
+  // controller so it stops before the controller is destroyed.
+  std::unique_ptr<VerdictLoop> verdict_loop_;
 };
 
 }  // namespace depfast

@@ -32,24 +32,32 @@ RaftNode::RaftNode(NodeEnv env, RpcEndpoint* rpc, Disk* disk, std::vector<NodeId
       rng_(env_.id * 0x9e3779b9ULL + 7),
       wal_(disk) {
   DF_CHECK(env_.reactor->OnReactorThread());
-  rpc_->Register(kMethodAppendEntries, [this](NodeId from, Marshal& args, Marshal* reply) {
-    HandleAppendEntries(from, args, reply);
-  });
-  rpc_->Register(kMethodRequestVote, [this](NodeId from, Marshal& args, Marshal* reply) {
-    HandleRequestVote(from, args, reply);
-  });
-  rpc_->Register(kMethodClientCommand, [this](NodeId from, Marshal& args, Marshal* reply) {
-    HandleClientCommand(from, args, reply);
-  });
-  rpc_->Register(kMethodInstallSnapshot, [this](NodeId from, Marshal& args, Marshal* reply) {
-    HandleInstallSnapshot(from, args, reply);
-  });
-  rpc_->Register(kMethodClientRead, [this](NodeId from, Marshal& args, Marshal* reply) {
-    HandleClientRead(from, args, reply);
-  });
-  rpc_->Register(kMethodPing, [this](NodeId from, Marshal& args, Marshal* reply) {
-    HandlePing(from, args, reply);
-  });
+  // All handlers register under this instance's group id, so many RaftNodes
+  // (one per group) can share the endpoint without method collisions.
+  rpc_->Register(config_.group_id, kMethodAppendEntries,
+                 [this](NodeId from, Marshal& args, Marshal* reply) {
+                   HandleAppendEntries(from, args, reply);
+                 });
+  rpc_->Register(config_.group_id, kMethodRequestVote,
+                 [this](NodeId from, Marshal& args, Marshal* reply) {
+                   HandleRequestVote(from, args, reply);
+                 });
+  rpc_->Register(config_.group_id, kMethodClientCommand,
+                 [this](NodeId from, Marshal& args, Marshal* reply) {
+                   HandleClientCommand(from, args, reply);
+                 });
+  rpc_->Register(config_.group_id, kMethodInstallSnapshot,
+                 [this](NodeId from, Marshal& args, Marshal* reply) {
+                   HandleInstallSnapshot(from, args, reply);
+                 });
+  rpc_->Register(config_.group_id, kMethodClientRead,
+                 [this](NodeId from, Marshal& args, Marshal* reply) {
+                   HandleClientRead(from, args, reply);
+                 });
+  rpc_->Register(config_.group_id, kMethodPing,
+                 [this](NodeId from, Marshal& args, Marshal* reply) {
+                   HandlePing(from, args, reply);
+                 });
 }
 
 RaftNode::~RaftNode() = default;
@@ -156,6 +164,7 @@ void RaftNode::RunElection() {
   for (NodeId peer : peers_) {
     CallOpts opts;
     opts.timeout_us = config_.vote_rpc_timeout_us;
+    opts.group = config_.group_id;
     opts.judge = VoteReplyGranted;
     auto ev = rpc_->Call(peer, kMethodRequestVote, args.Encode(), opts);
     ev->set_trace_exempt(true);  // only the vote quorum gates the election
@@ -393,6 +402,10 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
     CallOpts opts;
     opts.timeout_us = config_.rpc_timeout_us;
     opts.discardable = true;  // quorum-covered: droppable for slow links
+    opts.group = config_.group_id;
+    // Pure heartbeats ride the endpoint's coalesce window so the frames of
+    // every group sharing this peer link collapse into one batch frame.
+    opts.coalesce = heartbeat && config_.coalesce_heartbeats;
     opts.judge = AppendReplyOk;
     auto ev = rpc_->Call(peer, kMethodAppendEntries, demoted ? hb_encoded : encoded, opts);
     ev->set_trace_exempt(true);  // only the quorum wait gates the protocol
@@ -523,6 +536,7 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     CallOpts opts;
     opts.timeout_us = config_.rpc_timeout_us * 4;
     opts.discardable = false;  // catch-up traffic must arrive
+    opts.group = config_.group_id;
     opts.judge = AppendReplyOk;
     Marshal encoded = args.Encode();
     counters_.bytes_replicated += encoded.ContentSize();
@@ -596,6 +610,7 @@ bool RaftNode::SendSnapshot(NodeId peer, uint64_t epoch) {
     CallOpts opts;
     opts.timeout_us = config_.rpc_timeout_us * 8;  // snapshot batches are large
     opts.discardable = false;
+    opts.group = config_.group_id;
     auto ev = rpc_->Call(peer, kMethodInstallSnapshot, args.Encode(), opts);
     ev->set_trace_exempt(true);
     ev->Wait();
@@ -912,6 +927,7 @@ bool RaftNode::ConfirmLeadership() {
       CallOpts opts;
       opts.timeout_us = config_.rpc_timeout_us;
       opts.discardable = true;
+      opts.group = config_.group_id;
       opts.judge = [my_term_for_judge](Marshal& reply) {
         Marshal copy = reply;
         uint64_t t = 0;

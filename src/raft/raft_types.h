@@ -230,6 +230,18 @@ struct ClientCommandReply {
 };
 
 struct RaftConfig {
+  // ---- Multi-Raft ----
+  // Consensus group this node instance belongs to. Stamped into every RPC
+  // frame (CallOpts::group) and into handler registration, so many groups on
+  // one physical node share a single RpcEndpoint — and therefore a single
+  // transport connection per peer node.
+  uint32_t group_id = 0;
+  // Stage empty (heartbeat-shaped) replication rounds for the endpoint's
+  // coalesce window, so cross-group heartbeats to the same peer node
+  // collapse into one batch frame per window instead of one frame per group.
+  // Requires RpcEndpoint::SetCoalesceWindow on the shared endpoint.
+  bool coalesce_heartbeats = false;
+
   // Timers.
   uint64_t heartbeat_us = 30000;
   uint64_t election_timeout_min_us = 150000;

@@ -1,0 +1,82 @@
+#include "src/raft/shard_router.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/rand.h"
+
+namespace depfast {
+
+uint64_t RouteHash(const std::string& key) {
+  // FNV-1a over the key bytes, finalized with HashMix64 — fixed-width
+  // arithmetic only, so the value (and thus the routing) is identical on
+  // every platform.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return HashMix64(h);
+}
+
+uint32_t RoutingTable::GroupOfHash(uint64_t h) const {
+  auto it = std::lower_bound(range_end.begin(), range_end.end(), h);
+  DF_CHECK(it != range_end.end());  // last bound is UINT64_MAX
+  return group_of_range[static_cast<size_t>(it - range_end.begin())];
+}
+
+uint32_t RoutingTable::GroupOf(const std::string& key) const {
+  return GroupOfHash(RouteHash(key));
+}
+
+size_t RoutingTable::n_groups() const {
+  uint32_t max_group = 0;
+  for (uint32_t g : group_of_range) {
+    max_group = std::max(max_group, g);
+  }
+  return group_of_range.empty() ? 0 : static_cast<size_t>(max_group) + 1;
+}
+
+std::shared_ptr<const RoutingTable> RoutingTable::Uniform(uint32_t n_groups, uint64_t version) {
+  DF_CHECK_GT(n_groups, 0u);
+  auto table = std::make_shared<RoutingTable>();
+  table->version = version;
+  for (uint32_t i = 0; i < n_groups; i++) {
+    // Equal cuts of the 2^64 hash space; the last bound saturates at max so
+    // coverage is total regardless of rounding.
+    uint64_t end =
+        i + 1 == n_groups
+            ? UINT64_MAX
+            : static_cast<uint64_t>(
+                  ((static_cast<unsigned __int128>(i) + 1) << 64) / n_groups - 1);
+    table->range_end.push_back(end);
+    table->group_of_range.push_back(i);
+  }
+  return table;
+}
+
+ShardRouter::ShardRouter(uint32_t n_groups) : table_(RoutingTable::Uniform(n_groups)) {}
+
+uint32_t ShardRouter::GroupOf(const std::string& key) const {
+  return Snapshot()->GroupOf(key);
+}
+
+uint64_t ShardRouter::version() const { return Snapshot()->version; }
+
+size_t ShardRouter::n_groups() const { return Snapshot()->n_groups(); }
+
+std::shared_ptr<const RoutingTable> ShardRouter::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return table_;
+}
+
+void ShardRouter::Install(std::shared_ptr<const RoutingTable> table) {
+  DF_CHECK_NOTNULL(table.get());
+  DF_CHECK(!table->range_end.empty());
+  DF_CHECK_EQ(table->range_end.back(), UINT64_MAX);
+  DF_CHECK_EQ(table->range_end.size(), table->group_of_range.size());
+  std::lock_guard<std::mutex> lk(mu_);
+  DF_CHECK_GT(table->version, table_->version);
+  table_ = std::move(table);
+}
+
+}  // namespace depfast

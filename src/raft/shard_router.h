@@ -1,0 +1,70 @@
+// Key -> group routing shared by the Multi-Raft cluster and its client
+// sessions (the single source of truth the old duplicated ShardOf
+// implementations diverged from).
+//
+// Routing is by key RANGE over the 64-bit hash space, not by modulo: the
+// cluster owns a RoutingTable mapping contiguous hash ranges to group ids,
+// and clients hold a versioned snapshot of it (the router cache). With the
+// default uniform table this degenerates to the same distribution as hash
+// modulo, but ranges can be reassigned (splits/moves) without rerouting
+// every key — clients notice the version bump and refresh their snapshot.
+#ifndef SRC_RAFT_SHARD_ROUTER_H_
+#define SRC_RAFT_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace depfast {
+
+// Stable 64-bit key hash (FNV-1a finalized with HashMix64) — identical on
+// every platform, so routing is deterministic across machines and builds.
+uint64_t RouteHash(const std::string& key);
+
+// An immutable range table: sorted upper bounds (inclusive) over the hash
+// space and the owning group of each range. Shared by pointer between the
+// authoritative router and client-side caches.
+struct RoutingTable {
+  uint64_t version = 0;
+  // range_end[i] is the INCLUSIVE upper bound of range i; the last entry is
+  // always UINT64_MAX so every hash lands somewhere.
+  std::vector<uint64_t> range_end;
+  std::vector<uint32_t> group_of_range;
+
+  uint32_t GroupOf(const std::string& key) const;
+  uint32_t GroupOfHash(uint64_t h) const;
+  size_t n_groups() const;
+
+  // Uniform table: the hash space cut into `n_groups` equal ranges, range i
+  // owned by group i.
+  static std::shared_ptr<const RoutingTable> Uniform(uint32_t n_groups, uint64_t version = 1);
+};
+
+// The authoritative router (cluster side) and the snapshot source for
+// client caches. Thread-safe.
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t n_groups);
+
+  uint32_t GroupOf(const std::string& key) const;
+  uint64_t version() const;
+  size_t n_groups() const;
+
+  // Current table snapshot — what a client session caches. A session
+  // re-fetches when version() moved past its snapshot's version.
+  std::shared_ptr<const RoutingTable> Snapshot() const;
+
+  // Installs a new table (splits/moves). Must keep the full-coverage
+  // invariant; bumps the version past the current one.
+  void Install(std::shared_ptr<const RoutingTable> table);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const RoutingTable> table_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RAFT_SHARD_ROUTER_H_

@@ -1,67 +1,295 @@
 #include "src/raft/sharded_kv.h"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
-#include "src/base/rand.h"
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
 
 namespace depfast {
 
-namespace {
+// ------------------------------------------------------------------ policy
 
-uint64_t KeyHash(const std::string& key) {
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : key) {
-    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+// Node-level mitigation for the Multi-Raft deployment. One verdict against a
+// physical node triggers, in one engage action:
+//   - a transport shed cap toward the node (bounded resident bytes),
+//   - demoted replication toward it in EVERY group on every other node,
+//   - LEADER EVACUATION: each group the accused node leads is handed to the
+//     healthiest remaining replica (max match index, ties to the node
+//     leading fewest groups).
+// Probation lifts shed + demotion for a full-speed trial and probes with
+// echo pings; re-admission is bookkeeping only — leadership stays where the
+// evacuation put it (sticky) until RebalanceLeaders() is called.
+// All methods run on the VerdictLoop's monitor thread (the controller
+// dispatch contract), so blocking RunOn posts are safe here.
+class MultiRaftMitigationPolicy : public MitigationPolicy {
+ public:
+  MultiRaftMitigationPolicy(ShardedKvCluster* cluster, MitigationPolicyOptions opts)
+      : cluster_(cluster), opts_(opts) {}
+
+  void Engage(const std::string& peer, const std::string& reason) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    NodeId id = cluster_->NodeIdOf(idx);
+    // Never act against a quorum: with other nodes already under mitigation,
+    // shedding/evacuating one more could leave groups without a healthy
+    // majority (and EvacuateLeaders' no-loss argument assumes a single
+    // accused node). The controller still tracks the state; we just refuse
+    // the action.
+    int others_acted_on = 0;
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      MitigationState st = cluster_->MitigationStateOf(j);
+      if (st == MitigationState::kMitigated || st == MitigationState::kProbation) {
+        others_acted_on++;
+      }
+    }
+    if (others_acted_on + 1 > (cluster_->n_nodes() - 1) / 2) {
+      DF_LOG_WARN("multiraft mitigation: refusing to engage against %s — %d node(s) already "
+                  "mitigated, acting would touch a quorum",
+                  peer.c_str(), others_acted_on);
+      return;
+    }
+    DF_LOG_INFO("multiraft mitigation: engage against %s (%s)", peer.c_str(), reason.c_str());
+    cluster_->net()->SetPeerShed(id, opts_.shed_cap_bytes);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      cluster_->RunOn(j, [this, j, id]() {
+        for (int g = 0; g < cluster_->n_groups(); g++) {
+          cluster_->raft(j, g)->SetPeerMitigated(id, true);
+        }
+      });
+    }
+    int moved = cluster_->EvacuateLeaders(idx);
+    DF_LOG_INFO("multiraft mitigation: evacuated %d group leaders off %s", moved, peer.c_str());
   }
-  return HashMix64(h);
+
+  void BeginProbation(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    NodeId id = cluster_->NodeIdOf(idx);
+    DF_LOG_INFO("multiraft mitigation: probation for %s", peer.c_str());
+    cluster_->net()->SetPeerShed(id, 0);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      cluster_->RunOn(j, [this, j, id]() {
+        for (int g = 0; g < cluster_->n_groups(); g++) {
+          cluster_->raft(j, g)->SetPeerMitigated(id, false);
+        }
+      });
+    }
+  }
+
+  void Probe(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    MitigationController* ctl = cluster_->mitigation();
+    if (idx < 0 || ctl == nullptr) {
+      return;
+    }
+    NodeId id = cluster_->NodeIdOf(idx);
+    int prober = idx == 0 ? 1 : 0;
+    MultiRaftNodeHandle* ph = cluster_->nodes_[static_cast<size_t>(prober)].get();
+    const int n_groups = cluster_->n_groups();
+    const uint64_t timeout = opts_.probe_timeout_us;
+    const uint64_t ok_lat = opts_.probe_latency_ok_us;
+    const uint64_t lag_ok = opts_.probe_lag_entries;
+    // RunOn returns once the coroutine is SPAWNED; the probe itself runs
+    // async on the prober's reactor and reports via OnProbeResult (which
+    // only queues — a reactor thread must never dispatch policy actions).
+    cluster_->RunOn(prober, [ph, ctl, id, peer, n_groups, timeout, ok_lat, lag_ok]() {
+      Coroutine::Create([ph, ctl, id, peer, n_groups, timeout, ok_lat, lag_ok]() {
+        uint64_t t0 = MonotonicUs();
+        PingArgs args;  // term 0: a pure echo, no term/role side effects
+        CallOpts copts;
+        copts.timeout_us = timeout;
+        auto ev = ph->rpc->Call(id, kMethodPing, args.Encode(), copts);
+        ev->set_trace_exempt(true);  // probes must not feed detection
+        ev->Wait();
+        uint64_t lat = MonotonicUs() - t0;
+        bool clean = !ev->failed() && lat <= ok_lat;
+        if (clean) {
+          // A clean probe additionally requires the peer caught up in every
+          // group this node leads, so re-admission waits for real recovery.
+          for (int g = 0; g < n_groups && clean; g++) {
+            RaftNode* r = ph->groups[static_cast<size_t>(g)].get();
+            if (r->role() == RaftRole::kLeader) {
+              clean = r->match_idx_of(id) + lag_ok >= r->last_log_idx();
+            }
+          }
+        }
+        ctl->OnProbeResult(peer, clean, MonotonicUs());
+      });
+    });
+  }
+
+  void Readmit(const std::string& peer) override {
+    // Sticky evacuation: the re-admitted node serves as a follower; call
+    // ShardedKvCluster::RebalanceLeaders() to hand leadership back.
+    DF_LOG_INFO("multiraft mitigation: %s re-admitted (leaders stay evacuated)", peer.c_str());
+  }
+
+ private:
+  int IndexOf(const std::string& peer) const {
+    for (int i = 0; i < cluster_->n_nodes(); i++) {
+      if (cluster_->NodeName(i) == peer) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  ShardedKvCluster* cluster_;
+  MitigationPolicyOptions opts_;
+};
+
+// ----------------------------------------------------------------- cluster
+
+Transport* ShardedKvCluster::net() const {
+  return transport_ != nullptr ? static_cast<Transport*>(transport_.get())
+                               : static_cast<Transport*>(tcp_transport_.get());
 }
 
-}  // namespace
+ShardedKvCluster::ShardedKvCluster(int n_groups, MultiRaftOptions opts)
+    : n_groups_(n_groups), opts_(opts), router_(static_cast<uint32_t>(n_groups)) {
+  DF_CHECK_GT(n_groups_, 0);
+  DF_CHECK_GT(opts_.n_nodes, 0);
+  if (opts_.enable_mitigation) {
+    opts_.enable_monitor = true;  // the loop is closed FROM verdicts
+  }
+  if (opts_.transport_kind == ClusterTransport::kTcp) {
+    TcpTransportOptions topts = opts_.tcp;
+    if (topts.default_queue_cap_bytes == 0) {
+      topts.default_queue_cap_bytes = opts_.raft.send_queue_cap_bytes;
+    }
+    tcp_transport_ = std::make_unique<TcpTransport>(topts);
+  } else {
+    transport_ = std::make_unique<SimTransport>(opts_.link, /*seed=*/42);
+  }
 
-ShardedKvCluster::ShardedKvCluster(int n_shards, RaftClusterOptions base) {
-  for (int k = 0; k < n_shards; k++) {
-    RaftClusterOptions opts = base;
-    // Globally unique node ids/names across shards: s1..s3, s4..s6, ...
-    opts.first_node_id = static_cast<NodeId>(k * base.n_nodes + 1);
-    shards_.push_back(std::make_unique<RaftCluster>(opts));
+  // Session ids are allocated ABOVE the server id range; with one id per
+  // PHYSICAL node (not per group), the range is n_nodes wide no matter how
+  // many groups run. Asserted here so an id-scheme change cannot silently
+  // reintroduce the collision.
+  NodeId max_server_id = opts_.first_node_id + static_cast<NodeId>(opts_.n_nodes) - 1;
+  next_session_id_ = max_server_id + 1;
+  DF_CHECK_GT(next_session_id_, max_server_id);
+
+  std::vector<NodeId> all_ids;
+  std::vector<std::string> all_names;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    all_ids.push_back(NodeIdOf(i));
+    all_names.push_back(NodeName(i));
+  }
+
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    auto handle = std::make_unique<MultiRaftNodeHandle>();
+    handle->thread = std::make_unique<ReactorThread>(all_names[static_cast<size_t>(i)]);
+    nodes_.push_back(std::move(handle));
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    MultiRaftNodeHandle* h = nodes_[static_cast<size_t>(i)].get();
+    NodeId my_id = all_ids[static_cast<size_t>(i)];
+    std::string my_name = all_names[static_cast<size_t>(i)];
+    std::vector<NodeId> peers;
+    for (NodeId nid : all_ids) {
+      if (nid != my_id) {
+        peers.push_back(nid);
+      }
+    }
+    RunOn(i, [this, h, my_id, my_name, peers, &all_ids, &all_names]() {
+      Reactor* reactor = Reactor::Current();
+      h->rpc = std::make_unique<RpcEndpoint>(my_id, my_name, reactor, net());
+      for (size_t j = 0; j < all_ids.size(); j++) {
+        h->rpc->SetPeerName(all_ids[j], all_names[j]);
+      }
+      if (opts_.heartbeat_coalesce_window_us > 0) {
+        h->rpc->SetCoalesceWindow(opts_.heartbeat_coalesce_window_us);
+      }
+      h->disk = std::make_unique<SimDisk>(reactor, opts_.disk);
+      h->cpu = std::make_unique<CpuModel>(reactor);
+      h->mem = std::make_unique<MemModel>();
+      h->mem->SetDefaultCap(opts_.machine_mem_cap_bytes, opts_.machine_swap_penalty);
+      h->cpu->set_mem(h->mem.get());
+      h->env = NodeEnv{my_id,        my_name,       reactor,          h->cpu.get(),
+                       h->mem.get(), h->disk.get(), transport_.get(), tcp_transport_.get()};
+      for (int g = 0; g < n_groups_; g++) {
+        RaftConfig cfg = opts_.raft;
+        cfg.group_id = static_cast<uint32_t>(g);
+        cfg.coalesce_heartbeats = opts_.heartbeat_coalesce_window_us > 0;
+        if (opts_.pin_leaders) {
+          cfg.enable_election = false;
+        }
+        h->groups.push_back(
+            std::make_unique<RaftNode>(h->env, h->rpc.get(), h->disk.get(), peers, cfg));
+      }
+    });
+  }
+  // Boot: group g's leader starts on node (g % n_nodes) — leadership is
+  // balanced across nodes from the first heartbeat.
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    MultiRaftNodeHandle* h = nodes_[static_cast<size_t>(i)].get();
+    RunOn(i, [this, h, i]() {
+      for (int g = 0; g < n_groups_; g++) {
+        bool lead = opts_.pin_leaders && g % opts_.n_nodes == i;
+        if (lead) {
+          h->groups[static_cast<size_t>(g)]->StartAsLeader(1);
+        } else {
+          h->groups[static_cast<size_t>(g)]->Start();
+        }
+      }
+    });
+  }
+
+  if (opts_.enable_mitigation) {
+    MitigationPolicyOptions popts = opts_.mitigation_policy;
+    if (popts.shed_cap_bytes == 0) {
+      popts.shed_cap_bytes = opts_.raft.send_queue_cap_bytes > 0
+                                 ? std::max<uint64_t>(opts_.raft.send_queue_cap_bytes / 4, 1)
+                                 : 64 * 1024;
+    }
+    mitigation_policy_impl_ = std::make_unique<MultiRaftMitigationPolicy>(this, popts);
+    mitigation_ =
+        std::make_unique<MitigationController>(opts_.mitigation, mitigation_policy_impl_.get());
+    for (int i = 0; i < opts_.n_nodes; i++) {
+      mitigation_->SeedPeer(NodeName(i));
+    }
+  }
+  if (opts_.enable_monitor) {
+    verdict_loop_ = std::make_unique<VerdictLoop>(opts_.monitor, opts_.monitor_poll_us,
+                                                  mitigation_.get());
+    size_t min_victims = opts_.verdict_min_victims;
+    if (min_victims == 0 && opts_.n_nodes > 2) {
+      min_victims = static_cast<size_t>(opts_.n_nodes - 1) / 2 + 1;
+    }
+    verdict_loop_->SetMinVictims(min_victims);
+    verdict_loop_->Start();
   }
 }
+
+ShardedKvCluster::~ShardedKvCluster() { Shutdown(); }
 
 int ShardedKvCluster::ShardOf(const std::string& key) const {
-  return static_cast<int>(KeyHash(key) % shards_.size());
+  return static_cast<int>(router_.GroupOf(key));
 }
 
-int ShardedKvSession::ShardOf(const std::string& key) const {
-  return static_cast<int>(KeyHash(key) % sessions_.size());
-}
-
-void ShardedKvCluster::InjectFault(int k, int node_idx, FaultType type) {
-  shards_[static_cast<size_t>(k)]->InjectFault(node_idx, type);
-}
-
-void ShardedKvCluster::ClearFault(int k, int node_idx) {
-  shards_[static_cast<size_t>(k)]->ClearFault(node_idx);
-}
-
-std::unique_ptr<ShardedKvSession> ShardedKvCluster::MakeSession(const std::string& name) {
-  auto session = std::make_unique<ShardedKvSession>();
-  session->thread_ = std::make_unique<ReactorThread>(name);
-  NodeId id = next_session_id_++;
+void ShardedKvCluster::RunOn(int i, std::function<void()> fn) {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
-  ShardedKvSession* s = session.get();
-  session->thread_->reactor()->Post([&, s, id]() {
-    for (auto& shard : shards_) {
-      auto ids = shard->server_ids();
-      auto ep = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), &shard->transport());
-      for (NodeId sid : ids) {
-        ep->SetPeerName(sid, shard->options().name_prefix + std::to_string(sid));
-      }
-      s->sessions_.push_back(std::make_unique<RaftClient>(ep.get(), ids));
-      s->endpoints_.push_back(std::move(ep));
-    }
+  nodes_[static_cast<size_t>(i)]->thread->reactor()->Post([&]() {
+    fn();
     {
       std::lock_guard<std::mutex> lk(mu);
       done = true;
@@ -70,19 +298,327 @@ std::unique_ptr<ShardedKvSession> ShardedKvCluster::MakeSession(const std::strin
   });
   std::unique_lock<std::mutex> lk(mu);
   cv.wait(lk, [&]() { return done; });
+}
+
+int ShardedKvCluster::GroupLeaderIndex(int g) {
+  int leader = -1;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    RaftRole role = RaftRole::kFollower;
+    RaftNode* r = raft(i, g);
+    RunOn(i, [&role, r]() { role = r->role(); });
+    if (role == RaftRole::kLeader) {
+      leader = i;
+    }
+  }
+  return leader;
+}
+
+int ShardedKvCluster::LeadersOnNode(int i) {
+  int count = 0;
+  RunOn(i, [this, i, &count]() {
+    for (int g = 0; g < n_groups_; g++) {
+      if (raft(i, g)->role() == RaftRole::kLeader) {
+        count++;
+      }
+    }
+  });
+  return count;
+}
+
+int ShardedKvCluster::EvacuateLeaders(int accused) {
+  const int n = opts_.n_nodes;
+  struct Move {
+    int g = 0;
+    uint64_t term = 0;
+    std::vector<uint64_t> match;  // indexed by node, 0 for the accused
+  };
+  std::vector<Move> moves;
+  RunOn(accused, [this, accused, n, &moves]() {
+    for (int g = 0; g < n_groups_; g++) {
+      RaftNode* r = raft(accused, g);
+      if (r->role() != RaftRole::kLeader) {
+        continue;
+      }
+      Move m;
+      m.g = g;
+      m.term = r->term();
+      m.match.assign(static_cast<size_t>(n), 0);
+      for (int j = 0; j < n; j++) {
+        if (j != accused) {
+          m.match[static_cast<size_t>(j)] = r->match_idx_of(NodeIdOf(j));
+        }
+      }
+      moves.push_back(std::move(m));
+    }
+  });
+  if (moves.empty()) {
+    return 0;
+  }
+  // Target = healthy node with the max match index for the group. With a
+  // single accused node that replica holds every committed entry (commit
+  // needs a majority, and the max healthy match is at least the majority-th
+  // mark), so the transfer loses nothing durable. Ties go to the node
+  // leading the fewest groups, keeping the evacuated load balanced.
+  std::vector<int> lead_count(static_cast<size_t>(n), 0);
+  for (int j = 0; j < n; j++) {
+    if (j != accused) {
+      lead_count[static_cast<size_t>(j)] = LeadersOnNode(j);
+    }
+  }
+  std::vector<std::vector<std::pair<int, uint64_t>>> per_target(static_cast<size_t>(n));
+  for (const Move& m : moves) {
+    int best = -1;
+    for (int j = 0; j < n; j++) {
+      if (j == accused) {
+        continue;
+      }
+      if (best < 0 || m.match[static_cast<size_t>(j)] > m.match[static_cast<size_t>(best)] ||
+          (m.match[static_cast<size_t>(j)] == m.match[static_cast<size_t>(best)] &&
+           lead_count[static_cast<size_t>(j)] < lead_count[static_cast<size_t>(best)])) {
+        best = j;
+      }
+    }
+    lead_count[static_cast<size_t>(best)]++;
+    per_target[static_cast<size_t>(best)].push_back({m.g, m.term + 1});
+  }
+  // Demote first, then promote at term+1: the old leader never coexists
+  // with the new one at an equal term, and its stray frames are rejected.
+  RunOn(accused, [this, accused, &moves]() {
+    for (const Move& m : moves) {
+      raft(accused, m.g)->StepDownIfLeader();
+    }
+  });
+  for (int j = 0; j < n; j++) {
+    const auto& takes = per_target[static_cast<size_t>(j)];
+    if (takes.empty()) {
+      continue;
+    }
+    RunOn(j, [this, j, &takes]() {
+      for (const auto& [g, term] : takes) {
+        raft(j, g)->StartAsLeader(term);
+      }
+    });
+  }
+  n_evacuations_.fetch_add(moves.size(), std::memory_order_relaxed);
+  return static_cast<int>(moves.size());
+}
+
+void ShardedKvCluster::RebalanceLeaders() {
+  for (int g = 0; g < n_groups_; g++) {
+    int home = g % opts_.n_nodes;
+    int cur = GroupLeaderIndex(g);
+    if (cur < 0 || cur == home) {
+      continue;
+    }
+    uint64_t term = 0;
+    RunOn(cur, [this, cur, g, &term]() {
+      term = raft(cur, g)->term();
+      raft(cur, g)->StepDownIfLeader();
+    });
+    RunOn(home, [this, home, g, term]() { raft(home, g)->StartAsLeader(term + 1); });
+  }
+}
+
+void ShardedKvCluster::InjectFault(int i, FaultType type) {
+  FaultInjector::Apply(nodes_[static_cast<size_t>(i)]->env, MakeFault(type));
+}
+
+void ShardedKvCluster::ClearFault(int i) {
+  FaultInjector::Clear(nodes_[static_cast<size_t>(i)]->env);
+}
+
+std::vector<SlownessVerdict> ShardedKvCluster::Verdicts() {
+  return verdict_loop_ != nullptr ? verdict_loop_->Verdicts() : std::vector<SlownessVerdict>{};
+}
+
+MitigationState ShardedKvCluster::MitigationStateOf(int i) {
+  return mitigation_ != nullptr ? mitigation_->StateOf(NodeName(i)) : MitigationState::kHealthy;
+}
+
+uint64_t ShardedKvCluster::CoalescedCalls() {
+  uint64_t total = 0;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    MultiRaftNodeHandle* h = nodes_[static_cast<size_t>(i)].get();
+    RunOn(i, [h, &total]() { total += h->rpc->n_coalesced_calls(); });
+  }
+  return total;
+}
+
+uint64_t ShardedKvCluster::BatchFrames() {
+  uint64_t total = 0;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    MultiRaftNodeHandle* h = nodes_[static_cast<size_t>(i)].get();
+    RunOn(i, [h, &total]() { total += h->rpc->n_batch_frames(); });
+  }
+  return total;
+}
+
+void ShardedKvCluster::ExportMetrics(MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    reg = &MetricsRegistry::Global();
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    MultiRaftNodeHandle* h = nodes_[static_cast<size_t>(i)].get();
+    RaftCounters c;
+    uint64_t coalesced = 0;
+    uint64_t batch_frames = 0;
+    RunOn(i, [this, h, &c, &coalesced, &batch_frames]() {
+      for (int g = 0; g < n_groups_; g++) {
+        RaftCounters gc = h->groups[static_cast<size_t>(g)]->counters();
+        c.ops_proposed += gc.ops_proposed;
+        c.entries_proposed += gc.entries_proposed;
+        c.rounds += gc.rounds;
+        c.wal_appends += gc.wal_appends;
+        c.wal_flushes += gc.wal_flushes;
+        c.bytes_replicated += gc.bytes_replicated;
+        c.mitigated_skips += gc.mitigated_skips;
+      }
+      coalesced = h->rpc->n_coalesced_calls();
+      batch_frames = h->rpc->n_batch_frames();
+    });
+    MetricLabels node{{"node", NodeName(i)}};
+    reg->GetCounter("raft_ops_proposed_total", node)->Set(c.ops_proposed);
+    reg->GetCounter("raft_entries_proposed_total", node)->Set(c.entries_proposed);
+    reg->GetCounter("raft_replication_rounds_total", node)->Set(c.rounds);
+    reg->GetCounter("raft_wal_appends_total", node)->Set(c.wal_appends);
+    reg->GetCounter("raft_wal_flushes_total", node)->Set(c.wal_flushes);
+    reg->GetCounter("raft_bytes_replicated_total", node)->Set(c.bytes_replicated);
+    reg->GetCounter("raft_mitigated_skips_total", node)->Set(c.mitigated_skips);
+    reg->GetCounter("rpc_coalesced_calls_total", node)->Set(coalesced);
+    reg->GetCounter("rpc_batch_frames_total", node)->Set(batch_frames);
+  }
+  if (tcp_transport_ != nullptr) {
+    TransportCounters t = tcp_transport_->counters();
+    reg->GetCounter("transport_frames_sent_total")->Set(t.frames_sent);
+    reg->GetCounter("transport_bytes_sent_total")->Set(t.bytes_sent);
+    reg->GetCounter("transport_writev_calls_total")->Set(t.writev_calls);
+    reg->GetCounter("transport_drops_total")->Set(t.drops);
+    reg->GetCounter("transport_backpressure_stalls_total")->Set(t.backpressure_stalls);
+    reg->GetCounter("transport_shed_drops_total")->Set(t.shed_drops);
+  }
+  reg->GetCounter("multiraft_evacuations_total")
+      ->Set(n_evacuations_.load(std::memory_order_relaxed));
+  if (verdict_loop_ != nullptr) {
+    reg->GetCounter("spg_windows_closed_total")->Set(verdict_loop_->WindowsClosed());
+    reg->GetCounter("spg_verdicts_total")->Set(verdict_loop_->Verdicts().size());
+  }
+}
+
+std::unique_ptr<ShardedKvSession> ShardedKvCluster::MakeSession(const std::string& name,
+                                                                uint64_t timeout_us) {
+  if (shut_down_.load(std::memory_order_relaxed)) {
+    return nullptr;  // reactors are stopping; the handshake would hang
+  }
+  auto session = std::unique_ptr<ShardedKvSession>(new ShardedKvSession());
+  session->thread_ = std::make_unique<ReactorThread>(name);
+  session->router_ = &router_;
+  NodeId id = next_session_id_++;
+  DF_CHECK_GT(id, opts_.first_node_id + static_cast<NodeId>(opts_.n_nodes) - 1);
+
+  std::vector<NodeId> ids;
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    ids.push_back(NodeIdOf(i));
+  }
+  // Handshake state is shared with the posted lambda so a timed-out
+  // MakeSession can return without leaving a dangling reference behind.
+  struct Handshake {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto hs = std::make_shared<Handshake>();
+  ShardedKvSession* s = session.get();
+  session->thread_->reactor()->Post([this, s, id, ids, name, hs]() {
+    s->endpoint_ = std::make_unique<RpcEndpoint>(id, name, Reactor::Current(), net());
+    for (int i = 0; i < opts_.n_nodes; i++) {
+      s->endpoint_->SetPeerName(ids[static_cast<size_t>(i)], NodeName(i));
+    }
+    for (int g = 0; g < n_groups_; g++) {
+      auto client = std::make_unique<RaftClient>(s->endpoint_.get(), ids,
+                                                 /*op_timeout_us=*/3000000, /*max_attempts=*/8,
+                                                 static_cast<uint32_t>(g));
+      if (opts_.pin_leaders) {
+        client->SetTargetHint(NodeIdOf(g % opts_.n_nodes));
+      }
+      s->clients_.push_back(std::move(client));
+    }
+    s->route_ = router_.Snapshot();
+    {
+      std::lock_guard<std::mutex> lk(hs->mu);
+      hs->done = true;
+    }
+    hs->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(hs->mu);
+  if (!hs->cv.wait_for(lk, std::chrono::microseconds(timeout_us), [&]() { return hs->done; })) {
+    lk.unlock();
+    // The session reactor never ran the handshake (stopping or wedged).
+    // Join its thread first — after Stop() the lambda either ran or never
+    // will — so destroying the half-built session is safe.
+    session->thread_->Stop();
+    return nullptr;
+  }
   return session;
 }
 
+void ShardedKvCluster::Shutdown() {
+  if (shut_down_.exchange(true)) {
+    return;
+  }
+  if (verdict_loop_ != nullptr) {
+    verdict_loop_->Stop();
+  }
+  for (int i = 0; i < opts_.n_nodes; i++) {
+    MultiRaftNodeHandle* h = nodes_[static_cast<size_t>(i)].get();
+    RunOn(i, [this, h]() {
+      for (int g = 0; g < n_groups_; g++) {
+        h->groups[static_cast<size_t>(g)]->Shutdown();
+      }
+    });
+  }
+  for (auto& h : nodes_) {
+    h->thread->Stop();
+  }
+}
+
+// ----------------------------------------------------------------- session
+
+RaftClient* ShardedKvSession::ClientFor(const std::string& key) {
+  // Router cache: refresh the snapshot only when the authoritative table's
+  // version moved (range splits/moves), not on every op.
+  if (route_ == nullptr || route_->version != router_->version()) {
+    route_ = router_->Snapshot();
+    n_route_refreshes_++;
+  }
+  return clients_[route_->GroupOf(key)].get();
+}
+
+int ShardedKvSession::ShardOf(const std::string& key) {
+  if (route_ == nullptr || route_->version != router_->version()) {
+    route_ = router_->Snapshot();
+    n_route_refreshes_++;
+  }
+  return static_cast<int>(route_->GroupOf(key));
+}
+
+uint64_t ShardedKvSession::n_retries() const {
+  uint64_t total = 0;
+  for (const auto& c : clients_) {
+    total += c->n_retries();
+  }
+  return total;
+}
+
 bool ShardedKvSession::Put(const std::string& key, const std::string& value) {
-  return sessions_[static_cast<size_t>(ShardOf(key))]->Put(key, value);
+  return ClientFor(key)->Put(key, value);
 }
 
 std::optional<std::string> ShardedKvSession::Get(const std::string& key) {
-  return sessions_[static_cast<size_t>(ShardOf(key))]->Get(key);
+  return ClientFor(key)->Get(key);
 }
 
 bool ShardedKvSession::Delete(const std::string& key) {
-  return sessions_[static_cast<size_t>(ShardOf(key))]->Delete(key);
+  return ClientFor(key)->Delete(key);
 }
 
 }  // namespace depfast

@@ -1,60 +1,229 @@
-// Sharded deployment: N independent DepFastRaft groups (the paper's Figure 2
-// topology — shards {s1-s3}, {s4-s6}, ... — and the "sharded data stores"
-// direction of §5). Keys are routed to shards by hash; each shard is its own
-// consensus group, so a fail-slow minority in one shard affects neither the
-// other shards nor (thanks to QuorumEvent) its own.
+// Multi-Raft sharded deployment (the "sharded data stores" direction of §5):
+// many Raft groups share a small set of physical nodes. Each physical node
+// runs ONE reactor thread, ONE RpcEndpoint and ONE transport connection per
+// peer node; every group's RaftNode on that node multiplexes over them with
+// its group id stamped into the RPC frame. Keys route to groups by key-range
+// over the hash space through a shared ShardRouter (cluster and sessions use
+// the same table — they cannot diverge), and group leaders are balanced
+// round-robin across nodes.
+//
+// Fail-slow handling is NODE-level, not per-group: the SpgMonitor sees one
+// vertex per physical node, so a fail-slow node hosting 64 groups draws ONE
+// verdict, and the mitigation policy evacuates the leadership of every group
+// led there in one engage action (plus the usual transport shed + demoted
+// replication toward it).
 #ifndef SRC_RAFT_SHARDED_KV_H_
 #define SRC_RAFT_SHARDED_KV_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/base/metrics.h"
+#include "src/faults/fault_injector.h"
+#include "src/raft/raft_client.h"
 #include "src/raft/raft_cluster.h"
+#include "src/raft/raft_node.h"
+#include "src/raft/shard_router.h"
+#include "src/rpc/sim_transport.h"
+#include "src/rpc/tcp_transport.h"
+#include "src/runtime/mitigation.h"
+#include "src/runtime/verdict_loop.h"
 
 namespace depfast {
 
 class ShardedKvCluster;
 
-// A client session spanning all shards: one reactor thread, one RPC endpoint
-// + RaftClient per shard, hash routing.
+struct MultiRaftOptions {
+  // Physical nodes; every group is replicated across all of them.
+  int n_nodes = 3;
+  RaftConfig raft;
+  LinkParams link;
+  SimDiskParams disk;
+  ClusterTransport transport_kind = ClusterTransport::kSim;
+  TcpTransportOptions tcp;
+  uint64_t machine_mem_cap_bytes = 48ull << 20;
+  double machine_swap_penalty = 4.0;
+  // Leader of group g boots on node (g % n_nodes) and elections are
+  // disabled; leadership moves only via evacuation/rebalance.
+  bool pin_leaders = true;
+  std::string name_prefix = "s";
+  NodeId first_node_id = 1;
+  // Cross-group heartbeat coalescing window on each node's shared endpoint
+  // (RpcEndpoint::SetCoalesceWindow). 0 disables.
+  uint64_t heartbeat_coalesce_window_us = 2000;
+  // Live fail-slow detection / closed-loop mitigation, as in
+  // RaftClusterOptions — but the SPG vertices are physical nodes here.
+  bool enable_monitor = false;
+  SpgMonitorOptions monitor;
+  uint64_t monitor_poll_us = 100000;
+  // Observer-corroboration bar for node-level accusations (see
+  // VerdictLoop::SetMinVictims). 0 = auto: a majority of the OTHER nodes
+  // must be victims, so a node whose own inbound path is slow cannot get
+  // its healthy peers mitigated by accusing them alone.
+  size_t verdict_min_victims = 0;
+  bool enable_mitigation = false;
+  MitigationOptions mitigation;
+  MitigationPolicyOptions mitigation_policy;
+};
+
+// A client session: one reactor thread, ONE RpcEndpoint, one RaftClient per
+// group, and a cached snapshot of the cluster's routing table that refreshes
+// itself when the table version moves.
 class ShardedKvSession {
  public:
+  // Detaches the endpoint from the shared transport before `thread_`
+  // (declared last, destroyed first) frees the reactor — late replies from
+  // the cluster must not be posted to a dead reactor.
+  ~ShardedKvSession() {
+    if (endpoint_ != nullptr) {
+      endpoint_->Detach();
+    }
+  }
+
   // Must be called from coroutines on thread()'s reactor.
   bool Put(const std::string& key, const std::string& value);
   std::optional<std::string> Get(const std::string& key);
   bool Delete(const std::string& key);
 
   ReactorThread* thread() { return thread_.get(); }
-  int ShardOf(const std::string& key) const;
+  // The session's node id on the shared transport (immutable once built).
+  NodeId id() const { return endpoint_->id(); }
+  // Group the session would route `key` to (refreshes the route cache).
+  int ShardOf(const std::string& key);
+  // Times the route cache was refreshed after a version bump.
+  uint64_t n_route_refreshes() const { return n_route_refreshes_; }
+  // Retries across all per-group clients (leader searches / timeouts).
+  uint64_t n_retries() const;
 
  private:
   friend class ShardedKvCluster;
 
-  std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
-  std::vector<std::unique_ptr<RaftClient>> sessions_;
-  std::unique_ptr<ReactorThread> thread_;  // destroyed (joined) first
+  RaftClient* ClientFor(const std::string& key);
+
+  const ShardRouter* router_ = nullptr;             // cluster-owned
+  std::shared_ptr<const RoutingTable> route_;       // session-side cache
+  uint64_t n_route_refreshes_ = 0;
+  std::unique_ptr<RpcEndpoint> endpoint_;
+  std::vector<std::unique_ptr<RaftClient>> clients_;  // one per group
+  std::unique_ptr<ReactorThread> thread_;  // declared last: joined first
+};
+
+// One physical node: one reactor thread hosting every group's RaftNode over
+// shared endpoint/disk/cpu/mem. Internals live on the reactor thread;
+// cross-thread access goes through ShardedKvCluster::RunOn.
+struct MultiRaftNodeHandle {
+  // Detach from the shared transport before the reactor (owned by `thread`,
+  // destroyed first) is freed — the TCP poller must not post to it after.
+  ~MultiRaftNodeHandle() {
+    if (rpc != nullptr) {
+      rpc->Detach();
+    }
+  }
+  std::unique_ptr<RpcEndpoint> rpc;
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<MemModel> mem;
+  std::vector<std::unique_ptr<RaftNode>> groups;
+  NodeEnv env;
+  std::unique_ptr<ReactorThread> thread;  // declared last: joined first
 };
 
 class ShardedKvCluster {
  public:
-  // `base` configures every shard (node count, raft config, link, disk).
-  ShardedKvCluster(int n_shards, RaftClusterOptions base);
+  explicit ShardedKvCluster(int n_groups, MultiRaftOptions opts = {});
+  ~ShardedKvCluster();
+  ShardedKvCluster(const ShardedKvCluster&) = delete;
+  ShardedKvCluster& operator=(const ShardedKvCluster&) = delete;
 
-  int n_shards() const { return static_cast<int>(shards_.size()); }
-  RaftCluster& shard(int k) { return *shards_[static_cast<size_t>(k)]; }
+  int n_groups() const { return n_groups_; }
+  int n_nodes() const { return opts_.n_nodes; }
+  const MultiRaftOptions& options() const { return opts_; }
+
+  // Group `key` routes to (the authoritative table).
   int ShardOf(const std::string& key) const;
+  const ShardRouter& router() const { return router_; }
 
-  std::unique_ptr<ShardedKvSession> MakeSession(const std::string& name);
+  // Node index currently leading group g, or -1.
+  int GroupLeaderIndex(int g);
+  // Number of groups node i currently leads.
+  int LeadersOnNode(int i);
 
-  // Convenience: Table 1 fault against node `node_idx` of shard `k`.
-  void InjectFault(int k, int node_idx, FaultType type);
-  void ClearFault(int k, int node_idx);
+  // Creates a client session. Returns nullptr if the cluster is shutting
+  // down or the session reactor failed to come up within `timeout_us` —
+  // never blocks forever on the handshake.
+  std::unique_ptr<ShardedKvSession> MakeSession(const std::string& name,
+                                                uint64_t timeout_us = 5000000);
+
+  // Table 1 fault against physical node i (all groups hosted there feel it).
+  void InjectFault(int i, FaultType type);
+  void ClearFault(int i);
+
+  // Runs `fn` on node i's reactor thread and waits for it.
+  void RunOn(int i, std::function<void()> fn);
+  // Group g's RaftNode on node i (touch only via RunOn(i, ...)).
+  RaftNode* raft(int i, int g) {
+    return nodes_[static_cast<size_t>(i)]->groups[static_cast<size_t>(g)].get();
+  }
+
+  SimTransport* sim_transport() { return transport_.get(); }
+  TcpTransport* tcp_transport() { return tcp_transport_.get(); }
+
+  // ---- Monitoring / mitigation (enable_monitor / enable_mitigation) ----
+  std::vector<SlownessVerdict> Verdicts();
+  MitigationController* mitigation() { return mitigation_.get(); }
+  MitigationState MitigationStateOf(int i);
+  // Groups whose leadership was moved off an accused node so far.
+  uint64_t evacuations() const { return n_evacuations_.load(std::memory_order_relaxed); }
+
+  // Moves every group's leader back to its pinned home node (g % n_nodes).
+  // Evacuation is sticky — re-admitting a node does NOT hand leadership
+  // back; call this explicitly once the operator trusts the node again.
+  void RebalanceLeaders();
+
+  // Sum of each node endpoint's coalescing counters.
+  uint64_t CoalescedCalls();
+  uint64_t BatchFrames();
+
+  // Publishes per-node aggregate counters into `reg` (global by default).
+  void ExportMetrics(MetricsRegistry* reg = nullptr);
+
+  // Stops everything (idempotent; also run by the destructor).
+  void Shutdown();
 
  private:
-  std::vector<std::unique_ptr<RaftCluster>> shards_;
-  uint32_t next_session_id_ = 900;
+  friend class MultiRaftMitigationPolicy;
+
+  Transport* net() const;
+  std::string NodeName(int i) const {
+    return opts_.name_prefix + std::to_string(opts_.first_node_id + static_cast<NodeId>(i));
+  }
+  NodeId NodeIdOf(int i) const { return opts_.first_node_id + static_cast<NodeId>(i); }
+
+  // Moves the leadership of every group led by node `accused` to the
+  // healthiest replica: the non-accused node with the highest match index
+  // for that group (>= commit index when a single node is accused, so no
+  // committed entry is lost), ties broken toward the node leading fewest
+  // groups. Returns the number of groups moved.
+  int EvacuateLeaders(int accused);
+
+  int n_groups_;
+  MultiRaftOptions opts_;
+  ShardRouter router_;
+  std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<TcpTransport> tcp_transport_;
+  std::vector<std::unique_ptr<MultiRaftNodeHandle>> nodes_;
+  NodeId next_session_id_;
+  std::atomic<bool> shut_down_{false};
+  std::atomic<uint64_t> n_evacuations_{0};
+
+  // Closed-loop mitigation; policy declared first (controller holds a raw
+  // pointer), verdict loop last so it stops before both are destroyed.
+  std::unique_ptr<MitigationPolicy> mitigation_policy_impl_;
+  std::unique_ptr<MitigationController> mitigation_;
+  std::unique_ptr<VerdictLoop> verdict_loop_;
 };
 
 }  // namespace depfast

@@ -26,10 +26,16 @@ RpcEndpoint::RpcEndpoint(NodeId id, std::string name, Reactor* reactor, Transpor
   });
 }
 
-RpcEndpoint::~RpcEndpoint() { transport_->UnregisterNode(id_); }
+RpcEndpoint::~RpcEndpoint() { Detach(); }
+
+void RpcEndpoint::Detach() { transport_->UnregisterNode(id_); }
 
 void RpcEndpoint::Register(int32_t method, Handler handler) {
-  handlers_[method] = std::move(handler);
+  Register(0, method, std::move(handler));
+}
+
+void RpcEndpoint::Register(uint32_t group, int32_t method, Handler handler) {
+  handlers_[HandlerKey(group, method)] = std::move(handler);
 }
 
 void RpcEndpoint::SetPeerName(NodeId peer, std::string name) {
@@ -48,8 +54,26 @@ std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal a
   uint64_t xid = next_xid_++;
   n_calls_++;
 
+  if (opts.coalesce && coalesce_window_us_ > 0) {
+    // Stage into the destination's batch; one wire frame per window carries
+    // every staged call (cross-group heartbeats share the frame). The event
+    // is pending from staging time so the timeout covers the window too.
+    Staged& st = staging_[to];
+    if (st.count == 0) {
+      reactor_->PostAfter(coalesce_window_us_, [this, to]() { FlushBatch(to); });
+    }
+    st.xids.push_back(xid);
+    st.items << xid << opts.group << method << args;
+    st.count++;
+    st.discardable = st.discardable && opts.discardable;
+    n_coalesced_calls_++;
+    pending_[xid] = ev;
+    ArmTimeout(xid, opts.timeout_us);
+    return ev;
+  }
+
   Marshal wire;
-  wire << kRequest << xid << method;
+  wire << kRequest << xid << opts.group << method;
   wire.Append(args);
   SendOpts send_opts;
   send_opts.discardable = opts.discardable;
@@ -61,38 +85,93 @@ std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal a
     return ev;
   }
   pending_[xid] = ev;
-  if (opts.timeout_us > 0) {
-    reactor_->PostAfter(opts.timeout_us, [this, xid]() {
-      auto it = pending_.find(xid);
-      if (it == pending_.end()) {
-        return;  // reply already arrived
-      }
-      auto ev = it->second;
-      pending_.erase(it);
-      n_timeouts_++;
-      ev->CompleteError();
-    });
-  }
+  ArmTimeout(xid, opts.timeout_us);
   return ev;
+}
+
+void RpcEndpoint::ArmTimeout(uint64_t xid, uint64_t timeout_us) {
+  if (timeout_us == 0) {
+    return;
+  }
+  reactor_->PostAfter(timeout_us, [this, xid]() {
+    auto it = pending_.find(xid);
+    if (it == pending_.end()) {
+      return;  // reply already arrived
+    }
+    auto ev = it->second;
+    pending_.erase(it);
+    n_timeouts_++;
+    ev->CompleteError();
+  });
+}
+
+void RpcEndpoint::FlushBatch(NodeId to) {
+  auto it = staging_.find(to);
+  if (it == staging_.end() || it->second.count == 0) {
+    return;
+  }
+  Staged st = std::move(it->second);
+  staging_.erase(it);
+
+  Marshal wire;
+  wire << kBatchRequest << st.count;
+  wire.Append(st.items);
+  SendOpts send_opts;
+  send_opts.discardable = st.discardable;
+  n_batch_frames_++;
+  if (!transport_->Send(id_, to, std::move(wire), send_opts)) {
+    // The whole batch was refused at the source: every staged call fails
+    // now, exactly as an individually-framed call would.
+    for (uint64_t xid : st.xids) {
+      auto p = pending_.find(xid);
+      if (p == pending_.end()) {
+        continue;  // already timed out
+      }
+      auto ev = p->second;
+      pending_.erase(p);
+      n_drops_++;
+      ev->CompleteError();
+    }
+  }
 }
 
 void RpcEndpoint::OnRecv(NodeId from, Marshal msg) {
   uint8_t type = 0;
+  msg >> type;
+  if (type == kBatchRequest) {
+    HandleBatchRequest(from, std::move(msg));
+    return;
+  }
   uint64_t xid = 0;
-  msg >> type >> xid;
+  msg >> xid;
   if (type == kRequest) {
+    uint32_t group = 0;
     int32_t method = 0;
-    msg >> method;
-    HandleRequest(from, xid, method, std::move(msg));
+    msg >> group >> method;
+    HandleRequest(from, xid, group, method, std::move(msg));
   } else {
     HandleReply(xid, std::move(msg), type == kErrorReply);
   }
 }
 
-void RpcEndpoint::HandleRequest(NodeId from, uint64_t xid, int32_t method, Marshal payload) {
-  auto it = handlers_.find(method);
+void RpcEndpoint::HandleBatchRequest(NodeId from, Marshal msg) {
+  uint32_t count = 0;
+  msg >> count;
+  for (uint32_t i = 0; i < count; i++) {
+    uint64_t xid = 0;
+    uint32_t group = 0;
+    int32_t method = 0;
+    Marshal payload;
+    msg >> xid >> group >> method >> payload;
+    HandleRequest(from, xid, group, method, std::move(payload));
+  }
+}
+
+void RpcEndpoint::HandleRequest(NodeId from, uint64_t xid, uint32_t group, int32_t method,
+                                Marshal payload) {
+  auto it = handlers_.find(HandlerKey(group, method));
   if (it == handlers_.end()) {
-    DF_LOG_WARN("%s: no handler for method %d", name_.c_str(), method);
+    DF_LOG_WARN("%s: no handler for group %u method %d", name_.c_str(), group, method);
     Marshal wire;
     wire << kErrorReply << xid;
     transport_->Send(id_, from, std::move(wire), SendOpts{});

@@ -2,6 +2,14 @@
 // immediately (the paper's `rpc_proxy.AppendEntries(entries)`); the caller
 // waits on it directly or adds it to a QuorumEvent. Server handlers run in
 // fresh coroutines and may block on events (disk flushes, nested RPCs).
+//
+// Multi-Raft support: every request frame carries a 32-bit group id so many
+// consensus groups on one physical node share a single endpoint (and thus a
+// single transport connection per peer node). Handlers register per
+// (group, method); callers stamp CallOpts::group. Calls marked
+// CallOpts::coalesce are staged per destination and flushed as one batch
+// frame per coalesce window — cross-group heartbeats on a shared peer link
+// collapse into one wire frame instead of one per group.
 #ifndef SRC_RPC_RPC_H_
 #define SRC_RPC_RPC_H_
 
@@ -9,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/base/marshal.h"
 #include "src/runtime/compound_event.h"
@@ -49,6 +58,12 @@ struct CallOpts {
   // Allows the transport to drop the request when the destination link's
   // queue is over cap (quorum-covered broadcasts use this).
   bool discardable = false;
+  // Raft group the call belongs to; dispatched to the handler registered
+  // under (group, method) on the destination endpoint.
+  uint32_t group = 0;
+  // Stage the call for the destination's next batch flush instead of
+  // sending a frame immediately (no-op unless SetCoalesceWindow was set).
+  bool coalesce = false;
   RpcEvent::Judge judge;
 };
 
@@ -69,11 +84,27 @@ class RpcEndpoint {
   const std::string& name() const { return name_; }
   Reactor* reactor() const { return reactor_; }
 
+  // Stops inbound delivery: unregisters from the transport, after which no
+  // further frames can be posted to this endpoint's reactor. Must run before
+  // the owning reactor is destroyed (handle structs call it from their
+  // destructors, which run before member teardown frees the ReactorThread).
+  // Thread-safe and idempotent; the destructor detaches too.
+  void Detach();
+
+  // Registers under group 0 (single-group deployments).
   void Register(int32_t method, Handler handler);
+  // Registers under (group, method) — the Multi-Raft form.
+  void Register(uint32_t group, int32_t method, Handler handler);
 
   // Registers a human-readable name for a peer, used as the trace peer of
   // call events (SPG vertices).
   void SetPeerName(NodeId peer, std::string name);
+
+  // Enables heartbeat coalescing: calls with CallOpts::coalesce are staged
+  // per destination and flushed as one kBatchRequest frame every
+  // `window_us`. 0 disables (coalesce-marked calls send immediately).
+  // Owning reactor thread only (or before the reactor starts).
+  void SetCoalesceWindow(uint64_t window_us) { coalesce_window_us_ = window_us; }
 
   // Starts an RPC; returns its event. Owning reactor thread only.
   std::shared_ptr<RpcEvent> Call(NodeId to, int32_t method, Marshal args,
@@ -82,27 +113,51 @@ class RpcEndpoint {
   uint64_t n_calls() const { return n_calls_; }
   uint64_t n_timeouts() const { return n_timeouts_; }
   uint64_t n_drops() const { return n_drops_; }
+  // Calls that were staged into a batch rather than framed individually.
+  uint64_t n_coalesced_calls() const { return n_coalesced_calls_; }
+  // Batch frames flushed (each carrying >= 1 staged call).
+  uint64_t n_batch_frames() const { return n_batch_frames_; }
 
  private:
+  struct Staged {
+    std::vector<uint64_t> xids;
+    Marshal items;        // concatenated (xid, group, method, payload) tuples
+    uint32_t count = 0;
+    bool discardable = true;  // AND of all staged calls' discardable flags
+  };
+
   void OnRecv(NodeId from, Marshal msg);
-  void HandleRequest(NodeId from, uint64_t xid, int32_t method, Marshal payload);
+  void HandleRequest(NodeId from, uint64_t xid, uint32_t group, int32_t method,
+                     Marshal payload);
+  void HandleBatchRequest(NodeId from, Marshal msg);
   void HandleReply(uint64_t xid, Marshal payload, bool error);
+  void ArmTimeout(uint64_t xid, uint64_t timeout_us);
+  void FlushBatch(NodeId to);
+
+  static uint64_t HandlerKey(uint32_t group, int32_t method) {
+    return (static_cast<uint64_t>(group) << 32) | static_cast<uint32_t>(method);
+  }
 
   static constexpr uint8_t kRequest = 1;
   static constexpr uint8_t kReply = 2;
   static constexpr uint8_t kErrorReply = 3;
+  static constexpr uint8_t kBatchRequest = 4;
 
   NodeId id_;
   std::string name_;
   Reactor* reactor_;
   Transport* transport_;
-  std::map<int32_t, Handler> handlers_;
+  std::map<uint64_t, Handler> handlers_;  // (group << 32 | method) -> handler
   std::map<NodeId, std::string> peer_names_;
   std::map<uint64_t, std::shared_ptr<RpcEvent>> pending_;
+  std::map<NodeId, Staged> staging_;  // per-destination coalesce buffers
+  uint64_t coalesce_window_us_ = 0;
   uint64_t next_xid_ = 1;
   uint64_t n_calls_ = 0;
   uint64_t n_timeouts_ = 0;
   uint64_t n_drops_ = 0;
+  uint64_t n_coalesced_calls_ = 0;
+  uint64_t n_batch_frames_ = 0;
 };
 
 }  // namespace depfast

@@ -115,14 +115,19 @@ bool SimTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
     }
     deliver_at = link->busy_until_us + delay;
     link->queued_bytes.fetch_add(size, std::memory_order_relaxed);
-  }
 
-  dst_reactor->PostAt(deliver_at, [this, link, from, size, handler = std::move(handler),
-                                   m = std::move(msg)]() mutable {
-    link->queued_bytes.fetch_sub(size, std::memory_order_relaxed);
-    n_delivered_.fetch_add(1, std::memory_order_relaxed);
-    handler(from, std::move(m));
-  });
+    // Post while still holding mu_ so UnregisterNode() is a delivery
+    // barrier: once it returns, no further message can be posted to the
+    // endpoint's reactor (which the caller may be about to destroy).
+    // Reactor::PostAt only takes the reactor's own queue lock, never the
+    // transport's, so holding mu_ across it cannot deadlock.
+    dst_reactor->PostAt(deliver_at, [this, link, from, size, handler = std::move(handler),
+                                     m = std::move(msg)]() mutable {
+      link->queued_bytes.fetch_sub(size, std::memory_order_relaxed);
+      n_delivered_.fetch_add(1, std::memory_order_relaxed);
+      handler(from, std::move(m));
+    });
+  }
   return true;
 }
 
@@ -147,6 +152,11 @@ uint64_t SimTransport::DroppedCount(NodeId from, NodeId to) const {
   std::lock_guard<std::mutex> lk(mu_);
   const Link* link = FindLink(from, to);
   return link == nullptr ? 0 : link->dropped.load(std::memory_order_relaxed);
+}
+
+size_t SimTransport::LinkCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return links_.size();
 }
 
 }  // namespace depfast

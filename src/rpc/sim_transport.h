@@ -57,6 +57,9 @@ class SimTransport : public Transport {
   // outgoing-buffer footprint the RethinkDB pathology grows without bound.
   uint64_t OutgoingBytes(NodeId node) const;
   uint64_t DroppedCount(NodeId from, NodeId to) const;
+  // Number of distinct (from, to) links ever used — Multi-Raft asserts one
+  // link per peer-node pair regardless of how many groups share it.
+  size_t LinkCount() const;
   uint64_t TotalDelivered() const { return n_delivered_.load(std::memory_order_relaxed); }
   // Non-discardable messages refused by an active shed cap.
   uint64_t ShedDropCount() const { return n_shed_drops_.load(std::memory_order_relaxed); }

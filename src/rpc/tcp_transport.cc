@@ -185,6 +185,11 @@ uint64_t TcpTransport::PeakQueuedBytesTo(NodeId to) const {
   return conn == nullptr ? 0 : conn->peak_queued_bytes.load(std::memory_order_relaxed);
 }
 
+size_t TcpTransport::OutConnCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return out_conns_.size();
+}
+
 uint64_t TcpTransport::CapFor(NodeId to) const {
   auto it = queue_caps_.find(to);
   return it == queue_caps_.end() ? opts_.default_queue_cap_bytes : it->second;
@@ -445,9 +450,12 @@ void TcpTransport::DispatchFrames(Conn& conn) {
     Marshal m;
     m.WriteBytes(conn.in.data() + 8, len_field - 4);
     conn.in.erase(conn.in.begin(), conn.in.begin() + 4 + len_field);
-    Reactor* reactor = nullptr;
-    RecvHandler handler;
     {
+      // Post while holding mu_ so UnregisterNode() is a delivery barrier:
+      // once it returns, no further frame can reach the endpoint's reactor,
+      // which the caller is typically about to destroy. Reactor::Post only
+      // takes the reactor's own queue lock and nothing acquires that lock
+      // before calling into the transport, so this cannot deadlock.
       std::lock_guard<std::mutex> lk(mu_);
       // Inbound connections deliver to whichever endpoint accepted them;
       // owner was stamped at accept time.
@@ -455,12 +463,12 @@ void TcpTransport::DispatchFrames(Conn& conn) {
       if (it == endpoints_.end() || !it->second.handler) {
         continue;
       }
-      reactor = it->second.reactor;
-      handler = it->second.handler;
+      RecvHandler handler = it->second.handler;
+      it->second.reactor->Post(
+          [handler = std::move(handler), from, m = std::move(m)]() mutable {
+            handler(from, std::move(m));
+          });
     }
-    reactor->Post([handler = std::move(handler), from, m = std::move(m)]() mutable {
-      handler(from, std::move(m));
-    });
   }
 }
 

@@ -106,6 +106,9 @@ class TcpTransport : public Transport {
   // High-water mark of QueuedBytesTo(to) over the transport's lifetime —
   // the leader-side buffer footprint the §2 pathology grows without bound.
   uint64_t PeakQueuedBytesTo(NodeId to) const;
+  // Number of live outgoing connections — Multi-Raft asserts one socket per
+  // peer NODE regardless of how many groups share it.
+  size_t OutConnCount() const;
 
  private:
   struct Endpoint {

@@ -1,0 +1,76 @@
+#include "src/runtime/verdict_loop.h"
+
+#include <chrono>
+
+#include "src/base/time_util.h"
+#include "src/runtime/trace.h"
+
+namespace depfast {
+
+VerdictLoop::VerdictLoop(SpgMonitorOptions monitor_opts, uint64_t poll_us,
+                         MitigationController* mitigation)
+    : monitor_opts_(monitor_opts), poll_us_(poll_us), mitigation_(mitigation) {}
+
+VerdictLoop::~VerdictLoop() { Stop(); }
+
+void VerdictLoop::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  // Discard records a previous tracer user left behind (same-process test
+  // sequences): their old end_us stamps would re-anchor the monitor's
+  // windows into the past and pollute the rolling baselines.
+  Tracer::Instance().Drain();
+  Tracer::Instance().Enable();
+  monitor_ = std::make_unique<SpgMonitor>(monitor_opts_);
+  thread_ = std::thread([this]() { Run(); });
+}
+
+void VerdictLoop::Run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_us_));
+    auto records = Tracer::Instance().Drain();
+    std::vector<SlownessVerdict> found;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      monitor_->Ingest(std::move(records));
+      found = monitor_->AdvanceTo(MonotonicUs());
+      verdicts_.insert(verdicts_.end(), found.begin(), found.end());
+    }
+    // Feed the controller OUTSIDE mu_: its policy callbacks block on RunOn
+    // posts, and holding the lock across those would stall every
+    // Verdicts()/WindowsClosed() caller meanwhile.
+    if (mitigation_ != nullptr) {
+      uint64_t now = MonotonicUs();
+      for (const auto& v : found) {
+        if (v.victims.size() < min_victims_) {
+          continue;  // uncorroborated — likely the observer's own slowness
+        }
+        mitigation_->OnVerdict(v, now);
+      }
+      mitigation_->Tick(now);
+    }
+  }
+}
+
+void VerdictLoop::Stop() {
+  if (!started_ || !thread_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  Tracer::Instance().Disable();
+}
+
+std::vector<SlownessVerdict> VerdictLoop::Verdicts() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return verdicts_;
+}
+
+uint64_t VerdictLoop::WindowsClosed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return monitor_ != nullptr ? monitor_->windows_closed() : 0;
+}
+
+}  // namespace depfast

@@ -1,0 +1,66 @@
+// The live-detection loop shared by every deployment harness: a plain
+// thread that periodically drains the global Tracer into an SpgMonitor,
+// accumulates the verdicts it emits, and (when a MitigationController is
+// attached) feeds them into the closed mitigation loop. Extracted from
+// RaftCluster so single-group and Multi-Raft deployments run the identical
+// detection machinery.
+#ifndef SRC_RUNTIME_VERDICT_LOOP_H_
+#define SRC_RUNTIME_VERDICT_LOOP_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/mitigation.h"
+#include "src/runtime/spg_monitor.h"
+
+namespace depfast {
+
+class VerdictLoop {
+ public:
+  // `mitigation` may be nullptr (detection only). Start() enables the
+  // Tracer and launches the thread; Stop() joins it and disables tracing.
+  VerdictLoop(SpgMonitorOptions monitor_opts, uint64_t poll_us,
+              MitigationController* mitigation);
+  ~VerdictLoop();
+  VerdictLoop(const VerdictLoop&) = delete;
+  VerdictLoop& operator=(const VerdictLoop&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Corroboration bar for the mitigation feed: a verdict reaches the
+  // controller only if at least `n` distinct victims observed the slow
+  // node. Multi-node deployments use this to reject single-observer
+  // accusations — when a node's own inbound path is slow, the REPLIES it
+  // waits on are late too, so it alone sees all its peers as slow; a real
+  // fail-slow node is seen by a quorum of observers. Verdicts() still
+  // reports everything. Set before Start(); default 0 (feed all).
+  void SetMinVictims(size_t n) { min_victims_ = n; }
+
+  // Verdicts accumulated so far.
+  std::vector<SlownessVerdict> Verdicts();
+  // Monitor windows closed so far.
+  uint64_t WindowsClosed();
+
+ private:
+  void Run();
+
+  SpgMonitorOptions monitor_opts_;
+  uint64_t poll_us_;
+  MitigationController* mitigation_;
+  size_t min_victims_ = 0;
+
+  std::unique_ptr<SpgMonitor> monitor_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex mu_;  // guards monitor_ + verdicts_ after Start()
+  std::vector<SlownessVerdict> verdicts_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_RUNTIME_VERDICT_LOOP_H_

@@ -1,5 +1,6 @@
-// Tests for the sharded deployment: routing, per-shard isolation of
-// fail-slow faults, cross-shard state.
+// Tests for the Multi-Raft sharded deployment: key-range routing (including
+// cross-platform determinism and cluster/session agreement), per-group
+// isolation, session id allocation, and the MakeSession shutdown path.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,16 +9,17 @@
 #include <set>
 #include <thread>
 
+#include "src/base/rand.h"
 #include "src/base/time_util.h"
+#include "src/raft/shard_router.h"
 #include "src/raft/sharded_kv.h"
 
 namespace depfast {
 namespace {
 
-RaftClusterOptions ShardBase() {
-  RaftClusterOptions opts;
+MultiRaftOptions ShardBase() {
+  MultiRaftOptions opts;
   opts.n_nodes = 3;
-  opts.pin_leader = true;
   opts.raft.rpc_timeout_us = 50000;
   opts.link.base_delay_us = 100;
   opts.link.jitter_p = 0.0;
@@ -38,9 +40,10 @@ void RunSessionOp(ShardedKvSession& session, std::function<void()> fn) {
   }
 }
 
-TEST(ShardedKvTest, PutGetAcrossShards) {
+TEST(ShardedKvTest, PutGetAcrossGroups) {
   ShardedKvCluster cluster(3, ShardBase());
   auto session = cluster.MakeSession("c1");
+  ASSERT_NE(session, nullptr);
   int ok = 0;
   RunSessionOp(*session, [&]() {
     for (int i = 0; i < 30; i++) {
@@ -57,7 +60,7 @@ TEST(ShardedKvTest, PutGetAcrossShards) {
   EXPECT_EQ(ok, 60);
 }
 
-TEST(ShardedKvTest, KeysActuallySpreadOverShards) {
+TEST(ShardedKvTest, KeysActuallySpreadOverGroups) {
   ShardedKvCluster cluster(3, ShardBase());
   std::set<int> used;
   for (int i = 0; i < 100; i++) {
@@ -68,28 +71,82 @@ TEST(ShardedKvTest, KeysActuallySpreadOverShards) {
   EXPECT_EQ(cluster.ShardOf("abc"), cluster.ShardOf("abc"));
 }
 
-TEST(ShardedKvTest, EachShardHoldsOnlyItsKeys) {
+// The route hash and the key-range tables derived from it use fixed-width
+// arithmetic only; these golden values must hold on every platform, or a
+// mixed-version / mixed-arch deployment would route the same key to two
+// different groups.
+TEST(ShardedKvTest, RoutingIsPlatformDeterministic) {
+  struct Golden {
+    const char* key;
+    uint64_t hash;
+  };
+  const Golden kGolden[] = {
+      {"", 0x4ea0537ff367da6bULL},          {"a", 0x4ea8b59b55430853ULL},
+      {"key0", 0x1fe7f55378b9939fULL},      {"key17", 0x88ebca2e86a52609ULL},
+      {"user/4711/profile", 0xddef9a33b7db85b3ULL},
+      {"zipfian-records", 0x1a588a3f039893e9ULL},
+  };
+  for (const Golden& g : kGolden) {
+    EXPECT_EQ(RouteHash(g.key), g.hash) << g.key;
+  }
+  auto t64 = RoutingTable::Uniform(64);
+  EXPECT_EQ(t64->GroupOf("key0"), 7u);
+  EXPECT_EQ(t64->GroupOf("key17"), 34u);
+  EXPECT_EQ(t64->GroupOf("user/4711/profile"), 55u);
+  auto t3 = RoutingTable::Uniform(3);
+  EXPECT_EQ(t3->GroupOf("key17"), 1u);
+  EXPECT_EQ(t3->GroupOf("user/4711/profile"), 2u);
+  // Every hash must land in a range (total coverage).
+  EXPECT_EQ(t64->range_end.back(), UINT64_MAX);
+}
+
+// Regression for the duplicated-ShardOf bug: cluster-side routing and the
+// session's cached routing must agree on arbitrary keys — both now go
+// through the one shared ShardRouter.
+TEST(ShardedKvTest, ClusterAndSessionRoutingAgree) {
+  ShardedKvCluster cluster(5, ShardBase());
+  auto session = cluster.MakeSession("c1");
+  ASSERT_NE(session, nullptr);
+  Rng rng(20260808);
+  for (int i = 0; i < 500; i++) {
+    std::string key = "k" + std::to_string(rng.NextUint64(1ull << 48));
+    EXPECT_EQ(cluster.ShardOf(key), session->ShardOf(key)) << key;
+  }
+  // The cache refreshed at most once (initial snapshot is taken at session
+  // creation; the table never changed).
+  EXPECT_EQ(session->n_route_refreshes(), 0u);
+}
+
+TEST(ShardedKvTest, EachGroupHoldsOnlyItsKeys) {
   ShardedKvCluster cluster(2, ShardBase());
   auto session = cluster.MakeSession("c1");
+  ASSERT_NE(session, nullptr);
   RunSessionOp(*session, [&]() {
     for (int i = 0; i < 40; i++) {
       session->Put("key" + std::to_string(i), "v");
     }
   });
+  // Each group's state machine must hold exactly the keys routed to it.
+  // Read from the group's leader (node g % n_nodes): followers apply
+  // asynchronously and may still lag the last committed write.
   size_t total = 0;
-  for (int k = 0; k < 2; k++) {
+  for (int g = 0; g < 2; g++) {
+    int leader = g % 3;
     size_t n = 0;
-    cluster.shard(k).RunOn(0, [&]() { n = cluster.shard(k).server(0).raft->kv().size(); });
+    cluster.RunOn(leader, [&]() { n = cluster.raft(leader, g)->kv().size(); });
     EXPECT_GT(n, 0u);
     total += n;
   }
   EXPECT_EQ(total, 40u);
 }
 
-TEST(ShardedKvTest, FailSlowFollowerInOneShardIsolated) {
+TEST(ShardedKvTest, FailSlowFollowerNodeIsolated) {
+  // With 2 groups on 3 nodes and pinned leaders, node 2 leads nothing —
+  // a fail-slow there leaves every group with a healthy quorum.
   ShardedKvCluster cluster(2, ShardBase());
-  cluster.InjectFault(/*shard=*/0, /*node=*/1, FaultType::kCpuSlow);
+  cluster.InjectFault(/*node=*/2, FaultType::kCpuSlow);
   auto session = cluster.MakeSession("c1");
+  ASSERT_NE(session, nullptr);
   int ok = 0;
   uint64_t begin = MonotonicUs();
   RunSessionOp(*session, [&]() {
@@ -99,8 +156,6 @@ TEST(ShardedKvTest, FailSlowFollowerInOneShardIsolated) {
       }
     }
   });
-  // All writes succeed promptly: shard 0 tolerates its slow follower via
-  // quorum waits; shard 1 is untouched by construction.
   EXPECT_EQ(ok, 40);
   EXPECT_LT(MonotonicUs() - begin, 2500000u);
 }
@@ -108,6 +163,7 @@ TEST(ShardedKvTest, FailSlowFollowerInOneShardIsolated) {
 TEST(ShardedKvTest, DeleteRoutesCorrectly) {
   ShardedKvCluster cluster(3, ShardBase());
   auto session = cluster.MakeSession("c1");
+  ASSERT_NE(session, nullptr);
   bool deleted = false;
   bool gone = false;
   RunSessionOp(*session, [&]() {
@@ -117,6 +173,46 @@ TEST(ShardedKvTest, DeleteRoutesCorrectly) {
   });
   EXPECT_TRUE(deleted);
   EXPECT_TRUE(gone);
+}
+
+// Regression for the hardcoded next_session_id_ = 900: session ids must be
+// allocated strictly above every server id, for any first_node_id.
+TEST(ShardedKvTest, SessionIdsAllocatedAboveServerIds) {
+  MultiRaftOptions opts = ShardBase();
+  opts.first_node_id = 898;  // server ids 898, 899, 900 — the old collision
+  ShardedKvCluster cluster(2, opts);
+  NodeId max_server_id = opts.first_node_id + static_cast<NodeId>(opts.n_nodes) - 1;
+  std::set<NodeId> seen;
+  for (int i = 0; i < 3; i++) {
+    auto session = cluster.MakeSession("c" + std::to_string(i));
+    ASSERT_NE(session, nullptr);
+    EXPECT_GT(session->id(), max_server_id);
+    EXPECT_TRUE(seen.insert(session->id()).second) << "duplicate session id";
+    int ok = 0;
+    RunSessionOp(*session, [&]() {
+      if (session->Put("k" + std::to_string(i), "v")) {
+        ok++;
+      }
+    });
+    EXPECT_EQ(ok, 1);
+  }
+}
+
+// Regression for the MakeSession handshake race: after Shutdown, MakeSession
+// must fail cleanly instead of blocking forever on a reactor that will never
+// run the handshake.
+TEST(ShardedKvTest, MakeSessionAfterShutdownFailsCleanly) {
+  ShardedKvCluster cluster(2, ShardBase());
+  auto ok = cluster.MakeSession("before");
+  EXPECT_NE(ok, nullptr);
+  ok.reset();
+  cluster.Shutdown();
+  uint64_t begin = MonotonicUs();
+  auto session = cluster.MakeSession("after", /*timeout_us=*/200000);
+  EXPECT_EQ(session, nullptr);
+  // Clean failure means bounded: the shut_down_ fast path returns at once,
+  // and even the timeout path is capped at ~timeout_us.
+  EXPECT_LT(MonotonicUs() - begin, 2000000u);
 }
 
 }  // namespace
