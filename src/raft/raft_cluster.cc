@@ -114,10 +114,131 @@ class RaftMitigationPolicy : public MitigationPolicy {
   }
 
   void Readmit(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    if (idx >= 0) {
+      NodeId id = cluster_->IdOf(idx);
+      int leader = ResolveLeaderExcluding(idx, opts_.evict_leader_wait_us);
+      if (leader >= 0 && cluster_->MembershipOf(leader).IsLearner(id)) {
+        // The peer sat out its eviction as a learner: promotion back to
+        // voter completes the re-admission.
+        ProposeWithRetry(leader, idx, ConfigChangeType::kPromote, id, "promote");
+      }
+    }
     DF_LOG_INFO("mitigation policy: %s re-admitted", peer.c_str());
   }
 
+  void Evict(const std::string& peer, const std::string& reason) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    NodeId id = cluster_->IdOf(idx);
+    DF_LOG_INFO("mitigation policy: EVICT %s from the group (%s)", peer.c_str(), reason.c_str());
+    // The removal entry must still REACH the accused peer (the leader's
+    // farewell feed is how it learns it is out), so lift the shed and the
+    // per-node demotion before proposing the change.
+    cluster_->net()->SetPeerShed(id, 0);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      RaftNode* raft = cluster_->servers_[static_cast<size_t>(j)]->raft.get();
+      cluster_->RunOn(j, [raft, id]() { raft->SetPeerMitigated(id, false); });
+    }
+    int leader = cluster_->LeaderIndex();
+    if (leader == idx) {
+      // Membership changes must be driven by a healthy leader: step the
+      // accused one down first and elect a replacement.
+      if (cluster_->opts_.pin_leader) {
+        DF_LOG_WARN("mitigation policy: cannot evict pinned leader %s", peer.c_str());
+        return;
+      }
+      RaftNode* accused = cluster_->servers_[static_cast<size_t>(idx)]->raft.get();
+      cluster_->RunOn(idx, [accused]() { accused->StepDownIfLeader(); });
+      int healthy = idx == 0 ? 1 : 0;
+      RaftNode* raft = cluster_->servers_[static_cast<size_t>(healthy)]->raft.get();
+      cluster_->RunOn(healthy, [raft]() { raft->TriggerFailslowElection(); });
+      leader = -1;
+    }
+    if (leader < 0) {
+      leader = ResolveLeaderExcluding(idx, opts_.evict_leader_wait_us);
+    }
+    if (leader < 0) {
+      DF_LOG_WARN("mitigation policy: no healthy leader to evict %s; giving up for now",
+                  peer.c_str());
+      return;
+    }
+    ProposeWithRetry(leader, idx, ConfigChangeType::kRemove, id, "evict");
+  }
+
+  void ReaddAsLearner(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    NodeId id = cluster_->IdOf(idx);
+    DF_LOG_INFO("mitigation policy: re-adding %s as a learner", peer.c_str());
+    // Learner probation needs full-speed traffic, like BeginProbation.
+    cluster_->net()->SetPeerShed(id, 0);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      RaftNode* raft = cluster_->servers_[static_cast<size_t>(j)]->raft.get();
+      cluster_->RunOn(j, [raft, id]() { raft->SetPeerMitigated(id, false); });
+    }
+    int leader = ResolveLeaderExcluding(idx, opts_.evict_leader_wait_us);
+    if (leader < 0) {
+      DF_LOG_WARN("mitigation policy: no leader to re-add %s", peer.c_str());
+      return;
+    }
+    // kInvalid here means the peer is still in the group (the eviction never
+    // committed); probation then simply runs against the existing membership.
+    ProposeWithRetry(leader, idx, ConfigChangeType::kAddLearner, id, "readd-learner");
+  }
+
  private:
+  // Blocks until some node other than `exclude` reports leadership, or -1
+  // after wait_us. Monitor-thread only.
+  int ResolveLeaderExcluding(int exclude, uint64_t wait_us) {
+    uint64_t deadline = MonotonicUs() + wait_us;
+    for (;;) {
+      int leader = cluster_->LeaderIndex();
+      if (leader >= 0 && leader != exclude) {
+        return leader;
+      }
+      if (MonotonicUs() >= deadline) {
+        return -1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  // Drives one config change, retrying transient failures (one-at-a-time
+  // gating, elections, a learner still catching up). Stops on kOk and on
+  // kInvalid (the precondition is settled: already removed / still present).
+  ConfigChangeStatus ProposeWithRetry(int leader, int exclude, ConfigChangeType type,
+                                      NodeId target, const char* what) {
+    ConfigChangeStatus st = ConfigChangeStatus::kTimeout;
+    int tries = std::max(1, opts_.config_change_retries);
+    for (int attempt = 0; attempt < tries; attempt++) {
+      if (attempt > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(opts_.config_change_retry_pause_us));
+        leader = ResolveLeaderExcluding(exclude, opts_.evict_leader_wait_us);
+        if (leader < 0) {
+          continue;
+        }
+      }
+      st = cluster_->ProposeConfigChangeOn(leader, type, target);
+      if (st == ConfigChangeStatus::kOk || st == ConfigChangeStatus::kInvalid) {
+        break;
+      }
+    }
+    DF_LOG_INFO("mitigation policy: %s config change for node %u -> %s", what,
+                static_cast<unsigned>(target), ConfigChangeStatusName(st));
+    return st;
+  }
+
   int IndexOf(const std::string& peer) const {
     for (int i = 0; i < cluster_->n_nodes(); i++) {
       if (cluster_->NodeName(i) == peer) {
@@ -187,6 +308,15 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
       RaftConfig cfg = opts_.raft;
       if (opts_.pin_leader) {
         cfg.enable_election = false;
+      }
+      if (opts_.n_initial_voters > 0 && opts_.n_initial_voters < opts_.n_nodes) {
+        // Only the first n nodes bootstrap as voters; the rest are spares
+        // outside the config that join via ProposeConfigChangeOn later.
+        RaftMembership boot;
+        for (int v = 0; v < opts_.n_initial_voters; v++) {
+          boot.voters.push_back(all_ids[static_cast<size_t>(v)]);
+        }
+        cfg.initial_membership = boot;
       }
       h->raft = std::make_unique<RaftNode>(h->env, h->rpc.get(), h->disk.get(), peers, cfg);
     });
@@ -295,6 +425,42 @@ RaftCounters RaftCluster::CountersOf(int i) {
   return c;
 }
 
+RaftMembership RaftCluster::MembershipOf(int i) {
+  RaftMembership m;
+  RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+  RunOn(i, [&m, h]() { m = h->raft->membership(); });
+  return m;
+}
+
+ConfigChangeStatus RaftCluster::ProposeConfigChangeOn(int i, ConfigChangeType type,
+                                                      NodeId target) {
+  RaftServerHandle* h = servers_[static_cast<size_t>(i)].get();
+  // Shared completion state: if the wait below times out (reactor tearing
+  // down mid-change) the late-finishing coroutine must not touch a dead
+  // stack frame.
+  auto mu = std::make_shared<std::mutex>();
+  auto cv = std::make_shared<std::condition_variable>();
+  auto done = std::make_shared<bool>(false);
+  auto st = std::make_shared<ConfigChangeStatus>(ConfigChangeStatus::kTimeout);
+  h->thread->reactor()->Post([h, type, target, mu, cv, done, st]() {
+    Coroutine::Create([h, type, target, mu, cv, done, st]() {
+      ConfigChangeStatus s = h->raft->ProposeConfigChange(type, target);
+      {
+        std::lock_guard<std::mutex> lk(*mu);
+        *st = s;
+        *done = true;
+      }
+      cv->notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lk(*mu);
+  // ProposeConfigChange bounds itself with config_change_timeout_us; the
+  // slack only matters if the reactor dies under us.
+  cv->wait_for(lk, std::chrono::microseconds(opts_.raft.config_change_timeout_us + 10000000),
+               [&]() { return *done; });
+  return *done ? *st : ConfigChangeStatus::kTimeout;
+}
+
 std::vector<SlownessVerdict> RaftCluster::Verdicts() {
   return verdict_loop_ != nullptr ? verdict_loop_->Verdicts() : std::vector<SlownessVerdict>{};
 }
@@ -356,7 +522,9 @@ void RaftCluster::ClearFault(int i) {
   FaultInjector::Clear(servers_[static_cast<size_t>(i)]->env);
 }
 
-std::unique_ptr<RaftClientHandle> RaftCluster::MakeClient(const std::string& name) {
+std::unique_ptr<RaftClientHandle> RaftCluster::MakeClient(const std::string& name,
+                                                          uint64_t op_timeout_us,
+                                                          int max_attempts) {
   auto handle = std::make_unique<RaftClientHandle>();
   handle->thread = std::make_unique<ReactorThread>(name);
   NodeId id = next_client_id_++;
@@ -371,7 +539,7 @@ std::unique_ptr<RaftClientHandle> RaftCluster::MakeClient(const std::string& nam
       h->rpc->SetPeerName(ids[static_cast<size_t>(i)],
                           opts_.name_prefix + std::to_string(ids[static_cast<size_t>(i)]));
     }
-    h->session = std::make_unique<RaftClient>(h->rpc.get(), ids);
+    h->session = std::make_unique<RaftClient>(h->rpc.get(), ids, op_timeout_us, max_attempts);
     {
       std::lock_guard<std::mutex> lk(mu);
       done = true;

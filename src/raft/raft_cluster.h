@@ -43,6 +43,15 @@ struct MitigationPolicyOptions {
   // Step a self-accused leader down and trigger an election on a healthy
   // peer (skipped when the cluster pins its leader).
   bool demote_leader = true;
+  // Eviction tier plumbing (MitigationOptions::evict_after_engages > 0):
+  // how many times Evict/ReaddAsLearner/promote retry a config change that
+  // came back busy/not-leader/not-caught-up, and the pause between tries.
+  int config_change_retries = 5;
+  uint64_t config_change_retry_pause_us = 200000;
+  // How long eviction waits for a post-stepdown election to produce a
+  // healthy leader before giving up (the change is retried on the next
+  // escalation).
+  uint64_t evict_leader_wait_us = 3000000;
 };
 
 // Which wire the cluster's nodes talk over: the modeled SimTransport
@@ -65,6 +74,11 @@ struct RaftClusterOptions {
   // If true, node 0 boots as leader of term 1 and elections are disabled —
   // the stable-leader setting of the paper's measurements.
   bool pin_leader = true;
+  // When > 0, only the first n_initial_voters nodes form the bootstrap
+  // voting membership; the remaining nodes boot as out-of-config spares
+  // that join later via ProposeConfigChangeOn (membership-change tests).
+  // 0 = every node is a voter (the classic fixed membership).
+  int n_initial_voters = 0;
   // Shard label prefixed to node names ("s1".."sN" by default).
   std::string name_prefix = "s";
   NodeId first_node_id = 1;
@@ -151,6 +165,16 @@ class RaftCluster {
   // entry, group-commit ratio and replication fan-out.
   RaftCounters CountersOf(int i);
 
+  // Raft NodeId of index i (first_node_id + i).
+  NodeId IdOf(int i) const { return opts_.first_node_id + static_cast<NodeId>(i); }
+  // Node i's current view of the replication membership (taken on its
+  // reactor thread).
+  RaftMembership MembershipOf(int i);
+  // Runs ProposeConfigChange(type, target) on node i's reactor and blocks
+  // until the change commits, fails or times out. Safe from any non-reactor
+  // thread (tests, the mitigation policy).
+  ConfigChangeStatus ProposeConfigChangeOn(int i, ConfigChangeType type, NodeId target);
+
   // Verdicts emitted by the online monitor so far (enable_monitor only).
   std::vector<SlownessVerdict> Verdicts();
   // Windows the monitor has closed so far (0 when disabled).
@@ -171,8 +195,13 @@ class RaftCluster {
   void InjectFault(int i, const FaultSpec& spec);
   void ClearFault(int i);
 
-  // Creates a client with its own reactor thread and session.
-  std::unique_ptr<RaftClientHandle> MakeClient(const std::string& name);
+  // Creates a client with its own reactor thread and session. The chaos
+  // harness passes max_attempts=1 so every network-level attempt is its own
+  // history op (required for a sound linearizability check: a timed-out
+  // attempt may still commit, and internal retries would hide that).
+  std::unique_ptr<RaftClientHandle> MakeClient(const std::string& name,
+                                               uint64_t op_timeout_us = 3000000,
+                                               int max_attempts = 8);
 
   // Stops everything (idempotent; also run by the destructor).
   void Shutdown();

@@ -18,9 +18,9 @@ const LogEntry& RaftLog::At(uint64_t idx) const {
   return entries_[Pos(idx)];
 }
 
-uint64_t RaftLog::Append(uint64_t term, Marshal cmd) {
+uint64_t RaftLog::Append(uint64_t term, Marshal cmd, EntryKind kind) {
   approx_bytes_ += cmd.ContentSize();
-  entries_.push_back(LogEntry{term, std::move(cmd)});
+  entries_.push_back(LogEntry{term, std::move(cmd), kind});
   return LastIndex();
 }
 

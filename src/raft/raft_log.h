@@ -30,7 +30,7 @@ class RaftLog {
   const LogEntry& At(uint64_t idx) const;
 
   // Appends one entry; returns its index.
-  uint64_t Append(uint64_t term, Marshal cmd);
+  uint64_t Append(uint64_t term, Marshal cmd, EntryKind kind = EntryKind::kCommand);
 
   // True iff the log can vouch that position `idx` holds term `term`
   // (positions at/below the base are vouched by the snapshot).

@@ -32,6 +32,31 @@ RaftNode::RaftNode(NodeEnv env, RpcEndpoint* rpc, Disk* disk, std::vector<NodeId
       rng_(env_.id * 0x9e3779b9ULL + 7),
       wal_(disk) {
   DF_CHECK(env_.reactor->OnReactorThread());
+  // Bootstrap configuration: explicit initial_membership, or the classic
+  // fixed membership (self + peers, all voters). A node absent from the
+  // initial membership is a spare: it joins later via AddLearner.
+  RaftMembership boot = config_.initial_membership;
+  if (boot.Empty()) {
+    boot.voters.push_back(env_.id);
+    for (NodeId p : peers_) {
+      boot.voters.push_back(p);
+    }
+    std::sort(boot.voters.begin(), boot.voters.end());
+  }
+  membership_ = boot;
+  membership_idx_ = 0;
+  membership_history_.push_back(MembershipRecord{0, 0, boot});
+  peers_.clear();
+  for (NodeId v : membership_.voters) {
+    if (v != env_.id) {
+      peers_.push_back(v);
+    }
+  }
+  for (NodeId l : membership_.learners) {
+    if (l != env_.id) {
+      peers_.push_back(l);
+    }
+  }
   // All handlers register under this instance's group id, so many RaftNodes
   // (one per group) can share the endpoint without method collisions.
   rpc_->Register(config_.group_id, kMethodAppendEntries,
@@ -134,13 +159,19 @@ void RaftNode::ElectionLoop() {
     if (role_ == RaftRole::kLeader) {
       continue;
     }
+    if (!SelfVoter()) {
+      continue;  // learners and removed/spare nodes never campaign
+    }
     if (MonotonicUs() - last_heartbeat_us_ >= timeout) {
       RunElection();
     }
   }
 }
 
-void RaftNode::RunElection() {
+void RaftNode::RunElection(bool transfer) {
+  if (!SelfVoter()) {
+    return;
+  }
   role_ = RaftRole::kCandidate;
   term_++;
   voted_for_ = env_.id;
@@ -153,7 +184,8 @@ void RaftNode::RunElection() {
   DF_LOG_DEBUG("%s: starting election for term %llu", env_.name.c_str(),
                (unsigned long long)my_term);
 
-  int n_total = static_cast<int>(peers_.size()) + 1;
+  // The vote quorum spans VOTERS only; learners receive no vote requests.
+  int n_total = static_cast<int>(membership_.voters.size());
   auto q = std::make_shared<QuorumEvent>(n_total, majority());
   q->VoteYes();  // own vote
   RequestVoteArgs args;
@@ -161,7 +193,11 @@ void RaftNode::RunElection() {
   args.candidate_id = env_.id;
   args.last_log_idx = log_.LastIndex();
   args.last_log_term = log_.LastTerm();
-  for (NodeId peer : peers_) {
+  args.transfer = transfer;
+  for (NodeId peer : membership_.voters) {
+    if (peer == env_.id) {
+      continue;
+    }
     CallOpts opts;
     opts.timeout_us = config_.vote_rpc_timeout_us;
     opts.group = config_.group_id;
@@ -208,6 +244,10 @@ void RaftNode::BecomeLeader() {
     match_idx_[peer] = 0;
     next_idx_[peer] = log_.LastIndex() + 1;
   }
+  // A previous leader may have left an uncommitted config entry in our log;
+  // gating on membership_idx_ keeps changes one at a time across terms (the
+  // no-op below commits it along with everything else).
+  last_config_idx_ = membership_idx_;
   // A no-op entry: commits everything from earlier terms once replicated
   // (Raft §5.4.2 requires counting only current-term entries).
   log_.Append(term_, Marshal{});
@@ -267,7 +307,8 @@ void RaftNode::TriggerFailslowElection() {
   Coroutine::Create([this, stagger]() {
     SleepUs(stagger);
     if (!stopped_ && role_ == RaftRole::kFollower) {
-      RunElection();
+      // transfer: a deliberate supersession — recipients skip stickiness.
+      RunElection(/*transfer=*/true);
     }
     failslow_leader_strikes_ = 0;
     failslow_election_inflight_ = false;
@@ -279,6 +320,214 @@ void RaftNode::PersistMeta() {
   rec << term_ << voted_for_;
   auto ev = wal_.Append(rec);
   ev->Wait();
+}
+
+// -------------------------------------------------------------- membership
+
+void RaftNode::AdoptMembership(const RaftMembership& m, uint64_t idx, uint64_t term) {
+  std::vector<NodeId> old_peers = peers_;
+  // A re-adoption at the same position (snapshot + suffix overlap) replaces
+  // any record at/after idx before pushing the new one.
+  while (idx > 0 && !membership_history_.empty() && membership_history_.back().idx >= idx) {
+    membership_history_.pop_back();
+  }
+  membership_ = m;
+  membership_idx_ = idx;
+  membership_history_.push_back(MembershipRecord{idx, term, m});
+  peers_.clear();
+  for (NodeId v : m.voters) {
+    if (v != env_.id) {
+      peers_.push_back(v);
+    }
+  }
+  for (NodeId l : m.learners) {
+    if (l != env_.id) {
+      peers_.push_back(l);
+    }
+  }
+  DF_LOG_INFO("%s: config @%llu -> %s", env_.name.c_str(), (unsigned long long)idx,
+              m.ToString().c_str());
+  if (role_ != RaftRole::kLeader) {
+    return;
+  }
+  for (NodeId p : peers_) {
+    if (match_idx_.find(p) == match_idx_.end()) {
+      // Fresh member (a re-added learner, usually): start replication state
+      // at the tail; the first rejected round backs next_idx_ off to
+      // wherever its log actually ends.
+      match_idx_[p] = 0;
+      next_idx_[p] = log_.LastIndex() + 1;
+      EnsureCatchUp(p);
+    }
+  }
+  for (NodeId p : old_peers) {
+    if (!membership_.Contains(p)) {
+      uint64_t epoch = leader_epoch_;
+      Coroutine::Create([this, p, idx, epoch]() { FarewellPeer(p, idx, epoch); });
+    }
+  }
+  // Removing a voter shrinks the quorum: entries may become committed by
+  // the matches already recorded.
+  AdvanceCommitFromMatches();
+}
+
+void RaftNode::ReconcileMembershipWithLog() {
+  bool changed = false;
+  while (membership_history_.size() > 1) {
+    const MembershipRecord& rec = membership_history_.back();
+    if (rec.idx <= log_.BaseIndex()) {
+      break;  // at/below the base: vouched by the snapshot
+    }
+    if (log_.Has(rec.idx) && log_.TermAt(rec.idx) == rec.term) {
+      break;  // the carrying entry survived
+    }
+    membership_history_.pop_back();
+    changed = true;
+  }
+  if (!changed) {
+    return;
+  }
+  const MembershipRecord& rec = membership_history_.back();
+  DF_LOG_INFO("%s: config entry truncated; reverting to config @%llu", env_.name.c_str(),
+              (unsigned long long)rec.idx);
+  membership_ = rec.membership;
+  membership_idx_ = rec.idx;
+  peers_.clear();
+  for (NodeId v : membership_.voters) {
+    if (v != env_.id) {
+      peers_.push_back(v);
+    }
+  }
+  for (NodeId l : membership_.learners) {
+    if (l != env_.id) {
+      peers_.push_back(l);
+    }
+  }
+}
+
+RaftMembership RaftNode::MembershipAt(uint64_t idx) const {
+  for (auto it = membership_history_.rbegin(); it != membership_history_.rend(); ++it) {
+    if (it->idx <= idx) {
+      return it->membership;
+    }
+  }
+  return membership_;
+}
+
+void RaftNode::FarewellPeer(NodeId peer, uint64_t config_idx, uint64_t epoch) {
+  const uint64_t deadline = MonotonicUs() + config_.farewell_grace_us;
+  while (!stopped_ && role_ == RaftRole::kLeader && leader_epoch_ == epoch &&
+         !membership_.Contains(peer) && MonotonicUs() < deadline &&
+         match_idx_[peer] < config_idx) {
+    uint64_t next = std::clamp<uint64_t>(next_idx_[peer], 1, log_.LastIndex() + 1);
+    if (next <= log_.BaseIndex() || next > log_.LastIndex()) {
+      break;  // a goodbye is not worth a snapshot transfer
+    }
+    AppendEntriesArgs args;
+    args.term = term_;
+    args.leader_id = env_.id;
+    args.prev_idx = next - 1;
+    args.prev_term = log_.TermAt(next - 1);
+    args.entries = log_.Slice(next, log_.ClampBatchEnd(next, config_.max_batch,
+                                                       EffectiveBatchBytes()));
+    args.commit_idx = commit_idx_;
+    CallOpts opts;
+    opts.timeout_us = config_.rpc_timeout_us * 2;
+    opts.discardable = false;
+    opts.group = config_.group_id;
+    opts.judge = AppendReplyOk;
+    auto ev = rpc_->Call(peer, kMethodAppendEntries, args.Encode(), opts);
+    ev->set_trace_exempt(true);  // courtesy traffic must not feed detection
+    ev->Wait();
+    if (stopped_ || leader_epoch_ != epoch) {
+      return;
+    }
+    if (ev->failed()) {
+      SleepUs(20000);
+      continue;
+    }
+    Marshal copy = ev->reply();
+    auto r = AppendEntriesReply::Decode(copy);
+    if (r.term > term_) {
+      // The departing node inflated its term (it campaigned before learning
+      // of its removal). Deliberately NOT adopted: a removed server must not
+      // depose the cluster's leader. Vote stickiness keeps it from winning.
+      break;
+    }
+    if (r.success) {
+      uint64_t to = args.prev_idx + args.entries.size();
+      match_idx_[peer] = std::max(match_idx_[peer], to);
+      next_idx_[peer] = match_idx_[peer] + 1;
+    } else {
+      next_idx_[peer] = std::max<uint64_t>(std::min(next - 1, r.last_idx + 1), 1);
+      SleepUs(20000);
+    }
+  }
+  if (!membership_.Contains(peer)) {
+    match_idx_.erase(peer);
+    next_idx_.erase(peer);
+    catching_up_.erase(peer);
+    mitigated_peers_.erase(peer);
+  }
+}
+
+ConfigChangeStatus RaftNode::ProposeConfigChange(ConfigChangeType type, NodeId node) {
+  if (stopped_ || role_ != RaftRole::kLeader) {
+    return ConfigChangeStatus::kNotLeader;
+  }
+  if (last_config_idx_ > commit_idx_) {
+    return ConfigChangeStatus::kBusy;  // one change at a time (§4.1)
+  }
+  RaftMembership m = membership_;
+  switch (type) {
+    case ConfigChangeType::kAddLearner:
+      if (m.Contains(node)) {
+        return ConfigChangeStatus::kInvalid;
+      }
+      m.learners.push_back(node);
+      break;
+    case ConfigChangeType::kPromote: {
+      if (!m.IsLearner(node)) {
+        return ConfigChangeStatus::kInvalid;
+      }
+      if (match_idx_of(node) + config_.promote_lag_entries < log_.LastIndex()) {
+        return ConfigChangeStatus::kNotCaughtUp;
+      }
+      m.learners.erase(std::remove(m.learners.begin(), m.learners.end(), node),
+                       m.learners.end());
+      m.voters.push_back(node);
+      std::sort(m.voters.begin(), m.voters.end());
+      break;
+    }
+    case ConfigChangeType::kRemove:
+      if (!m.Contains(node)) {
+        return ConfigChangeStatus::kInvalid;
+      }
+      m.voters.erase(std::remove(m.voters.begin(), m.voters.end(), node), m.voters.end());
+      m.learners.erase(std::remove(m.learners.begin(), m.learners.end(), node),
+                       m.learners.end());
+      if (m.voters.empty()) {
+        return ConfigChangeStatus::kInvalid;  // never leave the group voterless
+      }
+      break;
+  }
+  counters_.config_changes_proposed++;
+  const uint64_t my_term = term_;
+  uint64_t idx = log_.Append(my_term, EncodeConfigPayload(type, node, m), EntryKind::kConfig);
+  last_config_idx_ = idx;
+  // Config entries take effect on append: the leader replicates (and counts
+  // quorums) under the NEW configuration immediately.
+  AdoptMembership(m, idx, my_term);
+  last_log_watch_.Set(static_cast<int64_t>(idx));
+  commit_watch_.WaitUntilGe(static_cast<int64_t>(idx), config_.config_change_timeout_us);
+  if (stopped_) {
+    return ConfigChangeStatus::kNotLeader;
+  }
+  if (commit_idx_ >= idx && log_.Matches(idx, my_term)) {
+    counters_.config_changes_committed++;
+    return ConfigChangeStatus::kOk;
+  }
+  return ConfigChangeStatus::kTimeout;
 }
 
 // ------------------------------------------------------------- replication
@@ -336,13 +585,20 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
   args.commit_idx = commit_idx_;
   args.leader_lag_us = SelfReportedLagUs();
 
-  int n_total = static_cast<int>(peers_.size()) + 1;
+  // The commit quorum spans VOTERS only. Learner legs still ship entries
+  // (their continuations track match and kick catch-up) but are never
+  // children of the quorum event; a removed leader finishing its term
+  // replicates without counting its own leg.
+  const bool self_voter = SelfVoter();
+  int n_total = static_cast<int>(membership_.voters.size());
   auto q = std::make_shared<QuorumEvent>(n_total, majority());
 
   // Local leg: the leader's own vote is its WAL durability for the batch.
   if (heartbeat) {
     env_.cpu->Work(config_.heartbeat_cost_us);
-    q->VoteYes();
+    if (self_voter) {
+      q->VoteYes();
+    }
   } else {
     Marshal rec;
     rec << args.term << from_idx;
@@ -357,7 +613,9 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
     auto wal_ev = wal_.Append(rec);
     wal_ev->set_trace_peer(env_.name);  // self leg; SPG skips self-edges
     wal_ev->set_trace_exempt(true);     // the continuation below is bookkeeping
-    q->AddChild(wal_ev);
+    if (self_voter) {
+      q->AddChild(wal_ev);
+    }
     Coroutine::Create([this, wal_ev, to_idx, epoch]() {
       wal_ev->Wait();
       if (stopped_ || leader_epoch_ != epoch) {
@@ -415,7 +673,9 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
       // Probation restores the peer, and with it full leg visibility.
       ev->set_trace_leg_exempt(true);
     }
-    q->AddChild(ev);
+    if (membership_.IsVoter(peer)) {
+      q->AddChild(ev);
+    }
     // Straggler continuation: track match index, detect higher terms, and
     // kick catch-up — without any round ever waiting on this peer alone.
     Coroutine::Create([this, ev, peer, to_idx, heartbeat, demoted, epoch]() {
@@ -444,6 +704,11 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
           EnsureCatchUp(peer);
         }
       } else {
+        // Back next_idx_ off to the peer's actual tail before kicking
+        // catch-up: a freshly seeded peer (new learner) sits at
+        // LastIndex()+1, where CatchUpPeer has nothing to send.
+        uint64_t next = std::clamp<uint64_t>(next_idx_[peer], 2, log_.LastIndex() + 1);
+        next_idx_[peer] = std::max<uint64_t>(std::min(next - 1, r.last_idx + 1), 1);
         EnsureCatchUp(peer);
       }
     });
@@ -470,13 +735,21 @@ void RaftNode::AdvanceCommitFromMatches() {
   if (role_ != RaftRole::kLeader || stopped_) {
     return;
   }
+  // Match marks over VOTERS only; the local durable index stands in for
+  // this node's own mark only while it is itself a voter.
   std::vector<uint64_t> marks;
-  marks.push_back(durable_idx_);
-  for (NodeId peer : peers_) {
-    marks.push_back(match_idx_[peer]);
+  for (NodeId v : membership_.voters) {
+    marks.push_back(v == env_.id ? durable_idx_ : match_idx_[v]);
+  }
+  if (marks.empty()) {
+    return;
   }
   std::sort(marks.begin(), marks.end(), std::greater<uint64_t>());
-  uint64_t candidate = marks[static_cast<size_t>(majority() - 1)];
+  size_t need = static_cast<size_t>(majority());
+  if (marks.size() < need) {
+    return;
+  }
+  uint64_t candidate = marks[need - 1];
   if (candidate > commit_idx_ && candidate <= log_.LastIndex() &&
       log_.TermAt(candidate) == term_) {
     AdvanceCommit(candidate);
@@ -484,8 +757,9 @@ void RaftNode::AdvanceCommitFromMatches() {
 }
 
 void RaftNode::EnsureCatchUp(NodeId peer) {
-  if (role_ != RaftRole::kLeader || stopped_ || catching_up_[peer]) {
-    return;
+  if (role_ != RaftRole::kLeader || stopped_ || !membership_.Contains(peer) ||
+      catching_up_[peer]) {
+    return;  // removed peers are fed (briefly) by FarewellPeer instead
   }
   catching_up_[peer] = true;
   uint64_t epoch = leader_epoch_;
@@ -496,9 +770,9 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
   // One in-flight batch at a time: intrinsically flow-controlled, so a
   // fail-slow follower is fed at its own pace without unbounded buffering.
   while (!stopped_ && role_ == RaftRole::kLeader && leader_epoch_ == epoch &&
-         match_idx_[peer] < log_.LastIndex()) {
+         membership_.Contains(peer) && match_idx_[peer] < log_.LastIndex()) {
     // Re-read per iteration: the MitigationController may demote or restore
-    // the peer while this loop runs.
+    // the peer — and a config change may remove it — while this loop runs.
     const bool mitigated = IsPeerMitigated(peer);
     uint64_t next = std::clamp<uint64_t>(next_idx_[peer], 1, log_.LastIndex() + 1);
     if (next <= log_.BaseIndex()) {
@@ -586,6 +860,7 @@ bool RaftNode::SendSnapshot(NodeId peer, uint64_t epoch) {
   Marshal snap = snapshot_data_;
   const uint64_t snap_idx = snapshot_idx_;
   const uint64_t snap_term = snapshot_term_;
+  const RaftMembership snap_membership = snapshot_membership_;
   const uint64_t total = snap.ContentSize();
   const uint64_t chunk = std::max<uint64_t>(config_.snapshot_chunk_bytes, 1);
   // Batch multiple chunks per RPC under the same byte cap AppendEntries
@@ -604,6 +879,7 @@ bool RaftNode::SendSnapshot(NodeId peer, uint64_t epoch) {
     args.n_chunks = static_cast<uint32_t>(std::max<uint64_t>(1, (batch + chunk - 1) / chunk));
     args.done = offset + batch >= total;
     args.data.WriteBytes(snap.data() + offset, batch);
+    args.membership = snap_membership;
     counters_.snapshot_rounds++;
     counters_.snapshot_chunks += args.n_chunks;
     counters_.snapshot_bytes += batch;
@@ -655,7 +931,13 @@ void RaftNode::MaybeCompact() {
   snapshot_data_ = kv_.Snapshot();
   snapshot_idx_ = last_applied_;
   snapshot_term_ = log_.TermAt(last_applied_);
+  snapshot_membership_ = MembershipAt(last_applied_);
   log_.CompactTo(last_applied_);
+  // Config records at/below the new base are covered by the snapshot; keep
+  // only the newest of them as the history floor.
+  while (membership_history_.size() > 1 && membership_history_[1].idx <= log_.BaseIndex()) {
+    membership_history_.erase(membership_history_.begin());
+  }
   // Model the durable snapshot write (size-proportional, not awaited: the
   // old WAL prefix stays valid until the snapshot record lands).
   Marshal rec;
@@ -754,6 +1036,23 @@ void RaftNode::HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_
       return;
     }
     size_t n_new = log_.ApplyAppend(args.prev_idx + 1, args.entries);
+    // A conflict truncation may have discarded an adopted-but-uncommitted
+    // config entry; roll the membership back before adopting new ones.
+    ReconcileMembershipWithLog();
+    for (size_t k = 0; k < args.entries.size(); k++) {
+      if (args.entries[k].kind != EntryKind::kConfig) {
+        continue;
+      }
+      uint64_t eidx = args.prev_idx + 1 + k;
+      if (eidx > membership_idx_ && eidx > log_.BaseIndex() && log_.Has(eidx) &&
+          log_.TermAt(eidx) == args.entries[k].term) {
+        ConfigChangeType t;
+        NodeId n;
+        RaftMembership m;
+        DecodeConfigPayload(args.entries[k].cmd, &t, &n, &m);
+        AdoptMembership(m, eidx, args.entries[k].term);
+      }
+    }
     // Ack exactly what this request covers; later batches may still be
     // in flight to disk.
     acked_idx = args.prev_idx + args.entries.size();
@@ -786,6 +1085,22 @@ void RaftNode::HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_
 void RaftNode::HandleRequestVote(NodeId from, Marshal& args_m, Marshal* reply_m) {
   auto args = RequestVoteArgs::Decode(args_m);
   RequestVoteReply reply;
+  // Leader stickiness (§4.2.3): a server that believes a live leader exists
+  // ignores vote requests — and crucially does NOT adopt the candidate's
+  // term. A removed server that never learned of its removal campaigns at
+  // ever-higher terms; without this it would depose the leader on every
+  // attempt. Deliberate supersessions (fail-slow elections, transfer=true)
+  // bypass it, as do requests once the leader has actually gone quiet.
+  const bool heard_live_leader =
+      role_ == RaftRole::kLeader ||
+      (role_ == RaftRole::kFollower && leader_hint_ != 0 &&
+       leader_hint_ != args.candidate_id &&
+       MonotonicUs() - last_heartbeat_us_ < config_.election_timeout_min_us);
+  if (!stopped_ && !args.transfer && heard_live_leader) {
+    reply.term = term_;
+    *reply_m = reply.Encode();
+    return;
+  }
   if (!stopped_ && args.term >= term_) {
     if (args.term > term_) {
       StepDown(args.term);
@@ -877,6 +1192,15 @@ void RaftNode::HandleInstallSnapshot(NodeId from, Marshal& args_m, Marshal* repl
   Marshal data_copy = full;
   kv_.Restore(data_copy);
   log_.ResetToSnapshot(args.snap_idx, args.snap_term);
+  // The reset may have discarded config entries; roll back, then adopt the
+  // snapshot's config unless a surviving suffix already carried a newer one.
+  ReconcileMembershipWithLog();
+  if (!args.membership.Empty() && args.snap_idx >= membership_idx_) {
+    AdoptMembership(args.membership, args.snap_idx, args.snap_term);
+  }
+  while (membership_history_.size() > 1 && membership_history_[1].idx <= log_.BaseIndex()) {
+    membership_history_.erase(membership_history_.begin());
+  }
   last_applied_ = args.snap_idx;
   apply_watch_.Set(static_cast<int64_t>(last_applied_));
   if (args.snap_idx > commit_idx_) {
@@ -886,6 +1210,7 @@ void RaftNode::HandleInstallSnapshot(NodeId from, Marshal& args_m, Marshal* repl
   snapshot_data_ = full;
   snapshot_idx_ = args.snap_idx;
   snapshot_term_ = args.snap_term;
+  snapshot_membership_ = !args.membership.Empty() ? args.membership : MembershipAt(args.snap_idx);
   Marshal rec;
   rec << args.snap_idx << args.snap_term;
   rec.Append(full);
@@ -916,14 +1241,19 @@ bool RaftNode::ConfirmLeadership() {
   if (q == nullptr) {
     // Start a confirmation round; concurrent reads beginning before it
     // completes share it (readIndex coalescing).
-    q = std::make_shared<QuorumEvent>(static_cast<int>(peers_.size()) + 1, majority());
+    q = std::make_shared<QuorumEvent>(static_cast<int>(membership_.voters.size()), majority());
     read_round_ = q;
-    q->VoteYes();  // self
+    if (SelfVoter()) {
+      q->VoteYes();  // self
+    }
     PingArgs args;
     args.term = my_term;
     args.leader_id = env_.id;
     uint64_t my_term_for_judge = my_term;
-    for (NodeId peer : peers_) {
+    for (NodeId peer : membership_.voters) {
+      if (peer == env_.id) {
+        continue;
+      }
       CallOpts opts;
       opts.timeout_us = config_.rpc_timeout_us;
       opts.discardable = true;
@@ -1108,8 +1438,11 @@ void RaftNode::ApplyLoop() {
       // A multi-op entry decodes to its coalesced ops (a no-op entry to
       // zero). The whole batch is charged as ONE CPU grant, then applied and
       // its per-op reply events resolved together (batched apply + reply
-      // coalescing).
-      std::vector<Marshal> ops = DecodeBatchPayload(entry.cmd);
+      // coalescing). Config entries carry a membership payload, not ops.
+      std::vector<Marshal> ops;
+      if (entry.kind == EntryKind::kCommand) {
+        ops = DecodeBatchPayload(entry.cmd);
+      }
       env_.cpu->Work(config_.apply_cost_us * std::max<size_t>(ops.size(), 1));
       if (stopped_ || idx <= last_applied_ || idx <= log_.BaseIndex()) {
         // An InstallSnapshot overtook this entry during the CPU wait; its
@@ -1125,6 +1458,15 @@ void RaftNode::ApplyLoop() {
       }
       last_applied_ = idx;
       apply_watch_.Set(static_cast<int64_t>(last_applied_));
+      if (entry.kind == EntryKind::kConfig && role_ == RaftRole::kLeader && !in_config()) {
+        // §4.2.2: a leader removed from the configuration keeps leading
+        // until the config entry is COMMITTED (it just applied), then steps
+        // down; the remaining voters elect a successor on timeout.
+        DF_LOG_INFO("%s: removed from config by committed entry %llu -> stepping down",
+                    env_.name.c_str(), (unsigned long long)idx);
+        StepDown(term_);
+        last_heartbeat_us_ = MonotonicUs();
+      }
       MaybeCompact();
       auto it = pending_applies_.find(idx);
       if (it != pending_applies_.end()) {

@@ -61,6 +61,21 @@ class RaftNode {
     auto it = match_idx_.find(peer);
     return it == match_idx_.end() ? 0 : it->second;
   }
+  const RaftMembership& membership() const { return membership_; }
+  uint64_t membership_idx() const { return membership_idx_; }
+  // True while this node is part of the current configuration (a removed
+  // server that learned of its removal goes passive: no elections, no votes
+  // needed from it).
+  bool in_config() const { return membership_.Contains(env_.id); }
+  bool is_learner() const { return membership_.IsLearner(env_.id); }
+
+  // ---- Membership change (leader only; coroutine on this reactor) ----
+  // Proposes a single-server configuration change, adopts it immediately
+  // (config entries take effect on append) and waits for commit. Enforces
+  // one-at-a-time changes: returns kBusy while a previous config entry is
+  // uncommitted. kPromote additionally requires the learner's match index
+  // within config.promote_lag_entries of the log tail.
+  ConfigChangeStatus ProposeConfigChange(ConfigChangeType type, NodeId node);
 
   // ---- Verdict-driven mitigation hooks (reactor thread only) ----
 
@@ -119,10 +134,27 @@ class RaftNode {
   void ReplicationPump(uint64_t epoch);
   void CatchUpPeer(NodeId peer, uint64_t epoch);
 
-  void RunElection();
+  void RunElection(bool transfer = false);
   void BecomeLeader();
   void StepDown(uint64_t new_term);
   void EnsureCatchUp(NodeId peer);
+
+  // ---- Membership internals ----
+  // Switches to membership `m` carried by log position (idx, term):
+  // recomputes peers_, seeds replication state for new peers, and (leader)
+  // spawns a farewell feed for removed ones.
+  void AdoptMembership(const RaftMembership& m, uint64_t idx, uint64_t term);
+  // After a log truncation (conflict overwrite / snapshot reset): pops
+  // adopted configs whose log position no longer holds the entry that
+  // carried them, reverting to the newest surviving one.
+  void ReconcileMembershipWithLog();
+  // Membership in effect at log position idx (for snapshot stamping).
+  RaftMembership MembershipAt(uint64_t idx) const;
+  // Courtesy feed to a removed server: keeps replicating (bounded, paced)
+  // until it holds the config entry that removed it or the grace period
+  // ends, then drops its replication state.
+  void FarewellPeer(NodeId peer, uint64_t config_idx, uint64_t epoch);
+  bool SelfVoter() const { return membership_.IsVoter(env_.id); }
 
   // Proposal coalescing: packs the currently buffered client ops into one
   // multi-op log entry (charging the per-entry propose cost once). Called
@@ -170,13 +202,34 @@ class RaftNode {
   void AdvanceCommit(uint64_t idx);
   void PersistMeta();
 
-  int majority() const { return static_cast<int>(peers_.size() + 1) / 2 + 1; }
+  // Quorum size over the VOTING membership only — learners and this node
+  // itself (when it is a removed leader finishing its term) never count.
+  int majority() const { return static_cast<int>(membership_.voters.size()) / 2 + 1; }
 
   NodeEnv env_;
   RpcEndpoint* rpc_;
+  // All OTHER members (voters + learners) of the current configuration;
+  // recomputed by AdoptMembership.
   std::vector<NodeId> peers_;
   RaftConfig config_;
   Rng rng_;
+
+  // Log-carried configuration. membership_history_ remembers every adopted
+  // config with the log position that carried it, so a truncation that
+  // removes an uncommitted config entry rolls the membership back too.
+  struct MembershipRecord {
+    uint64_t idx = 0;
+    uint64_t term = 0;
+    RaftMembership membership;
+  };
+  RaftMembership membership_;
+  uint64_t membership_idx_ = 0;
+  std::vector<MembershipRecord> membership_history_;
+  // One-at-a-time gate: index of the latest config entry this leader knows
+  // of; a new change is refused until it is committed.
+  uint64_t last_config_idx_ = 0;
+  // Membership as of the current snapshot (shipped with InstallSnapshot).
+  RaftMembership snapshot_membership_;
 
   RaftRole role_ = RaftRole::kFollower;
   uint64_t term_ = 0;

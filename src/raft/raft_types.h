@@ -26,19 +26,137 @@ enum class RaftRole : uint8_t {
   kLeader = 2,
 };
 
+// What a log entry carries: a client command batch, or a cluster
+// configuration change (single-server membership change, Raft §4.1 —
+// config entries take effect on APPEND, not on commit).
+enum class EntryKind : uint8_t {
+  kCommand = 0,
+  kConfig = 1,
+};
+
 struct LogEntry {
   uint64_t term = 0;
   Marshal cmd;
+  EntryKind kind = EntryKind::kCommand;
 };
 
 inline Marshal& operator<<(Marshal& m, const LogEntry& e) {
-  m << e.term << e.cmd;
+  m << e.term << e.cmd << e.kind;
   return m;
 }
 
 inline Marshal& operator>>(Marshal& m, LogEntry& e) {
-  m >> e.term >> e.cmd;
+  m >> e.term >> e.cmd >> e.kind;
   return m;
+}
+
+// Cluster membership: voting members plus non-voting learners. Learners
+// receive replication traffic (so a re-added evicted node catches up) but
+// count toward no quorum and never start elections. Changes are one server
+// at a time, so adjacent configurations always share a majority.
+struct RaftMembership {
+  std::vector<NodeId> voters;
+  std::vector<NodeId> learners;
+
+  bool IsVoter(NodeId id) const {
+    for (NodeId v : voters) {
+      if (v == id) return true;
+    }
+    return false;
+  }
+  bool IsLearner(NodeId id) const {
+    for (NodeId l : learners) {
+      if (l == id) return true;
+    }
+    return false;
+  }
+  bool Contains(NodeId id) const { return IsVoter(id) || IsLearner(id); }
+  bool Empty() const { return voters.empty() && learners.empty(); }
+
+  std::string ToString() const {
+    std::string s = "voters{";
+    for (size_t i = 0; i < voters.size(); i++) {
+      s += (i != 0 ? ",n" : "n") + std::to_string(voters[i]);
+    }
+    s += "} learners{";
+    for (size_t i = 0; i < learners.size(); i++) {
+      s += (i != 0 ? ",n" : "n") + std::to_string(learners[i]);
+    }
+    return s + "}";
+  }
+};
+
+inline Marshal& operator<<(Marshal& m, const RaftMembership& mm) {
+  m << mm.voters << mm.learners;
+  return m;
+}
+
+inline Marshal& operator>>(Marshal& m, RaftMembership& mm) {
+  m >> mm.voters >> mm.learners;
+  return m;
+}
+
+// The three single-server membership operations. Eviction of a fail-slow
+// replica is kRemove; re-admission is kAddLearner followed (once caught up)
+// by kPromote — a learner never weakens the quorum while it recovers.
+enum class ConfigChangeType : uint8_t {
+  kAddLearner = 0,
+  kPromote = 1,
+  kRemove = 2,
+};
+
+inline const char* ConfigChangeTypeName(ConfigChangeType t) {
+  switch (t) {
+    case ConfigChangeType::kAddLearner:
+      return "add_learner";
+    case ConfigChangeType::kPromote:
+      return "promote";
+    case ConfigChangeType::kRemove:
+      return "remove";
+  }
+  return "?";
+}
+
+enum class ConfigChangeStatus : uint8_t {
+  kOk = 0,
+  kNotLeader = 1,
+  kBusy = 2,        // previous config entry not yet committed (one at a time)
+  kInvalid = 3,     // node already/not in config, or would empty the voters
+  kNotCaughtUp = 4, // promotion refused: learner too far behind
+  kTimeout = 5,
+};
+
+inline const char* ConfigChangeStatusName(ConfigChangeStatus s) {
+  switch (s) {
+    case ConfigChangeStatus::kOk:
+      return "ok";
+    case ConfigChangeStatus::kNotLeader:
+      return "not_leader";
+    case ConfigChangeStatus::kBusy:
+      return "busy";
+    case ConfigChangeStatus::kInvalid:
+      return "invalid";
+    case ConfigChangeStatus::kNotCaughtUp:
+      return "not_caught_up";
+    case ConfigChangeStatus::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+// A config entry's payload: the operation plus the COMPLETE resulting
+// membership, so followers adopt it without replaying history.
+inline Marshal EncodeConfigPayload(ConfigChangeType type, NodeId node,
+                                   const RaftMembership& result) {
+  Marshal m;
+  m << type << node << result;
+  return m;
+}
+
+// Takes the payload by value so decoding does not consume the log's copy.
+inline void DecodeConfigPayload(Marshal payload, ConfigChangeType* type, NodeId* node,
+                                RaftMembership* result) {
+  payload >> *type >> *node >> *result;
 }
 
 // Multi-op entry payload. The leader coalesces client ops arriving within
@@ -109,15 +227,21 @@ struct RequestVoteArgs {
   NodeId candidate_id = 0;
   uint64_t last_log_idx = 0;
   uint64_t last_log_term = 0;
+  // Deliberate supersession (fail-slow election / leadership transfer):
+  // bypasses leader stickiness. A REMOVED server that never learned of its
+  // removal keeps campaigning at ever-higher terms; servers that recently
+  // heard from a live leader ignore such votes (Raft §4.2.3) unless this
+  // flag marks the election as intentional.
+  bool transfer = false;
 
   Marshal Encode() const {
     Marshal m;
-    m << term << candidate_id << last_log_idx << last_log_term;
+    m << term << candidate_id << last_log_idx << last_log_term << transfer;
     return m;
   }
   static RequestVoteArgs Decode(Marshal& m) {
     RequestVoteArgs a;
-    m >> a.term >> a.candidate_id >> a.last_log_idx >> a.last_log_term;
+    m >> a.term >> a.candidate_id >> a.last_log_idx >> a.last_log_term >> a.transfer;
     return a;
   }
 };
@@ -153,17 +277,21 @@ struct InstallSnapshotArgs {
   uint32_t n_chunks = 1;     // chunks coalesced into this RPC
   bool done = false;         // final batch: follower restores on receipt
   Marshal data;              // this batch's bytes
+  // Membership as of snap_idx: the config is log-carried, so a follower
+  // whose config entries were compacted away must receive it with the
+  // snapshot (empty = sender predates membership tracking; keep current).
+  RaftMembership membership;
 
   Marshal Encode() const {
     Marshal m;
     m << term << leader_id << snap_idx << snap_term << offset << total_bytes << n_chunks << done
-      << data;
+      << data << membership;
     return m;
   }
   static InstallSnapshotArgs Decode(Marshal& m) {
     InstallSnapshotArgs a;
     m >> a.term >> a.leader_id >> a.snap_idx >> a.snap_term >> a.offset >> a.total_bytes >>
-        a.n_chunks >> a.done >> a.data;
+        a.n_chunks >> a.done >> a.data >> a.membership;
     return a;
   }
 };
@@ -342,6 +470,21 @@ struct RaftConfig {
   uint64_t mitigated_batch_divisor = 4;
   uint64_t mitigated_catchup_pace_us = 20000;
   bool mitigated_defer_snapshot = true;
+
+  // ---- Membership change (single-server, Raft §4.1) ----
+  // Bootstrap configuration. Empty = self + peers are all voters (the
+  // fixed-membership behaviour every existing deployment gets).
+  RaftMembership initial_membership;
+  // A learner may be promoted to voter only once its match index is within
+  // this many entries of the leader's log tail (thesis §4.2.1 catch-up bar).
+  uint64_t promote_lag_entries = 256;
+  // After removing a server the leader keeps feeding it entries (paced,
+  // non-quorum) until it has replicated the config entry that removes it —
+  // so the node learns of its removal in-protocol and goes passive instead
+  // of campaigning against the cluster — or this grace period elapses.
+  uint64_t farewell_grace_us = 2000000;
+  // How long ProposeConfigChange waits for its entry to commit.
+  uint64_t config_change_timeout_us = 5000000;
 };
 
 // Hot-path batching counters, surfaced through RaftNode::counters() and
@@ -363,6 +506,9 @@ struct RaftCounters {
   // Replication rounds where a mitigated peer got a heartbeat-shaped frame
   // instead of the entry payload (verdict-driven demotion active).
   uint64_t mitigated_skips = 0;
+  // Membership changes proposed/committed on this node (leader side).
+  uint64_t config_changes_proposed = 0;
+  uint64_t config_changes_committed = 0;
   Histogram batch_ops_histogram;  // ops per proposed entry
 };
 

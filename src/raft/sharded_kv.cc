@@ -137,10 +137,84 @@ class MultiRaftMitigationPolicy : public MitigationPolicy {
   void Readmit(const std::string& peer) override {
     // Sticky evacuation: the re-admitted node serves as a follower; call
     // ShardedKvCluster::RebalanceLeaders() to hand leadership back.
+    int idx = IndexOf(peer);
+    if (idx >= 0) {
+      // Promote in every group where the node sat out probation as a
+      // learner (no-op groups report kInvalid and are skipped).
+      ChangeAllGroups(idx, ConfigChangeType::kPromote, "promote");
+    }
     DF_LOG_INFO("multiraft mitigation: %s re-admitted (leaders stay evacuated)", peer.c_str());
   }
 
+  // The strongest tier, node-level: drop the accused from EVERY group's
+  // membership. Shrinks each quorum from 3/2 to 2/2 over the healthy nodes,
+  // so rounds stop waiting out rpc_timeout legs toward the evicted node.
+  void Evict(const std::string& peer, const std::string& reason) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    // Same quorum guard as Engage: never remove a node while another is
+    // already under mitigation.
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j != idx && cluster_->MitigationStateOf(j) != MitigationState::kHealthy) {
+        DF_LOG_WARN("multiraft mitigation: refusing to evict %s — %s is not healthy",
+                    peer.c_str(), cluster_->NodeName(j).c_str());
+        return;
+      }
+    }
+    DF_LOG_INFO("multiraft mitigation: EVICT %s from all groups (%s)", peer.c_str(),
+                reason.c_str());
+    // Lift the shed + demotion first so the farewell feed reaches the node,
+    // and make sure it leads nothing before the removals commit.
+    NodeId id = cluster_->NodeIdOf(idx);
+    cluster_->net()->SetPeerShed(id, 0);
+    for (int j = 0; j < cluster_->n_nodes(); j++) {
+      if (j == idx) {
+        continue;
+      }
+      cluster_->RunOn(j, [this, j, id]() {
+        for (int g = 0; g < cluster_->n_groups(); g++) {
+          cluster_->raft(j, g)->SetPeerMitigated(id, false);
+        }
+      });
+    }
+    cluster_->EvacuateLeaders(idx);
+    ChangeAllGroups(idx, ConfigChangeType::kRemove, "evict");
+  }
+
+  void ReaddAsLearner(const std::string& peer) override {
+    int idx = IndexOf(peer);
+    if (idx < 0) {
+      return;
+    }
+    DF_LOG_INFO("multiraft mitigation: re-adding %s as a learner in all groups", peer.c_str());
+    ChangeAllGroups(idx, ConfigChangeType::kAddLearner, "readd-learner");
+  }
+
  private:
+  // Applies one membership change for node `idx` across every group,
+  // retrying through leader moves; kInvalid means the group already settled
+  // (e.g. the node never left it) and is skipped.
+  void ChangeAllGroups(int idx, ConfigChangeType type, const char* what) {
+    NodeId id = cluster_->NodeIdOf(idx);
+    const int retries = std::max(1, opts_.config_change_retries);
+    for (int g = 0; g < cluster_->n_groups(); g++) {
+      ConfigChangeStatus st = ConfigChangeStatus::kTimeout;
+      for (int a = 0; a < retries; a++) {
+        st = cluster_->ProposeGroupConfigChange(g, type, id);
+        if (st == ConfigChangeStatus::kOk || st == ConfigChangeStatus::kInvalid) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(opts_.config_change_retry_pause_us));
+      }
+      if (st != ConfigChangeStatus::kOk && st != ConfigChangeStatus::kInvalid) {
+        DF_LOG_WARN("multiraft mitigation: %s of node %u failed on group %d -> %s", what,
+                    (unsigned)id, g, ConfigChangeStatusName(st));
+      }
+    }
+  }
+
   int IndexOf(const std::string& peer) const {
     for (int i = 0; i < cluster_->n_nodes(); i++) {
       if (cluster_->NodeName(i) == peer) {
@@ -401,6 +475,44 @@ int ShardedKvCluster::EvacuateLeaders(int accused) {
   }
   n_evacuations_.fetch_add(moves.size(), std::memory_order_relaxed);
   return static_cast<int>(moves.size());
+}
+
+ConfigChangeStatus ShardedKvCluster::ProposeGroupConfigChange(int g, ConfigChangeType type,
+                                                              NodeId target) {
+  int leader = GroupLeaderIndex(g);
+  if (leader < 0) {
+    return ConfigChangeStatus::kNotLeader;
+  }
+  // Shared state: the proposing coroutine may outlive this wait (leader
+  // deposed mid-commit) and must not touch a dead stack frame.
+  auto mu = std::make_shared<std::mutex>();
+  auto cv = std::make_shared<std::condition_variable>();
+  auto done = std::make_shared<bool>(false);
+  auto st = std::make_shared<ConfigChangeStatus>(ConfigChangeStatus::kTimeout);
+  RaftNode* r = raft(leader, g);
+  nodes_[static_cast<size_t>(leader)]->thread->reactor()->Post([r, type, target, mu, cv, done,
+                                                                st]() {
+    Coroutine::Create([r, type, target, mu, cv, done, st]() {
+      ConfigChangeStatus s = r->ProposeConfigChange(type, target);
+      {
+        std::lock_guard<std::mutex> lk(*mu);
+        *st = s;
+        *done = true;
+      }
+      cv->notify_all();
+    });
+  });
+  std::unique_lock<std::mutex> lk(*mu);
+  cv->wait_for(lk, std::chrono::microseconds(opts_.raft.config_change_timeout_us + 10000000),
+               [&]() { return *done; });
+  return *st;
+}
+
+RaftMembership ShardedKvCluster::GroupMembershipOf(int g, int i) {
+  RaftMembership m;
+  RaftNode* r = raft(i, g);
+  RunOn(i, [&m, r]() { m = r->membership(); });
+  return m;
 }
 
 void ShardedKvCluster::RebalanceLeaders() {

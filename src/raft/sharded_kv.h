@@ -183,6 +183,23 @@ class ShardedKvCluster {
   // back; call this explicitly once the operator trusts the node again.
   void RebalanceLeaders();
 
+  // Moves the leadership of every group led by node `accused` to the
+  // healthiest replica: the non-accused node with the highest match index
+  // for that group (>= commit index when a single node is accused, so no
+  // committed entry is lost), ties broken toward the node leading fewest
+  // groups. Returns the number of groups moved. Also an operator action
+  // (and the policy's engage step), so public like RebalanceLeaders.
+  int EvacuateLeaders(int accused);
+
+  // Proposes a membership change on group g's current leader and waits for
+  // the outcome (kNotLeader when the leader moved mid-call — retry). Safe
+  // to race with EvacuateLeaders/RebalanceLeaders: a proposal stranded on a
+  // deposed leader fails and the truncated config entry is rolled back.
+  ConfigChangeStatus ProposeGroupConfigChange(int g, ConfigChangeType type, NodeId target);
+  // Group g's membership as node i currently sees it.
+  RaftMembership GroupMembershipOf(int g, int i);
+  NodeId NodeIdOf(int i) const { return opts_.first_node_id + static_cast<NodeId>(i); }
+
   // Sum of each node endpoint's coalescing counters.
   uint64_t CoalescedCalls();
   uint64_t BatchFrames();
@@ -200,14 +217,6 @@ class ShardedKvCluster {
   std::string NodeName(int i) const {
     return opts_.name_prefix + std::to_string(opts_.first_node_id + static_cast<NodeId>(i));
   }
-  NodeId NodeIdOf(int i) const { return opts_.first_node_id + static_cast<NodeId>(i); }
-
-  // Moves the leadership of every group led by node `accused` to the
-  // healthiest replica: the non-accused node with the highest match index
-  // for that group (>= commit index when a single node is accused, so no
-  // committed entry is lost), ties broken toward the node leading fewest
-  // groups. Returns the number of groups moved.
-  int EvacuateLeaders(int accused);
 
   int n_groups_;
   MultiRaftOptions opts_;

@@ -28,6 +28,15 @@ void SimTransport::SetNodeExtraDelay(NodeId node, uint64_t delay_us) {
   extra_delay_us_[node] = delay_us;
 }
 
+void SimTransport::SetEdgeExtraDelay(NodeId from, NodeId to, uint64_t delay_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (delay_us == 0) {
+    edge_delay_us_.erase(std::make_pair(from, to));
+  } else {
+    edge_delay_us_[std::make_pair(from, to)] = delay_us;
+  }
+}
+
 void SimTransport::SetSendQueueCap(NodeId node, uint64_t cap_bytes) {
   std::lock_guard<std::mutex> lk(mu_);
   queue_cap_[node] = cap_bytes;
@@ -109,6 +118,10 @@ bool SimTransport::Send(NodeId from, NodeId to, Marshal msg, const SendOpts& opt
     auto d2 = extra_delay_us_.find(to);
     if (d2 != extra_delay_us_.end()) {
       delay += d2->second;
+    }
+    auto de = edge_delay_us_.find(std::make_pair(from, to));
+    if (de != edge_delay_us_.end()) {
+      delay += de->second;
     }
     if (params_.jitter_p > 0 && rng_.NextBool(params_.jitter_p)) {
       delay += params_.jitter_us;

@@ -39,6 +39,11 @@ class SimTransport : public Transport {
   // (Table 1 "Network (slow)": tc netem delay on the NIC).
   void SetNodeExtraDelay(NodeId node, uint64_t delay_us);
 
+  // Extra one-way delay on a single DIRECTED edge (from -> to) only — the
+  // gray partial-partition fault: one flaky cable, every other path healthy.
+  // 0 clears the edge.
+  void SetEdgeExtraDelay(NodeId from, NodeId to, uint64_t delay_us);
+
   // Byte cap on each outgoing link queue of `node`. Messages sent with
   // discardable=true are dropped once the queue is over cap; others queue
   // without bound. ~0 (default) = unbounded.
@@ -83,6 +88,7 @@ class SimTransport : public Transport {
   std::map<NodeId, Endpoint> endpoints_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
   std::map<NodeId, uint64_t> extra_delay_us_;
+  std::map<std::pair<NodeId, NodeId>, uint64_t> edge_delay_us_;
   std::map<NodeId, uint64_t> queue_cap_;
   std::map<NodeId, uint64_t> shed_caps_;  // mitigation: per-DESTINATION clamp
   Rng rng_;

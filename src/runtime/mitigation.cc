@@ -15,6 +15,8 @@ const char* MitigationStateName(MitigationState s) {
       return "mitigated";
     case MitigationState::kProbation:
       return "probation";
+    case MitigationState::kEvicted:
+      return "evicted";
   }
   return "?";
 }
@@ -31,9 +33,15 @@ const char* ActionName(uint8_t kind) {
       return "probe";
     case 3:
       return "readmit";
+    case 4:
+      return "evict";
+    case 5:
+      return "readd_learner";
   }
   return "?";
 }
+
+constexpr uint8_t kNumActionKinds = 6;
 
 }  // namespace
 
@@ -43,7 +51,7 @@ MitigationController::MitigationController(MitigationOptions opts, MitigationPol
   DF_CHECK_NOTNULL(policy_);
   // Eagerly create the action counters so scrapes/JSON dumps of a fault-free
   // run expose them AT ZERO instead of omitting them.
-  for (uint8_t k = 0; k < 4; k++) {
+  for (uint8_t k = 0; k < kNumActionKinds; k++) {
     reg_->GetCounter("mitigation_actions_total", {{"action", ActionName(k)}});
   }
 }
@@ -87,6 +95,26 @@ void MitigationController::QueueLocked(ActionKind kind, const std::string& peer,
   queued_.push_back(Action{kind, peer, std::move(reason)});
 }
 
+void MitigationController::EngageLocked(const std::string& peer, PeerState* ps, uint64_t now_us,
+                                        const std::string& reason) {
+  ps->engages++;
+  ps->engage_streak++;
+  // Escalation: demotion keeps failing to stick (the streak never reset by
+  // a readmit), or the peer already evicted once relapsed during its
+  // learner probation — remove it from the group instead of re-demoting.
+  const bool escalate = opts_.evict_after_engages > 0 &&
+                        (ps->evicted || ps->engage_streak >= opts_.evict_after_engages);
+  if (escalate) {
+    ps->evictions++;
+    ps->evicted = true;
+    SetStateLocked(peer, ps, MitigationState::kEvicted, now_us);
+    QueueLocked(ActionKind::kEvict, peer, reason);
+  } else {
+    SetStateLocked(peer, ps, MitigationState::kMitigated, now_us);
+    QueueLocked(ActionKind::kEngage, peer, reason);
+  }
+}
+
 void MitigationController::DispatchQueued() {
   std::vector<Action> actions;
   {
@@ -114,6 +142,12 @@ void MitigationController::DispatchQueued() {
       case ActionKind::kReadmit:
         policy_->Readmit(a.peer);
         break;
+      case ActionKind::kEvict:
+        policy_->Evict(a.peer, a.reason);
+        break;
+      case ActionKind::kReaddLearner:
+        policy_->ReaddAsLearner(a.peer);
+        break;
     }
   }
 }
@@ -128,28 +162,25 @@ void MitigationController::OnVerdict(const SlownessVerdict& v, uint64_t now_us) 
         ps.strikes = 1;
         SetStateLocked(v.node, &ps, MitigationState::kAccused, now_us);
         if (ps.strikes >= opts_.accuse_strikes) {
-          ps.engages++;
-          SetStateLocked(v.node, &ps, MitigationState::kMitigated, now_us);
-          QueueLocked(ActionKind::kEngage, v.node, v.Summary());
+          EngageLocked(v.node, &ps, now_us, v.Summary());
         }
         break;
       case MitigationState::kAccused:
         ps.strikes++;
         if (ps.strikes >= opts_.accuse_strikes) {
-          ps.engages++;
-          SetStateLocked(v.node, &ps, MitigationState::kMitigated, now_us);
-          QueueLocked(ActionKind::kEngage, v.node, v.Summary());
+          EngageLocked(v.node, &ps, now_us, v.Summary());
         }
         break;
       case MitigationState::kMitigated:
         break;  // already acting; the fresh verdict just extends the quiet gate
+      case MitigationState::kEvicted:
+        break;  // already out of the group; the verdict extends the quiet gate
       case MitigationState::kProbation:
-        // The trial traffic re-exposed the fault: relapse immediately.
+        // The trial traffic re-exposed the fault: relapse immediately (an
+        // evicted peer's learner trial relapsing re-evicts it).
         ps.clean_probes = 0;
         ps.dirty_probes = 0;
-        ps.engages++;
-        SetStateLocked(v.node, &ps, MitigationState::kMitigated, now_us);
-        QueueLocked(ActionKind::kEngage, v.node, "relapse during probation: " + v.Summary());
+        EngageLocked(v.node, &ps, now_us, "relapse during probation: " + v.Summary());
         break;
     }
   }
@@ -178,6 +209,24 @@ void MitigationController::Tick(uint64_t now_us) {
             ps.next_probe_us = now_us;  // first probe fires this tick
             SetStateLocked(peer, &ps, MitigationState::kProbation, now_us);
             QueueLocked(ActionKind::kBeginProbation, peer, "");
+          }
+          break;
+        case MitigationState::kEvicted:
+          // Re-admission ladder: after the dwell plus verdict silence the
+          // peer is re-added as a NON-VOTING learner and probed like any
+          // probation peer; clean probes then promote it back to voter
+          // (policy Readmit), a relapse re-evicts.
+          if (now_us - ps.since_us >= opts_.min_evicted_us &&
+              now_us - ps.last_verdict_us >= opts_.verdict_quiet_us) {
+            ps.clean_probes = 0;
+            ps.dirty_probes = 0;
+            ps.probe_inflight = false;
+            // Head start: the learner needs a catch-up round before a
+            // lag-sensitive probe can possibly come back clean.
+            ps.next_probe_us = now_us + opts_.probe_interval_us;
+            ps.readds++;
+            SetStateLocked(peer, &ps, MitigationState::kProbation, now_us);
+            QueueLocked(ActionKind::kReaddLearner, peer, "");
           }
           break;
         case MitigationState::kProbation:
@@ -214,6 +263,10 @@ void MitigationController::OnProbeResult(const std::string& peer, bool clean, ui
     if (ps.clean_probes >= opts_.clean_probes_to_readmit) {
       ps.strikes = 0;
       ps.readmits++;
+      // A full readmit ends any eviction episode and resets the escalation
+      // streak: the peer earned a clean slate.
+      ps.evicted = false;
+      ps.engage_streak = 0;
       SetStateLocked(peer, &ps, MitigationState::kHealthy, now_us);
       QueueLocked(ActionKind::kReadmit, peer, "");
     }
@@ -221,9 +274,7 @@ void MitigationController::OnProbeResult(const std::string& peer, bool clean, ui
     ps.clean_probes = 0;
     ps.dirty_probes++;
     if (ps.dirty_probes >= opts_.dirty_probes_to_remitigate) {
-      ps.engages++;
-      SetStateLocked(peer, &ps, MitigationState::kMitigated, now_us);
-      QueueLocked(ActionKind::kEngage, peer, "consecutive dirty probation probes");
+      EngageLocked(peer, &ps, now_us, "consecutive dirty probation probes");
     }
   }
 }
@@ -247,6 +298,8 @@ MitigationPeerInfo MitigationController::InfoOf(const std::string& peer) const {
     info.last_verdict_us = ps.last_verdict_us;
     info.engages = ps.engages;
     info.readmits = ps.readmits;
+    info.evictions = ps.evictions;
+    info.readds = ps.readds;
   }
   return info;
 }
@@ -263,6 +316,8 @@ std::map<std::string, MitigationPeerInfo> MitigationController::Snapshot() const
     info.last_verdict_us = ps.last_verdict_us;
     info.engages = ps.engages;
     info.readmits = ps.readmits;
+    info.evictions = ps.evictions;
+    info.readds = ps.readds;
     out[peer] = info;
   }
   return out;

@@ -2,13 +2,19 @@
 // MitigationController consumes the SlownessVerdicts the online SpgMonitor
 // emits and drives one hysteresis state machine per accused peer:
 //
-//     healthy --verdict--> accused --strikes--> mitigated
-//        ^                    |                     |
-//        |                 (decay)            (dwell + quiet)
-//        |                    v                     v
-//        +---- readmit --- probation <--------------+
+//     healthy --verdict--> accused --strikes--> mitigated --streak--> evicted
+//        ^                    |                     |                    |
+//        |                 (decay)            (dwell + quiet)    (dwell + quiet)
+//        |                    v                     v                    v
+//        +---- readmit --- probation <--------------+---- readd-learner -+
 //                             |  ^
-//                  (verdict / dirty probes)
+//                  (verdict / dirty probes / relapse -> re-evict)
+//
+// The evicted tier (evict_after_engages > 0) is the strongest rung of the
+// ladder: a peer whose demotions keep failing to stick is REMOVED from the
+// replication group via a membership change; re-admission runs through a
+// non-voting learner trial (readd-learner) before Readmit promotes it back
+// to voter.
 //
 // The controller decides WHEN; a pluggable MitigationPolicy decides WHAT —
 // shedding the accused peer's transport budget, steering the Raft hot path
@@ -42,6 +48,7 @@ enum class MitigationState : uint8_t {
   kAccused = 1,    // verdicts arriving, not yet past the strike bar
   kMitigated = 2,  // policy engaged: peer off the hot path, budget shed
   kProbation = 3,  // trial re-admission: full traffic + periodic probes
+  kEvicted = 4,    // strongest tier: removed from the replication group
 };
 
 const char* MitigationStateName(MitigationState s);
@@ -66,6 +73,16 @@ struct MitigationOptions {
   // > 1 gives the unthrottled catch-up round time to close a large backlog
   // before a lag-based probe verdict condemns the peer again.
   int dirty_probes_to_remitigate = 3;
+  // Eviction — the strongest tier. A peer that the policy has had to engage
+  // this many times WITHOUT an intervening readmit (i.e. demotion keeps
+  // failing to stick: relapses, dirty probes) is EVICTED from the
+  // replication group entirely (membership change). 0 disables eviction,
+  // which keeps the ladder at demote <-> probation (the pre-eviction
+  // behaviour every existing deployment gets).
+  int evict_after_engages = 0;
+  // Minimum dwell in evicted before re-admission (as a learner) may start.
+  // The verdict_quiet_us gate applies on top, like for mitigated.
+  uint64_t min_evicted_us = 2000000;
 };
 
 // What mitigation DOES. Implementations are transport/protocol specific
@@ -86,6 +103,15 @@ class MitigationPolicy {
   virtual void Probe(const std::string& peer) = 0;
   // Peer passed probation: full re-admission.
   virtual void Readmit(const std::string& peer) = 0;
+  // Eviction tier (evict_after_engages > 0). Default no-ops keep existing
+  // policies working unchanged. Evict removes the peer from the replication
+  // group (RemoveServer); ReaddAsLearner begins its probation by adding it
+  // back as a non-voting learner — Readmit then promotes it to voter.
+  virtual void Evict(const std::string& peer, const std::string& reason) {
+    (void)peer;
+    (void)reason;
+  }
+  virtual void ReaddAsLearner(const std::string& peer) { (void)peer; }
 };
 
 // Public snapshot of one peer's mitigation state.
@@ -97,6 +123,8 @@ struct MitigationPeerInfo {
   uint64_t last_verdict_us = 0;  // last verdict naming this peer
   uint64_t engages = 0;          // times the policy engaged on this peer
   uint64_t readmits = 0;
+  uint64_t evictions = 0;        // times the peer was evicted from the group
+  uint64_t readds = 0;           // re-additions as learner after eviction
 };
 
 class MitigationController {
@@ -149,9 +177,24 @@ class MitigationController {
     uint64_t next_probe_us = 0;
     uint64_t engages = 0;
     uint64_t readmits = 0;
+    uint64_t evictions = 0;
+    uint64_t readds = 0;
+    // Engages since the last successful readmit — the eviction escalation
+    // counter. Deliberately separate from the cumulative `engages` stat.
+    int engage_streak = 0;
+    // Set while the peer is out of the group; probation for an evicted peer
+    // re-adds it as a learner, and a relapse re-evicts instead of re-demoting.
+    bool evicted = false;
   };
 
-  enum class ActionKind : uint8_t { kEngage, kBeginProbation, kProbe, kReadmit };
+  enum class ActionKind : uint8_t {
+    kEngage,
+    kBeginProbation,
+    kProbe,
+    kReadmit,
+    kEvict,
+    kReaddLearner,
+  };
   struct Action {
     ActionKind kind;
     std::string peer;
@@ -161,6 +204,11 @@ class MitigationController {
   // Requires mu_ held. Records the transition (counter, gauge, trace).
   void SetStateLocked(const std::string& peer, PeerState* ps, MitigationState to,
                       uint64_t now_us);
+  // Requires mu_ held. The shared engage path: bumps the engage counters and
+  // either demotes (kMitigated + Engage) or — when the streak crosses
+  // evict_after_engages — escalates to eviction (kEvicted + Evict).
+  void EngageLocked(const std::string& peer, PeerState* ps, uint64_t now_us,
+                    const std::string& reason);
   void QueueLocked(ActionKind kind, const std::string& peer, std::string reason);
   // Takes the queued actions out under mu_ and runs them unlocked.
   void DispatchQueued();

@@ -1,0 +1,55 @@
+#include "src/verify/history.h"
+
+namespace depfast {
+
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kPut:
+      return "put";
+    case OpType::kGet:
+      return "get";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+uint64_t HistoryRecorder::Begin(const std::string& client, OpType type, const std::string& key,
+                                const std::string& value, uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ClientOp op;
+  op.id = ops_.size() + 1;
+  op.client = client;
+  op.type = type;
+  op.key = key;
+  op.value = value;
+  op.inv_us = now_us;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void HistoryRecorder::End(uint64_t id, bool ok, bool found, const std::string& result,
+                          uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id == 0 || id > ops_.size()) {
+    return;
+  }
+  ClientOp& op = ops_[id - 1];
+  op.completed = true;
+  op.ok = ok;
+  op.found = found;
+  op.result = result;
+  op.ret_us = now_us;
+}
+
+size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ops_.size();
+}
+
+std::vector<ClientOp> HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ops_;
+}
+
+}  // namespace depfast

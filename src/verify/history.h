@@ -1,0 +1,63 @@
+// Operation-history capture for the chaos campaigns' linearizability oracle
+// (the "check" half of the paper's argue-for-checkable-fault-handling
+// position): every client op is recorded with wall-clock invocation/return
+// bounds, then handed to CheckLinearizability() after the run.
+#ifndef SRC_VERIFY_HISTORY_H_
+#define SRC_VERIFY_HISTORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace depfast {
+
+enum class OpType : uint8_t {
+  kPut = 0,
+  kGet = 1,
+  kDelete = 2,
+};
+
+const char* OpTypeName(OpType t);
+
+// One client operation. `completed` distinguishes ops that got a response
+// from ops still in flight when the history was taken; `ok` is what the
+// response claimed. A write without a definitive success (incomplete, or a
+// failure response that may still have applied server-side) is treated by
+// the checker as a "maybe" op: it may take effect at any point after its
+// invocation, or never.
+struct ClientOp {
+  uint64_t id = 0;
+  std::string client;
+  OpType type = OpType::kPut;
+  std::string key;
+  std::string value;  // put payload
+  bool completed = false;
+  bool ok = false;
+  bool found = false;   // get: key existed at read time
+  std::string result;   // get: value read
+  uint64_t inv_us = 0;  // invocation timestamp
+  uint64_t ret_us = 0;  // return timestamp (0 when !completed)
+};
+
+// Thread-safe recorder shared by all campaign client threads. Begin() before
+// issuing the op, End() on response; ops never Ended stay !completed, which
+// the checker treats as maybe-applied.
+class HistoryRecorder {
+ public:
+  uint64_t Begin(const std::string& client, OpType type, const std::string& key,
+                 const std::string& value, uint64_t now_us);
+  void End(uint64_t id, bool ok, bool found, const std::string& result, uint64_t now_us);
+
+  size_t size() const;
+  // Snapshot of the history so far (in-flight ops included, !completed).
+  std::vector<ClientOp> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ClientOp> ops_;  // ops_[id - 1]
+};
+
+}  // namespace depfast
+
+#endif  // SRC_VERIFY_HISTORY_H_

@@ -1,0 +1,196 @@
+#include "src/verify/linearize.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+namespace depfast {
+
+namespace {
+
+constexpr uint64_t kInfRet = std::numeric_limits<uint64_t>::max();
+
+// A per-key op after projection onto the key's register.
+struct KeyOp {
+  uint64_t id = 0;
+  bool is_write = false;
+  bool required = false;  // must linearize (completed reads, acked writes)
+  bool wfound = false;    // write result: key present after it (put) or not (delete)
+  std::string wval;       // put payload
+  bool rfound = false;    // read observation
+  std::string rval;
+  uint64_t inv = 0;
+  uint64_t ret = kInfRet;
+};
+
+// Wing-Gong search over one key's sub-history. State is fully determined by
+// (set of linearized ops, index of the last linearized write) — reads don't
+// move the register — so that pair is the memo key.
+class KeySearch {
+ public:
+  KeySearch(std::vector<KeyOp> ops, uint64_t budget) : ops_(std::move(ops)), budget_(budget) {
+    for (const KeyOp& op : ops_) {
+      required_total_ += op.required ? 1 : 0;
+    }
+  }
+
+  bool Run() {
+    std::vector<char> lin(ops_.size(), 0);
+    return Dfs(&lin, /*last_write=*/-1, required_total_);
+  }
+
+  uint64_t explored() const { return explored_; }
+  bool exhausted() const { return exhausted_; }
+  const std::string& witness() const { return witness_; }
+
+ private:
+  bool Dfs(std::vector<char>* lin, int last_write, size_t required_left) {
+    if (required_left == 0) {
+      // Leftover maybe-writes linearize (or not) after everything else;
+      // writes always succeed, so any order is legal.
+      return true;
+    }
+    if (++explored_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    if (!memo_.insert(MemoKey(*lin, last_write)).second) {
+      return false;
+    }
+    // An op is minimal iff no other pending op returned before it was
+    // invoked: inv <= min over pending rets.
+    uint64_t min_ret = kInfRet;
+    for (size_t i = 0; i < ops_.size(); i++) {
+      if ((*lin)[i] == 0) {
+        min_ret = std::min(min_ret, ops_[i].ret);
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); i++) {
+      if ((*lin)[i] != 0 || ops_[i].inv > min_ret) {
+        continue;
+      }
+      const KeyOp& op = ops_[i];
+      if (op.is_write) {
+        (*lin)[i] = 1;
+        if (Dfs(lin, static_cast<int>(i), required_left - (op.required ? 1 : 0))) {
+          return true;
+        }
+        (*lin)[i] = 0;
+      } else {
+        const bool present = last_write >= 0 && ops_[static_cast<size_t>(last_write)].wfound;
+        const std::string* val =
+            present ? &ops_[static_cast<size_t>(last_write)].wval : nullptr;
+        const bool match = op.rfound == present && (!present || op.rval == *val);
+        if (match) {
+          (*lin)[i] = 1;
+          if (Dfs(lin, last_write, required_left - 1)) {
+            return true;
+          }
+          (*lin)[i] = 0;
+        } else {
+          // Track the deepest blocking read as the violation witness.
+          const size_t done = required_total_ - required_left;
+          if (done >= witness_depth_) {
+            witness_depth_ = done;
+            witness_ = "read op " + std::to_string(op.id) + " observed " +
+                       (op.rfound ? ("\"" + op.rval + "\"") : std::string("<absent>")) +
+                       " but the register held " +
+                       (present ? ("\"" + *val + "\"") : std::string("<absent>")) + " (" +
+                       std::to_string(done) + "/" + std::to_string(required_total_) +
+                       " ops linearized)";
+          }
+        }
+      }
+      if (exhausted_) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  std::string MemoKey(const std::vector<char>& lin, int last_write) const {
+    std::string key((lin.size() + 7) / 8 + sizeof(int), '\0');
+    for (size_t i = 0; i < lin.size(); i++) {
+      if (lin[i] != 0) {
+        key[i >> 3] = static_cast<char>(key[i >> 3] | (1 << (i & 7)));
+      }
+    }
+    std::memcpy(&key[(lin.size() + 7) / 8], &last_write, sizeof(int));
+    return key;
+  }
+
+  std::vector<KeyOp> ops_;
+  uint64_t budget_;
+  uint64_t explored_ = 0;
+  size_t required_total_ = 0;
+  bool exhausted_ = false;
+  std::unordered_set<std::string> memo_;
+  size_t witness_depth_ = 0;
+  std::string witness_;
+};
+
+}  // namespace
+
+LinearizeResult CheckLinearizability(const std::vector<ClientOp>& history,
+                                     const LinearizeOptions& opts) {
+  LinearizeResult res;
+  std::map<std::string, std::vector<KeyOp>> by_key;
+  for (const ClientOp& op : history) {
+    KeyOp k;
+    k.id = op.id;
+    k.inv = op.inv_us;
+    switch (op.type) {
+      case OpType::kGet:
+        if (!op.completed || !op.ok) {
+          continue;  // a failed read constrains nothing
+        }
+        k.is_write = false;
+        k.required = true;
+        k.rfound = op.found;
+        k.rval = op.result;
+        k.ret = op.ret_us;
+        break;
+      case OpType::kPut:
+      case OpType::kDelete:
+        k.is_write = true;
+        k.wfound = op.type == OpType::kPut;
+        k.wval = op.value;
+        if (op.completed && op.ok) {
+          k.required = true;
+          k.ret = op.ret_us;
+        } else {
+          // Unacked write: may still have committed. Maybe-op, ret = +inf.
+          k.required = false;
+          k.ret = kInfRet;
+        }
+        break;
+    }
+    by_key[op.key].push_back(std::move(k));
+  }
+  for (auto& [key, ops] : by_key) {
+    std::sort(ops.begin(), ops.end(), [](const KeyOp& a, const KeyOp& b) {
+      return a.inv != b.inv ? a.inv < b.inv : a.id < b.id;
+    });
+    const size_t n_ops = ops.size();
+    KeySearch search(std::move(ops), opts.max_states_per_key);
+    const bool ok = search.Run();
+    res.states_explored += search.explored();
+    res.keys_checked++;
+    if (search.exhausted()) {
+      res.exhausted_budget = true;
+      return res;
+    }
+    if (!ok) {
+      res.ok = false;
+      res.violation = "key \"" + key + "\": no linearization over " + std::to_string(n_ops) +
+                      " ops — " +
+                      (search.witness().empty() ? std::string("no witness") : search.witness());
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace depfast

@@ -1,0 +1,46 @@
+// Linearizability checker for key/value histories: P-compositional (a
+// history over a KV map is linearizable iff each per-key sub-history is,
+// Herlihy & Wing), per-key Wing-Gong/Lowe search with memoization on
+// (linearized-set, register state) and a bounded state budget.
+//
+// Semantics per op:
+//   - completed ok GET        read constraint (found, value must match)
+//   - failed / in-flight GET  dropped (tells us nothing)
+//   - completed ok PUT/DEL    required write: must linearize in [inv, ret]
+//   - failed / in-flight PUT/DEL
+//                             "maybe" write: may take effect any time after
+//                             inv, or never (a timed-out Raft proposal can
+//                             still commit), so ret is treated as +inf and
+//                             the op is allowed to stay unlinearized.
+#ifndef SRC_VERIFY_LINEARIZE_H_
+#define SRC_VERIFY_LINEARIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/verify/history.h"
+
+namespace depfast {
+
+struct LinearizeOptions {
+  // Search-state cap per key; the whole check aborts (exhausted_budget) past
+  // it rather than hanging. Campaign values stay unique per write, which
+  // keeps the search essentially linear — the cap is a safety net.
+  uint64_t max_states_per_key = 4000000;
+};
+
+struct LinearizeResult {
+  bool ok = true;
+  bool exhausted_budget = false;  // inconclusive: budget hit before a verdict
+  uint64_t states_explored = 0;
+  int keys_checked = 0;
+  std::string violation;  // human-readable witness when !ok
+};
+
+LinearizeResult CheckLinearizability(const std::vector<ClientOp>& history,
+                                     const LinearizeOptions& opts = LinearizeOptions{});
+
+}  // namespace depfast
+
+#endif  // SRC_VERIFY_LINEARIZE_H_

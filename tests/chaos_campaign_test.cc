@@ -1,0 +1,309 @@
+// Chaos campaigns with the FULL mitigation ladder armed (verdict -> demote
+// -> evict -> re-add as learner -> promote) plus the linearizability oracle:
+//   - a persistent follower fault must climb every rung of the ladder, and
+//     every rung must be visible in MetricsRegistry counters;
+//   - flapping faults must produce ZERO verdicts naming healthy nodes;
+//   - a seeded campaign matrix (fault class x mitigation tier) must end with
+//     zero linearizability violations and zero healthy-node evictions, and
+//     writes a machine-readable summary JSON for the CI artifact.
+// Seeds/op targets honor DEPFAST_CHAOS_SEEDS / DEPFAST_CHAOS_OPS so the
+// workflow_dispatch seed sweep can widen the matrix without a rebuild.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/chaos_harness.h"
+
+namespace depfast {
+namespace {
+
+RaftClusterOptions LadderOptions() {
+  RaftClusterOptions opts;
+  opts.n_nodes = 3;
+  opts.pin_leader = true;  // deterministic prober/proposer: node 0
+  opts.raft.heartbeat_us = 10000;
+  opts.raft.election_timeout_min_us = 60000;
+  opts.raft.election_timeout_max_us = 120000;
+  opts.raft.rpc_timeout_us = 50000;
+  opts.raft.quorum_wait_us = 150000;
+  opts.raft.client_op_timeout_us = 1000000;
+  opts.raft.enable_failslow_leader_detection = false;
+  opts.link.base_delay_us = 100;
+  opts.link.jitter_p = 0.0;
+  opts.disk.base_latency_us = 50;
+  opts.enable_mitigation = true;
+  opts.monitor.window_us = 250000;
+  opts.monitor.min_baseline_windows = 2;
+  opts.monitor.min_latency_us = 5000;
+  opts.monitor.latency_strikes = 2;
+  opts.monitor_poll_us = 50000;
+  opts.mitigation.accuse_strikes = 2;
+  opts.mitigation.min_mitigated_us = 600000;
+  opts.mitigation.verdict_quiet_us = 400000;
+  opts.mitigation.probe_interval_us = 200000;
+  opts.mitigation.clean_probes_to_readmit = 2;
+  opts.mitigation.dirty_probes_to_remitigate = 3;
+  opts.mitigation.evict_after_engages = 2;  // arm the strongest tier
+  opts.mitigation.min_evicted_us = 800000;
+  return opts;
+}
+
+// Background writers (the detector only sees a slow peer under load).
+class CampaignLoad {
+ public:
+  CampaignLoad(RaftCluster& cluster, int n_writers) {
+    client_ = cluster.MakeClient("load");
+    client_->thread->reactor()->Post([this, n_writers]() {
+      for (int j = 0; j < n_writers; j++) {
+        live_.fetch_add(1);
+        Coroutine::Create([this, j]() {
+          int i = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            client_->session->Put("bg" + std::to_string(j) + "_" + std::to_string(i++ % 50), "v");
+          }
+          live_.fetch_sub(1);
+        });
+      }
+    });
+  }
+  ~CampaignLoad() {
+    stop_.store(true);
+    while (live_.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+ private:
+  std::unique_ptr<RaftClientHandle> client_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> live_{0};
+};
+
+bool WaitFor(std::function<bool()> cond, uint64_t timeout_us) {
+  const uint64_t deadline = MonotonicUs() + timeout_us;
+  while (MonotonicUs() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  return cond();
+}
+
+// The acceptance ladder: persistent fault -> demote -> (relapse) -> evict ->
+// clear -> re-add learner -> clean probes -> promote back to voter. Every
+// rung is asserted via the controller's metrics AND the Raft membership.
+TEST(ChaosCampaignTest, PersistentFaultClimbsFullLadderAndRecovers) {
+  RaftCluster cluster(LadderOptions());
+  ASSERT_NE(cluster.mitigation(), nullptr);
+  const int victim = 2;
+  const NodeId victim_id = cluster.IdOf(victim);
+  const std::string victim_name = "s" + std::to_string(victim_id);
+  CampaignLoad load(cluster, 12);
+  std::this_thread::sleep_for(std::chrono::seconds(1));  // bank clean baselines
+
+  FaultSpec slow = MakeFault(FaultType::kNetworkSlow);
+  slow.net_delay_us = 60000;  // > rpc timeout: replication legs crawl
+  cluster.InjectFault(victim, slow);
+
+  // Rung 1+2: accused -> mitigated (engage), then the probation trial
+  // relapses against the persistent fault and the streak crosses
+  // evict_after_engages: the peer is REMOVED from the group.
+  ASSERT_TRUE(WaitFor(
+      [&]() { return cluster.mitigation()->InfoOf(victim_name).evictions >= 1; }, 60000000))
+      << "victim never reached the eviction tier";
+  MitigationPeerInfo mid = cluster.mitigation()->InfoOf(victim_name);
+  EXPECT_GE(mid.engages, 2u);
+  ASSERT_TRUE(WaitFor([&]() { return !cluster.MembershipOf(0).Contains(victim_id); }, 20000000))
+      << "eviction never committed a membership change";
+
+  // Heal the fault while the victim sits out its eviction dwell.
+  cluster.ClearFault(victim);
+
+  // Rung 3: re-admission as a NON-VOTING learner...
+  ASSERT_TRUE(WaitFor(
+      [&]() { return cluster.mitigation()->InfoOf(victim_name).readds >= 1; }, 60000000))
+      << "victim was never re-added as a learner";
+  // ...and rung 4: clean probes promote it back to a full voter.
+  ASSERT_TRUE(WaitFor(
+      [&]() { return cluster.mitigation()->InfoOf(victim_name).readmits >= 1; }, 60000000))
+      << "victim never passed learner probation";
+  ASSERT_TRUE(WaitFor([&]() { return cluster.MembershipOf(0).IsVoter(victim_id); }, 20000000))
+      << "promotion back to voter never committed";
+
+  // Every rung left a metrics trail (global registry; RaftCluster wires the
+  // controller there).
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_GE(reg.GetCounter("mitigation_transitions_total",
+                           {{"peer", victim_name}, {"to", "evicted"}})
+                ->value(),
+            1u);
+  EXPECT_GE(reg.GetCounter("mitigation_transitions_total",
+                           {{"peer", victim_name}, {"to", "mitigated"}})
+                ->value(),
+            1u);
+  EXPECT_GE(reg.GetCounter("mitigation_actions_total", {{"action", "evict"}})->value(), 1u);
+  EXPECT_GE(reg.GetCounter("mitigation_actions_total", {{"action", "readd_learner"}})->value(),
+            1u);
+  EXPECT_GE(reg.GetCounter("mitigation_actions_total", {{"action", "readmit"}})->value(), 1u);
+  MitigationPeerInfo info = cluster.mitigation()->InfoOf(victim_name);
+  EXPECT_GE(info.evictions, 1u);
+  EXPECT_GE(info.readds, 1u);
+  EXPECT_GE(info.readmits, 1u);
+  EXPECT_EQ(info.state, MitigationState::kHealthy);
+
+  // Healthy nodes were never touched by the ladder.
+  for (int i = 0; i < cluster.n_nodes(); i++) {
+    if (i == victim) {
+      continue;
+    }
+    EXPECT_EQ(cluster.mitigation()->InfoOf("s" + std::to_string(cluster.IdOf(i))).engages, 0u);
+  }
+}
+
+// Satellite: flapping faults on one follower must never get a HEALTHY node
+// accused — the detector's baseline plus the controller's strike bar absorb
+// the flapping without collateral blame.
+TEST(ChaosCampaignTest, FlappingFaultsAccuseOnlyTheVictim) {
+  RaftClusterOptions opts = LadderOptions();
+  opts.enable_mitigation = false;  // observe RAW verdicts
+  opts.enable_monitor = true;
+  RaftCluster cluster(opts);
+
+  const uint64_t seed = 97;
+  ChaosScheduleOptions sched;
+  sched.seed = seed;
+  sched.n_nodes = cluster.n_nodes();
+  sched.first_victim = 2;  // the victim pool is exactly {node 2}
+  sched.classes = {ChaosClass::kFlapping};
+  sched.n_events = 4;
+  std::vector<ChaosStep> schedule = MakeChaosSchedule(sched);
+  for (const ChaosStep& s : schedule) {
+    ASSERT_EQ(s.action.victim, 2);
+  }
+
+  ChaosRunOptions run;
+  run.target_acked_ops = 250;
+  ChaosRunResult result = RunChaosCampaign(cluster, schedule, seed, run);
+  EXPECT_TRUE(result.all_steps_fired);
+
+  const std::string victim_name = "s" + std::to_string(cluster.IdOf(2));
+  for (const SlownessVerdict& v : cluster.Verdicts()) {
+    EXPECT_EQ(v.node, victim_name) << "false accusation: " << v.Summary();
+  }
+
+  std::vector<int> nodes{0, 1, 2};
+  ASSERT_TRUE(WaitChaosConvergence(cluster, nodes, 20000000));
+  AppendFinalReads(cluster, run.n_keys, &result.history);
+  ExpectLinearizable(result.history);
+}
+
+// Seeded campaign matrix: every (seed x fault-class-mix) cell runs with the
+// eviction tier armed, must stay linearizable, and must never evict a
+// healthy node. Emits chaos_campaign_summary.json for the CI artifact.
+TEST(ChaosCampaignTest, SeededMatrixStaysLinearizableWritesSummary) {
+  std::vector<uint64_t> seeds{11, 12};
+  if (const char* env = std::getenv("DEPFAST_CHAOS_SEEDS")) {
+    seeds.clear();
+    std::stringstream ss(env);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) {
+        seeds.push_back(std::stoull(tok));
+      }
+    }
+  }
+  uint64_t target_ops = 120;
+  if (const char* env = std::getenv("DEPFAST_CHAOS_OPS")) {
+    target_ops = std::stoull(env);
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"campaigns\": [\n";
+  bool first = true;
+  for (uint64_t seed : seeds) {
+    RaftCluster cluster(LadderOptions());
+    ChaosScheduleOptions sched;
+    sched.seed = seed;
+    sched.n_nodes = cluster.n_nodes();
+    sched.n_events = 3;
+    sched.first_at_ops = 30;
+    sched.spacing_ops = 50;
+    std::vector<ChaosStep> schedule = MakeChaosSchedule(sched);
+
+    ChaosRunOptions run;
+    run.target_acked_ops = target_ops;
+    ChaosRunResult result = RunChaosCampaign(cluster, schedule, seed, run);
+    EXPECT_TRUE(result.all_steps_fired) << "seed " << seed;
+
+    // Let the mitigation ladder settle (an in-flight eviction would leave
+    // the victim legitimately behind), then converge the final membership.
+    std::vector<int> victims;
+    for (const ChaosStep& s : schedule) {
+      if (std::find(victims.begin(), victims.end(), s.action.victim) == victims.end()) {
+        victims.push_back(s.action.victim);
+      }
+    }
+    RaftMembership final_m;
+    WaitFor(
+        [&]() {
+          final_m = cluster.MembershipOf(0);
+          return final_m.learners.empty() &&
+                 final_m.voters.size() == static_cast<size_t>(cluster.n_nodes());
+        },
+        30000000);
+    std::vector<int> nodes;
+    for (int i = 0; i < cluster.n_nodes(); i++) {
+      if (final_m.Contains(cluster.IdOf(i))) {
+        nodes.push_back(i);
+      }
+    }
+    ASSERT_GE(nodes.size(), 2u);
+    EXPECT_TRUE(WaitChaosConvergence(cluster, nodes, 20000000)) << "seed " << seed;
+
+    AppendFinalReads(cluster, run.n_keys, &result.history);
+    LinearizeResult lr = CheckLinearizability(result.history);
+    EXPECT_FALSE(lr.exhausted_budget) << "seed " << seed;
+    EXPECT_TRUE(lr.ok) << "seed " << seed << ": " << lr.violation;
+
+    // Zero healthy-node evictions (and no healthy engages at all).
+    uint64_t victim_evictions = 0;
+    bool healthy_clean = true;
+    for (int i = 0; i < cluster.n_nodes(); i++) {
+      MitigationPeerInfo info =
+          cluster.mitigation()->InfoOf("s" + std::to_string(cluster.IdOf(i)));
+      const bool is_victim = std::find(victims.begin(), victims.end(), i) != victims.end();
+      if (is_victim) {
+        victim_evictions += info.evictions;
+      } else {
+        EXPECT_EQ(info.evictions, 0u) << "seed " << seed << ": healthy node " << i << " evicted";
+        healthy_clean = healthy_clean && info.evictions == 0 && info.engages == 0;
+      }
+    }
+
+    if (!first) {
+      json << ",\n";
+    }
+    first = false;
+    json << "    {\"seed\": " << seed << ", \"steps\": " << schedule.size()
+         << ", \"attempted_ops\": " << result.attempted << ", \"acked_ops\": " << result.acked
+         << ", \"history_ops\": " << result.history.size()
+         << ", \"linearizable\": " << (lr.ok ? "true" : "false")
+         << ", \"states_explored\": " << lr.states_explored
+         << ", \"victim_evictions\": " << victim_evictions
+         << ", \"healthy_nodes_clean\": " << (healthy_clean ? "true" : "false") << "}";
+  }
+  json << "\n  ],\n  \"seeds\": " << seeds.size() << "\n}\n";
+
+  std::ofstream out("chaos_campaign_summary.json");
+  ASSERT_TRUE(out.good());
+  out << json.str();
+  out.close();
+}
+
+}  // namespace
+}  // namespace depfast

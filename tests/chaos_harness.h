@@ -1,0 +1,436 @@
+// Deterministic chaos campaigns shared by chaos_test and
+// chaos_campaign_test: fault schedules are a PURE function of the seed
+// (byte-for-byte identical on every run and platform), and each step fires
+// when the campaign's attempted-op counter crosses its trigger — never on
+// wall clock — so sanitizer slowdown cannot shift which ops a fault
+// overlaps. Every client op is recorded into a HistoryRecorder; after the
+// run the per-key WGL checker (src/verify) decides linearizability.
+#ifndef TESTS_CHAOS_HARNESS_H_
+#define TESTS_CHAOS_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+#include "src/verify/history.h"
+#include "src/verify/linearize.h"
+
+namespace depfast {
+
+// The gray-failure classes the campaign draws from.
+enum class ChaosClass : uint8_t {
+  kSingle = 0,        // one Table 1 fault on one victim, later cleared
+  kCorrelated = 1,    // the same window hits two victims at once
+  kFlapping = 2,      // fault toggled on/off several times in a row
+  kSlowThenStall = 3, // moderate net slowness that degrades to a near-stall
+  kGrayEdge = 4,      // one directed network edge degraded, rest healthy
+};
+
+inline const char* ChaosClassName(ChaosClass c) {
+  switch (c) {
+    case ChaosClass::kSingle:
+      return "single";
+    case ChaosClass::kCorrelated:
+      return "correlated";
+    case ChaosClass::kFlapping:
+      return "flapping";
+    case ChaosClass::kSlowThenStall:
+      return "slow-then-stall";
+    case ChaosClass::kGrayEdge:
+      return "gray-edge";
+  }
+  return "?";
+}
+
+struct ChaosAction {
+  enum Kind : uint8_t { kInject = 0, kClear = 1, kEdgeDelay = 2 } kind = kInject;
+  int victim = -1;
+  int peer = -1;               // kEdgeDelay: edge victim -> peer
+  FaultSpec spec;              // kInject
+  uint64_t edge_delay_us = 0;  // kEdgeDelay; 0 clears the edge
+};
+
+struct ChaosStep {
+  uint64_t at_ops = 0;  // fires when attempted-op count crosses this
+  ChaosAction action;
+};
+
+struct ChaosScheduleOptions {
+  uint64_t seed = 1;
+  int n_nodes = 3;
+  // Victim pool: [first_victim, n_nodes). Campaigns with a pinned leader
+  // keep first_victim=1 so node 0 stays healthy.
+  int first_victim = 1;
+  std::vector<ChaosClass> classes = {ChaosClass::kSingle, ChaosClass::kCorrelated,
+                                     ChaosClass::kFlapping, ChaosClass::kSlowThenStall,
+                                     ChaosClass::kGrayEdge};
+  int n_events = 6;
+  uint64_t first_at_ops = 40;
+  uint64_t spacing_ops = 60;
+};
+
+// Pure function of the options (no wall clock, no global RNG): the schedule
+// IS the reproducibility contract of a seeded campaign.
+inline std::vector<ChaosStep> MakeChaosSchedule(const ChaosScheduleOptions& o) {
+  Rng rng(o.seed * 7919 + 13);
+  std::vector<ChaosStep> steps;
+  auto pick_victim = [&]() {
+    return o.first_victim +
+           static_cast<int>(rng.NextUint64(static_cast<uint64_t>(o.n_nodes - o.first_victim)));
+  };
+  auto moderate = [](FaultSpec spec) {
+    if (spec.type == FaultType::kNetworkSlow) {
+      spec.net_delay_us = 80000;  // scaled to the tests' fast timeouts
+    }
+    return spec;
+  };
+  for (int e = 0; e < o.n_events; e++) {
+    const uint64_t base = o.first_at_ops + static_cast<uint64_t>(e) * o.spacing_ops;
+    const uint64_t clear_at = base + o.spacing_ops * 3 / 4;
+    const ChaosClass cls = o.classes[rng.NextUint64(o.classes.size())];
+    const int v = pick_victim();
+    switch (cls) {
+      case ChaosClass::kSingle: {
+        FaultSpec spec = moderate(MakeFault(kAllFaultTypes[rng.NextUint64(6)]));
+        steps.push_back({base, {ChaosAction::kInject, v, -1, spec, 0}});
+        steps.push_back({clear_at, {ChaosAction::kClear, v}});
+        break;
+      }
+      case ChaosClass::kCorrelated: {
+        // Contention-style faults only: two simultaneous near-stalls could
+        // suspend the quorum outright, which is fail-stop, not fail-slow.
+        static constexpr FaultType kCorrelatedTypes[] = {
+            FaultType::kCpuContention, FaultType::kDiskContention, FaultType::kMemContention};
+        int v2 = pick_victim();
+        if (v2 == v && o.n_nodes - o.first_victim > 1) {
+          v2 = o.first_victim + (v - o.first_victim + 1) % (o.n_nodes - o.first_victim);
+        }
+        FaultSpec s1 = MakeFault(kCorrelatedTypes[rng.NextUint64(3)]);
+        FaultSpec s2 = MakeFault(kCorrelatedTypes[rng.NextUint64(3)]);
+        steps.push_back({base, {ChaosAction::kInject, v, -1, s1, 0}});
+        if (v2 != v) {
+          steps.push_back({base, {ChaosAction::kInject, v2, -1, s2, 0}});
+          steps.push_back({clear_at, {ChaosAction::kClear, v2}});
+        }
+        steps.push_back({clear_at, {ChaosAction::kClear, v}});
+        break;
+      }
+      case ChaosClass::kFlapping: {
+        FaultSpec spec = moderate(MakeFault(kAllFaultTypes[rng.NextUint64(6)]));
+        const uint64_t hop = std::max<uint64_t>(o.spacing_ops / 6, 1);
+        for (int f = 0; f < 3; f++) {
+          steps.push_back({base + 2 * static_cast<uint64_t>(f) * hop,
+                           {ChaosAction::kInject, v, -1, spec, 0}});
+          steps.push_back({base + (2 * static_cast<uint64_t>(f) + 1) * hop,
+                           {ChaosAction::kClear, v}});
+        }
+        break;
+      }
+      case ChaosClass::kSlowThenStall: {
+        FaultSpec slow = MakeFault(FaultType::kNetworkSlow);
+        slow.net_delay_us = 20000;
+        FaultSpec stall = MakeFault(FaultType::kNetworkSlow);
+        stall.net_delay_us = 250000;  // >> rpc timeout: a de-facto stall
+        steps.push_back({base, {ChaosAction::kInject, v, -1, slow, 0}});
+        steps.push_back({base + o.spacing_ops / 3, {ChaosAction::kInject, v, -1, stall, 0}});
+        steps.push_back({clear_at, {ChaosAction::kClear, v}});
+        break;
+      }
+      case ChaosClass::kGrayEdge: {
+        // One directed edge (leaderward or away, seed decides) degraded past
+        // the RPC timeout while every other path stays healthy.
+        int peer = v;
+        while (peer == v) {
+          peer = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(o.n_nodes)));
+        }
+        ChaosAction on;
+        on.kind = ChaosAction::kEdgeDelay;
+        on.victim = rng.NextBool(0.5) ? v : peer;
+        on.peer = on.victim == v ? peer : v;
+        on.edge_delay_us = 60000;
+        ChaosAction off = on;
+        off.edge_delay_us = 0;
+        steps.push_back({base, on});
+        steps.push_back({clear_at, off});
+        break;
+      }
+    }
+  }
+  // Steps sharing a trigger fire in push order; sort stably by trigger.
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const ChaosStep& a, const ChaosStep& b) { return a.at_ops < b.at_ops; });
+  return steps;
+}
+
+inline void FireChaosAction(RaftCluster& cluster, const ChaosAction& a) {
+  switch (a.kind) {
+    case ChaosAction::kInject:
+      cluster.InjectFault(a.victim, a.spec);
+      break;
+    case ChaosAction::kClear:
+      cluster.ClearFault(a.victim);
+      break;
+    case ChaosAction::kEdgeDelay:
+      if (cluster.options().transport_kind == ClusterTransport::kSim) {
+        cluster.transport().SetEdgeExtraDelay(cluster.IdOf(a.victim), cluster.IdOf(a.peer),
+                                              a.edge_delay_us);
+      }
+      break;
+  }
+}
+
+struct ChaosRunOptions {
+  int n_clients = 4;
+  int n_keys = 8;
+  double get_fraction = 0.3;
+  double delete_fraction = 0.05;
+  // The campaign runs until this many ops completed AND the whole schedule
+  // fired (or the wall-clock safety deadline, whichever first).
+  uint64_t target_acked_ops = 400;
+  uint64_t max_wall_us = 60000000;
+  // Per-attempt client timeout. Attempts are NOT retried internally — each
+  // is its own history op, so a timed-out-but-committed write is correctly
+  // a "maybe" op for the checker.
+  uint64_t client_op_timeout_us = 400000;
+};
+
+struct ChaosRunResult {
+  std::vector<ClientOp> history;
+  uint64_t attempted = 0;
+  uint64_t acked = 0;  // ops that got any definitive response
+  size_t steps_fired = 0;
+  bool all_steps_fired = false;
+};
+
+inline ChaosRunResult RunChaosCampaign(RaftCluster& cluster, const std::vector<ChaosStep>& schedule,
+                                       uint64_t seed, const ChaosRunOptions& o) {
+  HistoryRecorder recorder;
+  std::atomic<bool> stop{false};
+  std::atomic<int> live{0};
+  std::atomic<uint64_t> attempted{0};
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::unique_ptr<RaftClientHandle>> clients;
+  for (int j = 0; j < o.n_clients; j++) {
+    clients.push_back(
+        cluster.MakeClient("cc" + std::to_string(j), o.client_op_timeout_us, /*max_attempts=*/1));
+  }
+  for (int j = 0; j < o.n_clients; j++) {
+    RaftClientHandle* h = clients[static_cast<size_t>(j)].get();
+    live++;
+    h->thread->reactor()->Post([&, h, j, seed]() {
+      Coroutine::Create([&, h, j, seed]() {
+        Rng rng(seed * 1000003 + static_cast<uint64_t>(j));
+        const std::string cname = "c" + std::to_string(j);
+        uint64_t wseq = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          attempted.fetch_add(1, std::memory_order_relaxed);
+          const std::string key = "k" + std::to_string(rng.NextUint64(
+                                            static_cast<uint64_t>(o.n_keys)));
+          const double r = rng.NextDouble();
+          if (r < o.get_fraction) {
+            uint64_t id = recorder.Begin(cname, OpType::kGet, key, "", MonotonicUs());
+            auto res = h->session->Execute(KvCommand{KvOp::kGet, key, ""});
+            if (res.has_value()) {
+              recorder.End(id, true, res->ok, res->value, MonotonicUs());
+              acked.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (r < o.get_fraction + o.delete_fraction) {
+            uint64_t id = recorder.Begin(cname, OpType::kDelete, key, "", MonotonicUs());
+            auto res = h->session->Execute(KvCommand{KvOp::kDelete, key, ""});
+            if (res.has_value()) {
+              recorder.End(id, res->ok, false, "", MonotonicUs());
+              acked.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            // Globally unique value: keeps the WGL search essentially linear.
+            const std::string value = cname + "-" + std::to_string(wseq++);
+            uint64_t id = recorder.Begin(cname, OpType::kPut, key, value, MonotonicUs());
+            auto res = h->session->Execute(KvCommand{KvOp::kPut, key, value});
+            if (res.has_value()) {
+              recorder.End(id, res->ok, false, "", MonotonicUs());
+              acked.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        live--;
+      });
+    });
+  }
+
+  ChaosRunResult out;
+  size_t next = 0;
+  const uint64_t deadline = MonotonicUs() + o.max_wall_us;
+  while (MonotonicUs() < deadline) {
+    const uint64_t a = attempted.load(std::memory_order_relaxed);
+    while (next < schedule.size() && schedule[next].at_ops <= a) {
+      FireChaosAction(cluster, schedule[next].action);
+      next++;
+    }
+    if (next >= schedule.size() && acked.load(std::memory_order_relaxed) >= o.target_acked_ops) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  out.steps_fired = next;
+  out.all_steps_fired = next == schedule.size();
+
+  // Heal everything before quiescing so convergence checks see a clean net.
+  for (int i = 0; i < cluster.n_nodes(); i++) {
+    cluster.ClearFault(i);
+  }
+  if (cluster.options().transport_kind == ClusterTransport::kSim) {
+    for (int i = 0; i < cluster.n_nodes(); i++) {
+      for (int j = 0; j < cluster.n_nodes(); j++) {
+        if (i != j) {
+          cluster.transport().SetEdgeExtraDelay(cluster.IdOf(i), cluster.IdOf(j), 0);
+        }
+      }
+    }
+  }
+  stop.store(true);
+  while (live.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  out.attempted = attempted.load();
+  out.acked = acked.load();
+  out.history = recorder.Snapshot();
+  return out;
+}
+
+// One final acked read per key after the run: folds the converged state into
+// the history, so any acked-but-lost write becomes a checker violation.
+inline void AppendFinalReads(RaftCluster& cluster, int n_keys, std::vector<ClientOp>* history) {
+  auto client = cluster.MakeClient("final", 2000000, /*max_attempts=*/12);
+  uint64_t base = 0;
+  for (const ClientOp& op : *history) {
+    base = std::max(base, op.id);
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<ClientOp> reads;
+  RaftClientHandle* h = client.get();
+  h->thread->reactor()->Post([&, h, n_keys, base]() {
+    Coroutine::Create([&, h, n_keys, base]() {
+      for (int k = 0; k < n_keys; k++) {
+        ClientOp op;
+        op.id = base + static_cast<uint64_t>(k) + 1;
+        op.client = "final";
+        op.type = OpType::kGet;
+        op.key = "k" + std::to_string(k);
+        op.inv_us = MonotonicUs();
+        auto res = h->session->Execute(KvCommand{KvOp::kGet, op.key, ""});
+        if (res.has_value()) {
+          op.completed = true;
+          op.ok = true;
+          op.found = res->ok;
+          op.result = res->value;
+          op.ret_us = MonotonicUs();
+        }
+        reads.push_back(std::move(op));
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        done = true;
+      }
+      cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+  history->insert(history->end(), reads.begin(), reads.end());
+}
+
+// Waits until every listed node applied up to the max commit among them.
+inline bool WaitChaosConvergence(RaftCluster& cluster, const std::vector<int>& nodes,
+                                 uint64_t timeout_us) {
+  const uint64_t deadline = MonotonicUs() + timeout_us;
+  while (MonotonicUs() < deadline) {
+    uint64_t max_commit = 0;
+    for (int i : nodes) {
+      uint64_t c = 0;
+      cluster.RunOn(i, [&cluster, &c, i]() { c = cluster.server(i).raft->commit_idx(); });
+      max_commit = std::max(max_commit, c);
+    }
+    bool all = true;
+    for (int i : nodes) {
+      uint64_t a = 0;
+      cluster.RunOn(i, [&cluster, &a, i]() { a = cluster.server(i).raft->last_applied(); });
+      if (a < max_commit) {
+        all = false;
+      }
+    }
+    if (all) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  return false;
+}
+
+// State Machine Safety + Log Matching over the listed nodes (which must all
+// be in the final membership; evicted nodes legitimately lag).
+inline void CheckChaosReplicaAgreement(RaftCluster& cluster, const std::vector<int>& nodes) {
+  ASSERT_GE(nodes.size(), 2u);
+  const int ref = nodes[0];
+  Marshal snap0;
+  cluster.RunOn(ref, [&cluster, &snap0, ref]() {
+    snap0 = cluster.server(ref).raft->kv().Snapshot();
+  });
+  for (size_t n = 1; n < nodes.size(); n++) {
+    const int i = nodes[n];
+    Marshal snap;
+    cluster.RunOn(i, [&cluster, &snap, i]() { snap = cluster.server(i).raft->kv().Snapshot(); });
+    EXPECT_TRUE(snap == snap0) << "replica " << i << " state diverged";
+  }
+  uint64_t min_commit = UINT64_MAX;
+  uint64_t max_base = 0;
+  for (int i : nodes) {
+    uint64_t c = 0;
+    uint64_t b = 0;
+    cluster.RunOn(i, [&cluster, &c, &b, i]() {
+      c = cluster.server(i).raft->commit_idx();
+      b = cluster.server(i).raft->log().BaseIndex();
+    });
+    min_commit = std::min(min_commit, c);
+    max_base = std::max(max_base, b);
+  }
+  for (uint64_t idx = max_base + 1; idx <= min_commit; idx++) {
+    uint64_t t0 = 0;
+    cluster.RunOn(ref, [&cluster, &t0, idx, ref]() {
+      if (cluster.server(ref).raft->log().Has(idx)) {
+        t0 = cluster.server(ref).raft->log().TermAt(idx);
+      }
+    });
+    for (size_t n = 1; n < nodes.size(); n++) {
+      const int i = nodes[n];
+      uint64_t t = 0;
+      cluster.RunOn(i, [&cluster, &t, idx, i]() {
+        if (cluster.server(i).raft->log().Has(idx)) {
+          t = cluster.server(i).raft->log().TermAt(idx);
+        }
+      });
+      if (t0 != 0 && t != 0) {
+        EXPECT_EQ(t, t0) << "log term mismatch at " << idx;
+      }
+    }
+  }
+}
+
+inline void ExpectLinearizable(const std::vector<ClientOp>& history) {
+  LinearizeResult lr = CheckLinearizability(history);
+  EXPECT_FALSE(lr.exhausted_budget) << "linearizability search exhausted its budget";
+  EXPECT_TRUE(lr.ok) << lr.violation;
+}
+
+}  // namespace depfast
+
+#endif  // TESTS_CHAOS_HARNESS_H_

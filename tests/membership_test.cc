@@ -1,0 +1,263 @@
+// Single-server membership change on DepFastRaft: learner add + catch-up
+// gated promotion, removal of a follower (it stays passive afterwards),
+// removal of the CURRENT LEADER (it must step down only after the entry
+// commits), and the verdict-driven evict -> re-add-as-learner -> promote
+// round trip the mitigation ladder drives.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+
+namespace depfast {
+namespace {
+
+RaftClusterOptions FastOptions(int n_nodes, bool elections) {
+  RaftClusterOptions opts;
+  opts.n_nodes = n_nodes;
+  opts.pin_leader = !elections;
+  opts.raft.heartbeat_us = 10000;
+  opts.raft.election_timeout_min_us = 60000;
+  opts.raft.election_timeout_max_us = 120000;
+  opts.raft.rpc_timeout_us = 40000;
+  opts.raft.quorum_wait_us = 120000;
+  opts.raft.client_op_timeout_us = 1000000;
+  opts.raft.promote_lag_entries = 4;
+  opts.link.base_delay_us = 100;
+  opts.disk.base_latency_us = 50;
+  return opts;
+}
+
+// Runs n sequential puts through `client` and returns how many were acked.
+int DoPuts(RaftClientHandle* client, int n, int start) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  int acked = 0;
+  client->thread->reactor()->Post([&, n, start]() {
+    Coroutine::Create([&, n, start]() {
+      for (int i = 0; i < n; i++) {
+        std::string key = "mk" + std::to_string((start + i) % 16);
+        if (client->session->Put(key, "v" + std::to_string(start + i))) {
+          acked++;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        done = true;
+      }
+      cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&]() { return done; });
+  return acked;
+}
+
+ConfigChangeStatus RetryUntilOk(RaftCluster& cluster, int on, ConfigChangeType type, NodeId target,
+                                uint64_t timeout_us) {
+  const uint64_t deadline = MonotonicUs() + timeout_us;
+  ConfigChangeStatus st = ConfigChangeStatus::kTimeout;
+  for (;;) {
+    st = cluster.ProposeConfigChangeOn(on, type, target);
+    if (st == ConfigChangeStatus::kOk || st == ConfigChangeStatus::kInvalid ||
+        MonotonicUs() >= deadline) {
+      return st;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+TEST(MembershipTest, SpareBootsOutsideConfig) {
+  RaftClusterOptions opts = FastOptions(4, /*elections=*/false);
+  opts.n_initial_voters = 3;
+  RaftCluster cluster(opts);
+  RaftMembership m = cluster.MembershipOf(0);
+  EXPECT_EQ(m.voters.size(), 3u);
+  EXPECT_TRUE(m.learners.empty());
+  EXPECT_FALSE(m.Contains(cluster.IdOf(3)));
+  bool spare_in = true;
+  cluster.RunOn(3, [&]() { spare_in = cluster.server(3).raft->in_config(); });
+  EXPECT_FALSE(spare_in);
+  // The spare never disrupts the group: a short write burst succeeds.
+  auto client = cluster.MakeClient("m");
+  EXPECT_EQ(DoPuts(client.get(), 20, 0), 20);
+}
+
+TEST(MembershipTest, AddLearnerCatchUpThenPromote) {
+  RaftClusterOptions opts = FastOptions(4, /*elections=*/false);
+  opts.n_initial_voters = 3;
+  RaftCluster cluster(opts);
+  auto client = cluster.MakeClient("m");
+  ASSERT_EQ(DoPuts(client.get(), 40, 0), 40);
+
+  // Slow the spare's network so it cannot catch up instantly: the
+  // promotion gate (match within promote_lag_entries of the tail) must
+  // reject the first attempt.
+  FaultSpec slow = MakeFault(FaultType::kNetworkSlow);
+  slow.net_delay_us = 80000;
+  cluster.InjectFault(3, slow);
+
+  NodeId spare = cluster.IdOf(3);
+  ASSERT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kAddLearner, spare),
+            ConfigChangeStatus::kOk);
+  RaftMembership m = cluster.MembershipOf(0);
+  EXPECT_TRUE(m.IsLearner(spare));
+  EXPECT_EQ(m.voters.size(), 3u);
+  EXPECT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kPromote, spare),
+            ConfigChangeStatus::kNotCaughtUp);
+
+  // Heal it; catch-up converges and promotion goes through.
+  cluster.ClearFault(3);
+  ASSERT_EQ(RetryUntilOk(cluster, 0, ConfigChangeType::kPromote, spare, 10000000),
+            ConfigChangeStatus::kOk);
+  m = cluster.MembershipOf(0);
+  EXPECT_TRUE(m.IsVoter(spare));
+  EXPECT_EQ(m.voters.size(), 4u);
+  EXPECT_TRUE(m.learners.empty());
+
+  // The new voter replicates: it converges to the leader's applied state.
+  ASSERT_EQ(DoPuts(client.get(), 20, 100), 20);
+  uint64_t leader_applied = 0;
+  cluster.RunOn(0, [&]() { leader_applied = cluster.server(0).raft->last_applied(); });
+  const uint64_t deadline = MonotonicUs() + 10000000;
+  uint64_t spare_applied = 0;
+  while (MonotonicUs() < deadline) {
+    cluster.RunOn(3, [&]() { spare_applied = cluster.server(3).raft->last_applied(); });
+    if (spare_applied >= leader_applied) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_GE(spare_applied, leader_applied);
+}
+
+TEST(MembershipTest, InvalidChangesRejected) {
+  RaftClusterOptions opts = FastOptions(3, /*elections=*/false);
+  RaftCluster cluster(opts);
+  // Adding an existing voter, promoting a non-learner, removing a stranger.
+  EXPECT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kAddLearner, cluster.IdOf(1)),
+            ConfigChangeStatus::kInvalid);
+  EXPECT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kPromote, cluster.IdOf(1)),
+            ConfigChangeStatus::kInvalid);
+  EXPECT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kRemove, 99),
+            ConfigChangeStatus::kInvalid);
+  // Only the leader takes changes.
+  EXPECT_EQ(cluster.ProposeConfigChangeOn(1, ConfigChangeType::kRemove, cluster.IdOf(2)),
+            ConfigChangeStatus::kNotLeader);
+}
+
+TEST(MembershipTest, RemovedFollowerStaysPassiveAndLearnsRemoval) {
+  RaftClusterOptions opts = FastOptions(3, /*elections=*/false);
+  RaftCluster cluster(opts);
+  auto client = cluster.MakeClient("m");
+  ASSERT_EQ(DoPuts(client.get(), 20, 0), 20);
+
+  NodeId victim = cluster.IdOf(2);
+  ASSERT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kRemove, victim),
+            ConfigChangeStatus::kOk);
+  RaftMembership m = cluster.MembershipOf(0);
+  EXPECT_EQ(m.voters.size(), 2u);
+  EXPECT_FALSE(m.Contains(victim));
+
+  // Farewell courtesy replication: the removed node hears the config entry
+  // and learns it is out.
+  const uint64_t deadline = MonotonicUs() + 5000000;
+  bool out = false;
+  while (MonotonicUs() < deadline && !out) {
+    cluster.RunOn(2, [&]() { out = !cluster.server(2).raft->in_config(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(out);
+
+  // The two-voter group keeps committing without it...
+  ASSERT_EQ(DoPuts(client.get(), 20, 100), 20);
+  uint64_t victim_applied_a = 0;
+  cluster.RunOn(2, [&]() { victim_applied_a = cluster.server(2).raft->last_applied(); });
+  ASSERT_EQ(DoPuts(client.get(), 20, 200), 20);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // ...and the removed node no longer receives the new entries.
+  uint64_t victim_applied_b = 0;
+  cluster.RunOn(2, [&]() { victim_applied_b = cluster.server(2).raft->last_applied(); });
+  EXPECT_EQ(victim_applied_b, victim_applied_a);
+}
+
+TEST(MembershipTest, RemoveLeaderCommitsThenStepsDown) {
+  RaftClusterOptions opts = FastOptions(3, /*elections=*/true);
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader(5000000));
+  auto client = cluster.MakeClient("m");
+  ASSERT_GE(DoPuts(client.get(), 20, 0), 18);
+
+  int leader = cluster.LeaderIndex();
+  ASSERT_GE(leader, 0);
+  NodeId leader_id = cluster.IdOf(leader);
+  // RemoveServer of the current leader: §4.2.2 — the leader commits the
+  // entry under the new config (which it is not part of), THEN steps down.
+  ASSERT_EQ(cluster.ProposeConfigChangeOn(leader, ConfigChangeType::kRemove, leader_id),
+            ConfigChangeStatus::kOk);
+
+  // It must relinquish leadership and a remaining voter must take over.
+  const uint64_t deadline = MonotonicUs() + 8000000;
+  int new_leader = -1;
+  while (MonotonicUs() < deadline) {
+    new_leader = cluster.LeaderIndex();
+    if (new_leader >= 0 && new_leader != leader) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, leader);
+  RaftMembership m = cluster.MembershipOf(new_leader);
+  EXPECT_EQ(m.voters.size(), 2u);
+  EXPECT_FALSE(m.Contains(leader_id));
+
+  // The two survivors still serve writes.
+  EXPECT_GE(DoPuts(client.get(), 20, 100), 18);
+  // And the deposed node never re-elects itself into the group.
+  RaftRole role = RaftRole::kFollower;
+  cluster.RunOn(leader, [&]() { role = cluster.server(leader).raft->role(); });
+  EXPECT_NE(role, RaftRole::kLeader);
+}
+
+TEST(MembershipTest, EvictReaddPromoteRoundTrip) {
+  RaftClusterOptions opts = FastOptions(3, /*elections=*/false);
+  RaftCluster cluster(opts);
+  auto client = cluster.MakeClient("m");
+  ASSERT_EQ(DoPuts(client.get(), 20, 0), 20);
+
+  NodeId victim = cluster.IdOf(2);
+  ASSERT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kRemove, victim),
+            ConfigChangeStatus::kOk);
+  ASSERT_EQ(cluster.ProposeConfigChangeOn(0, ConfigChangeType::kAddLearner, victim),
+            ConfigChangeStatus::kOk);
+  EXPECT_TRUE(cluster.MembershipOf(0).IsLearner(victim));
+  ASSERT_EQ(RetryUntilOk(cluster, 0, ConfigChangeType::kPromote, victim, 10000000),
+            ConfigChangeStatus::kOk);
+  RaftMembership m = cluster.MembershipOf(0);
+  EXPECT_EQ(m.voters.size(), 3u);
+  EXPECT_TRUE(m.learners.empty());
+  // Full strength again: all three converge over fresh writes.
+  ASSERT_EQ(DoPuts(client.get(), 20, 100), 20);
+  uint64_t leader_applied = 0;
+  cluster.RunOn(0, [&]() { leader_applied = cluster.server(0).raft->last_applied(); });
+  const uint64_t deadline = MonotonicUs() + 10000000;
+  uint64_t applied2 = 0;
+  while (MonotonicUs() < deadline) {
+    cluster.RunOn(2, [&]() { applied2 = cluster.server(2).raft->last_applied(); });
+    if (applied2 >= leader_applied) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_GE(applied2, leader_applied);
+}
+
+}  // namespace
+}  // namespace depfast

@@ -246,5 +246,79 @@ TEST(MultiRaftTest, VerdictDrivenLeaderEvacuation) {
   cluster.Shutdown();
 }
 
+// Recovery actions are the riskiest code path: removing the accused node
+// from every group's membership (the eviction tier) must be safe to run
+// CONCURRENTLY with the leader evacuation the engage tier already started.
+// A proposal stranded on a just-deposed leader must fail cleanly (its
+// truncated config entry rolled back) and succeed on retry against the new
+// leader; no group may end up leaderless, without a quorum, or still
+// containing the accused.
+TEST(MultiRaftTest, EvictionRacingEvacuationKeepsEveryGroupServed) {
+  MultiRaftOptions opts;
+  opts.n_nodes = 3;
+  opts.raft.leader_cmd_cost_us = 1;
+  opts.raft.leader_propose_cost_us = 1;
+  opts.raft.follower_append_cost_us = 1;
+  opts.raft.apply_cost_us = 1;
+  opts.link.base_delay_us = 100;
+  opts.disk.base_latency_us = 20;
+  const int kGroups = 9;
+  ShardedKvCluster cluster(kGroups, opts);
+  const int accused = 0;
+  const NodeId accused_id = cluster.NodeIdOf(accused);
+  ASSERT_EQ(cluster.LeadersOnNode(accused), kGroups / 3);
+  auto session = cluster.MakeSession("c1");
+  ASSERT_NE(session, nullptr);
+  ASSERT_GT(RunLoad(*session, 4, 300000), 0u);
+
+  auto change_all = [&](ConfigChangeType type) {
+    for (int g = 0; g < kGroups; g++) {
+      ConfigChangeStatus st = ConfigChangeStatus::kTimeout;
+      const uint64_t deadline = MonotonicUs() + 20000000;
+      while (MonotonicUs() < deadline) {
+        st = cluster.ProposeGroupConfigChange(g, type, accused_id);
+        if (st == ConfigChangeStatus::kOk || st == ConfigChangeStatus::kInvalid) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      EXPECT_EQ(st, ConfigChangeStatus::kOk)
+          << ConfigChangeTypeName(type) << " on group " << g;
+    }
+  };
+
+  // The race: evict from all 9 groups while the accused's 3 leaderships are
+  // being moved off it.
+  std::thread evac([&]() { cluster.EvacuateLeaders(accused); });
+  change_all(ConfigChangeType::kRemove);
+  evac.join();
+
+  EXPECT_EQ(cluster.LeadersOnNode(accused), 0);
+  for (int g = 0; g < kGroups; g++) {
+    int leader = cluster.GroupLeaderIndex(g);
+    ASSERT_GE(leader, 0) << "group " << g << " left leaderless";
+    ASSERT_NE(leader, accused);
+    RaftMembership m = cluster.GroupMembershipOf(g, leader);
+    EXPECT_FALSE(m.Contains(accused_id)) << "group " << g;
+    EXPECT_EQ(m.voters.size(), 2u) << "group " << g;
+  }
+  // The shrunken two-voter groups still serve writes...
+  EXPECT_GT(RunLoad(*session, 4, 300000, 10000, 2), 0u);
+
+  // ...and the full round trip completes: learner re-add, catch-up-gated
+  // promotion, and an explicit rebalance hands leadership back.
+  change_all(ConfigChangeType::kAddLearner);
+  change_all(ConfigChangeType::kPromote);
+  for (int g = 0; g < kGroups; g++) {
+    RaftMembership m = cluster.GroupMembershipOf(g, cluster.GroupLeaderIndex(g));
+    EXPECT_EQ(m.voters.size(), 3u) << "group " << g;
+    EXPECT_TRUE(m.learners.empty()) << "group " << g;
+  }
+  cluster.RebalanceLeaders();
+  EXPECT_EQ(cluster.LeadersOnNode(accused), kGroups / 3);
+  EXPECT_GT(RunLoad(*session, 4, 300000, 10000, 3), 0u);
+  cluster.Shutdown();
+}
+
 }  // namespace
 }  // namespace depfast
