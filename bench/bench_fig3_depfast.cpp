@@ -20,7 +20,8 @@ struct ConditionResult {
   RaftCounters leader;
 };
 
-ConditionResult RunCondition(int n_nodes, FaultType fault, uint64_t measure_us, bool batched) {
+ConditionResult RunCondition(int n_nodes, FaultType fault, uint64_t measure_us, bool batched,
+                             uint64_t trace_sample) {
   auto opts = PaperRaftCluster(n_nodes);
   if (batched) {
     // 16-op cap: at this concurrency batches flush on the cap, not the
@@ -42,6 +43,7 @@ ConditionResult RunCondition(int n_nodes, FaultType fault, uint64_t measure_us, 
   // paper's own runs use 256-1200 open clients.
   DriverConfig drv = PaperDriver(measure_us);
   drv.coroutines_per_client = 64;
+  drv.trace_sample = trace_sample;
   ConditionResult r;
   r.bench = RunDriver(cluster, drv);
   r.leader = cluster.CountersOf(0);
@@ -51,7 +53,8 @@ ConditionResult RunCondition(int n_nodes, FaultType fault, uint64_t measure_us, 
 
 // Runs the full fault sweep for one deployment/mode; returns the no-fault
 // baseline so the batched/unbatched speedup can be reported.
-BenchResult RunDeployment(int n_nodes, uint64_t measure_us, bool batched) {
+BenchResult RunDeployment(int n_nodes, uint64_t measure_us, bool batched,
+                          uint64_t trace_sample) {
   PrintHeader("Figure 3 — DepFastRaft, " + std::to_string(n_nodes) + " nodes (" +
               (n_nodes == 3 ? "1" : "2") + " fail-slow follower(s)), batching " +
               (batched ? "ON (1ms window, 16-op cap)" : "OFF"));
@@ -61,7 +64,7 @@ BenchResult RunDeployment(int n_nodes, uint64_t measure_us, bool batched) {
   for (FaultType fault : {FaultType::kNone, FaultType::kCpuSlow, FaultType::kCpuContention,
                           FaultType::kDiskSlow, FaultType::kDiskContention,
                           FaultType::kMemContention, FaultType::kNetworkSlow}) {
-    ConditionResult c = RunCondition(n_nodes, fault, measure_us, batched);
+    ConditionResult c = RunCondition(n_nodes, fault, measure_us, batched, trace_sample);
     BenchResult& r = c.bench;
     if (fault == FaultType::kNone) {
       base = r;
@@ -75,6 +78,10 @@ BenchResult RunDeployment(int n_nodes, uint64_t measure_us, bool batched) {
            p99_rel);
     if (fault == FaultType::kNone) {
       printf("  leader: %s\n", CountersRow(c.leader).c_str());
+    }
+    if (!r.stage_table.empty()) {
+      printf("  per-stage decomposition (%s):\n%s\n", FaultTypeName(fault),
+             r.stage_table.c_str());
     }
   }
   return base;
@@ -140,7 +147,8 @@ void RunTcpAblation(uint64_t measure_us) {
 // follower reduced to heartbeat-shaped frames (mit_skips), overflow refused
 // at the shrunken shed cap (shed_drops), throughput pinned to the no-fault
 // baseline. With mitigation OFF only the static bounded-queue defense acts.
-void RunMitigationAblation(uint64_t measure_us, const std::string& mode) {
+void RunMitigationAblation(uint64_t measure_us, const std::string& mode,
+                           uint64_t trace_sample) {
   PrintHeader("Ablation F — closed-loop mitigation, 3 nodes over TCP, slow-drain follower");
   printf("%-16s %6s %10s %9s %12s %10s %12s %10s\n", "mitigation", "fault", "tput(op/s)",
          "p99(us)", "shed_drops", "mit_skips", "transitions", "s3 state");
@@ -173,6 +181,7 @@ void RunMitigationAblation(uint64_t measure_us, const std::string& mode) {
       }
       DriverConfig drv = PaperDriver(measure_us);
       drv.coroutines_per_client = 16;
+      drv.trace_sample = trace_sample;
       // Long warmup in the mitigated-faulted condition: the verdict and the
       // engage both happen before measurement starts.
       drv.warmup_us = (mitigate && faulted) ? 2000000 : 300000;
@@ -186,6 +195,12 @@ void RunMitigationAblation(uint64_t measure_us, const std::string& mode) {
              (unsigned long long)tc.shed_drops, (unsigned long long)rc.mitigated_skips,
              (unsigned long long)transitions,
              MitigationStateName(cluster.MitigationStateOf(2)));
+      if (!r.stage_table.empty()) {
+        // The off-vs-on contrast to look for: with mitigation OFF the slow
+        // follower's replicate leg dominates P99; ON it should vanish.
+        printf("\n  per-stage decomposition (mitigation %s, fault %s):\n%s\n",
+               mitigate ? "on" : "off", faulted ? "slow" : "ok", r.stage_table.c_str());
+      }
     }
   }
   printf("\nReading: with mitigation ON the faulted run engages during warmup\n"
@@ -207,12 +222,16 @@ int main(int argc, char** argv) {
   // TCP) instead of the Figure 3 sweep. An optional positional argument
   // still selects the measure window in seconds.
   std::string mitigation_mode = depfast::bench::TakeFlag(argc, argv, "--mitigation");
+  // --trace-sample N: 1-in-N request tracing on every client session; prints
+  // the per-stage latency decomposition table after each condition.
+  std::string trace_sample_s = depfast::bench::TakeFlag(argc, argv, "--trace-sample");
+  uint64_t trace_sample = trace_sample_s.empty() ? 0 : std::stoull(trace_sample_s);
   uint64_t measure_us = 2000000;
   if (!mitigation_mode.empty()) {
     if (argc > 1) {
       measure_us = std::stoull(argv[1]) * 1000000ull;
     }
-    depfast::bench::RunMitigationAblation(measure_us, mitigation_mode);
+    depfast::bench::RunMitigationAblation(measure_us, mitigation_mode, trace_sample);
     depfast::bench::DumpMetricsJson(metrics_json);
     return 0;
   }
@@ -230,8 +249,10 @@ int main(int argc, char** argv) {
     measure_us = std::stoull(argv[1]) * 1000000ull;
   }
   for (int n_nodes : {3, 5}) {
-    auto unbatched = depfast::bench::RunDeployment(n_nodes, measure_us, /*batched=*/false);
-    auto batched = depfast::bench::RunDeployment(n_nodes, measure_us, /*batched=*/true);
+    auto unbatched =
+        depfast::bench::RunDeployment(n_nodes, measure_us, /*batched=*/false, trace_sample);
+    auto batched =
+        depfast::bench::RunDeployment(n_nodes, measure_us, /*batched=*/true, trace_sample);
     if (unbatched.throughput_ops > 0) {
       printf("\n  batching speedup (%d nodes, no fault): %.2fx throughput "
              "(%.0f -> %.0f op/s)\n",

@@ -10,6 +10,7 @@ namespace depfast {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<void (*)()> g_fatal_hook{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -47,6 +48,16 @@ void LogVprintf(LogLevel level, const char* file, int line, const char* fmt, va_
   int n = snprintf(out, sizeof(out), "[%s %9.3fms %s:%d] %s\n", LevelTag(level),
                    static_cast<double>(MonotonicUs()) / 1000.0, Basename(file), line, msg);
   fwrite(out, 1, static_cast<size_t>(n), stderr);
+  if (level == LogLevel::kFatal) {
+    void (*hook)() = g_fatal_hook.exchange(nullptr, std::memory_order_acq_rel);
+    if (hook != nullptr) {
+      hook();
+    }
+  }
+}
+
+void SetFatalHook(void (*hook)()) {
+  g_fatal_hook.store(hook, std::memory_order_release);
 }
 
 void LogPrintf(LogLevel level, const char* file, int line, const char* fmt, ...) {

@@ -29,6 +29,11 @@ void LogVprintf(LogLevel level, const char* file, int line, const char* fmt, va_
 void LogPrintf(LogLevel level, const char* file, int line, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 
+// Hook invoked ONCE after a kFatal line is written and before the caller
+// aborts — last-gasp state dumps (flight recorder). The hook is consumed on
+// first fire, so a DF_CHECK failing inside the hook cannot recurse.
+void SetFatalHook(void (*hook)());
+
 }  // namespace depfast
 
 #define DF_LOG_IMPL(level, ...)                                            \

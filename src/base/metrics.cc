@@ -19,10 +19,25 @@ std::string SeriesName(const std::string& name, const MetricLabels& labels) {
       os << ',';
     }
     first = false;
-    os << k << "=\"" << v << '"';
+    os << k << "=\"" << EscapePromLabelValue(v) << '"';
   }
   os << '}';
   return os.str();
+}
+
+// HELP text escaping differs from label values: only \ and newline.
+std::string EscapeHelpText(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 // Same but with extra labels appended (for quantile series).
@@ -90,13 +105,26 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+void MetricsRegistry::SetHelp(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  help_[name] = help;
+}
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lk(mu_);
+  auto emit_header = [this](std::ostringstream& os, const std::string& name,
+                            const char* type) {
+    auto it = help_.find(name);
+    if (it != help_.end()) {
+      os << "# HELP " << name << ' ' << EscapeHelpText(it->second) << '\n';
+    }
+    os << "# TYPE " << name << ' ' << type << '\n';
+  };
   std::ostringstream os;
   std::string last_name;
   for (const auto& [key, c] : counters_) {
     if (key.first != last_name) {
-      os << "# TYPE " << key.first << " counter\n";
+      emit_header(os, key.first, "counter");
       last_name = key.first;
     }
     os << SeriesName(key.first, key.second) << ' ' << c->value() << '\n';
@@ -104,7 +132,7 @@ std::string MetricsRegistry::RenderText() const {
   last_name.clear();
   for (const auto& [key, g] : gauges_) {
     if (key.first != last_name) {
-      os << "# TYPE " << key.first << " gauge\n";
+      emit_header(os, key.first, "gauge");
       last_name = key.first;
     }
     os << SeriesName(key.first, key.second) << ' ' << g->value() << '\n';
@@ -113,7 +141,7 @@ std::string MetricsRegistry::RenderText() const {
   for (const auto& [key, hm] : histograms_) {
     Histogram h = hm->Get();
     if (key.first != last_name) {
-      os << "# TYPE " << key.first << " summary\n";
+      emit_header(os, key.first, "summary");
       last_name = key.first;
     }
     for (double q : {0.5, 0.9, 0.99}) {
@@ -154,11 +182,64 @@ std::string MetricsRegistry::RenderJson() const {
   return os.str();
 }
 
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const MetricLabels&, const Histogram&)>&
+        fn) const {
+  // Snapshot the key list under the lock, read each histogram outside it
+  // (HistogramMetric::Get has its own lock; handles live until Clear()).
+  std::vector<std::pair<Key, HistogramMetric*>> items;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, hm] : histograms_) {
+      items.emplace_back(key, hm.get());
+    }
+  }
+  for (const auto& [key, hm] : items) {
+    fn(key.first, key.second, hm->Get());
+  }
+}
+
+void MetricsRegistry::ResetHistograms(const std::string& name) {
+  std::vector<HistogramMetric*> items;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, hm] : histograms_) {
+      if (key.first == name) {
+        items.push_back(hm.get());
+      }
+    }
+  }
+  for (HistogramMetric* hm : items) {
+    hm->Reset();
+  }
+}
+
 void MetricsRegistry::Clear() {
   std::lock_guard<std::mutex> lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  help_.clear();
+}
+
+std::string EscapePromLabelValue(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace depfast

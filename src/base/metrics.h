@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -71,6 +72,10 @@ class HistogramMetric {
     std::lock_guard<std::mutex> lk(mu_);
     return h_;
   }
+  void Reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.Reset();
+  }
 
  private:
   mutable std::mutex mu_;
@@ -87,11 +92,27 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
   HistogramMetric* GetHistogram(const std::string& name, MetricLabels labels = {});
 
-  // Prometheus text exposition format.
+  // Registers the `# HELP` line emitted for `name` by RenderText().
+  void SetHelp(const std::string& name, const std::string& help);
+
+  // Prometheus text exposition format: `# HELP`/`# TYPE` headers per metric
+  // name, label values escaped per the format (backslash, quote, newline).
   std::string RenderText() const;
   // Flat JSON object: {"name{label=\"v\"}": value, ...}; histograms expand
   // into _count/_sum/_p50/_p99/_max entries.
   std::string RenderJson() const;
+
+  // Calls `fn` for every histogram with a snapshot copy — consumers that
+  // aggregate across label sets (the per-stage decomposition table) need
+  // enumeration, not just find-or-create.
+  void VisitHistograms(
+      const std::function<void(const std::string& name, const MetricLabels& labels,
+                               const Histogram& h)>& fn) const;
+
+  // Resets (zeroes) every histogram registered under `name`, across all
+  // label sets, without invalidating handles. SpanStore::Clear() uses it so
+  // back-to-back traced runs get independent stage decompositions.
+  void ResetHistograms(const std::string& name);
 
   // Drops every metric (invalidates all handles). Test isolation only.
   void Clear();
@@ -103,7 +124,11 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+  std::map<std::string, std::string> help_;
 };
+
+// Prometheus label-value escaping: \ -> \\, " -> \", newline -> \n.
+std::string EscapePromLabelValue(const std::string& v);
 
 }  // namespace depfast
 

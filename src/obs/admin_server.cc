@@ -1,0 +1,274 @@
+#include "src/obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span_store.h"
+
+namespace depfast {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(int port) : requested_port_(port) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Route(std::string prefix, Handler h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  routes_.emplace_back(std::move(prefix), std::move(h));
+}
+
+bool AdminServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false);
+  thread_ = std::thread([this]() { Serve(); });
+  DF_LOG_INFO("admin: serving on 127.0.0.1:%d", port_);
+  return true;
+}
+
+void AdminServer::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stop_.store(true);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, 50);
+    if (rc <= 0) {
+      continue;
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    HandleConn(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::HandleConn(int fd) {
+  // One request per connection; read until the header terminator or 8 KiB.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) {
+      return;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    req.append(buf, static_cast<size_t>(n));
+  }
+  size_t sp1 = req.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    return;
+  }
+  std::string method = req.substr(0, sp1);
+  std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  AdminResponse resp;
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is served here\n";
+  } else {
+    Handler* best = nullptr;
+    size_t best_len = 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [prefix, h] : routes_) {
+      if (path.compare(0, prefix.size(), prefix) == 0 && prefix.size() >= best_len) {
+        best = &h;
+        best_len = prefix.size();
+      }
+    }
+    if (best == nullptr) {
+      resp.status = 404;
+      resp.body = "unknown path: " + path + "\n";
+    } else {
+      resp = (*best)(path);
+    }
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + resp.body;
+  SendAll(fd, out);
+}
+
+std::string HttpGet(int port, const std::string& path, int* status_out) {
+  if (status_out != nullptr) {
+    *status_out = 0;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  SendAll(fd, req);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) {
+    return "";
+  }
+  if (status_out != nullptr) {
+    size_t sp = resp.find(' ');
+    if (sp != std::string::npos) {
+      *status_out = atoi(resp.c_str() + sp + 1);
+    }
+  }
+  return resp.substr(hdr_end + 4);
+}
+
+void RegisterIntrospectionRoutes(AdminServer* srv, std::function<std::string()> metrics_fn,
+                                 std::function<std::string()> spg_fn,
+                                 std::function<std::string()> verdicts_fn,
+                                 std::function<std::string()> mitigation_fn) {
+  srv->Route("/metrics", [metrics_fn](const std::string&) {
+    AdminResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_fn();
+    return r;
+  });
+  srv->Route("/spg", [spg_fn](const std::string&) {
+    AdminResponse r;
+    r.content_type = "text/vnd.graphviz";
+    r.body = spg_fn();
+    return r;
+  });
+  srv->Route("/verdicts", [verdicts_fn](const std::string&) {
+    AdminResponse r;
+    r.content_type = "application/json";
+    r.body = verdicts_fn();
+    return r;
+  });
+  srv->Route("/mitigation", [mitigation_fn](const std::string&) {
+    AdminResponse r;
+    r.content_type = "application/json";
+    r.body = mitigation_fn();
+    return r;
+  });
+  // Note "/trace/" (trailing slash) and "/traces" never shadow each other:
+  // prefix matching compares the full prefix, and the 7th byte differs.
+  srv->Route("/trace/", [](const std::string& path) {
+    AdminResponse r;
+    r.content_type = "application/json";
+    const char* suffix = path.c_str() + 7;  // strlen("/trace/")
+    char* end = nullptr;
+    uint64_t id = std::strtoull(suffix, &end, 10);
+    std::string body = end != suffix ? TraceJson(id) : std::string();
+    if (body.empty()) {
+      r.status = 404;
+      r.body = "{\"error\":\"unknown trace id\"}\n";
+      return r;
+    }
+    r.body = std::move(body);
+    return r;
+  });
+  srv->Route("/traces", [](const std::string&) {
+    AdminResponse r;
+    r.content_type = "application/json";
+    std::string out = "{\"trace_ids\":[";
+    bool first = true;
+    for (uint64_t id : SpanStore::Instance().TraceIds()) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += std::to_string(id);
+    }
+    out += "]}\n";
+    r.body = std::move(out);
+    return r;
+  });
+  srv->Route("/flightrecorder", [](const std::string&) {
+    AdminResponse r;
+    r.content_type = "application/json";
+    r.body = FlightRecorder::Instance().Dump();
+    return r;
+  });
+}
+
+}  // namespace depfast

@@ -1,0 +1,80 @@
+// Minimal live-introspection HTTP endpoint: one blocking-I/O thread serving
+// HTTP/1.0 GETs on a loopback socket (close-per-request, no keep-alive, no
+// chunking). The cluster registers routes (/metrics, /spg, /verdicts,
+// /mitigation, /trace/<id>, ...) as plain handlers; everything observable —
+// metrics, SPG, verdict/mitigation state, sampled traces — is servable while
+// the cluster is under load instead of only dumped to files after the fact.
+//
+// Deliberately NOT built on the reactor/transport stack: introspection must
+// stay reachable when the thing it introspects is the thing that is slow.
+#ifndef SRC_OBS_ADMIN_SERVER_H_
+#define SRC_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace depfast {
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  using Handler = std::function<AdminResponse(const std::string& path)>;
+
+  // port 0 = ephemeral (read the bound port via port() after Start()).
+  // Listens on 127.0.0.1 only.
+  explicit AdminServer(int port = 0);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Longest matching prefix wins; a handler sees the FULL request path (so a
+  // "/trace/" route parses the id from its suffix). Register before Start().
+  void Route(std::string prefix, Handler h);
+
+  bool Start();  // false if bind/listen failed
+  void Stop();   // idempotent; joins the serving thread
+
+  int port() const { return port_; }
+  uint64_t n_requests() const { return n_requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void Serve();
+  void HandleConn(int fd);
+
+  int requested_port_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> n_requests_{0};
+  std::mutex mu_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::thread thread_;
+};
+
+// Loopback GET helper for tests/benches: returns the response body, fills
+// *status_out (0 on connect/read failure).
+std::string HttpGet(int port, const std::string& path, int* status_out = nullptr);
+
+// Wires the standard introspection routes onto `srv`. The callbacks supply
+// the pieces the obs layer cannot reach itself — metrics render (/metrics),
+// SPG DOT (/spg), verdict and mitigation JSON (/verdicts, /mitigation) —
+// while the trace routes (/trace/<id>, /traces, /flightrecorder) are served
+// straight from the SpanStore / FlightRecorder singletons.
+void RegisterIntrospectionRoutes(AdminServer* srv, std::function<std::string()> metrics_fn,
+                                 std::function<std::string()> spg_fn,
+                                 std::function<std::string()> verdicts_fn,
+                                 std::function<std::string()> mitigation_fn);
+
+}  // namespace depfast
+
+#endif  // SRC_OBS_ADMIN_SERVER_H_

@@ -1,0 +1,192 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/base/metrics.h"
+
+namespace depfast {
+
+namespace {
+
+// Total covered length of `intervals` clipped to [lo, hi].
+uint64_t UnionLength(std::vector<std::pair<uint64_t, uint64_t>> intervals,
+                     uint64_t lo, uint64_t hi) {
+  std::sort(intervals.begin(), intervals.end());
+  uint64_t covered = 0;
+  uint64_t cur = lo;
+  for (const auto& [s, e] : intervals) {
+    uint64_t cs = std::max(s, cur);
+    uint64_t ce = std::min(e, hi);
+    if (ce > cs) {
+      covered += ce - cs;
+      cur = ce;
+    }
+  }
+  return covered;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+std::string SpanJson(const Span& s) {
+  std::string out = "{\"span_id\":" + std::to_string(s.span_id) +
+                    ",\"parent_span_id\":" + std::to_string(s.parent_span_id) +
+                    ",\"stage\":\"";
+  AppendJsonEscaped(&out, s.stage);
+  out += "\",\"node\":\"";
+  AppendJsonEscaped(&out, s.node);
+  out += "\",\"start_us\":" + std::to_string(s.start_us) +
+         ",\"end_us\":" + std::to_string(s.end_us) +
+         ",\"duration_us\":" + std::to_string(s.duration_us()) +
+         ",\"ok\":" + (s.ok ? "true" : "false") + "}";
+  return out;
+}
+
+}  // namespace
+
+CriticalPathResult AnalyzeCriticalPath(const std::vector<Span>& spans) {
+  CriticalPathResult res;
+  if (spans.empty()) {
+    return res;
+  }
+  res.trace_id = spans.front().trace_id;
+
+  // Children grouped by parent span id.
+  std::map<uint64_t, std::vector<const Span*>> children;
+  std::map<uint64_t, const Span*> by_id;
+  for (const auto& s : spans) {
+    children[s.parent_span_id].push_back(&s);
+    by_id[s.span_id] = &s;
+  }
+
+  // Root = the longest span whose parent is absent from the tree. (The
+  // client root has parent 0; leader stages whose root was evicted still
+  // analyze as local roots.)
+  for (const auto& s : spans) {
+    if (by_id.count(s.parent_span_id) == 0) {
+      res.total_us = std::max(res.total_us, s.duration_us());
+    }
+  }
+
+  std::map<std::pair<std::string, std::string>, StageCost> agg;
+  for (const auto& s : spans) {
+    std::vector<std::pair<uint64_t, uint64_t>> kid_ivals;
+    auto it = children.find(s.span_id);
+    if (it != children.end()) {
+      for (const Span* k : it->second) {
+        kid_ivals.emplace_back(k->start_us, k->end_us);
+      }
+    }
+    uint64_t covered = UnionLength(std::move(kid_ivals), s.start_us, s.end_us);
+    uint64_t dur = s.duration_us();
+    StageCost& c = agg[{s.stage, s.node}];
+    c.stage = s.stage;
+    c.node = s.node;
+    c.total_us += dur;
+    c.self_us += dur > covered ? dur - covered : 0;
+    c.count++;
+  }
+  for (auto& [key, c] : agg) {
+    res.stages.push_back(c);
+  }
+  std::sort(res.stages.begin(), res.stages.end(),
+            [](const StageCost& a, const StageCost& b) { return a.self_us > b.self_us; });
+  if (!res.stages.empty()) {
+    res.dominant_stage = res.stages.front().stage;
+    res.dominant_node = res.stages.front().node;
+  }
+  return res;
+}
+
+std::string TraceJson(uint64_t trace_id) {
+  std::vector<Span> spans = SpanStore::Instance().Get(trace_id);
+  if (spans.empty()) {
+    return "";
+  }
+  CriticalPathResult cp = AnalyzeCriticalPath(spans);
+  std::string out = "{\"trace_id\":" + std::to_string(trace_id) + ",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); i++) {
+    if (i != 0) out += ",";
+    out += SpanJson(spans[i]);
+  }
+  out += "],\"critical_path\":{\"total_us\":" + std::to_string(cp.total_us) +
+         ",\"dominant_stage\":\"";
+  AppendJsonEscaped(&out, cp.dominant_stage);
+  out += "\",\"dominant_node\":\"";
+  AppendJsonEscaped(&out, cp.dominant_node);
+  out += "\",\"stages\":[";
+  for (size_t i = 0; i < cp.stages.size(); i++) {
+    const StageCost& c = cp.stages[i];
+    if (i != 0) out += ",";
+    out += "{\"stage\":\"";
+    AppendJsonEscaped(&out, c.stage);
+    out += "\",\"node\":\"";
+    AppendJsonEscaped(&out, c.node);
+    out += "\",\"self_us\":" + std::to_string(c.self_us) +
+           ",\"total_us\":" + std::to_string(c.total_us) +
+           ",\"count\":" + std::to_string(c.count) + "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string StageDecompositionTable() {
+  struct Row {
+    std::string stage;
+    std::string node;
+    Histogram h;
+  };
+  std::vector<Row> rows;
+  MetricsRegistry::Global().VisitHistograms(
+      [&](const std::string& name, const MetricLabels& labels, const Histogram& h) {
+        if (name != "op_stage_us" || h.count() == 0) {
+          return;
+        }
+        Row r;
+        auto st = labels.find("stage");
+        auto nd = labels.find("node");
+        r.stage = st != labels.end() ? st->second : "?";
+        r.node = nd != labels.end() ? nd->second : "?";
+        r.h = h;
+        rows.push_back(std::move(r));
+      });
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.h.Percentile(99) > b.h.Percentile(99);
+  });
+  std::string out =
+      "per-stage latency decomposition (sampled ops)\n"
+      "  stage            node          count      p50_us      p99_us      max_us\n";
+  char line[160];
+  for (const auto& r : rows) {
+    snprintf(line, sizeof(line), "  %-16s %-10s %8llu %11llu %11llu %11llu\n",
+             r.stage.c_str(), r.node.c_str(),
+             static_cast<unsigned long long>(r.h.count()),
+             static_cast<unsigned long long>(r.h.Percentile(50)),
+             static_cast<unsigned long long>(r.h.Percentile(99)),
+             static_cast<unsigned long long>(r.h.max()));
+    out += line;
+  }
+  if (rows.empty()) {
+    out += "  (no sampled spans recorded)\n";
+  }
+  return out;
+}
+
+}  // namespace depfast

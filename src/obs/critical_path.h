@@ -1,0 +1,49 @@
+// Critical-path attribution over a sampled op's span tree: fold the tree
+// into per-(stage, node) exclusive time — a span's SELF time is its duration
+// minus the union of its children's intervals (clipped to the span) — and
+// name the single stage/node pair that dominated. This is the answer to
+// "where did this slow op's latency go": under a fail-slow follower the
+// dominant pair is the replicate leg attributed to that peer, even when the
+// quorum masked it from the op's end-to-end latency.
+#ifndef SRC_OBS_CRITICAL_PATH_H_
+#define SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/span_store.h"
+
+namespace depfast {
+
+struct StageCost {
+  std::string stage;
+  std::string node;
+  uint64_t total_us = 0;  // sum of span durations for this (stage, node)
+  uint64_t self_us = 0;   // exclusive time (duration minus children)
+  size_t count = 0;
+};
+
+struct CriticalPathResult {
+  uint64_t trace_id = 0;
+  uint64_t total_us = 0;          // root span duration (op latency)
+  std::vector<StageCost> stages;  // sorted by self_us descending
+  std::string dominant_stage;     // stages.front(), for convenience
+  std::string dominant_node;
+};
+
+CriticalPathResult AnalyzeCriticalPath(const std::vector<Span>& spans);
+
+// JSON for one stored trace: {"trace_id":..,"spans":[..],"critical_path":..}.
+// Empty string when the id is unknown (caller maps that to 404).
+std::string TraceJson(uint64_t trace_id);
+
+// Aggregate per-stage latency decomposition over the op_stage_us histograms
+// in the global MetricsRegistry: a fixed-width count/P50/P99/max table, one
+// row per (stage, node), sorted by P99 descending. Printed by the workload
+// driver when --trace-sample is on.
+std::string StageDecompositionTable();
+
+}  // namespace depfast
+
+#endif  // SRC_OBS_CRITICAL_PATH_H_

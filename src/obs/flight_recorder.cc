@@ -1,0 +1,96 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/span_store.h"
+
+namespace depfast {
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* rec = new FlightRecorder();
+  return *rec;
+}
+
+void FlightRecorder::Configure(std::string path, size_t max_traces) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    path_ = std::move(path);
+    max_traces_ = max_traces;
+  }
+  SetFatalHook([]() { FlightRecorder::Instance().Dump(); });
+}
+
+void FlightRecorder::SetVerdictsProvider(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  verdicts_fn_ = std::move(fn);
+}
+
+void FlightRecorder::SetMitigationProvider(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mitigation_fn_ = std::move(fn);
+}
+
+void FlightRecorder::Disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  path_.clear();
+  verdicts_fn_ = nullptr;
+  mitigation_fn_ = nullptr;
+}
+
+std::string FlightRecorder::Dump() {
+  std::string path;
+  size_t max_traces;
+  std::function<std::string()> verdicts_fn;
+  std::function<std::string()> mitigation_fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    path = path_;
+    max_traces = max_traces_;
+    verdicts_fn = verdicts_fn_;
+    mitigation_fn = mitigation_fn_;
+  }
+
+  std::vector<uint64_t> ids = SpanStore::Instance().TraceIds();
+  size_t start = ids.size() > max_traces ? ids.size() - max_traces : 0;
+  std::string out = "{\"traces\":[";
+  bool first = true;
+  for (size_t i = start; i < ids.size(); i++) {
+    std::string t = TraceJson(ids[i]);
+    if (t.empty()) {
+      continue;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += t;
+  }
+  out += "],\"n_traces_total\":" + std::to_string(ids.size());
+  out += ",\"verdicts\":" + (verdicts_fn ? verdicts_fn() : std::string("[]"));
+  out += ",\"mitigation\":" + (mitigation_fn ? mitigation_fn() : std::string("{}"));
+  out += "}";
+
+  if (!path.empty()) {
+    FILE* f = fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      fwrite(out.data(), 1, out.size(), f);
+      fclose(f);
+      std::lock_guard<std::mutex> lk(mu_);
+      n_dumps_++;
+    }
+  }
+  return out;
+}
+
+bool FlightRecorder::armed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !path_.empty();
+}
+
+uint64_t FlightRecorder::n_dumps() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return n_dumps_;
+}
+
+}  // namespace depfast

@@ -1,0 +1,55 @@
+// Bounded flight recorder: snapshots the last N sampled traces plus the
+// live verdict/mitigation state to one JSON file — on demand (admin
+// /flightrecorder, test teardown) or as a last gasp when a DF_CHECK fails
+// (via the logging fatal hook). The point is a postmortem artifact that
+// says what the tracer knew at the moment the process died.
+//
+// The obs library cannot depend on the runtime (it is below it), so the
+// verdict/mitigation JSON comes in as provider callbacks registered by the
+// cluster; Disarm() clears them BEFORE the cluster tears those objects down.
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace depfast {
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Instance();
+
+  // Arms the recorder: Dump() writes to `path`, keeping at most the newest
+  // `max_traces` traces. Installs the fatal-log hook on first call.
+  void Configure(std::string path, size_t max_traces = 64);
+
+  // JSON providers for runtime-owned state; each returns a complete JSON
+  // value ("[]"/"{}"-shaped). Cleared by Disarm().
+  void SetVerdictsProvider(std::function<std::string()> fn);
+  void SetMitigationProvider(std::function<std::string()> fn);
+
+  // Clears path and providers. MUST run before the objects the providers
+  // capture are destroyed.
+  void Disarm();
+
+  // Builds the snapshot JSON and, when armed, writes it to the configured
+  // path. Returns the JSON either way. Safe to call from the fatal hook.
+  std::string Dump();
+
+  bool armed() const;
+  uint64_t n_dumps() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  size_t max_traces_ = 64;
+  uint64_t n_dumps_ = 0;
+  std::function<std::string()> verdicts_fn_;
+  std::function<std::string()> mitigation_fn_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

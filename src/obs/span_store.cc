@@ -1,0 +1,147 @@
+#include "src/obs/span_store.h"
+
+#include <algorithm>
+
+#include "src/base/metrics.h"
+
+namespace depfast {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+SpanStore& SpanStore::Instance() {
+  static SpanStore* store = new SpanStore();
+  return *store;
+}
+
+void SpanStore::Record(Span s) {
+  if (s.trace_id == 0) {
+    return;
+  }
+  if (s.ok) {
+    MetricsRegistry::Global()
+        .GetHistogram("op_stage_us", {{"stage", s.stage}, {"node", s.node}})
+        ->Record(s.duration_us());
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = traces_.find(s.trace_id);
+  if (it == traces_.end()) {
+    while (order_.size() >= max_traces_) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(s.trace_id);
+    it = traces_.emplace(s.trace_id, std::vector<Span>()).first;
+  }
+  if (it->second.size() >= max_spans_) {
+    dropped_spans_++;
+    return;
+  }
+  it->second.push_back(std::move(s));
+}
+
+std::vector<Span> SpanStore::Get(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = traces_.find(trace_id);
+  return it == traces_.end() ? std::vector<Span>() : it->second;
+}
+
+bool SpanStore::Contains(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return traces_.count(trace_id) != 0;
+}
+
+std::vector<uint64_t> SpanStore::TraceIds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<uint64_t>(order_.begin(), order_.end());
+}
+
+size_t SpanStore::n_traces() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return traces_.size();
+}
+
+uint64_t SpanStore::n_spans_dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_spans_;
+}
+
+void SpanStore::SetCapacity(size_t max_traces, size_t max_spans_per_trace) {
+  std::lock_guard<std::mutex> lk(mu_);
+  max_traces_ = std::max<size_t>(1, max_traces);
+  max_spans_ = std::max<size_t>(1, max_spans_per_trace);
+  while (order_.size() > max_traces_) {
+    traces_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+void SpanStore::Clear() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    traces_.clear();
+    order_.clear();
+    dropped_spans_ = 0;
+  }
+  // The stage histograms this store feeds are cumulative; reset them with
+  // the spans so a fresh traced run decomposes independently.
+  MetricsRegistry::Global().ResetHistograms("op_stage_us");
+}
+
+std::string SpanPerfettoJson(const std::vector<Span>& spans) {
+  // One Chrome trace-event "process" per node so Perfetto lays the stages
+  // out as per-node swimlanes; tid distinguishes overlapping sibling spans.
+  std::map<std::string, int> pids;
+  for (const auto& s : spans) {
+    pids.emplace(s.node, static_cast<int>(pids.size()) + 1);
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [node, pid] : pids) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+           ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(&out, node);
+    out += "\"}}";
+  }
+  int tid = 0;
+  for (const auto& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    tid++;
+    out += "{\"ph\":\"X\",\"name\":\"";
+    AppendJsonEscaped(&out, s.stage);
+    out += "\",\"pid\":" + std::to_string(pids[s.node]) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + std::to_string(s.start_us) +
+           ",\"dur\":" + std::to_string(s.duration_us()) +
+           ",\"args\":{\"trace_id\":" + std::to_string(s.trace_id) +
+           ",\"span_id\":" + std::to_string(s.span_id) +
+           ",\"parent_span_id\":" + std::to_string(s.parent_span_id) +
+           ",\"ok\":" + (s.ok ? "true" : "false") + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace depfast

@@ -1,0 +1,72 @@
+// Bounded in-memory store for the spans of sampled operations. Spans are the
+// per-request counterpart of WaitRecords: each names one stage of one traced
+// op (client_rpc, queue, wal_append, replicate, commit_wait, apply, ...),
+// attributed to the node whose time it spent, and parented into a tree under
+// the op's root span.
+//
+// The store is deliberately separate from the Tracer ring: the VerdictLoop
+// destructively drains the Tracer every poll, while traces must survive
+// until an admin /trace/<id> request or a flight-recorder dump reads them.
+// Capacity is bounded by trace count (oldest trace evicted whole) and by
+// spans per trace, so a leaked trace id can never grow memory.
+#ifndef SRC_OBS_SPAN_STORE_H_
+#define SRC_OBS_SPAN_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace depfast {
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root
+  std::string stage;            // e.g. "client_op", "replicate"
+  std::string node;             // node the time is attributed to
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  bool ok = true;  // false: the stage failed/timed out (duration is censored)
+
+  uint64_t duration_us() const { return end_us >= start_us ? end_us - start_us : 0; }
+};
+
+class SpanStore {
+ public:
+  static constexpr size_t kDefaultMaxTraces = 512;
+  static constexpr size_t kDefaultMaxSpansPerTrace = 256;
+
+  static SpanStore& Instance();
+
+  // Thread-safe; also feeds the op_stage_us{stage,node} histogram in the
+  // global MetricsRegistry so decomposition survives trace eviction.
+  void Record(Span s);
+
+  std::vector<Span> Get(uint64_t trace_id) const;  // empty if unknown
+  bool Contains(uint64_t trace_id) const;
+  std::vector<uint64_t> TraceIds() const;  // oldest -> newest
+  size_t n_traces() const;
+  uint64_t n_spans_dropped() const;
+
+  void SetCapacity(size_t max_traces, size_t max_spans_per_trace);
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_traces_ = kDefaultMaxTraces;
+  size_t max_spans_ = kDefaultMaxSpansPerTrace;
+  std::map<uint64_t, std::vector<Span>> traces_;
+  std::deque<uint64_t> order_;  // insertion order of trace ids
+  uint64_t dropped_spans_ = 0;
+};
+
+// Chrome/Perfetto trace-event JSON ("traceEvents" array of X phases, one row
+// per node) for one trace's spans; loadable in ui.perfetto.dev.
+std::string SpanPerfettoJson(const std::vector<Span>& spans);
+
+}  // namespace depfast
+
+#endif  // SRC_OBS_SPAN_STORE_H_

@@ -1,0 +1,39 @@
+#include "src/obs/trace_context.h"
+
+#include <atomic>
+
+namespace depfast {
+
+namespace {
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+}  // namespace
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NewSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WriteTraceContext(Marshal& m, const TraceContext& ctx) {
+  uint8_t flag = ctx.sampled ? 1 : 0;
+  m << flag;
+  if (flag != 0) {
+    m << ctx.trace_id << ctx.span_id;
+  }
+}
+
+TraceContext ReadTraceContext(Marshal& m) {
+  TraceContext ctx;
+  uint8_t flag = 0;
+  m >> flag;
+  if (flag != 0) {
+    m >> ctx.trace_id >> ctx.span_id;
+    ctx.sampled = true;
+  }
+  return ctx;
+}
+
+}  // namespace depfast

@@ -1,0 +1,38 @@
+// Request-scoped causal tracing: a TraceContext names ONE sampled client
+// operation and rides with it across every hop — allocated at the session
+// root, stamped into CallOpts, carried in the RPC wire frame (immediate and
+// coalesced batch frames alike), and installed on the handler coroutine at
+// the far end so everything the handler awaits inherits it.
+//
+// The wait-record SPG answers "who is slow cluster-wide" from anonymous
+// aggregates; TraceContext answers the victim-side question "where did THIS
+// op's latency go" by letting each stage record a Span (span_store.h) under
+// the op's trace id.
+#ifndef SRC_OBS_TRACE_CONTEXT_H_
+#define SRC_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/base/marshal.h"
+
+namespace depfast {
+
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // span the NEXT hop should parent its spans under
+  bool sampled = false;
+};
+
+// Process-unique, non-zero ids (0 is reserved for "absent").
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+// Wire form: one flag byte when not sampled, flag + trace_id + span_id
+// (17 bytes) when sampled — unsampled traffic pays a single byte per
+// request, which is what keeps the always-on overhead within budget.
+void WriteTraceContext(Marshal& m, const TraceContext& ctx);
+TraceContext ReadTraceContext(Marshal& m);
+
+}  // namespace depfast
+
+#endif  // SRC_OBS_TRACE_CONTEXT_H_

@@ -1,6 +1,8 @@
 #include "src/raft/raft_client.h"
 
 #include "src/base/logging.h"
+#include "src/base/time_util.h"
+#include "src/obs/span_store.h"
 #include "src/runtime/event.h"
 
 namespace depfast {
@@ -19,6 +21,23 @@ RaftClient::RaftClient(RpcEndpoint* rpc, std::vector<NodeId> servers, uint64_t o
 void RaftClient::SetTargetHint(NodeId server) { target_ = server; }
 
 std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
+  // Root sampling: the Nth op gets a trace. The root span covers the whole
+  // Execute (all attempts); each attempt is a child client_rpc span, and the
+  // ATTEMPT's span id rides the wire so server-side stages parent under it.
+  TraceContext root;
+  uint64_t root_start = 0;
+  if (trace_sample_n_ > 0 && (trace_op_seq_++ % trace_sample_n_) == 0) {
+    root.trace_id = NewTraceId();
+    root.span_id = NewSpanId();
+    root.sampled = true;
+    root_start = MonotonicUs();
+  }
+  auto finish_root = [&](bool ok) {
+    if (root.sampled) {
+      SpanStore::Instance().Record(Span{root.trace_id, root.span_id, 0, "client_op",
+                                        rpc_->name(), root_start, MonotonicUs(), ok});
+    }
+  };
   for (int attempt = 0; attempt < max_attempts_; attempt++) {
     if (attempt > 0) {
       n_retries_++;
@@ -26,9 +45,22 @@ std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
     CallOpts opts;
     opts.timeout_us = op_timeout_us_;
     opts.group = group_;
+    TraceContext attempt_ctx;
+    uint64_t attempt_start = 0;
+    if (root.sampled) {
+      attempt_ctx = TraceContext{root.trace_id, NewSpanId(), true};
+      opts.trace = attempt_ctx;
+      attempt_start = MonotonicUs();
+    }
     auto ev = rpc_->Call(target_, kMethodClientCommand, cmd.Encode(), opts);
     ev->Wait();
-    if (ev->failed() || !ev->Ready()) {
+    bool rpc_ok = !ev->failed() && ev->Ready();
+    if (root.sampled) {
+      SpanStore::Instance().Record(Span{root.trace_id, attempt_ctx.span_id, root.span_id,
+                                        "client_rpc", rpc_->name(), attempt_start,
+                                        MonotonicUs(), rpc_ok});
+    }
+    if (!rpc_ok) {
       // Unreachable or timed out: try the next server.
       rr_ = (rr_ + 1) % servers_.size();
       target_ = servers_[rr_];
@@ -37,6 +69,7 @@ std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
     auto reply = ClientCommandReply::Decode(ev->reply());
     switch (reply.status) {
       case ClientStatus::kOk:
+        finish_root(true);
         return KvResult::Decode(reply.result);
       case ClientStatus::kNotLeader:
         if (reply.leader_hint != 0 && reply.leader_hint != target_) {
@@ -57,6 +90,7 @@ std::optional<KvResult> RaftClient::Execute(const KvCommand& cmd) {
         continue;
     }
   }
+  finish_root(false);
   return std::nullopt;
 }
 

@@ -26,6 +26,11 @@ class RaftClient {
   // the normal hint-following takes over from there.
   void SetTargetHint(NodeId server);
 
+  // 1-in-N root sampling: every Nth Execute() allocates a TraceContext,
+  // records client_op/client_rpc spans, and propagates the context through
+  // the wire so server-side stages join the same trace. 0 = off (default).
+  void SetTraceSampler(uint64_t one_in_n) { trace_sample_n_ = one_in_n; }
+
   // Executes a command on the replicated store; retries through leader
   // changes. Returns nullopt if every attempt failed.
   std::optional<KvResult> Execute(const KvCommand& cmd);
@@ -51,6 +56,8 @@ class RaftClient {
   NodeId target_;
   size_t rr_ = 0;  // round-robin cursor for leader search
   uint64_t n_retries_ = 0;
+  uint64_t trace_sample_n_ = 0;
+  uint64_t trace_op_seq_ = 0;
 };
 
 }  // namespace depfast

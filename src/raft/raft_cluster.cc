@@ -2,6 +2,10 @@
 
 #include "src/base/logging.h"
 #include "src/base/time_util.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span_store.h"
+#include "src/runtime/trace.h"
 
 namespace depfast {
 
@@ -353,6 +357,37 @@ RaftCluster::RaftCluster(RaftClusterOptions opts) : opts_(opts) {
                                                   mitigation_.get());
     verdict_loop_->Start();
   }
+
+  if (opts_.enable_admin || !opts_.flight_recorder_path.empty()) {
+    if (!opts_.flight_recorder_path.empty()) {
+      FlightRecorder::Instance().Configure(opts_.flight_recorder_path);
+    }
+    // Providers capture `this`; Shutdown() Disarms the recorder before the
+    // verdict loop / controller they read are torn down.
+    FlightRecorder::Instance().SetVerdictsProvider([this]() { return VerdictsJson(Verdicts()); });
+    FlightRecorder::Instance().SetMitigationProvider([this]() {
+      return mitigation_ != nullptr ? MitigationJson(mitigation_->Snapshot()) : std::string("{}");
+    });
+  }
+  if (opts_.enable_admin) {
+    admin_ = std::make_unique<AdminServer>(opts_.admin_port);
+    RegisterIntrospectionRoutes(
+        admin_.get(),
+        [this]() {
+          ExportMetrics();
+          return MetricsRegistry::Global().RenderText();
+        },
+        []() { return Spg::Build(Tracer::Instance().Snapshot()).ToDot(); },
+        [this]() { return VerdictsJson(Verdicts()); },
+        [this]() {
+          return mitigation_ != nullptr ? MitigationJson(mitigation_->Snapshot())
+                                        : std::string("{}");
+        });
+    if (!admin_->Start()) {
+      DF_LOG_WARN("admin server failed to bind port %d; introspection disabled", opts_.admin_port);
+      admin_.reset();
+    }
+  }
 }
 
 RaftCluster::~RaftCluster() { Shutdown(); }
@@ -477,6 +512,22 @@ void RaftCluster::ExportMetrics(MetricsRegistry* reg) {
   if (reg == nullptr) {
     reg = &MetricsRegistry::Global();
   }
+  reg->SetHelp("raft_ops_proposed_total", "Client operations proposed by the leader.");
+  reg->SetHelp("raft_entries_proposed_total",
+               "Log entries proposed (one per batch of coalesced operations).");
+  reg->SetHelp("raft_replication_rounds_total", "AppendEntries rounds driven by the leader.");
+  reg->SetHelp("raft_wal_appends_total", "Entries appended to the write-ahead log.");
+  reg->SetHelp("raft_bytes_replicated_total", "Payload bytes shipped to followers.");
+  reg->SetHelp("raft_mitigated_skips_total",
+               "Replication sends skipped because the peer was under mitigation.");
+  reg->SetHelp("transport_drops_total", "Frames dropped at the bounded per-peer send queue.");
+  reg->SetHelp("transport_backpressure_stalls_total",
+               "Writer stalls waiting for a draining socket.");
+  reg->SetHelp("trace_records_total", "Wait records captured by the tracer.");
+  reg->SetHelp("spg_windows_closed_total", "SPG analysis windows closed by the monitor.");
+  reg->SetHelp("spg_verdicts_total", "Slowness verdicts currently retained.");
+  reg->SetHelp("op_stage_us",
+               "Per-stage latency of sampled operations, from request-scoped span trees.");
   for (int i = 0; i < opts_.n_nodes; i++) {
     RaftCounters c = CountersOf(i);
     MetricLabels node{{"node", opts_.name_prefix +
@@ -556,6 +607,14 @@ void RaftCluster::Shutdown() {
     return;
   }
   shut_down_ = true;
+  // The admin handlers and flight-recorder providers read the verdict loop
+  // and mitigation controller: stop/disarm them before touching either.
+  if (admin_ != nullptr) {
+    admin_->Stop();
+  }
+  if (opts_.enable_admin || !opts_.flight_recorder_path.empty()) {
+    FlightRecorder::Instance().Disarm();
+  }
   if (verdict_loop_ != nullptr) {
     verdict_loop_->Stop();
   }

@@ -16,6 +16,7 @@
 
 #include "src/base/metrics.h"
 #include "src/faults/fault_injector.h"
+#include "src/obs/admin_server.h"
 #include "src/raft/raft_client.h"
 #include "src/raft/raft_node.h"
 #include "src/rpc/sim_transport.h"
@@ -95,6 +96,15 @@ struct RaftClusterOptions {
   bool enable_mitigation = false;
   MitigationOptions mitigation;
   MitigationPolicyOptions mitigation_policy;
+  // Live introspection: an AdminServer on 127.0.0.1 serving /metrics, /spg,
+  // /verdicts, /mitigation, /trace/<id>, /traces and /flightrecorder.
+  // admin_port 0 picks an ephemeral port (read it with admin()->port()).
+  bool enable_admin = false;
+  int admin_port = 0;
+  // When non-empty, arms the FlightRecorder: the last sampled traces plus
+  // the verdict/mitigation state are dumped to this path on DF_CHECK
+  // failure (and on demand via GET /flightrecorder).
+  std::string flight_recorder_path;
 };
 
 // One server node's bundle. Internals (raft, rpc, disk, cpu) live on the
@@ -182,6 +192,8 @@ class RaftCluster {
 
   // The mitigation controller (enable_mitigation only; nullptr otherwise).
   MitigationController* mitigation() { return mitigation_.get(); }
+  // The introspection endpoint (enable_admin only; nullptr otherwise).
+  AdminServer* admin() { return admin_.get(); }
   // Node i's mitigation state (kHealthy when mitigation is disabled).
   MitigationState MitigationStateOf(int i);
 
@@ -231,6 +243,9 @@ class RaftCluster {
   // SpgMonitor and feeds verdicts into the controller. Declared after the
   // controller so it stops before the controller is destroyed.
   std::unique_ptr<VerdictLoop> verdict_loop_;
+  // Introspection endpoint (enable_admin). Its handlers read the verdict
+  // loop and mitigation controller, so Shutdown stops it first.
+  std::unique_ptr<AdminServer> admin_;
 };
 
 }  // namespace depfast

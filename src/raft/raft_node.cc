@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/time_util.h"
+#include "src/obs/span_store.h"
 
 namespace depfast {
 
@@ -622,6 +623,7 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
         return;
       }
       durable_idx_ = std::max(durable_idx_, to_idx);
+      TraceStampWal(to_idx, MonotonicUs());
       AdvanceCommitFromMatches();
     });
   }
@@ -697,6 +699,7 @@ void RaftNode::StartRound(uint64_t from_idx, uint64_t to_idx, uint64_t epoch) {
         if (!heartbeat && !demoted && to_idx > match_idx_[peer]) {
           match_idx_[peer] = to_idx;
           next_idx_[peer] = to_idx + 1;
+          TraceEmitLegs(peer, to_idx, MonotonicUs());
           AdvanceCommitFromMatches();
         } else if (demoted && to_idx > match_idx_[peer]) {
           // The empty frame was acked but carried no entries; the match
@@ -838,6 +841,11 @@ void RaftNode::CatchUpPeer(NodeId peer, uint64_t epoch) {
     if (r.success) {
       match_idx_[peer] = std::max(match_idx_[peer], to);
       next_idx_[peer] = match_idx_[peer] + 1;
+      // Catch-up is how a fail-slow follower's entries eventually land, so
+      // THIS ack is the true completion of its replicate leg — a leg that
+      // can far outlast the op it belongs to (the quorum committed without
+      // it), which is exactly what the critical path must show.
+      TraceEmitLegs(peer, match_idx_[peer], MonotonicUs());
       AdvanceCommitFromMatches();
       if (mitigated && config_.mitigated_catchup_pace_us > 0) {
         SleepUs(config_.mitigated_catchup_pace_us);
@@ -919,6 +927,7 @@ bool RaftNode::SendSnapshot(NodeId peer, uint64_t epoch) {
   }
   match_idx_[peer] = std::max(match_idx_[peer], snap_idx);
   next_idx_[peer] = match_idx_[peer] + 1;
+  TraceEmitLegs(peer, match_idx_[peer], MonotonicUs());
   AdvanceCommitFromMatches();
   return true;
 }
@@ -962,7 +971,89 @@ uint64_t RaftNode::SelfReportedLagUs() const {
 void RaftNode::AdvanceCommit(uint64_t idx) {
   if (idx > commit_idx_) {
     commit_idx_ = idx;
+    TraceStampCommit(commit_idx_, MonotonicUs());
     commit_watch_.Set(static_cast<int64_t>(commit_idx_));
+  }
+}
+
+// ------------------------------------------------------- request tracing
+
+void RaftNode::TraceStampWal(uint64_t idx, uint64_t now_us) {
+  for (auto& [i, et] : entry_traces_) {
+    if (i > idx) {
+      break;
+    }
+    if (et.wal_us == 0) {
+      et.wal_us = now_us;
+    }
+  }
+}
+
+void RaftNode::TraceStampCommit(uint64_t idx, uint64_t now_us) {
+  for (auto& [i, et] : entry_traces_) {
+    if (i > idx) {
+      break;
+    }
+    if (et.commit_us == 0) {
+      et.commit_us = now_us;
+    }
+  }
+}
+
+void RaftNode::TraceEmitLegs(NodeId peer, uint64_t idx, uint64_t now_us) {
+  if (entry_traces_.empty()) {
+    return;
+  }
+  std::vector<uint64_t> finished;
+  auto& store = SpanStore::Instance();
+  for (auto& [i, et] : entry_traces_) {
+    if (i > idx) {
+      break;
+    }
+    if (!et.legs_emitted.emplace(peer, true).second) {
+      continue;  // this peer's leg for this entry is already accounted
+    }
+    store.Record(Span{et.ctx.trace_id, NewSpanId(), et.ctx.span_id, "replicate",
+                      rpc_->PeerName(peer), et.propose_us, now_us, true});
+    if (et.core_emitted && et.legs_emitted.size() >= peers_.size()) {
+      finished.push_back(i);
+    }
+  }
+  for (uint64_t i : finished) {
+    entry_traces_.erase(i);
+  }
+}
+
+void RaftNode::TraceEmitCore(uint64_t idx, uint64_t now_us) {
+  auto it = entry_traces_.find(idx);
+  if (it == entry_traces_.end() || it->second.core_emitted) {
+    return;
+  }
+  EntryTrace& et = it->second;
+  et.core_emitted = true;
+  auto& store = SpanStore::Instance();
+  const uint64_t t = et.ctx.trace_id;
+  const uint64_t parent = et.ctx.span_id;
+  store.Record(Span{t, NewSpanId(), parent, "leader_queue", env_.name, et.submit_us,
+                    et.propose_us, true});
+  // WAL still pending at apply time means the quorum formed without the
+  // local disk — a slow-disk leader; censor the span at `now` so the lag is
+  // visible rather than hidden.
+  const bool wal_done = et.wal_us != 0;
+  store.Record(Span{t, NewSpanId(), parent, "wal_append", env_.name, et.propose_us,
+                    wal_done ? et.wal_us : now_us, wal_done});
+  const uint64_t commit = et.commit_us != 0 ? et.commit_us : now_us;
+  store.Record(Span{t, NewSpanId(), parent, "commit_wait", env_.name, et.propose_us,
+                    commit, et.commit_us != 0});
+  store.Record(Span{t, NewSpanId(), parent, "apply", env_.name, commit, now_us, true});
+  TraceMaybeRelease(idx);
+}
+
+void RaftNode::TraceMaybeRelease(uint64_t idx) {
+  auto it = entry_traces_.find(idx);
+  if (it != entry_traces_.end() && it->second.core_emitted &&
+      it->second.legs_emitted.size() >= peers_.size()) {
+    entry_traces_.erase(it);
   }
 }
 
@@ -1332,6 +1423,15 @@ ClientCommandReply RaftNode::Submit(const KvCommand& cmd) {
     reply.status = ClientStatus::kNotLeader;
     return reply;
   }
+  // A sampled op hands its context to the entry that will carry it; the
+  // queue stage starts here, before the parse charge and any batch window.
+  {
+    Coroutine* co = Coroutine::Current();
+    if (co != nullptr && co->trace_ctx().sampled) {
+      pending_trace_ctx_ = co->trace_ctx();
+      pending_trace_submit_us_ = MonotonicUs();
+    }
+  }
   bool coalesce = config_.batch_window_us > 0;
   // Parse/session work is always per-op; without coalescing the per-entry
   // propose cost is folded into the same charge (the pre-batching path).
@@ -1399,6 +1499,7 @@ void RaftNode::FlushProposals() {
     for (auto& done : dones) {
       done->Fail();
     }
+    pending_trace_ctx_ = TraceContext{};  // the traced op died with the batch
     return;
   }
   ProposeEntry(std::move(ops), std::move(dones));
@@ -1411,6 +1512,18 @@ uint64_t RaftNode::ProposeEntry(std::vector<Marshal> ops,
   counters_.batch_ops_histogram.Record(ops.size());
   uint64_t idx = log_.Append(term_, EncodeBatchPayload(ops));
   pending_applies_[idx] = PendingApply{std::move(dones), term_, MonotonicUs()};
+  if (pending_trace_ctx_.sampled) {
+    EntryTrace et;
+    et.ctx = pending_trace_ctx_;
+    et.submit_us = pending_trace_submit_us_;
+    et.propose_us = MonotonicUs();
+    entry_traces_[idx] = std::move(et);
+    pending_trace_ctx_ = TraceContext{};
+    pending_trace_submit_us_ = 0;
+    while (entry_traces_.size() > kMaxEntryTraces) {
+      entry_traces_.erase(entry_traces_.begin());
+    }
+  }
   last_log_watch_.Set(static_cast<int64_t>(idx));
   return idx;
 }
@@ -1468,6 +1581,7 @@ void RaftNode::ApplyLoop() {
         last_heartbeat_us_ = MonotonicUs();
       }
       MaybeCompact();
+      TraceEmitCore(idx, MonotonicUs());
       auto it = pending_applies_.find(idx);
       if (it != pending_applies_.end()) {
         // Self-monitoring sample: how long this batch took from append to

@@ -120,6 +120,22 @@ class RaftNode {
     uint64_t appended_at_us = 0;
   };
 
+  // Leader-side stage timeline of a log entry that carries a sampled op.
+  // Core stages (queue/wal/commit/apply) are emitted as spans when the entry
+  // applies; per-peer replication legs are emitted when each peer's ack
+  // actually arrives — NOT censored at apply time, because the quorum masks
+  // a slow follower from the op's latency and the leg's true duration is
+  // exactly the signal critical-path attribution exists to expose.
+  struct EntryTrace {
+    TraceContext ctx;
+    uint64_t submit_us = 0;   // client op entered Submit (queue start)
+    uint64_t propose_us = 0;  // entry appended + replication kicked
+    uint64_t wal_us = 0;      // local WAL durable past this index
+    uint64_t commit_us = 0;
+    std::map<NodeId, bool> legs_emitted;
+    bool core_emitted = false;
+  };
+
   // RPC handlers (run in per-request coroutines).
   void HandleAppendEntries(NodeId from, Marshal& args_m, Marshal* reply_m);
   void HandleRequestVote(NodeId from, Marshal& args_m, Marshal* reply_m);
@@ -202,6 +218,19 @@ class RaftNode {
   void AdvanceCommit(uint64_t idx);
   void PersistMeta();
 
+  // ---- Request-tracing internals (entry_traces_) ----
+  // Stamp the WAL-durable / commit time on traced entries <= idx.
+  void TraceStampWal(uint64_t idx, uint64_t now_us);
+  void TraceStampCommit(uint64_t idx, uint64_t now_us);
+  // Emit the replicate leg toward `peer` for traced entries <= idx: called
+  // on a direct-round ack (ok) and on catch-up match advances. Failed direct
+  // rounds do NOT emit — the entry reaches the peer via catch-up later, and
+  // THAT completion time is the leg's true duration.
+  void TraceEmitLegs(NodeId peer, uint64_t idx, uint64_t now_us);
+  // Emit queue/wal/commit/apply spans when the entry applies.
+  void TraceEmitCore(uint64_t idx, uint64_t now_us);
+  void TraceMaybeRelease(uint64_t idx);
+
   // Quorum size over the VOTING membership only — learners and this node
   // itself (when it is a removed leader finishing its term) never count.
   int majority() const { return static_cast<int>(membership_.voters.size()) / 2 + 1; }
@@ -275,6 +304,15 @@ class RaftNode {
   std::map<NodeId, uint64_t> next_idx_;
   std::map<NodeId, bool> catching_up_;
   std::map<uint64_t, PendingApply> pending_applies_;
+
+  // Traced entries (bounded; oldest evicted). pending_trace_* carries the
+  // sampled context of a Submit between buffering and ProposeEntry — at most
+  // one sampled op per flushed batch keeps its identity (later sampled ops
+  // in the same window are exceedingly rare at sane sampling rates).
+  static constexpr size_t kMaxEntryTraces = 512;
+  std::map<uint64_t, EntryTrace> entry_traces_;
+  TraceContext pending_trace_ctx_;
+  uint64_t pending_trace_submit_us_ = 0;
 
   // Leader-side proposal coalescing buffer (batch_window_us > 0). The first
   // buffered op arms a window timer; `batch_gen_` invalidates stale timers

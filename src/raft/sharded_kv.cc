@@ -7,6 +7,8 @@
 
 #include "src/base/logging.h"
 #include "src/base/time_util.h"
+#include "src/obs/flight_recorder.h"
+#include "src/runtime/trace.h"
 
 namespace depfast {
 
@@ -350,6 +352,35 @@ ShardedKvCluster::ShardedKvCluster(int n_groups, MultiRaftOptions opts)
     verdict_loop_->SetMinVictims(min_victims);
     verdict_loop_->Start();
   }
+
+  if (opts_.enable_admin || !opts_.flight_recorder_path.empty()) {
+    if (!opts_.flight_recorder_path.empty()) {
+      FlightRecorder::Instance().Configure(opts_.flight_recorder_path);
+    }
+    FlightRecorder::Instance().SetVerdictsProvider([this]() { return VerdictsJson(Verdicts()); });
+    FlightRecorder::Instance().SetMitigationProvider([this]() {
+      return mitigation_ != nullptr ? MitigationJson(mitigation_->Snapshot()) : std::string("{}");
+    });
+  }
+  if (opts_.enable_admin) {
+    admin_ = std::make_unique<AdminServer>(opts_.admin_port);
+    RegisterIntrospectionRoutes(
+        admin_.get(),
+        [this]() {
+          ExportMetrics();
+          return MetricsRegistry::Global().RenderText();
+        },
+        []() { return Spg::Build(Tracer::Instance().Snapshot()).ToDot(); },
+        [this]() { return VerdictsJson(Verdicts()); },
+        [this]() {
+          return mitigation_ != nullptr ? MitigationJson(mitigation_->Snapshot())
+                                        : std::string("{}");
+        });
+    if (!admin_->Start()) {
+      DF_LOG_WARN("admin server failed to bind port %d; introspection disabled", opts_.admin_port);
+      admin_.reset();
+    }
+  }
 }
 
 ShardedKvCluster::~ShardedKvCluster() { Shutdown(); }
@@ -676,6 +707,14 @@ std::unique_ptr<ShardedKvSession> ShardedKvCluster::MakeSession(const std::strin
 void ShardedKvCluster::Shutdown() {
   if (shut_down_.exchange(true)) {
     return;
+  }
+  // Admin handlers / flight-recorder providers read the verdict loop and
+  // controller: stop and disarm them before touching either.
+  if (admin_ != nullptr) {
+    admin_->Stop();
+  }
+  if (opts_.enable_admin || !opts_.flight_recorder_path.empty()) {
+    FlightRecorder::Instance().Disarm();
   }
   if (verdict_loop_ != nullptr) {
     verdict_loop_->Stop();

@@ -67,6 +67,10 @@ struct MultiRaftOptions {
   bool enable_mitigation = false;
   MitigationOptions mitigation;
   MitigationPolicyOptions mitigation_policy;
+  // Live introspection endpoint + flight recorder, as in RaftClusterOptions.
+  bool enable_admin = false;
+  int admin_port = 0;
+  std::string flight_recorder_path;
 };
 
 // A client session: one reactor thread, ONE RpcEndpoint, one RaftClient per
@@ -174,6 +178,8 @@ class ShardedKvCluster {
   // ---- Monitoring / mitigation (enable_monitor / enable_mitigation) ----
   std::vector<SlownessVerdict> Verdicts();
   MitigationController* mitigation() { return mitigation_.get(); }
+  // The introspection endpoint (enable_admin only; nullptr otherwise).
+  AdminServer* admin() { return admin_.get(); }
   MitigationState MitigationStateOf(int i);
   // Groups whose leadership was moved off an accused node so far.
   uint64_t evacuations() const { return n_evacuations_.load(std::memory_order_relaxed); }
@@ -233,6 +239,9 @@ class ShardedKvCluster {
   std::unique_ptr<MitigationPolicy> mitigation_policy_impl_;
   std::unique_ptr<MitigationController> mitigation_;
   std::unique_ptr<VerdictLoop> verdict_loop_;
+  // Introspection endpoint (enable_admin); Shutdown stops it first because
+  // its handlers read the verdict loop and controller.
+  std::unique_ptr<AdminServer> admin_;
 };
 
 }  // namespace depfast

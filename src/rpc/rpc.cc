@@ -1,6 +1,7 @@
 #include "src/rpc/rpc.h"
 
 #include "src/base/logging.h"
+#include "src/runtime/coroutine.h"
 
 namespace depfast {
 
@@ -42,6 +43,11 @@ void RpcEndpoint::SetPeerName(NodeId peer, std::string name) {
   peer_names_[peer] = std::move(name);
 }
 
+std::string RpcEndpoint::PeerName(NodeId peer) const {
+  auto it = peer_names_.find(peer);
+  return it != peer_names_.end() ? it->second : "n" + std::to_string(peer);
+}
+
 std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal args,
                                             const CallOpts& opts) {
   DF_CHECK(reactor_->OnReactorThread());
@@ -54,6 +60,18 @@ std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal a
   uint64_t xid = next_xid_++;
   n_calls_++;
 
+  // A call made from a traced coroutine (a sampled client op, or a handler
+  // that inherited a sampled frame) carries that context unless the caller
+  // stamped its own — so causality crosses the wire without every call site
+  // knowing about tracing.
+  TraceContext ctx = opts.trace;
+  if (!ctx.sampled) {
+    Coroutine* co = Coroutine::Current();
+    if (co != nullptr) {
+      ctx = co->trace_ctx();
+    }
+  }
+
   if (opts.coalesce && coalesce_window_us_ > 0) {
     // Stage into the destination's batch; one wire frame per window carries
     // every staged call (cross-group heartbeats share the frame). The event
@@ -63,7 +81,9 @@ std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal a
       reactor_->PostAfter(coalesce_window_us_, [this, to]() { FlushBatch(to); });
     }
     st.xids.push_back(xid);
-    st.items << xid << opts.group << method << args;
+    st.items << xid << opts.group << method;
+    WriteTraceContext(st.items, ctx);
+    st.items << args;
     st.count++;
     st.discardable = st.discardable && opts.discardable;
     n_coalesced_calls_++;
@@ -74,6 +94,7 @@ std::shared_ptr<RpcEvent> RpcEndpoint::Call(NodeId to, int32_t method, Marshal a
 
   Marshal wire;
   wire << kRequest << xid << opts.group << method;
+  WriteTraceContext(wire, ctx);
   wire.Append(args);
   SendOpts send_opts;
   send_opts.discardable = opts.discardable;
@@ -148,7 +169,8 @@ void RpcEndpoint::OnRecv(NodeId from, Marshal msg) {
     uint32_t group = 0;
     int32_t method = 0;
     msg >> group >> method;
-    HandleRequest(from, xid, group, method, std::move(msg));
+    TraceContext ctx = ReadTraceContext(msg);
+    HandleRequest(from, xid, group, method, ctx, std::move(msg));
   } else {
     HandleReply(xid, std::move(msg), type == kErrorReply);
   }
@@ -162,13 +184,15 @@ void RpcEndpoint::HandleBatchRequest(NodeId from, Marshal msg) {
     uint32_t group = 0;
     int32_t method = 0;
     Marshal payload;
-    msg >> xid >> group >> method >> payload;
-    HandleRequest(from, xid, group, method, std::move(payload));
+    msg >> xid >> group >> method;
+    TraceContext ctx = ReadTraceContext(msg);
+    msg >> payload;
+    HandleRequest(from, xid, group, method, ctx, std::move(payload));
   }
 }
 
 void RpcEndpoint::HandleRequest(NodeId from, uint64_t xid, uint32_t group, int32_t method,
-                                Marshal payload) {
+                                const TraceContext& ctx, Marshal payload) {
   auto it = handlers_.find(HandlerKey(group, method));
   if (it == handlers_.end()) {
     DF_LOG_WARN("%s: no handler for group %u method %d", name_.c_str(), group, method);
@@ -180,7 +204,10 @@ void RpcEndpoint::HandleRequest(NodeId from, uint64_t xid, uint32_t group, int32
   // Each request runs in its own coroutine so handlers can block on events
   // without stalling the node (§3.3).
   Handler& handler = it->second;
-  reactor_->Spawn([this, from, xid, &handler, payload = std::move(payload)]() mutable {
+  reactor_->Spawn([this, from, xid, ctx, &handler, payload = std::move(payload)]() mutable {
+    if (ctx.sampled) {
+      Coroutine::Current()->set_trace_ctx(ctx);
+    }
     Marshal reply;
     handler(from, payload, &reply);
     Marshal wire;

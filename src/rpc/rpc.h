@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/base/marshal.h"
+#include "src/obs/trace_context.h"
 #include "src/runtime/compound_event.h"
 #include "src/runtime/event.h"
 #include "src/rpc/transport.h"
@@ -64,6 +65,10 @@ struct CallOpts {
   // Stage the call for the destination's next batch flush instead of
   // sending a frame immediately (no-op unless SetCoalesceWindow was set).
   bool coalesce = false;
+  // Request-scoped trace identity carried in the wire frame (per staged item
+  // in batch frames, so coalesced calls from different groups/ops keep their
+  // own ids). When unset, Call() inherits the calling coroutine's context.
+  TraceContext trace;
   RpcEvent::Judge judge;
 };
 
@@ -99,6 +104,9 @@ class RpcEndpoint {
   // Registers a human-readable name for a peer, used as the trace peer of
   // call events (SPG vertices).
   void SetPeerName(NodeId peer, std::string name);
+  // Registered name of `peer` ("n<id>" when none was set) — span attribution
+  // for per-peer replication legs uses the same names as the SPG vertices.
+  std::string PeerName(NodeId peer) const;
 
   // Enables heartbeat coalescing: calls with CallOpts::coalesce are staged
   // per destination and flushed as one kBatchRequest frame every
@@ -128,7 +136,7 @@ class RpcEndpoint {
 
   void OnRecv(NodeId from, Marshal msg);
   void HandleRequest(NodeId from, uint64_t xid, uint32_t group, int32_t method,
-                     Marshal payload);
+                     const TraceContext& ctx, Marshal payload);
   void HandleBatchRequest(NodeId from, Marshal msg);
   void HandleReply(uint64_t xid, Marshal payload, bool error);
   void ArmTimeout(uint64_t xid, uint64_t timeout_us);

@@ -15,6 +15,8 @@
 #include <functional>
 #include <memory>
 
+#include "src/obs/trace_context.h"
+
 namespace depfast {
 
 class Reactor;
@@ -49,6 +51,13 @@ class Coroutine {
   State state() const { return state_; }
   bool Finished() const { return state_ == State::kFinished; }
 
+  // Request-scoped trace identity: set on the coroutine that carries a
+  // sampled op (client root, or an RPC handler whose frame carried a
+  // context), inherited by every Call/Wait issued from it. Coroutine-local
+  // rather than thread-local because the reactor interleaves many ops.
+  const TraceContext& trace_ctx() const { return trace_ctx_; }
+  void set_trace_ctx(const TraceContext& ctx) { trace_ctx_ = ctx; }
+
   static constexpr size_t kStackSize = 128 * 1024;
 
  private:
@@ -64,6 +73,7 @@ class Coroutine {
 
   uint64_t id_;
   State state_ = State::kRunnable;
+  TraceContext trace_ctx_;
   Func func_;
   // Stacks are pooled globally: at high spawn rates (one coroutine per RPC)
   // fresh 128 KiB allocations would hit the allocator's mmap path on every

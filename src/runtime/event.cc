@@ -118,8 +118,16 @@ void Event::RecordWait(uint64_t wait_us) {
   if (!tracer.enabled() || trace_exempt_) {
     return;
   }
+  // A wait issued from a coroutine carrying a sampled TraceContext is stamped
+  // with the op's ids and never down-sampled: a sampled op's record set must
+  // be complete for its span tree to stitch.
+  TraceContext ctx;
+  Coroutine* co = Coroutine::Current();
+  if (co != nullptr) {
+    ctx = co->trace_ctx();
+  }
   bool local = trace_peer_.empty() || trace_peer_ == reactor_->name();
-  if (local && vote_ok_ && !TimedOut()) {
+  if (!ctx.sampled && local && vote_ok_ && !TimedOut()) {
     // Successful LOCAL waits — peer-less internal signals (batch wakeups,
     // sleeps, which neither Spg::Build nor the detector even look at) and
     // self-peer disk/cpu waits — dominate record volume on the no-fault hot
@@ -150,6 +158,10 @@ void Event::RecordWait(uint64_t wait_us) {
   r.timed_out = TimedOut();
   r.end_us = MonotonicUs();
   r.ok = vote_ok_ && !TimedOut();
+  if (ctx.sampled) {
+    r.trace_id = ctx.trace_id;
+    r.span_id = ctx.span_id;
+  }
   tracer.Record(std::move(r));
 }
 

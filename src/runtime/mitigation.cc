@@ -333,4 +333,35 @@ uint64_t MitigationController::actions() const {
   return n_actions_;
 }
 
+std::string MitigationJson(const std::map<std::string, MitigationPeerInfo>& snapshot) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  };
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [peer, info] : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape(peer) + "\":{\"state\":\"" +
+           std::string(MitigationStateName(info.state)) +
+           "\",\"strikes\":" + std::to_string(info.strikes) +
+           ",\"clean_probes\":" + std::to_string(info.clean_probes) +
+           ",\"since_us\":" + std::to_string(info.since_us) +
+           ",\"last_verdict_us\":" + std::to_string(info.last_verdict_us) +
+           ",\"engages\":" + std::to_string(info.engages) +
+           ",\"readmits\":" + std::to_string(info.readmits) +
+           ",\"evictions\":" + std::to_string(info.evictions) +
+           ",\"readds\":" + std::to_string(info.readds) + "}";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace depfast

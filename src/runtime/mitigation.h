@@ -127,6 +127,10 @@ struct MitigationPeerInfo {
   uint64_t readds = 0;           // re-additions as learner after eviction
 };
 
+// JSON object keyed by peer name for the admin /mitigation endpoint and the
+// flight recorder: {"s3":{"state":"mitigated","strikes":2,...}, ...}.
+std::string MitigationJson(const std::map<std::string, MitigationPeerInfo>& snapshot);
+
 class MitigationController {
  public:
   // `policy` must outlive the controller. `reg` defaults to the global

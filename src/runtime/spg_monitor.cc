@@ -224,4 +224,52 @@ void SpgMonitor::CloseWindow(uint64_t window_end_us, std::vector<SlownessVerdict
   }
 }
 
+namespace {
+
+void AppendVerdictJsonString(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string VerdictsJson(const std::vector<SlownessVerdict>& verdicts) {
+  std::string out = "[";
+  for (size_t i = 0; i < verdicts.size(); i++) {
+    const SlownessVerdict& v = verdicts[i];
+    if (i != 0) out += ",";
+    out += "{\"window_end_us\":" + std::to_string(v.window_end_us) + ",\"node\":\"";
+    AppendVerdictJsonString(&out, v.node);
+    out += "\",\"resource\":\"";
+    AppendVerdictJsonString(&out, v.resource);
+    out += "\",\"victims\":[";
+    for (size_t j = 0; j < v.victims.size(); j++) {
+      if (j != 0) out += ",";
+      out += "\"";
+      AppendVerdictJsonString(&out, v.victims[j]);
+      out += "\"";
+    }
+    char sev[32];
+    snprintf(sev, sizeof(sev), "%.3f", v.severity);
+    out += std::string("],\"severity\":") + sev + ",\"reason\":\"";
+    AppendVerdictJsonString(&out, v.reason);
+    out += "\"}";
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace depfast

@@ -68,6 +68,11 @@ struct SlownessVerdict {
   std::string Summary() const;
 };
 
+// JSON array of verdicts for the admin /verdicts endpoint and the flight
+// recorder: [{"window_end_us":..,"node":"..","resource":"..","victims":[..],
+// "severity":..,"reason":".."}, ...].
+std::string VerdictsJson(const std::vector<SlownessVerdict>& verdicts);
+
 class SpgMonitor {
  public:
   explicit SpgMonitor(SpgMonitorOptions opts = {});

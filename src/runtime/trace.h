@@ -42,6 +42,11 @@ struct WaitRecord {
   // per-peer latency signal that survives quorum masking, which is exactly
   // what the SlownessDetector needs to name the slow replica.
   bool quorum_leg = false;
+  // Request-scoped trace identity, stamped from the waiting coroutine when
+  // it carries a sampled TraceContext (0 otherwise) — lets a sampled op's
+  // records stitch into its causal span tree alongside the anonymous stream.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
   // Outcome: false for error/timeout/drop completions (negative votes).
   bool ok = true;
 };

@@ -36,7 +36,9 @@ void VerdictLoop::Run() {
       std::lock_guard<std::mutex> lk(mu_);
       monitor_->Ingest(std::move(records));
       found = monitor_->AdvanceTo(MonotonicUs());
-      verdicts_.insert(verdicts_.end(), found.begin(), found.end());
+      for (const auto& v : found) {
+        verdicts_.Push(v);
+      }
     }
     // Feed the controller OUTSIDE mu_: its policy callbacks block on RunOn
     // posts, and holding the lock across those would stall every
@@ -65,7 +67,17 @@ void VerdictLoop::Stop() {
 
 std::vector<SlownessVerdict> VerdictLoop::Verdicts() {
   std::lock_guard<std::mutex> lk(mu_);
-  return verdicts_;
+  return verdicts_.Items();
+}
+
+uint64_t VerdictLoop::VerdictsDropped() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return verdicts_.dropped();
+}
+
+uint64_t VerdictLoop::VerdictsTotal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return verdicts_.total();
 }
 
 uint64_t VerdictLoop::WindowsClosed() {

@@ -18,6 +18,48 @@
 
 namespace depfast {
 
+// Fixed-capacity verdict history: keeps the newest `capacity` verdicts and
+// counts what it sheds. The admin endpoint reads this live, so it must stay
+// bounded for the process lifetime — a cluster left soaking under a flapping
+// fault would otherwise grow the old unbounded vector forever.
+class VerdictRing {
+ public:
+  explicit VerdictRing(size_t capacity = 1024) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Push(SlownessVerdict v) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(v));
+    } else {
+      ring_[head_] = std::move(v);
+      head_ = (head_ + 1) % capacity_;
+      dropped_++;
+    }
+    total_++;
+  }
+
+  // Oldest -> newest among the retained verdicts.
+  std::vector<SlownessVerdict> Items() const {
+    std::vector<SlownessVerdict> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); i++) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total() const { return total_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // oldest element once the ring is full
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<SlownessVerdict> ring_;
+};
+
 class VerdictLoop {
  public:
   // `mitigation` may be nullptr (detection only). Start() enables the
@@ -40,8 +82,14 @@ class VerdictLoop {
   // reports everything. Set before Start(); default 0 (feed all).
   void SetMinVictims(size_t n) { min_victims_ = n; }
 
-  // Verdicts accumulated so far.
+  // Retained verdict capacity (newest kept). Set before Start().
+  void SetVerdictCapacity(size_t n) { verdicts_ = VerdictRing(n); }
+
+  // Retained verdicts, oldest -> newest (at most the configured capacity).
   std::vector<SlownessVerdict> Verdicts();
+  // Verdicts evicted from the ring / emitted in total since Start().
+  uint64_t VerdictsDropped();
+  uint64_t VerdictsTotal();
   // Monitor windows closed so far.
   uint64_t WindowsClosed();
 
@@ -58,7 +106,7 @@ class VerdictLoop {
   std::atomic<bool> stop_{false};
   bool started_ = false;
   std::mutex mu_;  // guards monitor_ + verdicts_ after Start()
-  std::vector<SlownessVerdict> verdicts_;
+  VerdictRing verdicts_;
 };
 
 }  // namespace depfast

@@ -14,6 +14,8 @@
 
 #include "src/base/histogram.h"
 #include "src/base/time_util.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/span_store.h"
 #include "src/raft/raft_cluster.h"
 #include "src/workload/ycsb.h"
 
@@ -25,6 +27,11 @@ struct DriverConfig {
   uint64_t warmup_us = 500000;
   uint64_t measure_us = 3000000;
   YcsbConfig ycsb;
+  // 1-in-N request tracing on every client session (RaftClient::
+  // SetTraceSampler). Sampled ops produce causal span trees; the run's
+  // per-stage latency decomposition comes back in BenchResult::stage_table.
+  // 0 = off.
+  uint64_t trace_sample = 0;
 };
 
 struct BenchResult {
@@ -38,6 +45,9 @@ struct BenchResult {
   uint64_t n_ops = 0;
   uint64_t n_failures = 0;
   uint64_t n_retries = 0;  // leader-search/timeout retries across sessions
+  // Per-stage latency decomposition table from the sampled span trees
+  // (empty unless DriverConfig::trace_sample > 0).
+  std::string stage_table;
 
   std::string Row() const;
 };
@@ -61,9 +71,17 @@ BenchResult RunDriver(Cluster& cluster, const DriverConfig& config) {
   std::atomic<bool> stop{false};
   auto workload = std::make_shared<YcsbWorkload>(config.ycsb);
 
+  if (config.trace_sample > 0) {
+    // Fresh span store + stage histograms so the decomposition reflects only
+    // this run (matters for back-to-back ablation legs in one process).
+    SpanStore::Instance().Clear();
+  }
   for (int t = 0; t < config.n_client_threads; t++) {
     auto state = std::make_unique<ClientState>();
     state->handle = cluster.MakeClient("c" + std::to_string(t + 1));
+    if (config.trace_sample > 0) {
+      state->handle->session->SetTraceSampler(config.trace_sample);
+    }
     clients.push_back(std::move(state));
   }
   uint64_t measure_begin = MonotonicUs() + config.warmup_us;
@@ -126,6 +144,9 @@ BenchResult RunDriver(Cluster& cluster, const DriverConfig& config) {
   r.p99_us = merged.Percentile(99);
   r.p999_us = merged.Percentile(99.9);
   r.max_us = merged.max();
+  if (config.trace_sample > 0) {
+    r.stage_table = StageDecompositionTable();
+  }
   return r;
 }
 

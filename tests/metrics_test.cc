@@ -1,6 +1,7 @@
 // Unit tests for the unified metrics registry and its exposition formats.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "src/base/metrics.h"
@@ -94,6 +95,92 @@ TEST(MetricsTest, LabelOrderIsCanonical) {
   EXPECT_EQ(a, b);  // std::map labels sort keys, so insertion order is moot
   std::string text = reg.RenderText();
   EXPECT_NE(text.find("x{a=\"1\",b=\"2\"}"), std::string::npos);
+}
+
+TEST(MetricsTest, EscapePromLabelValue) {
+  EXPECT_EQ(EscapePromLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePromLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePromLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapePromLabelValue("line1\nline2"), "line1\\nline2");
+}
+
+TEST(MetricsTest, HostileLabelValuesRenderEscaped) {
+  // A label value containing every character the exposition format treats
+  // specially: backslash, double quote and newline. The rendered series must
+  // stay one line with the value escaped — a raw newline or quote corrupts
+  // the whole scrape.
+  MetricsRegistry reg;
+  reg.GetCounter("evil_total", {{"node", "s\\1\"evil\"\nend"}})->Inc(2);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("evil_total{node=\"s\\\\1\\\"evil\\\"\\nend\"} 2"), std::string::npos);
+  // No raw (unescaped) newline inside the label braces: every physical line
+  // must be a complete header or sample.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(line.empty() || line[0] == '#' || line.find(' ') != std::string::npos)
+        << "split sample line: " << line;
+  }
+  // Same escaping in the summary expansion of a histogram.
+  reg.GetHistogram("evil_us", {{"node", "a\"b"}})->Record(5);
+  text = reg.RenderText();
+  EXPECT_NE(text.find("evil_us_count{node=\"a\\\"b\"} 1"), std::string::npos);
+}
+
+TEST(MetricsTest, HelpLinesRenderOncePerMetric) {
+  MetricsRegistry reg;
+  reg.SetHelp("ops_total", "Operations completed.");
+  reg.GetCounter("ops_total", {{"node", "s1"}})->Inc();
+  reg.GetCounter("ops_total", {{"node", "s2"}})->Inc();
+  reg.GetCounter("nohelp_total")->Inc();
+  std::string text = reg.RenderText();
+  size_t help = text.find("# HELP ops_total Operations completed.");
+  ASSERT_NE(help, std::string::npos);
+  EXPECT_EQ(text.find("# HELP ops_total", help + 1), std::string::npos);
+  // HELP precedes TYPE for the same metric, per the exposition format.
+  EXPECT_LT(help, text.find("# TYPE ops_total counter"));
+  EXPECT_EQ(text.find("# HELP nohelp_total"), std::string::npos);
+}
+
+TEST(MetricsTest, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.SetHelp("h_total", "first\nsecond \\ done");
+  reg.GetCounter("h_total")->Inc();
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("# HELP h_total first\\nsecond \\\\ done"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetHistogramsZeroesAllLabelSetsOfOneName) {
+  MetricsRegistry reg;
+  reg.GetHistogram("stage_us", {{"node", "s1"}})->Record(10);
+  reg.GetHistogram("stage_us", {{"node", "s2"}})->Record(20);
+  reg.GetHistogram("other_us")->Record(30);
+  HistogramMetric* s1 = reg.GetHistogram("stage_us", {{"node", "s1"}});
+  reg.ResetHistograms("stage_us");
+  EXPECT_EQ(reg.GetHistogram("stage_us", {{"node", "s1"}})->Get().count(), 0u);
+  EXPECT_EQ(reg.GetHistogram("stage_us", {{"node", "s2"}})->Get().count(), 0u);
+  EXPECT_EQ(reg.GetHistogram("other_us")->Get().count(), 1u);
+  // Handles stay valid across the reset.
+  s1->Record(5);
+  EXPECT_EQ(s1->Get().count(), 1u);
+}
+
+TEST(MetricsTest, VisitHistogramsEnumeratesSnapshots) {
+  MetricsRegistry reg;
+  reg.GetHistogram("a_us", {{"k", "1"}})->Record(10);
+  reg.GetHistogram("a_us", {{"k", "2"}})->Record(20);
+  reg.GetCounter("not_a_histogram")->Inc();
+  int seen = 0;
+  uint64_t sum = 0;
+  reg.VisitHistograms(
+      [&](const std::string& name, const MetricLabels& labels, const Histogram& h) {
+        EXPECT_EQ(name, "a_us");
+        EXPECT_EQ(labels.size(), 1u);
+        seen++;
+        sum += h.sum();
+      });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(sum, 30u);
 }
 
 }  // namespace

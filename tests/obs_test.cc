@@ -1,0 +1,255 @@
+// Unit tests for the obs layer: span store bounds, critical-path
+// attribution, per-trace JSON, the admin HTTP server and the flight
+// recorder. These all share process-wide singletons (SpanStore,
+// MetricsRegistry, FlightRecorder), so every test starts from Clear().
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/obs/admin_server.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span_store.h"
+
+namespace depfast {
+namespace {
+
+void ResetObsState() {
+  SpanStore::Instance().SetCapacity(512, 256);
+  SpanStore::Instance().Clear();
+}
+
+// A plausible sampled op: 1ms end to end, with the replicate leg toward s3
+// taking almost all of it (the masked fail-slow follower shape).
+std::vector<Span> SlowFollowerTrace(uint64_t trace_id) {
+  std::vector<Span> spans;
+  spans.push_back(Span{trace_id, 1, 0, "client_op", "c1", 0, 1000, true});
+  spans.push_back(Span{trace_id, 2, 1, "client_rpc", "c1", 10, 990, true});
+  spans.push_back(Span{trace_id, 3, 2, "leader_queue", "s1", 20, 60, true});
+  spans.push_back(Span{trace_id, 4, 2, "wal_append", "s1", 60, 160, true});
+  spans.push_back(Span{trace_id, 5, 2, "replicate", "s2", 60, 210, true});
+  spans.push_back(Span{trace_id, 6, 2, "replicate", "s3", 60, 950, true});
+  spans.push_back(Span{trace_id, 7, 2, "commit_wait", "s1", 60, 230, true});
+  spans.push_back(Span{trace_id, 8, 2, "apply", "s1", 230, 260, true});
+  return spans;
+}
+
+TEST(SpanStoreTest, EvictsOldestWholeTrace) {
+  ResetObsState();
+  SpanStore::Instance().SetCapacity(4, 8);
+  for (uint64_t t = 1; t <= 6; t++) {
+    SpanStore::Instance().Record(Span{t, 1, 0, "client_op", "c1", 0, 10, true});
+  }
+  EXPECT_EQ(SpanStore::Instance().n_traces(), 4u);
+  EXPECT_FALSE(SpanStore::Instance().Contains(1));
+  EXPECT_FALSE(SpanStore::Instance().Contains(2));
+  EXPECT_TRUE(SpanStore::Instance().Contains(3));
+  EXPECT_TRUE(SpanStore::Instance().Contains(6));
+}
+
+TEST(SpanStoreTest, DropsSpansPastPerTraceCap) {
+  ResetObsState();
+  SpanStore::Instance().SetCapacity(4, 3);
+  for (uint64_t i = 0; i < 5; i++) {
+    SpanStore::Instance().Record(Span{9, 100 + i, 0, "replicate", "s2", 0, 10, true});
+  }
+  EXPECT_EQ(SpanStore::Instance().Get(9).size(), 3u);
+  EXPECT_EQ(SpanStore::Instance().n_spans_dropped(), 2u);
+}
+
+TEST(SpanStoreTest, IgnoresUntracedSpans) {
+  ResetObsState();
+  SpanStore::Instance().Record(Span{0, 1, 0, "client_op", "c1", 0, 10, true});
+  EXPECT_EQ(SpanStore::Instance().n_traces(), 0u);
+}
+
+TEST(SpanStoreTest, FeedsStageHistogramsAndClearResetsThem) {
+  ResetObsState();
+  SpanStore::Instance().Record(Span{5, 1, 0, "wal_append", "s1", 0, 123, true});
+  Histogram h = MetricsRegistry::Global()
+                    .GetHistogram("op_stage_us", {{"stage", "wal_append"}, {"node", "s1"}})
+                    ->Get();
+  EXPECT_EQ(h.count(), 1u);
+  SpanStore::Instance().Clear();
+  h = MetricsRegistry::Global()
+          .GetHistogram("op_stage_us", {{"stage", "wal_append"}, {"node", "s1"}})
+          ->Get();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(CriticalPathTest, SlowReplicateLegDominates) {
+  CriticalPathResult r = AnalyzeCriticalPath(SlowFollowerTrace(77));
+  EXPECT_EQ(r.trace_id, 77u);
+  EXPECT_EQ(r.total_us, 1000u);
+  EXPECT_EQ(r.dominant_stage, "replicate");
+  EXPECT_EQ(r.dominant_node, "s3");
+}
+
+TEST(CriticalPathTest, SelfTimeExcludesChildren) {
+  // Root 0..100 with one child 20..80: root self = 40, child self = 60.
+  std::vector<Span> spans;
+  spans.push_back(Span{1, 1, 0, "client_op", "c1", 0, 100, true});
+  spans.push_back(Span{1, 2, 1, "client_rpc", "c1", 20, 80, true});
+  CriticalPathResult r = AnalyzeCriticalPath(spans);
+  ASSERT_EQ(r.stages.size(), 2u);
+  EXPECT_EQ(r.dominant_stage, "client_rpc");
+  EXPECT_EQ(r.stages[0].self_us, 60u);
+  EXPECT_EQ(r.stages[1].self_us, 40u);
+}
+
+TEST(CriticalPathTest, EmptyTraceIsEmptyResult) {
+  CriticalPathResult r = AnalyzeCriticalPath({});
+  EXPECT_EQ(r.total_us, 0u);
+  EXPECT_TRUE(r.stages.empty());
+}
+
+TEST(TraceJsonTest, KnownTraceRendersSpansAndCriticalPath) {
+  ResetObsState();
+  for (const Span& s : SlowFollowerTrace(88)) {
+    SpanStore::Instance().Record(s);
+  }
+  std::string json = TraceJson(88);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"trace_id\":88"), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_stage\":\"replicate\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_node\":\"s3\""), std::string::npos);
+}
+
+TEST(TraceJsonTest, UnknownTraceIsEmpty) {
+  ResetObsState();
+  EXPECT_TRUE(TraceJson(123456789).empty());
+}
+
+TEST(PerfettoTest, EmitsProcessPerNodeAndOneEventPerSpan) {
+  std::vector<Span> spans = SlowFollowerTrace(5);
+  std::string json = SpanPerfettoJson(spans);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"s3\""), std::string::npos);
+  size_t n_x = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos; pos += 8) {
+    n_x++;
+  }
+  EXPECT_EQ(n_x, spans.size());
+}
+
+TEST(StageTableTest, RendersRecordedStages) {
+  ResetObsState();
+  for (const Span& s : SlowFollowerTrace(42)) {
+    SpanStore::Instance().Record(s);
+  }
+  std::string table = StageDecompositionTable();
+  EXPECT_NE(table.find("replicate"), std::string::npos);
+  EXPECT_NE(table.find("s3"), std::string::npos);
+  SpanStore::Instance().Clear();
+  EXPECT_NE(StageDecompositionTable().find("no sampled spans"), std::string::npos);
+}
+
+TEST(AdminServerTest, ServesRegisteredRoutesAnd404s) {
+  AdminServer srv(0);
+  srv.Route("/hello", [](const std::string&) {
+    AdminResponse r;
+    r.body = "hi";
+    return r;
+  });
+  srv.Route("/hello/deeper", [](const std::string& path) {
+    AdminResponse r;
+    r.body = "deep:" + path;
+    return r;
+  });
+  ASSERT_TRUE(srv.Start());
+  ASSERT_GT(srv.port(), 0);
+  int status = 0;
+  EXPECT_EQ(HttpGet(srv.port(), "/hello", &status), "hi");
+  EXPECT_EQ(status, 200);
+  // Longest prefix wins, and the handler sees the full path.
+  EXPECT_EQ(HttpGet(srv.port(), "/hello/deeper/x", &status), "deep:/hello/deeper/x");
+  EXPECT_EQ(status, 200);
+  HttpGet(srv.port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+  EXPECT_GE(srv.n_requests(), 3u);
+  srv.Stop();
+}
+
+TEST(AdminServerTest, IntrospectionRoutesServeTraceStore) {
+  ResetObsState();
+  for (const Span& s : SlowFollowerTrace(321)) {
+    SpanStore::Instance().Record(s);
+  }
+  AdminServer srv(0);
+  RegisterIntrospectionRoutes(
+      &srv, []() { return std::string("metric_a 1\n"); },
+      []() { return std::string("digraph spg {}\n"); }, []() { return std::string("[]"); },
+      []() { return std::string("{}"); });
+  ASSERT_TRUE(srv.Start());
+  int status = 0;
+  EXPECT_EQ(HttpGet(srv.port(), "/metrics", &status), "metric_a 1\n");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(HttpGet(srv.port(), "/spg", &status), "digraph spg {}\n");
+  EXPECT_EQ(HttpGet(srv.port(), "/verdicts", &status), "[]");
+  EXPECT_EQ(HttpGet(srv.port(), "/mitigation", &status), "{}");
+  std::string trace = HttpGet(srv.port(), "/trace/321", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(trace.find("\"dominant_node\":\"s3\""), std::string::npos);
+  HttpGet(srv.port(), "/trace/999999", &status);
+  EXPECT_EQ(status, 404);
+  HttpGet(srv.port(), "/trace/not-a-number", &status);
+  EXPECT_EQ(status, 404);
+  std::string ids = HttpGet(srv.port(), "/traces", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(ids.find("321"), std::string::npos);
+  std::string flight = HttpGet(srv.port(), "/flightrecorder", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(flight.find("\"traces\""), std::string::npos);
+  srv.Stop();
+}
+
+TEST(FlightRecorderTest, DumpWritesBoundedSnapshot) {
+  ResetObsState();
+  for (uint64_t t = 1; t <= 5; t++) {
+    for (const Span& s : SlowFollowerTrace(t)) {
+      SpanStore::Instance().Record(s);
+    }
+  }
+  std::string path = ::testing::TempDir() + "flight_recorder_test.json";
+  std::remove(path.c_str());
+  FlightRecorder::Instance().Configure(path, /*max_traces=*/2);
+  FlightRecorder::Instance().SetVerdictsProvider(
+      []() { return std::string("[{\"node\":\"s3\"}]"); });
+  FlightRecorder::Instance().SetMitigationProvider(
+      []() { return std::string("{\"s3\":{\"state\":\"mitigated\"}}"); });
+  EXPECT_TRUE(FlightRecorder::Instance().armed());
+  std::string json = FlightRecorder::Instance().Dump();
+  FlightRecorder::Instance().Disarm();
+  EXPECT_FALSE(FlightRecorder::Instance().armed());
+
+  // The JSON keeps only the newest 2 traces but reports the true total.
+  EXPECT_NE(json.find("\"n_traces_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":4"), std::string::npos);
+  EXPECT_EQ(json.find("\"trace_id\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"node\":\"s3\""), std::string::npos);
+  EXPECT_NE(json.find("mitigated"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), json);
+}
+
+TEST(FlightRecorderTest, DisarmedDumpStillReturnsJson) {
+  ResetObsState();
+  FlightRecorder::Instance().Disarm();
+  std::string json = FlightRecorder::Instance().Dump();
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depfast

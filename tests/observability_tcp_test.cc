@@ -16,6 +16,9 @@
 
 #include "src/base/metrics.h"
 #include "src/base/time_util.h"
+#include "src/obs/admin_server.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/span_store.h"
 #include "src/raft/raft_cluster.h"
 #include "src/runtime/trace.h"
 #include "src/workload/driver.h"
@@ -166,6 +169,146 @@ TEST(ObservabilityTcpTest, MonitorNamesSlowFollowerWithinThreeWindows) {
   EXPECT_NE(prom.find("spg_verdicts_total"), std::string::npos);
   ASSERT_TRUE(WriteFile("observability_metrics.prom", prom));
   cluster.Shutdown();
+}
+
+// End-to-end request tracing + the live introspection endpoint, under a
+// fail-slow follower on real sockets. The claims:
+//   (a) sampled span trees attribute the dominant latency stage to the slow
+//       peer's REPLICATION LEG — even though the quorum masks that peer from
+//       the client-visible latency, the leg span ends only when the peer's
+//       match index actually advances, so its duration tells the truth;
+//   (b) /metrics, /spg, /verdicts and /trace/<id> all serve well-formed
+//       responses from the live cluster while this is going on;
+//   (c) the flight recorder dumps the sampled traces + verdicts to JSON.
+// Also emits the CI artifacts observability_perfetto.json and
+// observability_flight.json.
+TEST(ObservabilityTcpTest, TracingAttributesSlowFollowerAndAdminServesLive) {
+  RaftClusterOptions opts = TcpOptions();
+  opts.enable_monitor = true;
+  opts.monitor = MonitorOptions();
+  opts.monitor_poll_us = 50000;
+  opts.enable_admin = true;
+  opts.flight_recorder_path = "observability_flight.json";
+  RaftCluster cluster(opts);
+  ASSERT_TRUE(cluster.WaitForLeader());
+  ASSERT_NE(cluster.admin(), nullptr);
+  int port = cluster.admin()->port();
+  ASSERT_GT(port, 0);
+
+  // Healthy baseline windows first (the monitor needs them), then the
+  // traced run under the slow-drain follower.
+  RunDriver(cluster, Load(1000000));
+  cluster.InjectFault(2, FaultType::kNetworkSlow);
+  DriverConfig drv = Load(2500000);
+  drv.trace_sample = 16;
+  BenchResult r = RunDriver(cluster, drv);
+  ASSERT_GT(r.n_ops, 0u);
+  EXPECT_FALSE(r.stage_table.empty());
+  ASSERT_GT(SpanStore::Instance().n_traces(), 0u);
+
+  // The monitor must accuse s3 while the fault is live.
+  bool accused = false;
+  uint64_t deadline = MonotonicUs() + 5000000;
+  while (MonotonicUs() < deadline && !accused) {
+    for (const auto& v : cluster.Verdicts()) {
+      accused |= v.node == "s3";
+    }
+    if (!accused) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_TRUE(accused) << "windows closed: " << cluster.MonitorWindowsClosed();
+
+  // Lift the fault and wait for the leader's catch-up to advance s3's match
+  // index: that is the moment the pending replicate legs toward s3 complete
+  // and record their true (propose -> match) durations. A handful of legs
+  // may trickle in DURING the fault (the 64 KiB/s drain makes slow
+  // progress), but those early traces get evicted from the bounded span
+  // store by later samples — so the condition to wait for is not "any s3
+  // leg exists" but "a still-resident trace is dominated by the s3 leg",
+  // which is exactly claim (a).
+  cluster.ClearFault(2);
+  auto s3_leg_count = []() {
+    return MetricsRegistry::Global()
+        .GetHistogram("op_stage_us", {{"stage", "replicate"}, {"node", "s3"}})
+        ->Get()
+        .count();
+  };
+  auto find_attributed_trace = []() -> uint64_t {
+    for (uint64_t id : SpanStore::Instance().TraceIds()) {
+      CriticalPathResult cp = AnalyzeCriticalPath(SpanStore::Instance().Get(id));
+      if (cp.dominant_stage == "replicate" && cp.dominant_node == "s3") {
+        return id;
+      }
+    }
+    return 0;
+  };
+  uint64_t attributed_trace = 0;
+  deadline = MonotonicUs() + 20000000;
+  while (MonotonicUs() < deadline &&
+         (attributed_trace = find_attributed_trace()) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_GT(s3_leg_count(), 0u) << "no replicate leg toward s3 ever completed";
+
+  // (a) Critical-path attribution: the replication leg toward the accused
+  // peer dominates the decomposition — orders of magnitude above the healthy
+  // peer's leg and the leader's local stages.
+  Histogram s3_leg = MetricsRegistry::Global()
+                         .GetHistogram("op_stage_us", {{"stage", "replicate"}, {"node", "s3"}})
+                         ->Get();
+  Histogram s2_leg = MetricsRegistry::Global()
+                         .GetHistogram("op_stage_us", {{"stage", "replicate"}, {"node", "s2"}})
+                         ->Get();
+  Histogram wal = MetricsRegistry::Global()
+                      .GetHistogram("op_stage_us", {{"stage", "wal_append"}, {"node", "s1"}})
+                      ->Get();
+  ASSERT_GT(s2_leg.count(), 0u);
+  EXPECT_GT(s3_leg.max(), s2_leg.Percentile(99)) << StageDecompositionTable();
+  EXPECT_GT(s3_leg.max(), wal.Percentile(99)) << StageDecompositionTable();
+
+  // And per-trace: some sampled op's dominant (stage, node) is the s3 leg.
+  ASSERT_NE(attributed_trace, 0u) << StageDecompositionTable();
+
+  // (b) The live endpoint serves every route well-formed.
+  int status = 0;
+  std::string metrics = HttpGet(port, "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("raft_ops_proposed_total{node=\"s1\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("op_stage_us"), std::string::npos);
+  std::string dot = HttpGet(port, "/spg", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  std::string verdicts = HttpGet(port, "/verdicts", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(verdicts.find("\"node\":\"s3\""), std::string::npos);
+  std::string trace = HttpGet(port, "/trace/" + std::to_string(attributed_trace), &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(trace.find("\"dominant_node\":\"s3\""), std::string::npos);
+  HttpGet(port, "/trace/18446744073709551615", &status);
+  EXPECT_EQ(status, 404);
+  std::string mitigation = HttpGet(port, "/mitigation", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(mitigation, "{}");  // detection-only cluster
+
+  // (c) Flight recorder: /flightrecorder dumps traces + verdicts to the
+  // configured JSON file (the CI artifact).
+  std::string flight = HttpGet(port, "/flightrecorder", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(flight.find("\"traces\""), std::string::npos);
+  EXPECT_NE(flight.find("\"node\":\"s3\""), std::string::npos);
+  {
+    std::ifstream f("observability_flight.json");
+    EXPECT_TRUE(f.good());
+  }
+
+  // Perfetto artifact: the attributed op's span tree as Chrome trace JSON.
+  std::string perfetto = SpanPerfettoJson(SpanStore::Instance().Get(attributed_trace));
+  EXPECT_NE(perfetto.find("\"traceEvents\""), std::string::npos);
+  ASSERT_TRUE(WriteFile("observability_perfetto.json", perfetto));
+
+  cluster.Shutdown();
+  SpanStore::Instance().Clear();
 }
 
 TEST(ObservabilityTcpTest, NoFaultRunProducesNoVerdicts) {

@@ -1,0 +1,244 @@
+// Trace-context propagation through the RPC layer: wire encoding, handler
+// inheritance, coalesced batch frames and multi-group multiplexing. The
+// invariant under test everywhere: the context a handler coroutine sees is
+// exactly the one its caller stamped — per call, even when many calls share
+// one wire frame or one socket.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace_context.h"
+#include "src/rpc/rpc.h"
+#include "src/rpc/sim_transport.h"
+#include "src/runtime/reactor.h"
+
+namespace depfast {
+namespace {
+
+constexpr int32_t kEchoCtx = 21;
+
+TEST(TraceContextWire, UnsampledCostsOneByte) {
+  Marshal m;
+  WriteTraceContext(m, TraceContext{});
+  EXPECT_EQ(m.ContentSize(), 1u);
+  TraceContext got = ReadTraceContext(m);
+  EXPECT_FALSE(got.sampled);
+  EXPECT_EQ(got.trace_id, 0u);
+  EXPECT_EQ(got.span_id, 0u);
+  EXPECT_EQ(m.ContentSize(), 0u);
+}
+
+TEST(TraceContextWire, SampledRoundTrips) {
+  TraceContext ctx{0x1122334455667788ull, 0x99aabbccddeeff00ull, true};
+  Marshal m;
+  WriteTraceContext(m, ctx);
+  EXPECT_EQ(m.ContentSize(), 17u);  // flag + trace_id + span_id
+  TraceContext got = ReadTraceContext(m);
+  EXPECT_TRUE(got.sampled);
+  EXPECT_EQ(got.trace_id, ctx.trace_id);
+  EXPECT_EQ(got.span_id, ctx.span_id);
+}
+
+TEST(TraceContextWire, ContextSurvivesAdjacentPayload) {
+  // The context sits between method and payload in the frame; make sure the
+  // reader consumes exactly its own bytes.
+  TraceContext ctx{7, 9, true};
+  Marshal m;
+  m << std::string("before");
+  WriteTraceContext(m, ctx);
+  m << std::string("after");
+  std::string s;
+  m >> s;
+  EXPECT_EQ(s, "before");
+  TraceContext got = ReadTraceContext(m);
+  EXPECT_EQ(got.trace_id, 7u);
+  EXPECT_EQ(got.span_id, 9u);
+  m >> s;
+  EXPECT_EQ(s, "after");
+}
+
+TEST(TraceContextWire, NewIdsAreNonZeroAndDistinct) {
+  uint64_t a = NewTraceId();
+  uint64_t b = NewTraceId();
+  uint64_t c = NewSpanId();
+  uint64_t d = NewSpanId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(c, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(c, d);
+}
+
+LinkParams QuietLink() {
+  LinkParams p;
+  p.base_delay_us = 200;
+  p.bytes_per_us = 1000;
+  p.jitter_p = 0.0;
+  return p;
+}
+
+// Server on its own reactor thread whose handler echoes the trace context
+// its coroutine inherited (plus the group the handler was registered under);
+// client driven on the test's reactor. Registered for groups 0..63 so the
+// multi-group tests share the endpoint.
+class TraceRpcTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kGroups = 64;
+
+  TraceRpcTest()
+      : transport_(QuietLink()),
+        client_reactor_(std::make_unique<Reactor>("client")),
+        server_("server") {
+    client_ = std::make_unique<RpcEndpoint>(1, "client", client_reactor_.get(), &transport_);
+    client_->SetPeerName(2, "server");
+    std::atomic<bool> ready{false};
+    server_.reactor()->Post([&]() {
+      server_ep_ = std::make_unique<RpcEndpoint>(2, "server", server_.reactor(), &transport_);
+      for (uint32_t g = 0; g < kGroups; g++) {
+        server_ep_->Register(g, kEchoCtx, [g](NodeId, Marshal&, Marshal* reply) {
+          const TraceContext& ctx = Coroutine::Current()->trace_ctx();
+          *reply << g << ctx.trace_id << ctx.span_id << ctx.sampled;
+        });
+      }
+      ready = true;
+    });
+    while (!ready.load()) {
+    }
+  }
+
+  ~TraceRpcTest() override {
+    std::atomic<bool> done{false};
+    server_.reactor()->Post([&]() {
+      server_ep_.reset();
+      done = true;
+    });
+    while (!done.load()) {
+    }
+    server_.Stop();
+  }
+
+  struct Echo {
+    uint32_t group = 0;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    bool sampled = false;
+  };
+
+  static Echo DecodeEcho(Marshal& reply) {
+    Echo e;
+    reply >> e.group >> e.trace_id >> e.span_id >> e.sampled;
+    return e;
+  }
+
+  SimTransport transport_;
+  std::unique_ptr<Reactor> client_reactor_;
+  ReactorThread server_;
+  std::unique_ptr<RpcEndpoint> client_;
+  std::unique_ptr<RpcEndpoint> server_ep_;
+};
+
+TEST_F(TraceRpcTest, ExplicitContextReachesHandlerCoroutine) {
+  std::atomic<bool> done{false};
+  Coroutine::Create([&]() {
+    CallOpts opts;
+    opts.trace = TraceContext{42, 43, true};
+    auto ev = client_->Call(2, kEchoCtx, Marshal(), opts);
+    ev->Wait();
+    Echo e = DecodeEcho(ev->reply());
+    EXPECT_TRUE(e.sampled);
+    EXPECT_EQ(e.trace_id, 42u);
+    EXPECT_EQ(e.span_id, 43u);
+    done = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return done.load(); }, 2000000));
+}
+
+TEST_F(TraceRpcTest, UnsampledCallsCarryNoContext) {
+  std::atomic<bool> done{false};
+  Coroutine::Create([&]() {
+    auto ev = client_->Call(2, kEchoCtx, Marshal());
+    ev->Wait();
+    Echo e = DecodeEcho(ev->reply());
+    EXPECT_FALSE(e.sampled);
+    EXPECT_EQ(e.trace_id, 0u);
+    done = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return done.load(); }, 2000000));
+}
+
+TEST_F(TraceRpcTest, CallInheritsCallingCoroutineContext) {
+  // No explicit CallOpts::trace: the calling coroutine's own context rides
+  // the wire — this is how a handler's nested RPCs stay inside the trace.
+  std::atomic<bool> done{false};
+  Coroutine::Create([&]() {
+    Coroutine::Current()->set_trace_ctx(TraceContext{77, 78, true});
+    auto ev = client_->Call(2, kEchoCtx, Marshal());
+    ev->Wait();
+    Echo e = DecodeEcho(ev->reply());
+    EXPECT_TRUE(e.sampled);
+    EXPECT_EQ(e.trace_id, 77u);
+    EXPECT_EQ(e.span_id, 78u);
+    done = true;
+  });
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return done.load(); }, 2000000));
+}
+
+TEST_F(TraceRpcTest, CoalescedBatchKeepsPerCallContext) {
+  // Many calls staged into one batch frame: each staged item carries its own
+  // context, so calls sharing a frame must come back with their own ids.
+  constexpr int kCalls = 8;
+  client_->SetCoalesceWindow(500);
+  std::atomic<int> done{0};
+  for (int i = 0; i < kCalls; i++) {
+    Coroutine::Create([&, i]() {
+      CallOpts opts;
+      opts.coalesce = true;
+      opts.trace = TraceContext{1000 + static_cast<uint64_t>(i),
+                                2000 + static_cast<uint64_t>(i), true};
+      auto ev = client_->Call(2, kEchoCtx, Marshal(), opts);
+      ev->Wait();
+      Echo e = DecodeEcho(ev->reply());
+      EXPECT_TRUE(e.sampled);
+      EXPECT_EQ(e.trace_id, 1000u + static_cast<uint64_t>(i));
+      EXPECT_EQ(e.span_id, 2000u + static_cast<uint64_t>(i));
+      done++;
+    });
+  }
+  EXPECT_TRUE(client_reactor_->RunUntil([&]() { return done == kCalls; }, 3000000));
+  EXPECT_GT(client_->n_coalesced_calls(), 0u);
+  EXPECT_GT(client_->n_batch_frames(), 0u);
+  // Coalescing actually shared frames (fewer frames than staged calls).
+  EXPECT_LT(client_->n_batch_frames(), client_->n_coalesced_calls());
+}
+
+TEST_F(TraceRpcTest, SixtyFourGroupsNoCrossTalk) {
+  // One call per group over the shared endpoint pair, all coalesced so
+  // cross-group calls share wire frames; every reply must carry ITS group's
+  // context — any cross-talk swaps ids between groups.
+  client_->SetCoalesceWindow(500);
+  std::atomic<int> done{0};
+  for (uint32_t g = 0; g < kGroups; g++) {
+    Coroutine::Create([&, g]() {
+      CallOpts opts;
+      opts.group = g;
+      opts.coalesce = true;
+      opts.trace = TraceContext{10000 + g, 20000 + g, true};
+      auto ev = client_->Call(2, kEchoCtx, Marshal(), opts);
+      ev->Wait();
+      Echo e = DecodeEcho(ev->reply());
+      EXPECT_EQ(e.group, g);
+      EXPECT_EQ(e.trace_id, 10000u + g);
+      EXPECT_EQ(e.span_id, 20000u + g);
+      done++;
+    });
+  }
+  EXPECT_TRUE(
+      client_reactor_->RunUntil([&]() { return done == static_cast<int>(kGroups); }, 5000000));
+  EXPECT_GT(client_->n_batch_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace depfast

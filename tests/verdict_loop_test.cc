@@ -1,0 +1,93 @@
+// VerdictRing: the bounded verdict history behind VerdictLoop::Verdicts()
+// and the admin /verdicts endpoint. The contract: newest `capacity` verdicts
+// retained in oldest->newest order, with an honest count of what was shed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/verdict_loop.h"
+
+namespace depfast {
+namespace {
+
+SlownessVerdict V(uint64_t window_end_us) {
+  SlownessVerdict v;
+  v.window_end_us = window_end_us;
+  v.node = "s" + std::to_string(window_end_us);
+  v.resource = "net";
+  v.severity = 2.0;
+  return v;
+}
+
+TEST(VerdictRingTest, KeepsEverythingUnderCapacity) {
+  VerdictRing ring(4);
+  ring.Push(V(1));
+  ring.Push(V(2));
+  ring.Push(V(3));
+  auto items = ring.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].window_end_us, 1u);
+  EXPECT_EQ(items[2].window_end_us, 3u);
+  EXPECT_EQ(ring.total(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(VerdictRingTest, WrapEvictsOldestAndCountsDrops) {
+  VerdictRing ring(3);
+  for (uint64_t i = 1; i <= 8; i++) {
+    ring.Push(V(i));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total(), 8u);
+  EXPECT_EQ(ring.dropped(), 5u);
+  auto items = ring.Items();
+  ASSERT_EQ(items.size(), 3u);
+  // Oldest -> newest among the retained: 6, 7, 8.
+  EXPECT_EQ(items[0].window_end_us, 6u);
+  EXPECT_EQ(items[1].window_end_us, 7u);
+  EXPECT_EQ(items[2].window_end_us, 8u);
+  EXPECT_EQ(items[2].node, "s8");
+}
+
+TEST(VerdictRingTest, WrapsRepeatedlyWithoutSkew) {
+  VerdictRing ring(2);
+  for (uint64_t i = 1; i <= 101; i++) {
+    ring.Push(V(i));
+  }
+  auto items = ring.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].window_end_us, 100u);
+  EXPECT_EQ(items[1].window_end_us, 101u);
+  EXPECT_EQ(ring.dropped(), 99u);
+}
+
+TEST(VerdictRingTest, ZeroCapacityClampsToOne) {
+  VerdictRing ring(0);
+  ring.Push(V(1));
+  ring.Push(V(2));
+  EXPECT_EQ(ring.capacity(), 1u);
+  auto items = ring.Items();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].window_end_us, 2u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(VerdictsJsonTest, RendersArrayWithEscapedStrings) {
+  SlownessVerdict v = V(9);
+  v.victims = {"s1", "s2"};
+  v.reason = "p99 \"spike\"\nover baseline";
+  std::string json = VerdictsJson({v});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"node\":\"s9\""), std::string::npos);
+  EXPECT_NE(json.find("\"victims\":[\"s1\",\"s2\"]"), std::string::npos);
+  // Hostile reason characters must come out escaped, not raw.
+  EXPECT_NE(json.find("\\\"spike\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(VerdictsJson({}), "[]");
+}
+
+}  // namespace
+}  // namespace depfast
