@@ -93,8 +93,8 @@ LoadResult RunZipfLoad(ShardedKvSession& session, int n_coro, uint64_t warmup_us
   LoadResult r;
   r.n_ops = ops.load();
   r.throughput_ops = static_cast<double>(r.n_ops) * 1e6 / static_cast<double>(measure_us);
-  r.p50_us = hist->Percentile(0.50);
-  r.p99_us = hist->Percentile(0.99);
+  r.p50_us = hist->Percentile(50);
+  r.p99_us = hist->Percentile(99);
   return r;
 }
 

@@ -70,6 +70,60 @@ void Histogram::Reset() {
   max_ = 0;
 }
 
+QuantileSummary Histogram::Quantiles() const {
+  QuantileSummary q;
+  q.count = count_;
+  q.mean_us = Mean();
+  q.max_us = max_;
+  if (count_ == 0) {
+    return q;
+  }
+  // One cumulative sweep hitting all four targets in order.
+  const double ps[] = {50.0, 90.0, 99.0, 99.9};
+  uint64_t* outs[] = {&q.p50_us, &q.p90_us, &q.p99_us, &q.p999_us};
+  uint64_t targets[4];
+  for (int i = 0; i < 4; i++) {
+    targets[i] = static_cast<uint64_t>(ps[i] / 100.0 * static_cast<double>(count_) + 0.5);
+    if (targets[i] == 0) {
+      targets[i] = 1;
+    }
+  }
+  uint64_t seen = 0;
+  int next = 0;
+  for (int i = 0; i < kBuckets && next < 4; i++) {
+    seen += buckets_[static_cast<size_t>(i)];
+    while (next < 4 && seen >= targets[next]) {
+      uint64_t upper = BucketUpper(i);
+      *outs[next] = upper > max_ ? max_ : upper;
+      next++;
+    }
+  }
+  for (; next < 4; next++) {
+    *outs[next] = max_;
+  }
+  return q;
+}
+
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram d;
+  for (int i = 0; i < kBuckets; i++) {
+    auto idx = static_cast<size_t>(i);
+    DF_CHECK_GE(buckets_[idx], earlier.buckets_[idx]);
+    d.buckets_[idx] = buckets_[idx] - earlier.buckets_[idx];
+  }
+  DF_CHECK_GE(count_, earlier.count_);
+  DF_CHECK_GE(sum_, earlier.sum_);
+  d.count_ = count_ - earlier.count_;
+  d.sum_ = sum_ - earlier.sum_;
+  if (d.count_ > 0) {
+    // Bounds from the later snapshot (see header: exact window min/max are
+    // not recoverable; percentile queries clamp to max so this stays sound).
+    d.min_ = min_;
+    d.max_ = max_;
+  }
+  return d;
+}
+
 double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
 }

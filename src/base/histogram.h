@@ -11,6 +11,19 @@
 
 namespace depfast {
 
+// The standard quantile set reported everywhere (scenario reports, bench
+// JSON, phase windows) so downstream consumers never re-derive quantiles
+// from power-of-two buckets themselves.
+struct QuantileSummary {
+  uint64_t count = 0;
+  double mean_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p90_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t max_us = 0;
+};
+
 class Histogram {
  public:
   Histogram();
@@ -18,6 +31,19 @@ class Histogram {
   void Record(uint64_t value_us);
   void Merge(const Histogram& other);
   void Reset();
+
+  // One pass over the buckets computing P50/P90/P99/P99.9 + max together —
+  // the export path for every JSON rendering of a histogram.
+  QuantileSummary Quantiles() const;
+
+  // The histogram of samples recorded since `earlier` was snapshotted from
+  // this same series: bucket-wise difference. Used for per-phase metric
+  // windows (snapshot at phase start, delta at phase end). `earlier` must be
+  // an earlier snapshot (every bucket <=); min/max of the delta are bounded
+  // by the later snapshot's (exact min/max of only-the-window samples are
+  // not recoverable from bucket counts — quantiles are, which is what
+  // windows report).
+  Histogram DeltaSince(const Histogram& earlier) const;
 
   uint64_t count() const { return count_; }
   uint64_t sum() const { return sum_; }

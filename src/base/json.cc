@@ -1,0 +1,510 @@
+#include "src/base/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err) : text_(text), err_(err) {}
+
+  std::optional<JsonValue> Run() {
+    JsonValue v;
+    if (!ParseValue(&v)) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the top-level value");
+    }
+    return v;
+  }
+
+ private:
+  std::optional<JsonValue> Fail(const std::string& what) {
+    if (err_ != nullptr && err_->empty()) {
+      *err_ = "json: line " + std::to_string(line_) + ": " + what;
+    }
+    return std::nullopt;
+  }
+  bool FailB(const std::string& what) {
+    Fail(what);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        line_++;
+        pos_++;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        pos_++;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        // `//` comment: skip to end of line.
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          pos_++;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return FailB("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        return ParseString(out);
+      case 't':
+      case 'f':
+        return ParseBool(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber(out);
+        }
+        return FailB(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    pos_++;  // '{'
+    *out = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return FailB("expected object key string");
+      }
+      JsonValue key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (out->Find(key.AsString()) != nullptr) {
+        return FailB("duplicate object key \"" + key.AsString() + "\"");
+      }
+      if (!Consume(':')) {
+        return FailB("expected ':' after object key");
+      }
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->Add(key.AsString(), std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return FailB("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    pos_++;  // '['
+    *out = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->Push(std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return FailB("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(JsonValue* out) {
+    pos_++;  // '"'
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        *out = JsonValue::Str(std::move(s));
+        return true;
+      }
+      if (c == '\n') {
+        return FailB("unterminated string");
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return FailB("unterminated escape");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          s += '"';
+          break;
+        case '\\':
+          s += '\\';
+          break;
+        case '/':
+          s += '/';
+          break;
+        case 'n':
+          s += '\n';
+          break;
+        case 't':
+          s += '\t';
+          break;
+        case 'r':
+          s += '\r';
+          break;
+        case 'b':
+          s += '\b';
+          break;
+        case 'f':
+          s += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return FailB("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return FailB("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (no surrogate-pair support; spec
+          // files are ASCII in practice).
+          if (code < 0x80) {
+            s += static_cast<char>(code);
+          } else if (code < 0x800) {
+            s += static_cast<char>(0xC0 | (code >> 6));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (code >> 12));
+            s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return FailB(std::string("bad escape '\\") + e + "'");
+      }
+    }
+    return FailB("unterminated string");
+  }
+
+  bool ParseBool(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Bool(true);
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue::Bool(false);
+      return true;
+    }
+    return FailB("expected 'true' or 'false'");
+  }
+
+  bool ParseNull(JsonValue* out) {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Null();
+      return true;
+    }
+    return FailB("expected 'null'");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      pos_++;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        pos_++;
+      } else {
+        break;
+      }
+    }
+    std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || tok.empty()) {
+      return FailB("bad number '" + tok + "'");
+    }
+    *out = JsonValue::Number(v);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.num_ = n;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text, std::string* err) {
+  if (err != nullptr) {
+    err->clear();
+  }
+  Parser p(text, err);
+  return p.Run();
+}
+
+bool JsonValue::AsBool() const {
+  DF_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  DF_CHECK(type_ == Type::kNumber);
+  return num_;
+}
+
+int64_t JsonValue::AsInt() const {
+  DF_CHECK(type_ == Type::kNumber);
+  return static_cast<int64_t>(num_);
+}
+
+const std::string& JsonValue::AsString() const {
+  DF_CHECK(type_ == Type::kString);
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  DF_CHECK(type_ == Type::kArray);
+  return arr_;
+}
+
+const JsonValue::Members& JsonValue::AsObject() const {
+  DF_CHECK(type_ == Type::kObject);
+  return obj_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : obj_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Add(const std::string& key, JsonValue v) {
+  DF_CHECK(type_ == Type::kObject);
+  obj_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue v) {
+  DF_CHECK(type_ == Type::kArray);
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+std::string JsonNumberToString(double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    return "null";  // JSON has no NaN/Inf
+  }
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      *out += '\n';
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      *out += JsonNumberToString(num_);
+      break;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(str_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) {
+          *out += ',';
+          if (indent == 0) {
+            *out += ' ';
+          }
+        }
+        first = false;
+        newline(depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) {
+        newline(depth);
+      }
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) {
+          *out += ',';
+          if (indent == 0) {
+            *out += ' ';
+          }
+        }
+        first = false;
+        newline(depth + 1);
+        *out += '"';
+        *out += JsonEscape(k);
+        *out += "\": ";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) {
+        newline(depth);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace depfast

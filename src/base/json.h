@@ -1,0 +1,91 @@
+// Minimal JSON document model, parser and writer — the in-repo format layer
+// behind declarative scenario specs and the BENCH_*.json reports. Strict
+// JSON (RFC 8259 subset: objects, arrays, strings, numbers, true/false/null)
+// plus `//` line comments so committed spec files can be annotated. No
+// external dependencies.
+//
+// Parsing is strict on purpose: duplicate object keys and trailing garbage
+// are errors, and error messages carry a line number — a scenario spec that
+// silently ignored a typo would misconfigure a benchmark without anyone
+// noticing.
+#ifndef SRC_BASE_JSON_H_
+#define SRC_BASE_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depfast {
+
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Object members keep source/insertion order so dumps are stable and
+  // spec-validation errors can say "first offending key".
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue Int(int64_t n) { return Number(static_cast<double>(n)); }
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  // Parses `text`; on failure returns nullopt and sets *err (with a line
+  // number) when err != nullptr.
+  static std::optional<JsonValue> Parse(const std::string& text, std::string* err);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; DF_CHECK on type mismatch (spec-layer validation must
+  // happen before these are called).
+  bool AsBool() const;
+  double AsNumber() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const Members& AsObject() const;
+
+  // Object lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Builder mutators (for report generation).
+  JsonValue& Add(const std::string& key, JsonValue v);  // object
+  JsonValue& Push(JsonValue v);                         // array
+
+  // Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  Members obj_;
+};
+
+// Serializes a double the way the dump layer does: integral values print
+// without a decimal point, everything else with enough digits to round-trip.
+std::string JsonNumberToString(double v);
+
+// String escaping for JSON output (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace depfast
+
+#endif  // SRC_BASE_JSON_H_

@@ -171,15 +171,50 @@ std::string MetricsRegistry::RenderJson() const {
   }
   for (const auto& [key, hm] : histograms_) {
     Histogram h = hm->Get();
+    QuantileSummary q = h.Quantiles();
     const std::string base = SeriesName(key.first, key.second);
-    AppendJsonEntry(os, first, base + "_count", static_cast<double>(h.count()));
+    AppendJsonEntry(os, first, base + "_count", static_cast<double>(q.count));
     AppendJsonEntry(os, first, base + "_sum", static_cast<double>(h.sum()));
-    AppendJsonEntry(os, first, base + "_p50", static_cast<double>(h.Percentile(50)));
-    AppendJsonEntry(os, first, base + "_p99", static_cast<double>(h.Percentile(99)));
-    AppendJsonEntry(os, first, base + "_max", static_cast<double>(h.max()));
+    AppendJsonEntry(os, first, base + "_p50", static_cast<double>(q.p50_us));
+    AppendJsonEntry(os, first, base + "_p90", static_cast<double>(q.p90_us));
+    AppendJsonEntry(os, first, base + "_p99", static_cast<double>(q.p99_us));
+    AppendJsonEntry(os, first, base + "_p999", static_cast<double>(q.p999_us));
+    AppendJsonEntry(os, first, base + "_max", static_cast<double>(q.max_us));
   }
   os << '}';
   return os.str();
+}
+
+std::map<MetricsRegistry::Key, Histogram> MetricsRegistry::SnapshotHistograms(
+    const std::string& name_filter) const {
+  // Collect handles under the lock, copy each histogram outside it (the
+  // handle's own lock serializes against recorders).
+  std::vector<std::pair<Key, HistogramMetric*>> items;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, hm] : histograms_) {
+      if (name_filter.empty() || key.first == name_filter) {
+        items.emplace_back(key, hm.get());
+      }
+    }
+  }
+  std::map<Key, Histogram> out;
+  for (const auto& [key, hm] : items) {
+    out.emplace(key, hm->Get());
+  }
+  return out;
+}
+
+std::map<MetricsRegistry::Key, uint64_t> MetricsRegistry::SnapshotCounters(
+    const std::string& name_filter) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<Key, uint64_t> out;
+  for (const auto& [key, c] : counters_) {
+    if (name_filter.empty() || key.first == name_filter) {
+      out.emplace(key, c->value());
+    }
+  }
+  return out;
 }
 
 void MetricsRegistry::VisitHistograms(

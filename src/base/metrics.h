@@ -84,6 +84,9 @@ class HistogramMetric {
 
 class MetricsRegistry {
  public:
+  // Canonical series identity: (metric name, sorted label set).
+  using Key = std::pair<std::string, MetricLabels>;
+
   // The process-wide registry most call sites use. Tests may build their own.
   static MetricsRegistry& Global();
 
@@ -99,8 +102,20 @@ class MetricsRegistry {
   // name, label values escaped per the format (backslash, quote, newline).
   std::string RenderText() const;
   // Flat JSON object: {"name{label=\"v\"}": value, ...}; histograms expand
-  // into _count/_sum/_p50/_p99/_max entries.
+  // into _count/_sum/_p50/_p90/_p99/_p999/_max entries (the full
+  // QuantileSummary, so consumers never re-derive quantiles downstream).
   std::string RenderJson() const;
+
+  // ---- Windowed snapshot / delta support ----
+  // A phase boundary snapshots the registry, the next boundary snapshots it
+  // again, and the window's isolated metrics are the per-series deltas —
+  // no cross-phase blending. Counter windows subtract values; histogram
+  // windows subtract buckets (Histogram::DeltaSince).
+
+  // Copies every histogram series (name == name_filter when non-empty).
+  std::map<Key, Histogram> SnapshotHistograms(const std::string& name_filter = "") const;
+  // Copies every counter series value (name == name_filter when non-empty).
+  std::map<Key, uint64_t> SnapshotCounters(const std::string& name_filter = "") const;
 
   // Calls `fn` for every histogram with a snapshot copy — consumers that
   // aggregate across label sets (the per-stage decomposition table) need
@@ -118,8 +133,6 @@ class MetricsRegistry {
   void Clear();
 
  private:
-  using Key = std::pair<std::string, MetricLabels>;
-
   mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;

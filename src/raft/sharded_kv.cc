@@ -772,4 +772,18 @@ bool ShardedKvSession::Delete(const std::string& key) {
   return ClientFor(key)->Delete(key);
 }
 
+std::optional<KvResult> ShardedKvSession::Execute(const KvCommand& cmd) {
+  return ClientFor(cmd.key)->Execute(cmd);
+}
+
+std::optional<KvResult> ShardedKvSession::FastRead(const std::string& key) {
+  return ClientFor(key)->FastRead(key);
+}
+
+void ShardedKvSession::SetTraceSampler(uint64_t one_in_n) {
+  for (auto& c : clients_) {
+    c->SetTraceSampler(one_in_n);
+  }
+}
+
 }  // namespace depfast

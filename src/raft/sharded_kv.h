@@ -91,6 +91,17 @@ class ShardedKvSession {
   bool Put(const std::string& key, const std::string& value);
   std::optional<std::string> Get(const std::string& key);
   bool Delete(const std::string& key);
+  // Generic command interface, routed by cmd.key (a kScan stays within the
+  // group owning its start key). nullopt when every attempt failed — the
+  // same contract as RaftClient::Execute, so workload actors drive both
+  // cluster types through one surface.
+  std::optional<KvResult> Execute(const KvCommand& cmd);
+  // ReadIndex fast read on the owning group's leader; nullopt when the fast
+  // path failed on every attempt.
+  std::optional<KvResult> FastRead(const std::string& key);
+  // 1-in-N request tracing on every per-group client (see
+  // RaftClient::SetTraceSampler). 0 = off.
+  void SetTraceSampler(uint64_t one_in_n);
 
   ReactorThread* thread() { return thread_.get(); }
   // The session's node id on the shared transport (immutable once built).

@@ -1,0 +1,199 @@
+#include "src/scenario/actor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/base/logging.h"
+#include "src/base/rand.h"
+#include "src/base/time_util.h"
+#include "src/runtime/coroutine.h"
+#include "src/runtime/event.h"
+#include "src/workload/ycsb.h"
+
+namespace depfast {
+
+namespace {
+
+// Stream tags keep an actor's random streams (keys/coins vs Poisson gaps)
+// independent even though they share one actor seed.
+constexpr uint64_t kStreamArrival = 0x41525256ULL;  // "ARRV"
+constexpr uint64_t kStreamOps = 0x4f505321ULL;      // "OPS!"
+
+}  // namespace
+
+struct ActorRuntime::ThreadState {
+  struct Cell {
+    Histogram hist;
+    uint64_t ops = 0;
+    uint64_t failures = 0;
+    uint64_t excluded = 0;
+    uint64_t behind = 0;
+  };
+
+  std::unique_ptr<ActorSession> session;
+  std::unique_ptr<ArrivalSchedule> arrivals;  // shared by this thread's workers
+  std::unique_ptr<ScrambledZipfianGenerator> zipf;
+  std::string value;
+  std::vector<Cell> cells;  // one per phase; reactor-thread-only
+  std::atomic<uint64_t> ops_done{0};
+  std::atomic<int> live{0};
+};
+
+ActorRuntime::ActorRuntime(const ActorSpec& spec, ClusterAdapter* cluster,
+                           PhaseClock* clock, uint64_t seed)
+    : spec_(spec), cluster_(cluster), clock_(clock), seed_(seed) {
+  for (int t = 0; t < spec_.clients; t++) {
+    auto ts = std::make_unique<ThreadState>();
+    ts->session =
+        cluster_->MakeSession(spec_.name + "-" + std::to_string(t + 1));
+    uint64_t thread_seed = HashMix64(seed_ + static_cast<uint64_t>(t) * 7919);
+    ts->arrivals = std::make_unique<ArrivalSchedule>(
+        spec_.arrival, spec_.rate_ops_s, HashMix64(thread_seed ^ kStreamArrival));
+    ts->zipf = std::make_unique<ScrambledZipfianGenerator>(spec_.records,
+                                                           spec_.zipf_theta);
+    ts->value.assign(spec_.value_bytes, 'x');
+    ts->cells.resize(clock_->start_us.size());
+    threads_.push_back(std::move(ts));
+  }
+}
+
+ActorRuntime::~ActorRuntime() { StopAndJoin(); }
+
+void ActorRuntime::Start(uint64_t origin_us) {
+  for (size_t t = 0; t < threads_.size(); t++) {
+    ThreadState* ts = threads_[t].get();
+    ts->arrivals->Start(origin_us);
+    ts->live.store(spec_.concurrency);
+    uint64_t thread_seed = HashMix64(seed_ + t * 7919);
+    const ActorSpec spec = spec_;
+    PhaseClock* clock = clock_;
+    std::atomic<bool>* stop = &stop_;
+    ts->session->reactor()->Post([ts, spec, clock, stop, thread_seed]() {
+      for (int j = 0; j < spec.concurrency; j++) {
+        Coroutine::Create([ts, spec, clock, stop, thread_seed, j]() {
+          Rng rng(HashMix64(thread_seed ^ kStreamOps ^
+                            (static_cast<uint64_t>(j) + 1)));
+          const size_t n_phases = clock->start_us.size();
+          const bool open = ts->arrivals->open_loop();
+          while (!stop->load(std::memory_order_relaxed)) {
+            uint64_t now = MonotonicUs();
+            uint64_t intended = ts->arrivals->NextIntendedUs(now);
+            // Sleep in bounded slices so StopAndJoin never waits out a
+            // low-rate schedule's multi-second gap.
+            while (intended > now && !stop->load(std::memory_order_relaxed)) {
+              SleepUs(std::min<uint64_t>(intended - now, 50000));
+              now = MonotonicUs();
+            }
+            if (stop->load(std::memory_order_relaxed)) {
+              break;
+            }
+            // Generate the op.
+            uint64_t record = spec.zipfian ? ts->zipf->Next(rng)
+                                           : rng.NextUint64(spec.records);
+            KvCommand cmd;
+            cmd.key = YcsbWorkload::KeyFor(record);
+            bool fast_read = false;
+            switch (spec.op) {
+              case ActorOp::kPut:
+              case ActorOp::kLargePut:
+                cmd.op = KvOp::kPut;
+                cmd.value = ts->value;
+                break;
+              case ActorOp::kGet:
+                cmd.op = KvOp::kGet;
+                break;
+              case ActorOp::kReadIndex:
+                fast_read = true;
+                break;
+              case ActorOp::kMix:
+                if (rng.NextBool(spec.write_fraction)) {
+                  cmd.op = KvOp::kPut;
+                  cmd.value = ts->value;
+                } else {
+                  fast_read = true;
+                }
+                break;
+              case ActorOp::kScan:
+                cmd.op = KvOp::kScan;
+                cmd.scan_limit = spec.scan_len;
+                break;
+            }
+            uint64_t t0 = MonotonicUs();
+            std::optional<KvResult> result =
+                fast_read ? ts->session->FastRead(cmd.key)
+                          : ts->session->Execute(cmd);
+            uint64_t t1 = MonotonicUs();
+            // Open loop measures from the intended start (coordinated-
+            // omission correction); closed loop from the actual start.
+            uint64_t from = open ? intended : t0;
+            int p = clock->idx.load(std::memory_order_acquire);
+            if (p >= 0 && static_cast<size_t>(p) < n_phases) {
+              ThreadState::Cell& cell = ts->cells[static_cast<size_t>(p)];
+              if (from < clock->start_us[static_cast<size_t>(p)] +
+                             clock->warmup_us[static_cast<size_t>(p)]) {
+                cell.excluded++;
+              } else {
+                cell.ops++;
+                if (result.has_value()) {
+                  cell.hist.Record(t1 - from);
+                } else {
+                  cell.failures++;
+                }
+                // Scheduling slop of a few hundred us is normal; `behind`
+                // flags real backlog — an arrival fired >= 1ms late.
+                if (open && intended + 1000 < t0) {
+                  cell.behind++;
+                }
+              }
+            }
+            ts->ops_done.fetch_add(1, std::memory_order_relaxed);
+          }
+          ts->live.fetch_sub(1);
+        });
+      }
+    });
+  }
+}
+
+void ActorRuntime::StopAndJoin() {
+  stop_.store(true);
+  for (auto& ts : threads_) {
+    while (ts->live.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+uint64_t ActorRuntime::OpsCompleted() const {
+  uint64_t n = 0;
+  for (const auto& ts : threads_) {
+    n += ts->ops_done.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+ActorPhaseWindow ActorRuntime::WindowFor(size_t phase) const {
+  ActorPhaseWindow w;
+  for (const auto& ts : threads_) {
+    DF_CHECK_LT(phase, ts->cells.size());
+    const ThreadState::Cell& cell = ts->cells[phase];
+    w.hist.Merge(cell.hist);
+    w.ops += cell.ops;
+    w.failures += cell.failures;
+    w.excluded += cell.excluded;
+    w.behind += cell.behind;
+  }
+  return w;
+}
+
+uint64_t ActorRuntime::n_retries() const {
+  uint64_t n = 0;
+  for (const auto& ts : threads_) {
+    n += ts->session->n_retries();
+  }
+  return n;
+}
+
+}  // namespace depfast

@@ -1,0 +1,84 @@
+// Actor runtime: turns one ActorSpec into client reactor threads running
+// worker coroutines against a ClusterAdapter session, under an open- or
+// closed-loop ArrivalSchedule, recording every completion into the metric
+// window of the phase active AT COMPLETION TIME.
+//
+// Threading model: each client thread's recording cells (one Histogram per
+// phase) are touched only by coroutines on that reactor thread — no locks on
+// the hot path. The orchestrator publishes phase transitions through a
+// shared PhaseClock: it fills the phase-start timestamp, then release-stores
+// the phase index; workers acquire-load the index when an op completes.
+// Cross-thread op counters (for after_ops fault triggers) are relaxed
+// atomics — triggers are deliberately approximate.
+#ifndef SRC_SCENARIO_ACTOR_H_
+#define SRC_SCENARIO_ACTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/scenario/arrival.h"
+#include "src/scenario/cluster_adapter.h"
+#include "src/scenario/scenario_spec.h"
+
+namespace depfast {
+
+// The orchestrator's phase publication. start_us[p] and warmup_us[p] are
+// written before `idx` is release-stored to p, so a worker that observes
+// phase p also observes its window bounds.
+struct PhaseClock {
+  explicit PhaseClock(size_t n_phases)
+      : start_us(n_phases, 0), warmup_us(n_phases, 0) {}
+  std::atomic<int> idx{-1};  // -1 = not started, n_phases = drained/over
+  std::vector<uint64_t> start_us;
+  std::vector<uint64_t> warmup_us;
+};
+
+// One phase's merged measurement for one actor.
+struct ActorPhaseWindow {
+  Histogram hist;          // latency from INTENDED start (CO-corrected)
+  uint64_t ops = 0;        // recorded completions (success + failure)
+  uint64_t failures = 0;   // transport-level failures (Execute -> nullopt)
+  uint64_t excluded = 0;   // completions dropped by the warmup cutoff
+  uint64_t behind = 0;     // open-loop arrivals fired later than intended
+};
+
+class ActorRuntime {
+ public:
+  // `seed` is this actor's slice of the scenario seed (already derived by
+  // the engine); per-thread and per-purpose streams derive from it again.
+  ActorRuntime(const ActorSpec& spec, ClusterAdapter* cluster, PhaseClock* clock,
+               uint64_t seed);
+  ~ActorRuntime();
+  ActorRuntime(const ActorRuntime&) = delete;
+  ActorRuntime& operator=(const ActorRuntime&) = delete;
+
+  // Spawns every worker coroutine; arrivals originate at `origin_us`.
+  void Start(uint64_t origin_us);
+  // Flags workers to stop and blocks until all coroutines exited.
+  void StopAndJoin();
+
+  // Sum of completions across threads since Start (relaxed; for after_ops
+  // triggers and progress logs).
+  uint64_t OpsCompleted() const;
+  // Merged window for phase p (call after StopAndJoin).
+  ActorPhaseWindow WindowFor(size_t phase) const;
+  uint64_t n_retries() const;
+
+  const ActorSpec& spec() const { return spec_; }
+
+ private:
+  struct ThreadState;
+
+  ActorSpec spec_;
+  ClusterAdapter* cluster_;
+  PhaseClock* clock_;
+  uint64_t seed_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_SCENARIO_ACTOR_H_

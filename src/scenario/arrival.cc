@@ -1,0 +1,76 @@
+#include "src/scenario/arrival.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace depfast {
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kClosed:
+      return "closed";
+    case ArrivalKind::kFixedRate:
+      return "fixed";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+  }
+  return "?";
+}
+
+bool ArrivalKindFromName(const std::string& name, ArrivalKind* out) {
+  if (name == "closed") {
+    *out = ArrivalKind::kClosed;
+  } else if (name == "fixed") {
+    *out = ArrivalKind::kFixedRate;
+  } else if (name == "poisson") {
+    *out = ArrivalKind::kPoisson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ArrivalSchedule::ArrivalSchedule(ArrivalKind kind, double rate_ops_s, uint64_t seed)
+    : kind_(kind), rate_ops_s_(rate_ops_s), rng_(seed) {
+  if (kind_ != ArrivalKind::kClosed) {
+    DF_CHECK_GT(rate_ops_s, 0.0);
+    interval_us_ = 1e6 / rate_ops_s;
+  }
+}
+
+void ArrivalSchedule::Start(uint64_t origin_us) {
+  origin_us_ = origin_us;
+  generated_ = 0;
+  next_gap_accum_us_ = 0;
+}
+
+uint64_t ArrivalSchedule::NextIntendedUs(uint64_t now_us) {
+  switch (kind_) {
+    case ArrivalKind::kClosed:
+      generated_++;
+      return now_us;
+    case ArrivalKind::kFixedRate: {
+      // Arrival i at origin + i * interval, computed by multiplication so a
+      // billion arrivals accumulate no floating-point drift.
+      uint64_t t = origin_us_ + static_cast<uint64_t>(
+                                    std::llround(static_cast<double>(generated_) *
+                                                 interval_us_));
+      generated_++;
+      return t;
+    }
+    case ArrivalKind::kPoisson: {
+      uint64_t t = origin_us_ + static_cast<uint64_t>(std::llround(next_gap_accum_us_));
+      // Exponential gap with mean `interval_us_`; 1 - U keeps log() finite
+      // (NextDouble is in [0, 1)).
+      double u = rng_.NextDouble();
+      next_gap_accum_us_ += -std::log(1.0 - u) * interval_us_;
+      generated_++;
+      return t;
+    }
+  }
+  DF_LOG_FATAL("unreachable arrival kind");
+  return now_us;
+}
+
+}  // namespace depfast

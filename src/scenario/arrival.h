@@ -1,0 +1,68 @@
+// Open-loop arrival schedule: the stream of INTENDED op start times for one
+// actor thread. A closed-loop driver issues the next op when the previous
+// one completes, so when the cluster turns gray the driver self-throttles
+// and the measured tail flattens — exactly the masking the paper's P99
+// story is about. An open-loop schedule fixes the offered rate instead:
+// intended starts march forward regardless of completions, and latency is
+// measured from the intended start (coordinated-omission correction, as in
+// wrk2/Genny), so queueing delay under a fail-slow node shows up in full.
+//
+// Worker coroutines pull timestamps with NextIntendedUs(now): if the
+// returned time is in the future they sleep until it; if they are behind
+// (all workers busy — the bounded-concurrency approximation of a true open
+// loop) they fire immediately but still measure from the intended start, so
+// the backlog is charged to the ops that waited.
+#ifndef SRC_SCENARIO_ARRIVAL_H_
+#define SRC_SCENARIO_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/rand.h"
+
+namespace depfast {
+
+enum class ArrivalKind : uint8_t {
+  kClosed = 0,     // issue on completion; intended start == actual start
+  kFixedRate = 1,  // deterministic arrivals every 1/rate seconds
+  kPoisson = 2,    // exponential inter-arrival times at the given mean rate
+};
+
+const char* ArrivalKindName(ArrivalKind kind);
+bool ArrivalKindFromName(const std::string& name, ArrivalKind* out);
+
+class ArrivalSchedule {
+ public:
+  // rate_ops_s is ignored for kClosed. The seed feeds the Poisson stream
+  // only; fixed-rate is deterministic by construction.
+  ArrivalSchedule(ArrivalKind kind, double rate_ops_s, uint64_t seed);
+
+  // (Re)starts the schedule: the first arrival is at `origin_us`.
+  void Start(uint64_t origin_us);
+
+  // The next intended start in absolute microseconds. Open-loop kinds NEVER
+  // consult `now_us` — a stalled executor does not push intended times back,
+  // which is the whole correction. kClosed simply returns now_us.
+  uint64_t NextIntendedUs(uint64_t now_us);
+
+  // Arrivals handed out since Start().
+  uint64_t generated() const { return generated_; }
+  ArrivalKind kind() const { return kind_; }
+  bool open_loop() const { return kind_ != ArrivalKind::kClosed; }
+  double rate_ops_s() const { return rate_ops_s_; }
+
+ private:
+  ArrivalKind kind_;
+  double rate_ops_s_;
+  double interval_us_ = 0;  // mean inter-arrival gap
+  uint64_t origin_us_ = 0;
+  // Fixed-rate keeps the arrival index and multiplies (no drift from
+  // repeated addition); Poisson accumulates exponential gaps in a double.
+  uint64_t generated_ = 0;
+  double next_gap_accum_us_ = 0;
+  Rng rng_;
+};
+
+}  // namespace depfast
+
+#endif  // SRC_SCENARIO_ARRIVAL_H_

@@ -1,0 +1,294 @@
+#include "src/scenario/cluster_adapter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/time_util.h"
+#include "src/raft/raft_cluster.h"
+#include "src/raft/sharded_kv.h"
+
+namespace depfast {
+
+namespace {
+
+// The scaled-down paper testbed (see bench/bench_common.h): per-op costs
+// put the leader at ~70-80% CPU around 5-6K op/s under the closed pool, so
+// open-loop rates in the low thousands have real headroom to queue against
+// when a node turns gray.
+RaftConfig ScenarioRaftConfig(const ScenarioClusterSpec& spec) {
+  RaftConfig cfg;
+  cfg.heartbeat_us = 30000;
+  cfg.rpc_timeout_us = 150000;
+  cfg.quorum_wait_us = 400000;
+  cfg.client_op_timeout_us = spec.client_op_timeout_us;
+  cfg.max_batch = 64;
+  cfg.send_queue_cap_bytes = 256 * 1024;
+  cfg.leader_cmd_cost_us = 30;
+  cfg.leader_propose_cost_us = 90;
+  cfg.follower_append_cost_us = 30;
+  cfg.apply_cost_us = 20;
+  cfg.heartbeat_cost_us = 5;
+  cfg.max_in_flight_rounds = 16;
+  cfg.batch_window_us = spec.batch_window_us;
+  if (spec.batch_window_us > 0) {
+    cfg.batch_max_ops = 64;
+  }
+  return cfg;
+}
+
+LinkParams ScenarioLink() {
+  LinkParams link;
+  link.base_delay_us = 150;
+  link.bytes_per_us = 100;
+  link.jitter_p = 0.001;
+  link.jitter_us = 2000;
+  return link;
+}
+
+SimDiskParams ScenarioDisk() {
+  SimDiskParams disk;
+  disk.base_latency_us = 150;
+  disk.bytes_per_us = 200;
+  return disk;
+}
+
+JsonValue VerdictsSummary(const std::vector<SlownessVerdict>& verdicts) {
+  JsonValue arr = JsonValue::Array();
+  for (const SlownessVerdict& v : verdicts) {
+    JsonValue o = JsonValue::Object();
+    o.Add("node", JsonValue::Str(v.node));
+    o.Add("resource", JsonValue::Str(v.resource));
+    o.Add("severity", JsonValue::Number(v.severity));
+    arr.Push(std::move(o));
+  }
+  return arr;
+}
+
+class RaftActorSession : public ActorSession {
+ public:
+  explicit RaftActorSession(std::unique_ptr<RaftClientHandle> handle)
+      : handle_(std::move(handle)) {}
+
+  Reactor* reactor() override { return handle_->thread->reactor(); }
+  std::optional<KvResult> Execute(const KvCommand& cmd) override {
+    return handle_->session->Execute(cmd);
+  }
+  std::optional<KvResult> FastRead(const std::string& key) override {
+    return handle_->session->FastRead(key);
+  }
+  uint64_t n_retries() const override { return handle_->session->n_retries(); }
+
+ private:
+  std::unique_ptr<RaftClientHandle> handle_;
+};
+
+class RaftAdapter : public ClusterAdapter {
+ public:
+  explicit RaftAdapter(const ScenarioClusterSpec& spec) : spec_(spec) {
+    RaftClusterOptions opts;
+    opts.n_nodes = spec.nodes;
+    opts.raft = ScenarioRaftConfig(spec);
+    opts.link = ScenarioLink();
+    opts.disk = ScenarioDisk();
+    opts.transport_kind =
+        spec.transport == "tcp" ? ClusterTransport::kTcp : ClusterTransport::kSim;
+    opts.pin_leader = spec.pin_leader;
+    opts.enable_monitor = spec.monitor;
+    opts.enable_mitigation = spec.mitigation;
+    opts.monitor.window_us = spec.monitor_window_us;
+    opts.monitor_poll_us = std::max<uint64_t>(spec.monitor_window_us / 3, 20000);
+    cluster_ = std::make_unique<RaftCluster>(opts);
+  }
+
+  int n_nodes() const override { return cluster_->n_nodes(); }
+  const char* type_name() const override { return "raft"; }
+
+  bool WaitReady(uint64_t timeout_us) override {
+    return cluster_->WaitForLeader(timeout_us);
+  }
+
+  std::unique_ptr<ActorSession> MakeSession(const std::string& name) override {
+    auto handle = cluster_->MakeClient(name, spec_.client_op_timeout_us);
+    if (spec_.trace_sample > 0) {
+      handle->session->SetTraceSampler(spec_.trace_sample);
+    }
+    return std::make_unique<RaftActorSession>(std::move(handle));
+  }
+
+  void InjectFault(int node, FaultType type) override {
+    cluster_->InjectFault(node, type);
+  }
+  void ClearFault(int node) override { cluster_->ClearFault(node); }
+
+  int LeaderNode() override { return cluster_->LeaderIndex(); }
+  int FollowerNode() override {
+    std::vector<int> followers = cluster_->FollowerIndices();
+    return followers.empty() ? -1 : followers.front();
+  }
+
+  JsonValue ControlSummary() override {
+    JsonValue o = JsonValue::Object();
+    if (spec_.monitor) {
+      std::vector<SlownessVerdict> verdicts = cluster_->Verdicts();
+      o.Add("n_verdicts", JsonValue::Int(static_cast<int64_t>(verdicts.size())));
+      o.Add("verdicts", VerdictsSummary(verdicts));
+    }
+    if (spec_.mitigation) {
+      JsonValue states = JsonValue::Array();
+      for (int i = 0; i < cluster_->n_nodes(); i++) {
+        states.Push(JsonValue::Str(MitigationStateName(cluster_->MitigationStateOf(i))));
+      }
+      o.Add("mitigation_states", std::move(states));
+    }
+    o.Add("leader_node", JsonValue::Int(cluster_->LeaderIndex()));
+    return o;
+  }
+
+  void ExportMetrics(MetricsRegistry* reg) override { cluster_->ExportMetrics(reg); }
+
+ private:
+  ScenarioClusterSpec spec_;
+  std::unique_ptr<RaftCluster> cluster_;
+};
+
+class ShardedActorSession : public ActorSession {
+ public:
+  explicit ShardedActorSession(std::unique_ptr<ShardedKvSession> session)
+      : session_(std::move(session)) {}
+
+  Reactor* reactor() override { return session_->thread()->reactor(); }
+  std::optional<KvResult> Execute(const KvCommand& cmd) override {
+    return session_->Execute(cmd);
+  }
+  std::optional<KvResult> FastRead(const std::string& key) override {
+    return session_->FastRead(key);
+  }
+  uint64_t n_retries() const override { return session_->n_retries(); }
+
+ private:
+  std::unique_ptr<ShardedKvSession> session_;
+};
+
+class ShardedAdapter : public ClusterAdapter {
+ public:
+  explicit ShardedAdapter(const ScenarioClusterSpec& spec) : spec_(spec) {
+    MultiRaftOptions opts;
+    opts.n_nodes = spec.nodes;
+    opts.raft = ScenarioRaftConfig(spec);
+    opts.link = ScenarioLink();
+    opts.disk = ScenarioDisk();
+    opts.transport_kind =
+        spec.transport == "tcp" ? ClusterTransport::kTcp : ClusterTransport::kSim;
+    opts.pin_leaders = spec.pin_leader;
+    opts.enable_monitor = spec.monitor;
+    opts.enable_mitigation = spec.mitigation;
+    opts.monitor.window_us = spec.monitor_window_us;
+    opts.monitor_poll_us = std::max<uint64_t>(spec.monitor_window_us / 3, 20000);
+    cluster_ = std::make_unique<ShardedKvCluster>(spec.groups, opts);
+  }
+
+  int n_nodes() const override { return cluster_->n_nodes(); }
+  const char* type_name() const override { return "sharded"; }
+
+  bool WaitReady(uint64_t timeout_us) override {
+    // Pinned leaders boot in place; otherwise poll until every group leads.
+    uint64_t deadline = MonotonicUs() + timeout_us;
+    while (MonotonicUs() < deadline) {
+      bool all = true;
+      for (int g = 0; g < cluster_->n_groups(); g++) {
+        all = all && cluster_->GroupLeaderIndex(g) >= 0;
+      }
+      if (all) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  std::unique_ptr<ActorSession> MakeSession(const std::string& name) override {
+    std::unique_ptr<ShardedKvSession> session = cluster_->MakeSession(name);
+    DF_CHECK_NOTNULL(session.get());
+    if (spec_.trace_sample > 0) {
+      session->SetTraceSampler(spec_.trace_sample);
+    }
+    return std::make_unique<ShardedActorSession>(std::move(session));
+  }
+
+  void InjectFault(int node, FaultType type) override {
+    cluster_->InjectFault(node, type);
+  }
+  void ClearFault(int node) override { cluster_->ClearFault(node); }
+
+  // "Leader" = the node leading the most groups (biggest blast radius);
+  // "follower" = the node leading the fewest.
+  int LeaderNode() override {
+    int best = 0;
+    int best_n = -1;
+    for (int i = 0; i < cluster_->n_nodes(); i++) {
+      int n = cluster_->LeadersOnNode(i);
+      if (n > best_n) {
+        best = i;
+        best_n = n;
+      }
+    }
+    return best;
+  }
+  int FollowerNode() override {
+    int best = 0;
+    int best_n = cluster_->n_groups() + 1;
+    for (int i = 0; i < cluster_->n_nodes(); i++) {
+      int n = cluster_->LeadersOnNode(i);
+      if (n < best_n) {
+        best = i;
+        best_n = n;
+      }
+    }
+    return best;
+  }
+
+  JsonValue ControlSummary() override {
+    JsonValue o = JsonValue::Object();
+    if (spec_.monitor) {
+      std::vector<SlownessVerdict> verdicts = cluster_->Verdicts();
+      o.Add("n_verdicts", JsonValue::Int(static_cast<int64_t>(verdicts.size())));
+      o.Add("verdicts", VerdictsSummary(verdicts));
+    }
+    if (spec_.mitigation) {
+      JsonValue states = JsonValue::Array();
+      for (int i = 0; i < cluster_->n_nodes(); i++) {
+        states.Push(JsonValue::Str(MitigationStateName(cluster_->MitigationStateOf(i))));
+      }
+      o.Add("mitigation_states", std::move(states));
+      o.Add("evacuations", JsonValue::Int(static_cast<int64_t>(cluster_->evacuations())));
+    }
+    JsonValue leaders = JsonValue::Array();
+    for (int i = 0; i < cluster_->n_nodes(); i++) {
+      leaders.Push(JsonValue::Int(cluster_->LeadersOnNode(i)));
+    }
+    o.Add("leaders_per_node", std::move(leaders));
+    return o;
+  }
+
+  void ExportMetrics(MetricsRegistry* reg) override { cluster_->ExportMetrics(reg); }
+
+ private:
+  ScenarioClusterSpec spec_;
+  std::unique_ptr<ShardedKvCluster> cluster_;
+};
+
+}  // namespace
+
+std::unique_ptr<ClusterAdapter> BuildClusterAdapter(const ScenarioClusterSpec& spec) {
+  if (spec.type == "sharded") {
+    return std::make_unique<ShardedAdapter>(spec);
+  }
+  DF_CHECK(spec.type == "raft");
+  return std::make_unique<RaftAdapter>(spec);
+}
+
+}  // namespace depfast

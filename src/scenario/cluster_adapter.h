@@ -1,0 +1,80 @@
+// Uniform driving surface over the two deployments a scenario can target:
+// a single-group RaftCluster or the Multi-Raft ShardedKvCluster. Actors see
+// one ActorSession interface (Execute / FastRead in coroutines on the
+// session's reactor); the orchestrator sees one ClusterAdapter interface for
+// fault injection, role resolution (which node is "the leader" right now)
+// and end-of-run control-plane summaries (verdicts, mitigation states,
+// evacuations) — so a scenario spec can flip `cluster.type` between "raft"
+// and "sharded" without touching anything else.
+#ifndef SRC_SCENARIO_CLUSTER_ADAPTER_H_
+#define SRC_SCENARIO_CLUSTER_ADAPTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/base/json.h"
+#include "src/base/metrics.h"
+#include "src/faults/fault_types.h"
+#include "src/runtime/reactor.h"
+#include "src/scenario/scenario_spec.h"
+#include "src/storage/kvstore.h"
+
+namespace depfast {
+
+// One client thread's connection to the cluster. Execute/FastRead must be
+// called from coroutines on reactor()'s thread (the RaftClient contract).
+class ActorSession {
+ public:
+  virtual ~ActorSession() = default;
+  virtual Reactor* reactor() = 0;
+  virtual std::optional<KvResult> Execute(const KvCommand& cmd) = 0;
+  virtual std::optional<KvResult> FastRead(const std::string& key) = 0;
+  // Leader-search / timeout retries this session has burned so far.
+  virtual uint64_t n_retries() const = 0;
+};
+
+class ClusterAdapter {
+ public:
+  virtual ~ClusterAdapter() = default;
+
+  virtual int n_nodes() const = 0;
+  virtual const char* type_name() const = 0;
+
+  // Blocks until the deployment can serve ops (raft: a leader elected).
+  virtual bool WaitReady(uint64_t timeout_us) = 0;
+
+  // A new client session on its own reactor thread.
+  virtual std::unique_ptr<ActorSession> MakeSession(const std::string& name) = 0;
+
+  // Table 1 fault levers against physical node i.
+  virtual void InjectFault(int node, FaultType type) = 0;
+  virtual void ClearFault(int node) = 0;
+  void ClearAllFaults() {
+    for (int i = 0; i < n_nodes(); i++) {
+      ClearFault(i);
+    }
+  }
+
+  // Role resolution at fault-fire time. For the sharded cluster "leader"
+  // means the node leading the most groups (the highest-blast-radius
+  // target) and "follower" the node leading the fewest.
+  virtual int LeaderNode() = 0;
+  virtual int FollowerNode() = 0;
+
+  // Control-plane outcome for the report: monitor verdicts, mitigation
+  // states, evacuation counts — whatever the deployment exposes.
+  virtual JsonValue ControlSummary() = 0;
+
+  // Publishes cluster counters into `reg` (the engine snapshots around it).
+  virtual void ExportMetrics(MetricsRegistry* reg) = 0;
+};
+
+// Builds the deployment `spec` describes (paper-testbed cost model, spec'd
+// transport/monitor/mitigation knobs). Aborts on specs ParseScenario would
+// have rejected.
+std::unique_ptr<ClusterAdapter> BuildClusterAdapter(const ScenarioClusterSpec& spec);
+
+}  // namespace depfast
+
+#endif  // SRC_SCENARIO_CLUSTER_ADAPTER_H_

@@ -1,0 +1,380 @@
+#include "src/scenario/scenario_engine.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/base/rand.h"
+#include "src/base/time_util.h"
+#include "src/obs/span_store.h"
+#include "src/scenario/cluster_adapter.h"
+
+namespace depfast {
+
+namespace {
+
+// Resolves a fault binding's target node at fire time.
+int ResolveFaultNode(ClusterAdapter* cluster, const FaultBindingSpec& f) {
+  if (f.node >= 0) {
+    return f.node;
+  }
+  return f.role == "follower" ? cluster->FollowerNode() : cluster->LeaderNode();
+}
+
+std::string FaultFiredLabel(const FaultBindingSpec& f, int node) {
+  std::string s = std::string(FaultSpecName(f.type)) + "@node" + std::to_string(node);
+  if (f.node < 0) {
+    s += "(" + f.role + ")";
+  }
+  if (f.after_ops > 0) {
+    s += "+" + std::to_string(f.after_ops) + "ops";
+  }
+  return s;
+}
+
+ActorWindowReport MakeWindowReport(std::string actor, ActorPhaseWindow window,
+                                   uint64_t effective_us) {
+  ActorWindowReport r;
+  r.actor = std::move(actor);
+  r.quantiles = window.hist.Quantiles();
+  r.throughput_ops = effective_us > 0 ? static_cast<double>(window.ops) * 1e6 /
+                                            static_cast<double>(effective_us)
+                                      : 0;
+  r.failure_frac = window.ops > 0 ? static_cast<double>(window.failures) /
+                                        static_cast<double>(window.ops)
+                                  : 0;
+  r.window = std::move(window);
+  return r;
+}
+
+JsonValue WindowJson(const ActorWindowReport& w) {
+  JsonValue o = JsonValue::Object();
+  o.Add("actor", JsonValue::Str(w.actor));
+  o.Add("n_ops", JsonValue::Int(static_cast<int64_t>(w.window.ops)));
+  o.Add("failures", JsonValue::Int(static_cast<int64_t>(w.window.failures)));
+  o.Add("excluded", JsonValue::Int(static_cast<int64_t>(w.window.excluded)));
+  o.Add("behind", JsonValue::Int(static_cast<int64_t>(w.window.behind)));
+  o.Add("throughput_ops", JsonValue::Number(w.throughput_ops));
+  o.Add("failure_frac", JsonValue::Number(w.failure_frac));
+  o.Add("mean_us", JsonValue::Number(w.quantiles.mean_us));
+  o.Add("p50_us", JsonValue::Int(static_cast<int64_t>(w.quantiles.p50_us)));
+  o.Add("p90_us", JsonValue::Int(static_cast<int64_t>(w.quantiles.p90_us)));
+  o.Add("p99_us", JsonValue::Int(static_cast<int64_t>(w.quantiles.p99_us)));
+  o.Add("p999_us", JsonValue::Int(static_cast<int64_t>(w.quantiles.p999_us)));
+  o.Add("max_us", JsonValue::Int(static_cast<int64_t>(w.quantiles.max_us)));
+  return o;
+}
+
+std::string StageKeyString(const MetricsRegistry::Key& key) {
+  std::string s = key.first + "{";
+  bool first = true;
+  for (const auto& [k, v] : key.second) {
+    if (!first) {
+      s += ",";
+    }
+    first = false;
+    s += k + "=" + v;
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace
+
+const PhaseReport* ScenarioReport::Phase(const std::string& phase_name) const {
+  for (const PhaseReport& p : phases) {
+    if (p.name == phase_name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+const ActorWindowReport* ScenarioReport::Window(const PhaseReport& phase,
+                                                const std::string& actor) const {
+  const std::string& want = actor.empty() ? "all" : actor;
+  for (const ActorWindowReport& w : phase.actors) {
+    if (w.actor == want) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+double WindowMetric(const ActorWindowReport& w, const std::string& metric) {
+  if (metric == "p50_us") {
+    return static_cast<double>(w.quantiles.p50_us);
+  }
+  if (metric == "p90_us") {
+    return static_cast<double>(w.quantiles.p90_us);
+  }
+  if (metric == "p99_us") {
+    return static_cast<double>(w.quantiles.p99_us);
+  }
+  if (metric == "p999_us") {
+    return static_cast<double>(w.quantiles.p999_us);
+  }
+  if (metric == "max_us") {
+    return static_cast<double>(w.quantiles.max_us);
+  }
+  if (metric == "mean_us") {
+    return w.quantiles.mean_us;
+  }
+  if (metric == "throughput_ops") {
+    return w.throughput_ops;
+  }
+  if (metric == "failure_frac") {
+    return w.failure_frac;
+  }
+  DF_LOG_FATAL("unknown window metric %s", metric.c_str());
+  return 0;
+}
+
+JsonValue ScenarioReport::ToJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Add("scenario", JsonValue::Str(name));
+  o.Add("seed", JsonValue::Int(static_cast<int64_t>(seed)));
+  o.Add("cluster", JsonValue::Str(cluster_type));
+  o.Add("ok", JsonValue::Bool(ok));
+  o.Add("n_retries", JsonValue::Int(static_cast<int64_t>(n_retries)));
+  JsonValue phases_json = JsonValue::Array();
+  for (const PhaseReport& p : phases) {
+    JsonValue pj = JsonValue::Object();
+    pj.Add("name", JsonValue::Str(p.name));
+    pj.Add("duration_us", JsonValue::Int(static_cast<int64_t>(p.duration_us)));
+    pj.Add("effective_us", JsonValue::Int(static_cast<int64_t>(p.effective_us)));
+    JsonValue windows = JsonValue::Array();
+    for (const ActorWindowReport& w : p.actors) {
+      windows.Push(WindowJson(w));
+    }
+    pj.Add("windows", std::move(windows));
+    if (!p.faults_fired.empty()) {
+      JsonValue faults = JsonValue::Array();
+      for (const std::string& f : p.faults_fired) {
+        faults.Push(JsonValue::Str(f));
+      }
+      pj.Add("faults", std::move(faults));
+    }
+    if (!p.asserts.empty()) {
+      JsonValue asserts = JsonValue::Array();
+      for (const AssertionResult& a : p.asserts) {
+        JsonValue aj = JsonValue::Object();
+        aj.Add("actor", JsonValue::Str(a.spec.actor.empty() ? "all" : a.spec.actor));
+        aj.Add("metric", JsonValue::Str(a.spec.metric));
+        aj.Add("measured", JsonValue::Number(a.measured));
+        aj.Add("passed", JsonValue::Bool(a.passed));
+        aj.Add("detail", JsonValue::Str(a.detail));
+        asserts.Push(std::move(aj));
+      }
+      pj.Add("asserts", std::move(asserts));
+    }
+    if (!p.stage_windows.empty()) {
+      JsonValue stages = JsonValue::Object();
+      for (const auto& [key, hist] : p.stage_windows) {
+        QuantileSummary q = hist.Quantiles();
+        JsonValue sj = JsonValue::Object();
+        sj.Add("count", JsonValue::Int(static_cast<int64_t>(q.count)));
+        sj.Add("p50_us", JsonValue::Int(static_cast<int64_t>(q.p50_us)));
+        sj.Add("p99_us", JsonValue::Int(static_cast<int64_t>(q.p99_us)));
+        stages.Add(StageKeyString(key), std::move(sj));
+      }
+      pj.Add("stages", std::move(stages));
+    }
+    phases_json.Push(std::move(pj));
+  }
+  o.Add("phases", std::move(phases_json));
+  o.Add("control", control);
+  return o;
+}
+
+ScenarioReport RunScenario(const ScenarioSpec& spec) {
+  const size_t n_phases = spec.phases.size();
+  DF_CHECK_GT(n_phases, 0u);
+  DF_LOG_INFO("scenario %s: building %s cluster (%d nodes, seed %llu)",
+              spec.name.c_str(), spec.cluster.type.c_str(), spec.cluster.nodes,
+              static_cast<unsigned long long>(spec.seed));
+  std::unique_ptr<ClusterAdapter> cluster = BuildClusterAdapter(spec.cluster);
+  DF_CHECK(cluster->WaitReady(10000000));
+
+  const bool tracing = spec.cluster.trace_sample > 0;
+  if (tracing) {
+    SpanStore::Instance().Clear();  // fresh op_stage_us windows for this run
+  }
+
+  PhaseClock clock(n_phases);
+  std::vector<std::unique_ptr<ActorRuntime>> actors;
+  for (size_t i = 0; i < spec.actors.size(); i++) {
+    // Satellite: every random stream in the run derives from the one
+    // scenario seed — actor index splits it here, thread/worker/purpose
+    // split it further inside ActorRuntime.
+    uint64_t actor_seed = HashMix64(spec.seed ^ HashMix64(i + 0x5ce4a115ULL));
+    actors.push_back(std::make_unique<ActorRuntime>(spec.actors[i], cluster.get(),
+                                                    &clock, actor_seed));
+  }
+
+  auto total_ops = [&actors]() {
+    uint64_t n = 0;
+    for (const auto& a : actors) {
+      n += a->OpsCompleted();
+    }
+    return n;
+  };
+
+  uint64_t origin = MonotonicUs() + 20000;
+  for (auto& a : actors) {
+    a->Start(origin);
+  }
+
+  ScenarioReport report;
+  report.name = spec.name;
+  report.seed = spec.seed;
+  report.cluster_type = cluster->type_name();
+  report.phases.resize(n_phases);
+
+  for (size_t p = 0; p < n_phases; p++) {
+    const PhaseSpec& ph = spec.phases[p];
+    PhaseReport& pr = report.phases[p];
+    pr.name = ph.name;
+    pr.duration_us = ph.duration_us;
+    pr.effective_us = ph.duration_us - ph.warmup_us;
+
+    if (ph.clear_faults) {
+      cluster->ClearAllFaults();
+    }
+    uint64_t start = MonotonicUs();
+    pr.start_us = start;
+    clock.start_us[p] = start;
+    clock.warmup_us[p] = ph.warmup_us;
+    clock.idx.store(static_cast<int>(p), std::memory_order_release);
+
+    std::map<MetricsRegistry::Key, Histogram> stage_base;
+    if (tracing) {
+      stage_base = MetricsRegistry::Global().SnapshotHistograms("op_stage_us");
+    }
+
+    uint64_t ops_at_start = total_ops();
+    std::vector<FaultBindingSpec> pending = ph.faults;
+    auto fire_due = [&](uint64_t phase_ops) {
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (phase_ops >= it->after_ops) {
+          int node = ResolveFaultNode(cluster.get(), *it);
+          if (node >= 0 && node < cluster->n_nodes()) {
+            cluster->InjectFault(node, it->type);
+            pr.faults_fired.push_back(FaultFiredLabel(*it, node));
+            DF_LOG_INFO("scenario %s: phase %s fires %s", spec.name.c_str(),
+                        ph.name.c_str(), pr.faults_fired.back().c_str());
+          } else {
+            DF_LOG_WARN("scenario %s: phase %s could not resolve fault target",
+                        spec.name.c_str(), ph.name.c_str());
+          }
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    fire_due(0);
+
+    uint64_t end = start + ph.duration_us;
+    while (MonotonicUs() < end) {
+      if (!pending.empty()) {
+        fire_due(total_ops() - ops_at_start);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(pending.empty() ? 5 : 2));
+    }
+
+    if (tracing) {
+      std::map<MetricsRegistry::Key, Histogram> now =
+          MetricsRegistry::Global().SnapshotHistograms("op_stage_us");
+      for (const auto& [key, hist] : now) {
+        auto it = stage_base.find(key);
+        Histogram delta =
+            it == stage_base.end() ? hist : hist.DeltaSince(it->second);
+        if (delta.count() > 0) {
+          pr.stage_windows.emplace(key, std::move(delta));
+        }
+      }
+    }
+  }
+
+  // Park the clock past the last phase so drain-time completions land
+  // nowhere, then stop the load.
+  clock.idx.store(static_cast<int>(n_phases), std::memory_order_release);
+  for (auto& a : actors) {
+    a->StopAndJoin();
+  }
+
+  for (size_t p = 0; p < n_phases; p++) {
+    PhaseReport& pr = report.phases[p];
+    ActorPhaseWindow merged;
+    for (const auto& a : actors) {
+      ActorPhaseWindow w = a->WindowFor(p);
+      merged.hist.Merge(w.hist);
+      merged.ops += w.ops;
+      merged.failures += w.failures;
+      merged.excluded += w.excluded;
+      merged.behind += w.behind;
+      pr.actors.push_back(
+          MakeWindowReport(a->spec().name, std::move(w), pr.effective_us));
+    }
+    pr.actors.push_back(MakeWindowReport("all", std::move(merged), pr.effective_us));
+  }
+
+  // Assertions, now that every window exists (ratio assertions may point at
+  // any phase).
+  report.ok = true;
+  for (size_t p = 0; p < n_phases; p++) {
+    PhaseReport& pr = report.phases[p];
+    for (const AssertionSpec& spec_a : spec.phases[p].asserts) {
+      AssertionResult res;
+      res.spec = spec_a;
+      const ActorWindowReport* w = report.Window(pr, spec_a.actor);
+      DF_CHECK_NOTNULL(w);  // parser verified the actor name
+      res.measured = WindowMetric(*w, spec_a.metric);
+      res.passed = true;
+      std::string label = pr.name + "/" + w->actor + " " + spec_a.metric + " = " +
+                          JsonNumberToString(res.measured);
+      if (spec_a.max.has_value()) {
+        res.passed = res.passed && res.measured <= *spec_a.max;
+        label += " <= " + JsonNumberToString(*spec_a.max);
+      }
+      if (spec_a.min.has_value()) {
+        res.passed = res.passed && res.measured >= *spec_a.min;
+        label += " >= " + JsonNumberToString(*spec_a.min);
+      }
+      if (spec_a.max_ratio.has_value() || spec_a.min_ratio.has_value()) {
+        const PhaseReport* base_phase = report.Phase(spec_a.of_phase);
+        DF_CHECK_NOTNULL(base_phase);
+        const ActorWindowReport* base = report.Window(*base_phase, spec_a.actor);
+        DF_CHECK_NOTNULL(base);
+        double baseline = WindowMetric(*base, spec_a.metric);
+        if (spec_a.max_ratio.has_value()) {
+          res.passed = res.passed && res.measured <= baseline * (*spec_a.max_ratio);
+          label += " <= " + JsonNumberToString(*spec_a.max_ratio) + "x " +
+                   spec_a.of_phase + " (" + JsonNumberToString(baseline) + ")";
+        }
+        if (spec_a.min_ratio.has_value()) {
+          res.passed = res.passed && res.measured >= baseline * (*spec_a.min_ratio);
+          label += " >= " + JsonNumberToString(*spec_a.min_ratio) + "x " +
+                   spec_a.of_phase + " (" + JsonNumberToString(baseline) + ")";
+        }
+      }
+      res.detail = label;
+      report.ok = report.ok && res.passed;
+      DF_LOG_INFO("scenario %s: assert [%s] %s", spec.name.c_str(),
+                  res.passed ? "PASS" : "FAIL", res.detail.c_str());
+      pr.asserts.push_back(std::move(res));
+    }
+  }
+
+  for (const auto& a : actors) {
+    report.n_retries += a->n_retries();
+  }
+  report.control = cluster->ControlSummary();
+  actors.clear();  // sessions down before the cluster
+  return report;
+}
+
+}  // namespace depfast

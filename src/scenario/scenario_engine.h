@@ -1,0 +1,82 @@
+// The scenario orchestrator: builds the cluster a spec describes, starts
+// every actor's load, then walks the phase list — publishing each phase
+// through the PhaseClock, firing its fault bindings (at phase start or on
+// op-count triggers), snapshotting metric windows at the boundaries — and
+// finally evaluates the declared assertions against the measured windows.
+// One RunScenario call is one matrix cell; the report serializes to the
+// BENCH_scenarios.json cell schema.
+#ifndef SRC_SCENARIO_SCENARIO_ENGINE_H_
+#define SRC_SCENARIO_SCENARIO_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/json.h"
+#include "src/base/metrics.h"
+#include "src/scenario/actor.h"
+#include "src/scenario/scenario_spec.h"
+
+namespace depfast {
+
+// One evaluated assertion: what was declared, what was measured, and the
+// resolved bound (for ratio assertions, baseline * max_ratio).
+struct AssertionResult {
+  AssertionSpec spec;
+  double measured = 0;
+  std::string detail;  // "recover/all p99_us = 1234 <= 5.0x load (2000)"
+  bool passed = false;
+};
+
+// One actor's measured window within one phase, with derived metrics.
+struct ActorWindowReport {
+  std::string actor;  // "all" for the merged row
+  ActorPhaseWindow window;
+  QuantileSummary quantiles;
+  double throughput_ops = 0;  // recorded completions / effective window
+  double failure_frac = 0;
+};
+
+struct PhaseReport {
+  std::string name;
+  uint64_t start_us = 0;      // absolute monotonic
+  uint64_t duration_us = 0;   // actual
+  uint64_t effective_us = 0;  // duration - warmup (the measured window)
+  std::vector<ActorWindowReport> actors;  // per actor, then merged "all" last
+  std::vector<std::string> faults_fired;  // "disk_slow@node1(leader)"
+  std::vector<AssertionResult> asserts;
+  // Per-phase server-stage latency windows (op_stage_us deltas), present
+  // when the spec arms tracing.
+  std::map<MetricsRegistry::Key, Histogram> stage_windows;
+};
+
+struct ScenarioReport {
+  std::string name;
+  uint64_t seed = 0;
+  std::string cluster_type;
+  std::vector<PhaseReport> phases;
+  JsonValue control = JsonValue::Object();  // adapter control-plane summary
+  uint64_t n_retries = 0;
+  bool ok = false;  // every assertion passed (vacuously true with none)
+
+  const PhaseReport* Phase(const std::string& name) const;
+  const ActorWindowReport* Window(const PhaseReport& phase,
+                                  const std::string& actor) const;
+
+  // The committed cell schema (see DESIGN.md "BENCH file schemas").
+  JsonValue ToJson() const;
+};
+
+// Runs the scenario start to finish. Aborts (DF_CHECK) only on harness-level
+// failures (cluster failed to come up); assertion failures are reported, not
+// fatal — the runner decides whether they fail the process.
+ScenarioReport RunScenario(const ScenarioSpec& spec);
+
+// The value of `metric` ("p99_us", "throughput_ops", ...) in one window.
+double WindowMetric(const ActorWindowReport& w, const std::string& metric);
+
+}  // namespace depfast
+
+#endif  // SRC_SCENARIO_SCENARIO_ENGINE_H_

@@ -1,0 +1,435 @@
+#include "src/scenario/scenario_spec.h"
+
+#include <set>
+
+#include "src/base/json.h"
+#include "src/base/logging.h"
+
+namespace depfast {
+
+namespace {
+
+// Validation context: accumulates the first error with a JSON-path-ish
+// location ("actors[1].rate_ops_s: must be > 0").
+struct Ctx {
+  std::string* err;
+  bool ok = true;
+
+  void Fail(const std::string& where, const std::string& what) {
+    if (ok && err != nullptr) {
+      *err = "scenario spec: " + where + ": " + what;
+    }
+    ok = false;
+  }
+};
+
+// Every object section is read through one of these: it checks field types,
+// records which keys were consumed, and rejects the rest — a typo'd knob
+// fails the parse instead of silently running a default.
+class Section {
+ public:
+  Section(Ctx* ctx, const JsonValue& v, std::string where)
+      : ctx_(ctx), v_(v), where_(std::move(where)) {
+    if (!v_.is_object()) {
+      ctx_->Fail(where_, "expected an object");
+    }
+  }
+
+  // Finishes the section: any unconsumed key is an error.
+  void RejectUnknown() {
+    if (!v_.is_object()) {
+      return;
+    }
+    for (const auto& [k, unused] : v_.AsObject()) {
+      if (seen_.find(k) == seen_.end()) {
+        ctx_->Fail(where_, "unknown key \"" + k + "\"");
+        return;
+      }
+    }
+  }
+
+  const JsonValue* Take(const std::string& key) {
+    seen_.insert(key);
+    return v_.Find(key);
+  }
+
+  void Str(const std::string& key, std::string* out) {
+    const JsonValue* f = Take(key);
+    if (f == nullptr) {
+      return;
+    }
+    if (!f->is_string()) {
+      ctx_->Fail(where_ + "." + key, "expected a string");
+      return;
+    }
+    *out = f->AsString();
+  }
+
+  void Boolean(const std::string& key, bool* out) {
+    const JsonValue* f = Take(key);
+    if (f == nullptr) {
+      return;
+    }
+    if (!f->is_bool()) {
+      ctx_->Fail(where_ + "." + key, "expected true/false");
+      return;
+    }
+    *out = f->AsBool();
+  }
+
+  void Num(const std::string& key, double* out, double lo, double hi) {
+    const JsonValue* f = Take(key);
+    if (f == nullptr) {
+      return;
+    }
+    if (!f->is_number()) {
+      ctx_->Fail(where_ + "." + key, "expected a number");
+      return;
+    }
+    double v = f->AsNumber();
+    if (v < lo || v > hi) {
+      ctx_->Fail(where_ + "." + key, "out of range");
+      return;
+    }
+    *out = v;
+  }
+
+  template <typename T>
+  void UInt(const std::string& key, T* out, double lo, double hi) {
+    double v = static_cast<double>(*out);
+    Num(key, &v, lo, hi);
+    *out = static_cast<T>(v);
+  }
+
+  const std::string& where() const { return where_; }
+  Ctx* ctx() { return ctx_; }
+  const JsonValue& value() const { return v_; }
+
+ private:
+  Ctx* ctx_;
+  const JsonValue& v_;
+  std::string where_;
+  std::set<std::string> seen_;
+};
+
+void ParseCluster(Ctx* ctx, const JsonValue& v, ScenarioClusterSpec* out) {
+  Section s(ctx, v, "cluster");
+  s.Str("type", &out->type);
+  if (out->type != "raft" && out->type != "sharded") {
+    ctx->Fail("cluster.type", "expected \"raft\" or \"sharded\"");
+  }
+  s.UInt("nodes", &out->nodes, 1, 16);
+  s.UInt("groups", &out->groups, 1, 256);
+  s.Str("transport", &out->transport);
+  if (out->transport != "sim" && out->transport != "tcp") {
+    ctx->Fail("cluster.transport", "expected \"sim\" or \"tcp\"");
+  }
+  s.Boolean("pin_leader", &out->pin_leader);
+  s.Boolean("monitor", &out->monitor);
+  s.Boolean("mitigation", &out->mitigation);
+  if (out->mitigation) {
+    out->monitor = true;  // the closed loop needs its detector
+  }
+  s.UInt("monitor_window_us", &out->monitor_window_us, 10000, 60e6);
+  s.UInt("batch_window_us", &out->batch_window_us, 0, 1e6);
+  s.UInt("client_op_timeout_us", &out->client_op_timeout_us, 10000, 600e6);
+  s.UInt("trace_sample", &out->trace_sample, 0, 1e9);
+  s.RejectUnknown();
+}
+
+void ParseActor(Ctx* ctx, const JsonValue& v, size_t idx, ActorSpec* out) {
+  std::string where = "actors[" + std::to_string(idx) + "]";
+  Section s(ctx, v, where);
+  s.Str("name", &out->name);
+  if (out->name.empty()) {
+    ctx->Fail(where + ".name", "required");
+  }
+  std::string op;
+  s.Str("op", &op);
+  if (!op.empty() && !ActorOpFromName(op, &out->op)) {
+    ctx->Fail(where + ".op", "unknown op \"" + op + "\"");
+  }
+  s.UInt("clients", &out->clients, 1, 64);
+  s.UInt("concurrency", &out->concurrency, 1, 4096);
+  std::string arrival;
+  s.Str("arrival", &arrival);
+  if (!arrival.empty() && !ArrivalKindFromName(arrival, &out->arrival)) {
+    ctx->Fail(where + ".arrival", "expected closed|fixed|poisson");
+  }
+  s.Num("rate_ops_s", &out->rate_ops_s, 0.001, 1e8);
+  s.UInt("records", &out->records, 1, 1e12);
+  s.Boolean("zipfian", &out->zipfian);
+  s.Num("zipf_theta", &out->zipf_theta, 0.0, 0.9999);
+  s.UInt("value_bytes", &out->value_bytes, 0, 16 << 20);
+  s.Num("write_fraction", &out->write_fraction, 0.0, 1.0);
+  s.UInt("scan_len", &out->scan_len, 1, 100000);
+  s.RejectUnknown();
+}
+
+void ParseFault(Ctx* ctx, const JsonValue& v, const std::string& phase_where,
+                size_t idx, FaultBindingSpec* out) {
+  std::string where = phase_where + ".faults[" + std::to_string(idx) + "]";
+  Section s(ctx, v, where);
+  const JsonValue* target = s.Take("target");
+  if (target == nullptr) {
+    ctx->Fail(where + ".target", "required (node index, \"leader\" or \"follower\")");
+  } else if (target->is_number()) {
+    out->node = static_cast<int>(target->AsInt());
+    if (out->node < 0) {
+      ctx->Fail(where + ".target", "node index must be >= 0");
+    }
+  } else if (target->is_string()) {
+    out->role = target->AsString();
+    if (out->role != "leader" && out->role != "follower") {
+      ctx->Fail(where + ".target", "expected \"leader\", \"follower\" or an index");
+    }
+  } else {
+    ctx->Fail(where + ".target", "expected a node index or role string");
+  }
+  std::string type;
+  s.Str("type", &type);
+  if (type.empty() || !FaultTypeFromSpecName(type, &out->type)) {
+    ctx->Fail(where + ".type", "unknown fault type \"" + type + "\"");
+  }
+  s.UInt("after_ops", &out->after_ops, 0, 1e12);
+  s.RejectUnknown();
+}
+
+void ParseAssertion(Ctx* ctx, const JsonValue& v, const std::string& phase_where,
+                    size_t idx, AssertionSpec* out) {
+  std::string where = phase_where + ".assert[" + std::to_string(idx) + "]";
+  Section s(ctx, v, where);
+  s.Str("actor", &out->actor);
+  s.Str("metric", &out->metric);
+  static const std::set<std::string> kMetrics = {
+      "p50_us",  "p90_us",  "p99_us",         "p999_us",
+      "max_us",  "mean_us", "throughput_ops", "failure_frac"};
+  if (kMetrics.find(out->metric) == kMetrics.end()) {
+    ctx->Fail(where + ".metric", "unknown metric \"" + out->metric + "\"");
+  }
+  double tmp = 0;
+  if (s.Take("max") != nullptr) {
+    tmp = 0;
+    Section s2(ctx, v, where);  // reread through a typed accessor
+    s2.Num("max", &tmp, -1e18, 1e18);
+    out->max = tmp;
+  }
+  if (s.Take("min") != nullptr) {
+    tmp = 0;
+    Section s2(ctx, v, where);
+    s2.Num("min", &tmp, -1e18, 1e18);
+    out->min = tmp;
+  }
+  if (s.Take("max_ratio") != nullptr) {
+    tmp = 0;
+    Section s2(ctx, v, where);
+    s2.Num("max_ratio", &tmp, 0, 1e12);
+    out->max_ratio = tmp;
+  }
+  if (s.Take("min_ratio") != nullptr) {
+    tmp = 0;
+    Section s2(ctx, v, where);
+    s2.Num("min_ratio", &tmp, 0, 1e12);
+    out->min_ratio = tmp;
+  }
+  s.Str("of_phase", &out->of_phase);
+  bool ratio = out->max_ratio.has_value() || out->min_ratio.has_value();
+  if (ratio && out->of_phase.empty()) {
+    ctx->Fail(where, "max_ratio/min_ratio requires of_phase");
+  }
+  if (!ratio && !out->max.has_value() && !out->min.has_value()) {
+    ctx->Fail(where, "one of max/min/max_ratio/min_ratio is required");
+  }
+  s.RejectUnknown();
+}
+
+void ParsePhase(Ctx* ctx, const JsonValue& v, size_t idx, PhaseSpec* out) {
+  std::string where = "phases[" + std::to_string(idx) + "]";
+  Section s(ctx, v, where);
+  s.Str("name", &out->name);
+  if (out->name.empty()) {
+    ctx->Fail(where + ".name", "required");
+  }
+  s.UInt("duration_us", &out->duration_us, 1000, 3600e6);
+  s.UInt("warmup_us", &out->warmup_us, 0, 3600e6);
+  if (out->warmup_us > out->duration_us) {
+    ctx->Fail(where + ".warmup_us", "exceeds duration_us");
+  }
+  s.Boolean("clear_faults", &out->clear_faults);
+  if (const JsonValue* faults = s.Take("faults")) {
+    if (!faults->is_array()) {
+      ctx->Fail(where + ".faults", "expected an array");
+    } else {
+      for (size_t i = 0; i < faults->AsArray().size(); i++) {
+        FaultBindingSpec fb;
+        ParseFault(ctx, faults->AsArray()[i], where, i, &fb);
+        out->faults.push_back(fb);
+      }
+    }
+  }
+  if (const JsonValue* asserts = s.Take("assert")) {
+    if (!asserts->is_array()) {
+      ctx->Fail(where + ".assert", "expected an array");
+    } else {
+      for (size_t i = 0; i < asserts->AsArray().size(); i++) {
+        AssertionSpec as;
+        ParseAssertion(ctx, asserts->AsArray()[i], where, i, &as);
+        out->asserts.push_back(as);
+      }
+    }
+  }
+  s.RejectUnknown();
+}
+
+}  // namespace
+
+const char* ActorOpName(ActorOp op) {
+  switch (op) {
+    case ActorOp::kPut:
+      return "put";
+    case ActorOp::kGet:
+      return "get";
+    case ActorOp::kReadIndex:
+      return "read_index";
+    case ActorOp::kMix:
+      return "mix";
+    case ActorOp::kScan:
+      return "scan";
+    case ActorOp::kLargePut:
+      return "large_put";
+  }
+  return "?";
+}
+
+bool ActorOpFromName(const std::string& name, ActorOp* out) {
+  for (ActorOp op : {ActorOp::kPut, ActorOp::kGet, ActorOp::kReadIndex, ActorOp::kMix,
+                     ActorOp::kScan, ActorOp::kLargePut}) {
+    if (name == ActorOpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* FaultSpecName(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kCpuSlow:
+      return "cpu_slow";
+    case FaultType::kCpuContention:
+      return "cpu_contention";
+    case FaultType::kDiskSlow:
+      return "disk_slow";
+    case FaultType::kDiskContention:
+      return "disk_contention";
+    case FaultType::kMemContention:
+      return "mem_contention";
+    case FaultType::kNetworkSlow:
+      return "network_slow";
+  }
+  return "?";
+}
+
+bool FaultTypeFromSpecName(const std::string& name, FaultType* out) {
+  for (FaultType t : kAllFaultTypes) {
+    if (name == FaultSpecName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<ScenarioSpec> ParseScenario(const std::string& text, std::string* err) {
+  std::string json_err;
+  std::optional<JsonValue> doc = JsonValue::Parse(text, &json_err);
+  if (!doc.has_value()) {
+    if (err != nullptr) {
+      *err = json_err;
+    }
+    return std::nullopt;
+  }
+  Ctx ctx{err};
+  ScenarioSpec spec;
+  Section root(&ctx, *doc, "(root)");
+  root.Str("name", &spec.name);
+  if (spec.name.empty()) {
+    ctx.Fail("name", "required");
+  }
+  // Seeds ride through JSON numbers (doubles), so they are capped at 2^53
+  // to stay exactly representable — a report's printed seed must reproduce
+  // the run bit-for-bit.
+  root.UInt("seed", &spec.seed, 0, 9007199254740992.0);
+  if (const JsonValue* cluster = root.Take("cluster")) {
+    ParseCluster(&ctx, *cluster, &spec.cluster);
+  }
+  const JsonValue* actors = root.Take("actors");
+  if (actors == nullptr || !actors->is_array() || actors->AsArray().empty()) {
+    ctx.Fail("actors", "required non-empty array");
+  } else {
+    std::set<std::string> names;
+    for (size_t i = 0; i < actors->AsArray().size(); i++) {
+      ActorSpec a;
+      ParseActor(&ctx, actors->AsArray()[i], i, &a);
+      if (!names.insert(a.name).second) {
+        ctx.Fail("actors[" + std::to_string(i) + "].name",
+                 "duplicate actor name \"" + a.name + "\"");
+      }
+      spec.actors.push_back(a);
+    }
+  }
+  const JsonValue* phases = root.Take("phases");
+  if (phases == nullptr || !phases->is_array() || phases->AsArray().empty()) {
+    ctx.Fail("phases", "required non-empty array");
+  } else {
+    std::set<std::string> names;
+    for (size_t i = 0; i < phases->AsArray().size(); i++) {
+      PhaseSpec p;
+      ParsePhase(&ctx, phases->AsArray()[i], i, &p);
+      if (!names.insert(p.name).second) {
+        ctx.Fail("phases[" + std::to_string(i) + "].name",
+                 "duplicate phase name \"" + p.name + "\"");
+      }
+      spec.phases.push_back(p);
+    }
+  }
+  // Cross-checks: assertions naming actors/phases must resolve; faults on
+  // explicit nodes must be in range.
+  for (const PhaseSpec& p : spec.phases) {
+    for (const AssertionSpec& a : p.asserts) {
+      if (!a.actor.empty()) {
+        bool found = false;
+        for (const ActorSpec& as : spec.actors) {
+          found = found || as.name == a.actor;
+        }
+        if (!found) {
+          ctx.Fail("phases/" + p.name, "assertion names unknown actor \"" + a.actor + "\"");
+        }
+      }
+      if (!a.of_phase.empty()) {
+        bool found = false;
+        for (const PhaseSpec& ps : spec.phases) {
+          found = found || ps.name == a.of_phase;
+        }
+        if (!found) {
+          ctx.Fail("phases/" + p.name,
+                   "assertion names unknown phase \"" + a.of_phase + "\"");
+        }
+      }
+    }
+    for (const FaultBindingSpec& f : p.faults) {
+      if (f.node >= spec.cluster.nodes) {
+        ctx.Fail("phases/" + p.name, "fault target node out of range");
+      }
+    }
+  }
+  root.RejectUnknown();
+  if (!ctx.ok) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace depfast

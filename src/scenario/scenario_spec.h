@@ -1,0 +1,133 @@
+// The declarative scenario format: a small JSON document (strict, `//`
+// comments allowed, unknown keys REJECTED) describing a cluster, a set of
+// workload actors, and an ordered list of phases (load -> warm -> fault ->
+// recover) with per-phase fault bindings and assertions. The runner's whole
+// benchmark matrix is expressed in this format — every matrix cell is a
+// spec text that round-trips through this parser, so anything the engine
+// can do is reachable from a committed .scenario.json file.
+#ifndef SRC_SCENARIO_SCENARIO_SPEC_H_
+#define SRC_SCENARIO_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_types.h"
+#include "src/scenario/arrival.h"
+
+namespace depfast {
+
+// Which deployment the scenario drives and which control loops are armed.
+struct ScenarioClusterSpec {
+  std::string type = "raft";       // "raft" | "sharded"
+  int nodes = 3;
+  int groups = 8;                  // sharded only
+  std::string transport = "sim";   // "sim" | "tcp"
+  // raft: false lets a self-accused leader step down (mitigation) or a real
+  // election happen. sharded: pinning is how Multi-Raft places leaders, and
+  // evacuation moves them election-free, so it stays true there.
+  bool pin_leader = true;
+  bool monitor = false;     // online SpgMonitor/VerdictLoop
+  bool mitigation = false;  // closed loop (implies monitor)
+  // Detector window scaled to scenario phase lengths.
+  uint64_t monitor_window_us = 300000;
+  uint64_t batch_window_us = 200;
+  uint64_t client_op_timeout_us = 2000000;
+  // 1-in-N request tracing on every actor session; per-phase op_stage_us
+  // windows appear in the report when > 0.
+  uint64_t trace_sample = 0;
+};
+
+// What one actor's ops look like.
+enum class ActorOp : uint8_t {
+  kPut = 0,        // point writes
+  kGet,            // point reads through the replicated log
+  kReadIndex,      // point reads via the ReadIndex fast path
+  kMix,            // write_fraction puts, rest ReadIndex reads
+  kScan,           // ordered range scans (kScan commands)
+  kLargePut,       // point writes with a large value (value_bytes)
+};
+
+const char* ActorOpName(ActorOp op);
+bool ActorOpFromName(const std::string& name, ActorOp* out);
+
+struct ActorSpec {
+  std::string name;
+  ActorOp op = ActorOp::kPut;
+  int clients = 1;       // client threads (each its own reactor + session)
+  int concurrency = 8;   // worker coroutines per client thread
+  ArrivalKind arrival = ArrivalKind::kClosed;
+  double rate_ops_s = 1000;  // offered rate PER CLIENT THREAD (open loop)
+  uint64_t records = 100000;
+  bool zipfian = true;
+  double zipf_theta = 0.99;
+  uint64_t value_bytes = 100;
+  double write_fraction = 0.5;  // kMix only
+  uint32_t scan_len = 16;       // kScan only
+};
+
+// A fault applied during a phase: at phase start (after_ops == 0) or once
+// the phase has completed `after_ops` operations (op-count trigger — the
+// deterministic-ish alternative to wall-clock offsets).
+struct FaultBindingSpec {
+  int node = -1;             // explicit node index, or -1 when role-based
+  std::string role;          // "leader" | "follower" (used when node < 0)
+  FaultType type = FaultType::kNone;
+  uint64_t after_ops = 0;
+};
+
+// A declarative check against one phase's measured window. Either an
+// absolute bound (max/min on the metric) or a ratio bound against the same
+// metric in another phase (max_ratio/min_ratio + of_phase) — "P99 <= 5x
+// baseline with mitigation on" is {metric: "p99_us", max_ratio: 5,
+// of_phase: "load"}; "throughput held at >= 30% of baseline" is
+// {metric: "throughput_ops", min_ratio: 0.3, of_phase: "load"}.
+struct AssertionSpec {
+  std::string actor;   // empty = all actors merged
+  std::string metric;  // p50_us|p90_us|p99_us|p999_us|max_us|mean_us|
+                       // throughput_ops|failure_frac
+  std::optional<double> max;
+  std::optional<double> min;
+  std::optional<double> max_ratio;
+  std::optional<double> min_ratio;
+  std::string of_phase;  // required with max_ratio / min_ratio
+};
+
+struct PhaseSpec {
+  std::string name;
+  uint64_t duration_us = 1000000;
+  // Ops whose intended start falls within the first warmup_us of the phase
+  // are excluded from the phase window — per-phase ramp-up never blends
+  // into the reported histogram.
+  uint64_t warmup_us = 0;
+  bool clear_faults = false;  // clear every injected fault at phase start
+  std::vector<FaultBindingSpec> faults;
+  std::vector<AssertionSpec> asserts;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  // THE seed: every random source in the scenario path (zipfian keys, value
+  // choice, Poisson gaps, mix coin flips) derives from it, per actor thread
+  // and purpose, and the report prints it — any cell is reproducible from
+  // its report line.
+  uint64_t seed = 1;
+  ScenarioClusterSpec cluster;
+  std::vector<ActorSpec> actors;
+  std::vector<PhaseSpec> phases;
+};
+
+// Parses the declarative text form. Returns nullopt and sets *err (pointing
+// at the offending key/value) on any violation: malformed JSON, unknown
+// keys, bad enum names, out-of-range values, missing sections.
+std::optional<ScenarioSpec> ParseScenario(const std::string& text, std::string* err);
+
+// Spec-file names of the Table 1 fault classes (snake_case: "disk_slow",
+// "network_slow", ...).
+const char* FaultSpecName(FaultType type);
+bool FaultTypeFromSpecName(const std::string& name, FaultType* out);
+
+}  // namespace depfast
+
+#endif  // SRC_SCENARIO_SCENARIO_SPEC_H_

@@ -6,13 +6,13 @@ namespace depfast {
 
 Marshal KvCommand::Encode() const {
   Marshal m;
-  m << op << key << value;
+  m << op << key << value << scan_limit;
   return m;
 }
 
 KvCommand KvCommand::Decode(Marshal& m) {
   KvCommand cmd;
-  m >> cmd.op >> cmd.key >> cmd.value;
+  m >> cmd.op >> cmd.key >> cmd.value >> cmd.scan_limit;
   return cmd;
 }
 
@@ -76,6 +76,20 @@ KvResult KvStore::Apply(const KvCommand& cmd) {
     case KvOp::kDelete:
       r.ok = Delete(cmd.key);
       break;
+    case KvOp::kScan: {
+      // "k\tv\n" per entry, from lower_bound(key), up to scan_limit entries.
+      // ok even when the range is empty — an empty scan is a completed op.
+      r.ok = true;
+      uint32_t left = cmd.scan_limit;
+      for (auto it = map_.lower_bound(cmd.key); it != map_.end() && left > 0;
+           ++it, --left) {
+        r.value += it->first;
+        r.value += '\t';
+        r.value += it->second;
+        r.value += '\n';
+      }
+      break;
+    }
   }
   return r;
 }

@@ -16,12 +16,17 @@ enum class KvOp : uint8_t {
   kPut = 1,
   kGet = 2,
   kDelete = 3,
+  // Ordered range scan from `key`, at most `scan_limit` entries. Runs
+  // through the replicated log like any command (deterministic read of the
+  // applied state) — the scan-workload actor of the scenario engine.
+  kScan = 4,
 };
 
 struct KvCommand {
   KvOp op = KvOp::kPut;
   std::string key;
   std::string value;
+  uint32_t scan_limit = 0;  // kScan only
 
   Marshal Encode() const;
   static KvCommand Decode(Marshal& m);

@@ -57,6 +57,17 @@ struct BenchResult {
 // shipped bytes. Shared by the figure/ablation benches.
 std::string CountersRow(const RaftCounters& c);
 
+// True when an op spanning [start_us, done_us] belongs to the steady-state
+// measurement window [begin, end): it must complete inside the window AND
+// must not have started before it. An op issued during ramp-up carries
+// warmup queueing in its latency — counting it blends pre-steady-state
+// samples into the reported histogram (the scenario engine's phase windows
+// apply the same cutoff via per-phase warmup).
+inline bool InMeasureWindow(uint64_t start_us, uint64_t done_us, uint64_t begin,
+                           uint64_t end) {
+  return start_us >= begin && done_us < end;
+}
+
 // Drives `cluster` (anything with MakeClient(name)) with the configured
 // closed-loop load and measures the steady-state window.
 template <typename Cluster>
@@ -102,7 +113,7 @@ BenchResult RunDriver(Cluster& cluster, const DriverConfig& config) {
             uint64_t t0 = MonotonicUs();
             auto result = session->Execute(cmd);
             uint64_t t1 = MonotonicUs();
-            if (t1 >= measure_begin && t1 < measure_end) {
+            if (InMeasureWindow(t0, t1, measure_begin, measure_end)) {
               if (result.has_value()) {
                 state->hist.Record(t1 - t0);
               } else {

@@ -191,5 +191,63 @@ TEST(HistogramTest, MergeDisjointRanges) {
   EXPECT_EQ(merged.min(), 100u);
 }
 
+TEST(HistogramTest, QuantileSummaryExactSmallValues) {
+  // Values 1..100 recorded once each: below 128 the buckets are exact
+  // (major bucket 0 spans [0,128) with 64 two-wide sub-buckets at <=1us
+  // error), so the summary quantiles are the true order statistics up to
+  // sub-bucket width.
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; v++) {
+    h.Record(v);
+  }
+  QuantileSummary q = h.Quantiles();
+  EXPECT_EQ(q.count, 100u);
+  EXPECT_NEAR(q.mean_us, 50.5, 1e-9);
+  EXPECT_EQ(q.max_us, 100u);
+  // ceil-rank convention: p50 is the 50th sample = 50, within bucket width.
+  EXPECT_NEAR(static_cast<double>(q.p50_us), 50, 2);
+  EXPECT_NEAR(static_cast<double>(q.p90_us), 90, 2);
+  EXPECT_NEAR(static_cast<double>(q.p99_us), 99, 2);
+  // With 100 samples the 99.9th percentile clamps to the top sample.
+  EXPECT_EQ(q.p999_us, q.max_us);
+  // The summary must agree with the one-at-a-time Percentile() path.
+  EXPECT_EQ(q.p50_us, h.Percentile(50));
+  EXPECT_EQ(q.p90_us, h.Percentile(90));
+  EXPECT_EQ(q.p99_us, h.Percentile(99));
+}
+
+TEST(HistogramTest, QuantileSummaryEmpty) {
+  Histogram h;
+  QuantileSummary q = h.Quantiles();
+  EXPECT_EQ(q.count, 0u);
+  EXPECT_EQ(q.mean_us, 0);
+  EXPECT_EQ(q.p50_us, 0u);
+  EXPECT_EQ(q.p999_us, 0u);
+  EXPECT_EQ(q.max_us, 0u);
+}
+
+TEST(HistogramTest, DeltaSinceIsolatesTheWindow) {
+  // Phase-window arithmetic: snapshot, record more, DeltaSince must contain
+  // exactly the post-snapshot samples.
+  Histogram h;
+  for (int i = 0; i < 500; i++) {
+    h.Record(100);  // "load phase": fast ops
+  }
+  Histogram snap = h;
+  for (int i = 0; i < 250; i++) {
+    h.Record(50000);  // "fault phase": slow ops
+  }
+  Histogram window = h.DeltaSince(snap);
+  EXPECT_EQ(window.count(), 250u);
+  EXPECT_EQ(window.sum(), 250u * 50000u);
+  // The window's percentiles see only the slow samples — no blending with
+  // the 500 fast pre-snapshot ops.
+  EXPECT_GE(window.Percentile(50), 49000u);
+  EXPECT_GE(window.Percentile(1), 49000u);
+  // Delta against itself is empty; delta of an unchanged series is empty.
+  EXPECT_EQ(h.DeltaSince(h).count(), 0u);
+  EXPECT_EQ(snap.DeltaSince(snap).count(), 0u);
+}
+
 }  // namespace
 }  // namespace depfast

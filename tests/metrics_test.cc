@@ -77,6 +77,44 @@ TEST(MetricsTest, RenderJsonFlatSnapshot) {
   EXPECT_NE(json.find("\"depth\":-2"), std::string::npos);
   EXPECT_NE(json.find("\"lat_us_count\":1"), std::string::npos);
   EXPECT_NE(json.find("\"lat_us_p99\":10"), std::string::npos);
+  // The full quantile summary is exported — downstream BENCH consumers read
+  // p90/p999/max without re-deriving from buckets.
+  EXPECT_NE(json.find("\"lat_us_p90\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us_p999\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us_max\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us_sum\":10"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotHistogramsWindowDelta) {
+  MetricsRegistry reg;
+  reg.GetHistogram("stage_us", {{"stage", "append"}})->Record(10);
+  reg.GetHistogram("stage_us", {{"stage", "commit"}})->Record(20);
+  reg.GetHistogram("other_us")->Record(5);
+  auto base = reg.SnapshotHistograms("stage_us");
+  EXPECT_EQ(base.size(), 2u);  // name filter excludes other_us
+  EXPECT_EQ(reg.SnapshotHistograms().size(), 3u);
+
+  reg.GetHistogram("stage_us", {{"stage", "append"}})->Record(1000);
+  auto now = reg.SnapshotHistograms("stage_us");
+  MetricsRegistry::Key key{"stage_us", {{"stage", "append"}}};
+  Histogram window = now.at(key).DeltaSince(base.at(key));
+  EXPECT_EQ(window.count(), 1u);
+  EXPECT_EQ(window.sum(), 1000u);
+  // The untouched series' delta is empty.
+  MetricsRegistry::Key commit{"stage_us", {{"stage", "commit"}}};
+  EXPECT_EQ(now.at(commit).DeltaSince(base.at(commit)).count(), 0u);
+}
+
+TEST(MetricsTest, SnapshotCountersFilterAndValues) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops_total", {{"node", "s1"}})->Inc(7);
+  reg.GetCounter("ops_total", {{"node", "s2"}})->Inc(9);
+  reg.GetCounter("errs_total")->Inc(1);
+  auto snap = reg.SnapshotCounters("ops_total");
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at({"ops_total", {{"node", "s1"}}}), 7u);
+  EXPECT_EQ(snap.at({"ops_total", {{"node", "s2"}}}), 9u);
+  EXPECT_EQ(reg.SnapshotCounters().size(), 3u);
 }
 
 TEST(MetricsTest, ClearDropsEverything) {

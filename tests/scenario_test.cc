@@ -1,0 +1,281 @@
+// Unit tests for the declarative scenario format and the open-loop arrival
+// schedule: golden parses, strict rejection (unknown keys, bad enums, broken
+// cross-references), arrival-rate arithmetic in virtual time, and the
+// coordinated-omission property (a stalled puller does not move intended
+// start times).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/base/json.h"
+#include "src/scenario/arrival.h"
+#include "src/scenario/scenario_spec.h"
+
+namespace depfast {
+namespace {
+
+// A spec exercising every section; the golden baseline the rejection tests
+// mutate.
+const char* kGoldenSpec = R"({
+  // comments are allowed in scenario files
+  "name": "golden",
+  "seed": 7,
+  "cluster": {
+    "type": "sharded",
+    "nodes": 5,
+    "groups": 16,
+    "transport": "sim",
+    "mitigation": true,
+    "trace_sample": 64
+  },
+  "actors": [
+    {"name": "writes", "op": "put", "clients": 2, "concurrency": 16,
+     "arrival": "poisson", "rate_ops_s": 2500.5, "records": 4096,
+     "value_bytes": 256},
+    {"name": "scans", "op": "scan", "scan_len": 32, "zipfian": false},
+    {"name": "reads", "op": "mix", "write_fraction": 0.25}
+  ],
+  "phases": [
+    {"name": "load", "duration_us": 1000000, "warmup_us": 250000},
+    {"name": "fault", "duration_us": 2000000,
+     "faults": [{"target": "leader", "type": "disk_slow"},
+                {"target": 2, "type": "network_slow", "after_ops": 500}]},
+    {"name": "recover", "duration_us": 1500000, "warmup_us": 300000,
+     "clear_faults": true,
+     "assert": [{"metric": "p99_us", "max_ratio": 5, "of_phase": "load"},
+                {"actor": "writes", "metric": "failure_frac", "max": 0.1},
+                {"metric": "throughput_ops", "min": 100}]}
+  ]
+})";
+
+TEST(ScenarioSpecTest, GoldenSpecParses) {
+  std::string err;
+  auto spec = ParseScenario(kGoldenSpec, &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_EQ(spec->name, "golden");
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_EQ(spec->cluster.type, "sharded");
+  EXPECT_EQ(spec->cluster.nodes, 5);
+  EXPECT_EQ(spec->cluster.groups, 16);
+  EXPECT_TRUE(spec->cluster.mitigation);
+  EXPECT_TRUE(spec->cluster.monitor);  // mitigation implies monitor
+  EXPECT_EQ(spec->cluster.trace_sample, 64u);
+
+  ASSERT_EQ(spec->actors.size(), 3u);
+  EXPECT_EQ(spec->actors[0].op, ActorOp::kPut);
+  EXPECT_EQ(spec->actors[0].arrival, ArrivalKind::kPoisson);
+  EXPECT_DOUBLE_EQ(spec->actors[0].rate_ops_s, 2500.5);
+  EXPECT_EQ(spec->actors[0].clients, 2);
+  EXPECT_EQ(spec->actors[1].op, ActorOp::kScan);
+  EXPECT_EQ(spec->actors[1].scan_len, 32u);
+  EXPECT_FALSE(spec->actors[1].zipfian);
+  EXPECT_EQ(spec->actors[2].op, ActorOp::kMix);
+  EXPECT_DOUBLE_EQ(spec->actors[2].write_fraction, 0.25);
+
+  ASSERT_EQ(spec->phases.size(), 3u);
+  EXPECT_EQ(spec->phases[0].warmup_us, 250000u);
+  ASSERT_EQ(spec->phases[1].faults.size(), 2u);
+  EXPECT_EQ(spec->phases[1].faults[0].role, "leader");
+  EXPECT_EQ(spec->phases[1].faults[0].type, FaultType::kDiskSlow);
+  EXPECT_EQ(spec->phases[1].faults[1].node, 2);
+  EXPECT_EQ(spec->phases[1].faults[1].after_ops, 500u);
+  EXPECT_TRUE(spec->phases[2].clear_faults);
+  ASSERT_EQ(spec->phases[2].asserts.size(), 3u);
+  EXPECT_DOUBLE_EQ(*spec->phases[2].asserts[0].max_ratio, 5);
+  EXPECT_EQ(spec->phases[2].asserts[0].of_phase, "load");
+  EXPECT_EQ(spec->phases[2].asserts[1].actor, "writes");
+}
+
+// Rejection helper: the spec must fail to parse and the error must mention
+// the offending context.
+void ExpectRejected(const std::string& text, const std::string& err_substr) {
+  std::string err;
+  auto spec = ParseScenario(text, &err);
+  EXPECT_FALSE(spec.has_value()) << "unexpectedly parsed; wanted error about "
+                                 << err_substr;
+  EXPECT_NE(err.find(err_substr), std::string::npos) << "error was: " << err;
+}
+
+TEST(ScenarioSpecTest, UnknownKeysRejectedEverywhere) {
+  ExpectRejected(R"({"name":"x","typo_key":1,
+                     "actors":[{"name":"a"}],
+                     "phases":[{"name":"p"}]})",
+                 "typo_key");
+  ExpectRejected(R"({"name":"x",
+                     "cluster":{"n_nodes":3},
+                     "actors":[{"name":"a"}],
+                     "phases":[{"name":"p"}]})",
+                 "n_nodes");
+  ExpectRejected(R"({"name":"x",
+                     "actors":[{"name":"a","rate":5}],
+                     "phases":[{"name":"p"}]})",
+                 "rate");
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"}],
+                     "phases":[{"name":"p","warmup":1}]})",
+                 "warmup");
+}
+
+TEST(ScenarioSpecTest, BadEnumAndRangeRejected) {
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a","op":"frob"}],
+                     "phases":[{"name":"p"}]})",
+                 "unknown op");
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a","arrival":"open"}],
+                     "phases":[{"name":"p"}]})",
+                 "arrival");
+  ExpectRejected(R"({"name":"x","cluster":{"type":"paxos"},
+                     "actors":[{"name":"a"}],"phases":[{"name":"p"}]})",
+                 "cluster.type");
+  ExpectRejected(
+      R"({"name":"x","actors":[{"name":"a"}],
+          "phases":[{"name":"p","faults":[{"target":"leader","type":"slow"}]}]})",
+      "fault type");
+  // warmup longer than the phase
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"}],
+                     "phases":[{"name":"p","duration_us":10000,"warmup_us":20000}]})",
+                 "warmup_us");
+}
+
+TEST(ScenarioSpecTest, CrossReferencesChecked) {
+  // Assertion naming an unknown actor.
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"}],
+      "phases":[{"name":"p","assert":[{"actor":"ghost","metric":"p99_us","max":1}]}]})",
+                 "unknown actor");
+  // Ratio assertion against an unknown phase.
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"}],
+      "phases":[{"name":"p","assert":[{"metric":"p99_us","max_ratio":2,"of_phase":"nope"}]}]})",
+                 "unknown phase");
+  // max_ratio without of_phase.
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"}],
+      "phases":[{"name":"p","assert":[{"metric":"p99_us","max_ratio":2}]}]})",
+                 "of_phase");
+  // Fault target outside the cluster.
+  ExpectRejected(R"({"name":"x","cluster":{"nodes":3},"actors":[{"name":"a"}],
+      "phases":[{"name":"p","faults":[{"target":7,"type":"disk_slow"}]}]})",
+                 "out of range");
+  // Duplicate names.
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"},{"name":"a"}],
+                     "phases":[{"name":"p"}]})",
+                 "duplicate actor");
+  ExpectRejected(R"({"name":"x","actors":[{"name":"a"}],
+                     "phases":[{"name":"p"},{"name":"p"}]})",
+                 "duplicate phase");
+}
+
+TEST(ScenarioSpecTest, EnumNamesRoundTrip) {
+  for (ActorOp op : {ActorOp::kPut, ActorOp::kGet, ActorOp::kReadIndex,
+                     ActorOp::kMix, ActorOp::kScan, ActorOp::kLargePut}) {
+    ActorOp back;
+    ASSERT_TRUE(ActorOpFromName(ActorOpName(op), &back));
+    EXPECT_EQ(back, op);
+  }
+  for (FaultType t : kAllFaultTypes) {
+    FaultType back;
+    ASSERT_TRUE(FaultTypeFromSpecName(FaultSpecName(t), &back));
+    EXPECT_EQ(back, t);
+  }
+  ArrivalKind k;
+  ASSERT_TRUE(ArrivalKindFromName("poisson", &k));
+  EXPECT_EQ(k, ArrivalKind::kPoisson);
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kFixedRate), "fixed");
+}
+
+// ---- Arrival schedule (virtual time: the schedule never reads a clock) ----
+
+TEST(ArrivalScheduleTest, FixedRateHitsTheRateExactly) {
+  ArrivalSchedule sched(ArrivalKind::kFixedRate, 1000, 1);  // 1ms apart
+  sched.Start(5000000);
+  // now_us is irrelevant for open-loop kinds; pass garbage to prove it.
+  EXPECT_EQ(sched.NextIntendedUs(0), 5000000u);
+  EXPECT_EQ(sched.NextIntendedUs(999999999), 5001000u);
+  for (int i = 2; i < 10000; i++) {
+    EXPECT_EQ(sched.NextIntendedUs(0), 5000000u + static_cast<uint64_t>(i) * 1000);
+  }
+  // 10000 arrivals at 1000/s = exactly 10 s of schedule, no drift.
+  EXPECT_EQ(sched.generated(), 10000u);
+}
+
+TEST(ArrivalScheduleTest, StalledPullerDoesNotShiftIntendedTimes) {
+  // The coordinated-omission property: generate arrivals while "stalled"
+  // (simulated by passing a now far past the intended times) — the intended
+  // timestamps must be identical to an unstalled run.
+  ArrivalSchedule a(ArrivalKind::kPoisson, 500, 42);
+  ArrivalSchedule b(ArrivalKind::kPoisson, 500, 42);
+  a.Start(1000);
+  b.Start(1000);
+  for (int i = 0; i < 5000; i++) {
+    uint64_t ta = a.NextIntendedUs(1000 + static_cast<uint64_t>(i));  // on time
+    uint64_t tb = b.NextIntendedUs(999999999);                        // stalled
+    EXPECT_EQ(ta, tb);
+  }
+}
+
+TEST(ArrivalScheduleTest, PoissonMeanRateWithinTolerance) {
+  ArrivalSchedule sched(ArrivalKind::kPoisson, 2000, 7);
+  sched.Start(0);
+  uint64_t last = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; i++) {
+    last = sched.NextIntendedUs(0);
+  }
+  // kN arrivals at 2000/s should span ~kN/2000 seconds; CLT puts the
+  // relative error near 1/sqrt(kN) ~ 0.2%, so 2% is comfortably stable.
+  double span_s = static_cast<double>(last) / 1e6;
+  double expect_s = static_cast<double>(kN) / 2000.0;
+  EXPECT_NEAR(span_s / expect_s, 1.0, 0.02);
+}
+
+TEST(ArrivalScheduleTest, SeedDeterminesPoissonStream) {
+  ArrivalSchedule a(ArrivalKind::kPoisson, 100, 5);
+  ArrivalSchedule b(ArrivalKind::kPoisson, 100, 5);
+  ArrivalSchedule c(ArrivalKind::kPoisson, 100, 6);
+  a.Start(0);
+  b.Start(0);
+  c.Start(0);
+  bool diverged = false;
+  for (int i = 0; i < 100; i++) {
+    uint64_t ta = a.NextIntendedUs(0);
+    EXPECT_EQ(ta, b.NextIntendedUs(0));
+    diverged = diverged || ta != c.NextIntendedUs(0);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ArrivalScheduleTest, ClosedLoopEchoesNow) {
+  ArrivalSchedule sched(ArrivalKind::kClosed, 0, 1);
+  sched.Start(100);
+  EXPECT_FALSE(sched.open_loop());
+  EXPECT_EQ(sched.NextIntendedUs(12345), 12345u);
+  EXPECT_EQ(sched.NextIntendedUs(99), 99u);
+}
+
+// Spec texts built programmatically (as the runner's matrix does) must
+// round-trip through the parser.
+TEST(ScenarioSpecTest, BuiltSpecTextRoundTrips) {
+  JsonValue spec = JsonValue::Object();
+  spec.Add("name", JsonValue::Str("cell"));
+  spec.Add("seed", JsonValue::Int(123456789));
+  JsonValue actors = JsonValue::Array();
+  JsonValue a = JsonValue::Object();
+  a.Add("name", JsonValue::Str("main"));
+  a.Add("arrival", JsonValue::Str("fixed"));
+  a.Add("rate_ops_s", JsonValue::Int(1500));
+  actors.Push(std::move(a));
+  spec.Add("actors", std::move(actors));
+  JsonValue phases = JsonValue::Array();
+  JsonValue p = JsonValue::Object();
+  p.Add("name", JsonValue::Str("load"));
+  p.Add("duration_us", JsonValue::Int(500000));
+  phases.Push(std::move(p));
+  spec.Add("phases", std::move(phases));
+
+  std::string err;
+  auto parsed = ParseScenario(spec.Dump(2), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->seed, 123456789u);
+  EXPECT_EQ(parsed->actors[0].arrival, ArrivalKind::kFixedRate);
+  EXPECT_DOUBLE_EQ(parsed->actors[0].rate_ops_s, 1500);
+}
+
+}  // namespace
+}  // namespace depfast

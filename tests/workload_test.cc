@@ -133,5 +133,20 @@ TEST(DriverTest, ResultRowFormatted) {
   EXPECT_NE(row.find("p99"), std::string::npos);
 }
 
+TEST(DriverTest, InMeasureWindowExcludesRampUpOps) {
+  // The warmup-blending fix: an op must both start and finish inside the
+  // window. Ops issued during ramp-up carry warmup queueing in their
+  // latency and must not blend into the steady-state histogram.
+  const uint64_t begin = 1000;
+  const uint64_t end = 2000;
+  EXPECT_TRUE(InMeasureWindow(1000, 1500, begin, end));   // fully inside
+  EXPECT_TRUE(InMeasureWindow(1999, 1999, begin, end));   // boundary: done < end
+  EXPECT_FALSE(InMeasureWindow(900, 1500, begin, end));   // started in warmup
+  EXPECT_FALSE(InMeasureWindow(999, 1000, begin, end));   // off-by-one start
+  EXPECT_FALSE(InMeasureWindow(1500, 2000, begin, end));  // finished at end
+  EXPECT_FALSE(InMeasureWindow(1500, 2500, begin, end));  // finished after end
+  EXPECT_FALSE(InMeasureWindow(500, 900, begin, end));    // entirely before
+}
+
 }  // namespace
 }  // namespace depfast
